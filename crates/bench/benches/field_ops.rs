@@ -1,0 +1,36 @@
+//! Field-arithmetic microbenchmarks: the per-operation costs that justify
+//! the simulator's `FieldSpec` ratios (Goldilocks ≈ 1 limb-mul unit,
+//! BN254-Fr ≈ 20×).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+use unintt_ff::{BabyBear, Bn254Fr, Field, Goldilocks};
+
+fn bench_field<F: Field>(c: &mut Criterion, name: &str) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let a = F::random(&mut rng);
+    let b = F::random(&mut rng);
+
+    let mut group = c.benchmark_group(format!("field/{name}"));
+    group.bench_function("mul", |bench| {
+        bench.iter(|| black_box(black_box(a) * black_box(b)))
+    });
+    group.bench_function("add", |bench| {
+        bench.iter(|| black_box(black_box(a) + black_box(b)))
+    });
+    group.bench_function("square", |bench| bench.iter(|| black_box(black_box(a).square())));
+    group.bench_function("inverse", |bench| {
+        bench.iter(|| black_box(black_box(a).inverse()))
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_field::<Goldilocks>(c, "goldilocks");
+    bench_field::<BabyBear>(c, "babybear");
+    bench_field::<Bn254Fr>(c, "bn254_fr");
+}
+
+criterion_group!(field_benches, benches);
+criterion_main!(field_benches);

@@ -1,0 +1,38 @@
+//! Wall-clock MSM benchmarks: Pippenger vs naive, and scaling with size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use unintt_ff::{Bn254Fr, Field};
+use unintt_msm::{msm, msm_naive, G1Affine};
+
+fn random_pairs(n: usize, seed: u64) -> (Vec<Bn254Fr>, Vec<G1Affine>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scalars = (0..n).map(|_| Bn254Fr::random(&mut rng)).collect();
+    let points = (0..n).map(|_| G1Affine::random(&mut rng)).collect();
+    (scalars, points)
+}
+
+fn bench_pippenger(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msm/pippenger");
+    group.sample_size(10);
+    for log_n in [6u32, 8, 10] {
+        let n = 1usize << log_n;
+        let (scalars, points) = random_pairs(n, log_n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("2^{log_n}")), &n, |b, _| {
+            b.iter(|| msm(&scalars, &points))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pippenger_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msm/pippenger_vs_naive_2^7");
+    group.sample_size(10);
+    let (scalars, points) = random_pairs(128, 7);
+    group.bench_function("pippenger", |b| b.iter(|| msm(&scalars, &points)));
+    group.bench_function("naive", |b| b.iter(|| msm_naive(&scalars, &points)));
+    group.finish();
+}
+
+criterion_group!(msm_benches, bench_pippenger, bench_pippenger_vs_naive);
+criterion_main!(msm_benches);

@@ -1,0 +1,30 @@
+//! Wall-clock end-to-end prover benchmark (CPU backend).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use unintt_zkp::{prove, random_circuit, setup, Backend};
+
+fn bench_prover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prover/cpu");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(1);
+    for log_rows in [6u32, 8] {
+        let rows = 1usize << log_rows;
+        let (circuit, witness) = random_circuit(rows, &mut rng);
+        let (pk, _vk) = setup(&circuit, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("2^{log_rows}_gates")),
+            &rows,
+            |b, _| {
+                b.iter(|| {
+                    let mut backend = Backend::cpu();
+                    prove(&pk, &witness, &[], &mut backend)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(prover_benches, bench_prover);
+criterion_main!(prover_benches);

@@ -1,0 +1,57 @@
+//! Wall-clock cost of the *simulator itself*: how fast the functional
+//! multi-GPU engine executes on the host, and how cheap the cost-only
+//! path is. (Simulated time is an output, not what Criterion measures.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use unintt_core::{Sharded, ShardLayout, UniNttEngine, UniNttOptions};
+use unintt_ff::{Field, Goldilocks};
+use unintt_gpu_sim::{presets, FieldSpec, Machine};
+
+fn bench_functional_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/functional_forward/goldilocks");
+    group.sample_size(10);
+    let gpus = 4;
+    let cfg = presets::a100_nvlink(gpus);
+    let fs = FieldSpec::goldilocks();
+    let mut rng = StdRng::seed_from_u64(3);
+    for log_n in [14u32, 16, 18] {
+        let engine = UniNttEngine::<Goldilocks>::new(log_n, &cfg, UniNttOptions::full(), fs);
+        let input: Vec<Goldilocks> =
+            (0..1usize << log_n).map(|_| Goldilocks::random(&mut rng)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("2^{log_n}")), &log_n, |b, _| {
+            b.iter_batched(
+                || {
+                    (
+                        Machine::new(cfg.clone(), fs),
+                        Sharded::distribute(&input, gpus, ShardLayout::Cyclic),
+                    )
+                },
+                |(mut machine, mut data)| engine.forward(&mut machine, &mut data),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_cost_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/cost_only_forward");
+    group.sample_size(20);
+    let cfg = presets::a100_nvlink(8);
+    let fs = FieldSpec::goldilocks();
+    for log_n in [20u32, 28] {
+        let engine = UniNttEngine::<Goldilocks>::new(log_n, &cfg, UniNttOptions::full(), fs);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("2^{log_n}")), &log_n, |b, _| {
+            b.iter(|| {
+                let mut machine = Machine::new(cfg.clone(), fs);
+                engine.simulate_forward(&mut machine, 1);
+                machine.max_clock_ns()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(sim_benches, bench_functional_engine, bench_cost_only);
+criterion_main!(sim_benches);

@@ -1,0 +1,62 @@
+//! Command-line entry point regenerating the evaluation tables.
+
+use std::process::ExitCode;
+
+use unintt_bench::experiments;
+use unintt_bench::Table;
+
+const USAGE: &str = "\
+usage: harness [--quick] <experiment>...
+  <experiment>  one or more of: e1 e2 e3 e4 e5 e6 e7 e8 e9 e11 e12 all
+  --quick       trimmed sweeps (seconds instead of minutes)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    if selected.is_empty() {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+
+    let run_one = |name: &str| -> Option<Table> {
+        let table = match name {
+            "e1" => experiments::e1_headline::run(quick),
+            "e2" => experiments::e2_scaling::run(quick),
+            "e3" => experiments::e3_vs_baseline::run(quick),
+            "e4" => experiments::e4_comm_volume::run(quick),
+            "e5" => experiments::e5_breakdown::run(quick),
+            "e6" => experiments::e6_ablation::run(quick),
+            "e7" => experiments::e7_topology::run(quick),
+            "e8" => experiments::e8_end_to_end::run(quick),
+            "e9" => experiments::e9_batching::run(quick),
+            "e11" => experiments::e11_stark_commit::run(quick),
+            "e12" => experiments::e12_multi_node::run(quick),
+            _ => return None,
+        };
+        Some(table)
+    };
+
+    for name in &selected {
+        if *name == "all" {
+            for table in experiments::run_all(quick) {
+                println!("{table}");
+            }
+        } else {
+            match run_one(name) {
+                Some(table) => println!("{table}"),
+                None => {
+                    eprintln!("unknown experiment '{name}'\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,88 @@
+//! **E1 — headline speedup**: UniNTT on 8 GPUs vs the strong single-GPU
+//! NTT, across transform sizes and fields. The paper's abstract reports an
+//! average 4.26× here.
+
+use unintt_core::UniNttOptions;
+use unintt_ff::{Bn254Fr, Goldilocks};
+use unintt_gpu_sim::{presets, FieldSpec};
+
+use crate::experiments::{single_gpu_run, unintt_run};
+use crate::report::{fmt_ns, Table};
+
+/// Runs E1 and renders the table.
+pub fn run(quick: bool) -> Table {
+    let gpus = 8;
+    let cfg = presets::a100_nvlink(gpus);
+    let sizes: &[u32] = if quick {
+        &[20, 24]
+    } else {
+        &[20, 21, 22, 23, 24, 25, 26, 27, 28]
+    };
+
+    let mut table = Table::new(
+        format!("E1: UniNTT speedup on {gpus}×A100 (NVSwitch) vs 1×A100"),
+        &["field", "log2(N)", "1-GPU", "UniNTT-8", "speedup"],
+    );
+
+    let mut speedups = Vec::new();
+    let mut large_speedups = Vec::new();
+    for &(fs, name) in &[
+        (FieldSpec::goldilocks(), "Goldilocks"),
+        (FieldSpec::bn254_fr(), "BN254-Fr"),
+    ] {
+        for &log_n in sizes {
+            let (t1, t8) = if name == "Goldilocks" {
+                (
+                    single_gpu_run::<Goldilocks>(log_n, &cfg, fs).0,
+                    unintt_run::<Goldilocks>(log_n, &cfg, UniNttOptions::tuned_for(&fs), fs, 1).0,
+                )
+            } else {
+                (
+                    single_gpu_run::<Bn254Fr>(log_n, &cfg, fs).0,
+                    unintt_run::<Bn254Fr>(log_n, &cfg, UniNttOptions::tuned_for(&fs), fs, 1).0,
+                )
+            };
+            let speedup = t1 / t8;
+            speedups.push(speedup);
+            if log_n >= 22 {
+                large_speedups.push(speedup);
+            }
+            table.row(vec![
+                name.to_string(),
+                format!("2^{log_n}"),
+                fmt_ns(t1),
+                fmt_ns(t8),
+                format!("{speedup:.2}x"),
+            ]);
+        }
+    }
+    let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    let avg_large = large_speedups.iter().sum::<f64>() / large_speedups.len().max(1) as f64;
+    table.note(format!(
+        "average speedup {avg:.2}x over the full sweep; {avg_large:.2}x at N >= 2^22 \
+         (paper abstract: 4.26x average)"
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_speedup_in_paper_ballpark() {
+        let table = run(false);
+        let rendered = table.render();
+        // Extract the average from the note.
+        let avg: f64 = rendered
+            .split("average speedup ")
+            .nth(1)
+            .and_then(|s| s.split('x').next())
+            .and_then(|s| s.parse().ok())
+            .expect("note must contain the average");
+        assert!(
+            (2.5..8.0).contains(&avg),
+            "average speedup {avg} far from the paper's 4.26x"
+        );
+    }
+}

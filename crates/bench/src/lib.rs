@@ -1,0 +1,21 @@
+//! # unintt-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the reconstructed UniNTT
+//! evaluation (experiments E1–E9; the Criterion benches under `benches/`
+//! cover the wall-clock experiment E10 and the real-implementation
+//! microbenchmarks).
+//!
+//! Run the full suite:
+//!
+//! ```bash
+//! cargo run -p unintt-bench --release --bin harness -- all
+//! cargo run -p unintt-bench --release --bin harness -- e1 e4   # a subset
+//! cargo run -p unintt-bench --release --bin harness -- all --quick
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use report::{fmt_bytes, fmt_ns, Table};

@@ -1,0 +1,460 @@
+//! Multi-node scale-out: one more level of the same recursion.
+//!
+//! The paper stops at one server; this module extends UniNTT's
+//! decomposition upward exactly the way the algorithm invites: the node
+//! level is one more digit of the mixed-radix factorization, with the
+//! datacenter network (InfiniBand/RoCE) as its exchange medium:
+//!
+//! ```text
+//! N = T(nodes) · G(GPUs) · M(local)
+//! node phase:  per-node UniNTT of size N/T (itself hierarchical)
+//!              + fused boundary twiddle ω_N^{t·k}
+//! exchange:    ONE cross-node all-to-all
+//! outer phase: N/T² tiny size-T NTTs per node
+//! ```
+//!
+//! Every node's machine simulates independently (node phases overlap);
+//! the cluster clock advances to the slowest node plus the network time.
+//! As in the single-node engine, the functional result is bit-checked
+//! against the CPU reference and the network volume is exact.
+
+use serde::{Deserialize, Serialize};
+use unintt_ff::TwoAdicField;
+use unintt_gpu_sim::{FieldSpec, KernelProfile, Machine, MachineConfig};
+use unintt_ntt::Ntt;
+
+use crate::{Sharded, ShardLayout, UniNttEngine, UniNttOptions};
+
+/// Datacenter network datasheet (node-to-node fabric).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Per-node injection bandwidth in GB/s (e.g. 50 for 400G InfiniBand).
+    pub per_node_bandwidth_gbps: f64,
+    /// One-way latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Achievable fraction of peak for large transfers.
+    pub efficiency: f64,
+}
+
+impl NetworkConfig {
+    /// 400 Gb/s InfiniBand NDR per node.
+    pub fn infiniband_400g() -> Self {
+        Self {
+            per_node_bandwidth_gbps: 50.0,
+            latency_ns: 5_000.0,
+            efficiency: 0.85,
+        }
+    }
+
+    /// 100 Gb/s Ethernet (RoCE) per node.
+    pub fn ethernet_100g() -> Self {
+        Self {
+            per_node_bandwidth_gbps: 12.5,
+            latency_ns: 10_000.0,
+            efficiency: 0.8,
+        }
+    }
+
+    /// α–β time for a cross-node all-to-all of `bytes_per_node`.
+    pub fn all_to_all_ns(&self, nodes: usize, bytes_per_node: u64) -> f64 {
+        if nodes <= 1 {
+            return 0.0;
+        }
+        let egress = bytes_per_node as f64 * (nodes as f64 - 1.0) / nodes as f64;
+        self.latency_ns + egress / (self.per_node_bandwidth_gbps * 1e9 * self.efficiency) * 1e9
+    }
+}
+
+/// A cluster: `T` identical multi-GPU nodes joined by a network.
+pub struct Cluster {
+    nodes: Vec<Machine>,
+    network: NetworkConfig,
+    /// Time spent in cross-node communication (on top of node clocks).
+    network_ns: f64,
+    /// Bytes injected into the node-to-node network, all nodes summed.
+    network_bytes: u64,
+}
+
+impl Cluster {
+    /// Builds a cluster of `num_nodes` machines of shape `node_cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` is not a power of two, or the node config is
+    /// invalid.
+    pub fn new(
+        num_nodes: usize,
+        node_cfg: MachineConfig,
+        network: NetworkConfig,
+        field: FieldSpec,
+    ) -> Self {
+        assert!(
+            num_nodes.is_power_of_two(),
+            "node count must be a power of two"
+        );
+        Self {
+            nodes: (0..num_nodes)
+                .map(|_| Machine::new(node_cfg.clone(), field))
+                .collect(),
+            network,
+            network_ns: 0.0,
+            network_bytes: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The cluster makespan: slowest node plus accumulated network time.
+    pub fn total_time_ns(&self) -> f64 {
+        let node_max = self
+            .nodes
+            .iter()
+            .map(Machine::max_clock_ns)
+            .fold(0.0, f64::max);
+        node_max + self.network_ns
+    }
+
+    /// Cross-node traffic in bytes (all nodes summed).
+    pub fn network_bytes(&self) -> u64 {
+        self.network_bytes
+    }
+
+    /// Access to one node's machine.
+    pub fn node(&self, i: usize) -> &Machine {
+        &self.nodes[i]
+    }
+
+    fn charge_network_all_to_all(&mut self, bytes_per_node: u64) {
+        let t = self.nodes.len();
+        if t <= 1 {
+            return;
+        }
+        self.network_ns += self.network.all_to_all_ns(t, bytes_per_node);
+        self.network_bytes += (bytes_per_node * (t as u64 - 1) / t as u64) * t as u64;
+    }
+}
+
+/// The cluster-scale UniNTT engine.
+pub struct ClusterNttEngine<F: TwoAdicField> {
+    log_n: u32,
+    log_t: u32,
+    node_engine: UniNttEngine<F>,
+    outer: Ntt<F>,
+    field_spec: FieldSpec,
+}
+
+impl<F: TwoAdicField> ClusterNttEngine<F> {
+    /// Plans a size-`2^log_n` transform over a cluster of `num_nodes`
+    /// machines of shape `node_cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the node-engine's conditions, or if the per-node share
+    /// is smaller than `num_nodes` (the chunked exchange needs
+    /// `N/T ≥ T`).
+    pub fn new(
+        log_n: u32,
+        num_nodes: usize,
+        node_cfg: &MachineConfig,
+        opts: UniNttOptions,
+        field_spec: FieldSpec,
+    ) -> Self {
+        assert!(
+            num_nodes.is_power_of_two(),
+            "node count must be a power of two"
+        );
+        let log_t = num_nodes.trailing_zeros();
+        assert!(
+            log_n >= 2 * log_t,
+            "transform of 2^{log_n} too small for 2^{log_t} nodes"
+        );
+        // Node-local results are chunked across nodes, so the node engine
+        // runs with natural output ordering.
+        let mut node_opts = opts;
+        node_opts.natural_output = true;
+        Self {
+            log_n,
+            log_t,
+            node_engine: UniNttEngine::new(log_n - log_t, node_cfg, node_opts, field_spec),
+            outer: Ntt::new(log_t),
+            field_spec,
+        }
+    }
+
+    /// Transform size.
+    pub fn n(&self) -> usize {
+        1 << self.log_n
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        1 << self.log_t
+    }
+
+    /// Forward NTT across the cluster.
+    ///
+    /// Input: `node_shards[t]` holds the node-cyclic sub-sequence
+    /// `x[j·T + t]` in host memory; each node distributes it across its
+    /// GPUs internally. Output: `X[k1·(N/T) + k2]` lands on node
+    /// `k2 / (N/T²)` — the node-level block-cyclic order, matching the
+    /// single-node engine's convention one level up.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn forward(&self, cluster: &mut Cluster, node_shards: &mut [Vec<F>]) {
+        let t = self.num_nodes();
+        assert_eq!(cluster.num_nodes(), t, "cluster does not match the plan");
+        assert_eq!(node_shards.len(), t, "need one shard per node");
+        let r = self.n() / t; // per-node transform size
+        assert!(
+            node_shards.iter().all(|s| s.len() == r),
+            "every node shard must hold 2^{} elements",
+            self.log_n - self.log_t
+        );
+
+        // Phase 1 (parallel across nodes): each node runs the full
+        // single-node UniNTT on its sub-sequence, then applies the fused
+        // node-boundary twiddle ω_N^{t·k2}.
+        let omega = F::two_adic_generator(self.log_n);
+        let gpus = self.node_engine.plan().num_gpus();
+        for (node_idx, (machine, shard)) in
+            cluster.nodes.iter_mut().zip(node_shards.iter_mut()).enumerate()
+        {
+            let mut data = Sharded::distribute(shard, gpus, ShardLayout::Cyclic);
+            self.node_engine.forward(machine, &mut data);
+            *shard = data.collect();
+
+            // Boundary twiddle, charged as one fused-scale kernel.
+            let step = omega.pow(node_idx as u64);
+            let mut cur = F::ONE;
+            for v in shard.iter_mut() {
+                *v *= cur;
+                cur *= step;
+            }
+            let mut profile = KernelProfile::named("node-boundary-twiddle");
+            profile.field_muls = r as u64 / gpus as u64;
+            profile.blocks = (r as u64 / 256).max(1);
+            let mut unused = ();
+            machine.on_device(0, &mut unused, |ctx, _| {
+                ctx.launch(&profile);
+            });
+        }
+
+        // Phase 2: one cross-node all-to-all (chunk transpose).
+        let chunk = r / t;
+        let old: Vec<Vec<F>> = node_shards.to_vec();
+        for (dst, shard) in node_shards.iter_mut().enumerate() {
+            for (src, old_shard) in old.iter().enumerate() {
+                shard[src * chunk..(src + 1) * chunk]
+                    .copy_from_slice(&old_shard[dst * chunk..(dst + 1) * chunk]);
+            }
+        }
+        cluster.charge_network_all_to_all((r * self.field_spec.elem_bytes) as u64);
+
+        // Phase 3: size-T NTTs down the received columns, on each node.
+        for (machine, shard) in cluster.nodes.iter_mut().zip(node_shards.iter_mut()) {
+            let mut col = vec![F::ZERO; t];
+            for j in 0..chunk {
+                for (src, slot) in col.iter_mut().enumerate() {
+                    *slot = shard[src * chunk + j];
+                }
+                self.outer.forward(&mut col);
+                for (k1, &v) in col.iter().enumerate() {
+                    shard[k1 * chunk + j] = v;
+                }
+            }
+            let mut profile = KernelProfile::named("cluster-outer-ntt");
+            profile.field_muls = (r as u64 / 2) * self.log_t as u64 / gpus as u64;
+            profile.global_bytes_read = (r * self.field_spec.elem_bytes) as u64;
+            profile.global_bytes_written = (r * self.field_spec.elem_bytes) as u64;
+            profile.blocks = (r as u64 / 256).max(1);
+            let mut unused = ();
+            machine.on_device(0, &mut unused, |ctx, _| {
+                ctx.launch(&profile);
+            });
+        }
+    }
+
+    /// Reassembles the cluster output into the natural-order host vector.
+    pub fn collect(&self, node_shards: &[Vec<F>]) -> Vec<F> {
+        let t = self.num_nodes();
+        let r = self.n() / t;
+        let chunk = r / t;
+        let mut out = vec![F::ZERO; self.n()];
+        // Node `c` position k1·chunk + j holds X[k1·R + c·chunk + j].
+        for (c, shard) in node_shards.iter().enumerate() {
+            for (pos, &v) in shard.iter().enumerate() {
+                let (k1, j) = (pos / chunk, pos % chunk);
+                out[k1 * r + c * chunk + j] = v;
+            }
+        }
+        out
+    }
+
+    /// Distributes a host vector into the node-cyclic input layout.
+    pub fn distribute(&self, input: &[F]) -> Vec<Vec<F>> {
+        let t = self.num_nodes();
+        assert_eq!(input.len(), self.n(), "input length mismatch");
+        let mut shards = vec![Vec::with_capacity(input.len() / t); t];
+        for (i, &v) in input.iter().enumerate() {
+            shards[i % t].push(v);
+        }
+        shards
+    }
+
+    /// Cost-only forward transform for large-size sweeps.
+    pub fn simulate_forward(&self, cluster: &mut Cluster) {
+        let t = self.num_nodes();
+        let r = self.n() / t;
+        let gpus = self.node_engine.plan().num_gpus();
+        for machine in cluster.nodes.iter_mut() {
+            self.node_engine.simulate_forward(machine, 1);
+            let mut twiddle = KernelProfile::named("node-boundary-twiddle");
+            twiddle.field_muls = r as u64 / gpus as u64;
+            twiddle.blocks = (r as u64 / 256).max(1);
+            let mut outer = KernelProfile::named("cluster-outer-ntt");
+            outer.field_muls = (r as u64 / 2) * self.log_t as u64 / gpus as u64;
+            outer.global_bytes_read = (r * self.field_spec.elem_bytes) as u64;
+            outer.global_bytes_written = (r * self.field_spec.elem_bytes) as u64;
+            outer.blocks = (r as u64 / 256).max(1);
+            let mut unused = ();
+            machine.on_device(0, &mut unused, |ctx, _| {
+                ctx.launch(&twiddle);
+                ctx.launch(&outer);
+            });
+        }
+        cluster.charge_network_all_to_all((r * self.field_spec.elem_bytes) as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use unintt_ff::{Field, Goldilocks};
+    use unintt_gpu_sim::presets;
+
+    fn random_vec(n: usize, seed: u64) -> Vec<Goldilocks> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Goldilocks::random(&mut rng)).collect()
+    }
+
+    fn reference(input: &[Goldilocks]) -> Vec<Goldilocks> {
+        let ntt = Ntt::<Goldilocks>::new(input.len().trailing_zeros());
+        let mut out = input.to_vec();
+        ntt.forward(&mut out);
+        out
+    }
+
+    #[test]
+    fn cluster_forward_matches_reference() {
+        let fs = FieldSpec::goldilocks();
+        for nodes in [1usize, 2, 4] {
+            for gpus in [1usize, 4] {
+                let log_n = 12u32;
+                let node_cfg = presets::a100_nvlink(gpus);
+                let engine = ClusterNttEngine::<Goldilocks>::new(
+                    log_n,
+                    nodes,
+                    &node_cfg,
+                    UniNttOptions::tuned_for(&fs),
+                    fs,
+                );
+                let mut cluster =
+                    Cluster::new(nodes, node_cfg, NetworkConfig::infiniband_400g(), fs);
+                let input = random_vec(1 << log_n, nodes as u64);
+                let mut shards = engine.distribute(&input);
+                engine.forward(&mut cluster, &mut shards);
+                assert_eq!(
+                    engine.collect(&shards),
+                    reference(&input),
+                    "nodes={nodes} gpus={gpus}"
+                );
+                if nodes > 1 {
+                    assert!(cluster.network_bytes() > 0);
+                    assert!(cluster.total_time_ns() > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn network_volume_is_exact() {
+        let fs = FieldSpec::goldilocks();
+        let nodes = 4usize;
+        let log_n = 14u32;
+        let node_cfg = presets::a100_nvlink(4);
+        let engine = ClusterNttEngine::<Goldilocks>::new(
+            log_n,
+            nodes,
+            &node_cfg,
+            UniNttOptions::tuned_for(&fs),
+            fs,
+        );
+        let mut cluster = Cluster::new(nodes, node_cfg, NetworkConfig::infiniband_400g(), fs);
+        let input = random_vec(1 << log_n, 1);
+        let mut shards = engine.distribute(&input);
+        engine.forward(&mut cluster, &mut shards);
+        // Each node sends (T-1)/T of its R-element shard once.
+        let r_bytes = (1u64 << (log_n - 2)) * 8;
+        assert_eq!(
+            cluster.network_bytes(),
+            r_bytes * 3 / 4 * nodes as u64
+        );
+    }
+
+    #[test]
+    fn simulate_matches_functional_clock() {
+        let fs = FieldSpec::goldilocks();
+        let nodes = 4usize;
+        let log_n = 14u32;
+        let node_cfg = presets::a100_nvlink(4);
+        let engine = ClusterNttEngine::<Goldilocks>::new(
+            log_n,
+            nodes,
+            &node_cfg,
+            UniNttOptions::tuned_for(&fs),
+            fs,
+        );
+
+        let mut real = Cluster::new(nodes, node_cfg.clone(), NetworkConfig::infiniband_400g(), fs);
+        let input = random_vec(1 << log_n, 2);
+        let mut shards = engine.distribute(&input);
+        engine.forward(&mut real, &mut shards);
+
+        let mut sim = Cluster::new(nodes, node_cfg, NetworkConfig::infiniband_400g(), fs);
+        engine.simulate_forward(&mut sim);
+
+        let (rt, st) = (real.total_time_ns(), sim.total_time_ns());
+        assert!((rt - st).abs() < 1e-6 * rt, "real={rt} sim={st}");
+        assert_eq!(real.network_bytes(), sim.network_bytes());
+    }
+
+    #[test]
+    fn network_model_scales() {
+        let net = NetworkConfig::infiniband_400g();
+        assert_eq!(net.all_to_all_ns(1, 1 << 30), 0.0);
+        let t2 = net.all_to_all_ns(2, 1 << 30);
+        let t8 = net.all_to_all_ns(8, 1 << 30);
+        assert!(t8 > t2, "more nodes exchange a larger fraction");
+        let eth = NetworkConfig::ethernet_100g();
+        assert!(eth.all_to_all_ns(4, 1 << 30) > net.all_to_all_ns(4, 1 << 30));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn undersized_transform_rejected() {
+        let fs = FieldSpec::goldilocks();
+        let _ = ClusterNttEngine::<Goldilocks>::new(
+            3,
+            4,
+            &presets::a100_nvlink(2),
+            UniNttOptions::tuned_for(&fs),
+            fs,
+        );
+    }
+}

@@ -1,0 +1,1004 @@
+//! The UniNTT hierarchical execution engine.
+//!
+//! ## Algebra
+//!
+//! With `N = G·M` (`G` GPUs) and input distributed **cyclically**
+//! (`x[i2·G + i1]` on GPU `i1`), the DFT factors as
+//!
+//! ```text
+//! X[k1·M + k2] = Σ_{i1} ω_G^{i1·k1} · ω_N^{i1·k2} · Inner(i1, k2)
+//! Inner(i1, k2) = Σ_{i2} x[i2·G + i1] · ω_M^{i2·k2}
+//! ```
+//!
+//! which the engine executes as three phases:
+//!
+//! 1. **Local phase** (every GPU, no communication): a size-`M` NTT over
+//!    the local shard — itself executed as the planned hierarchy of fused
+//!    global-memory passes, shared-memory tiles, and warp shuffles — with
+//!    the boundary twiddle `ω_N^{i1·k2}` fused into the final pass (O1).
+//! 2. **Exchange**: exactly one all-to-all. The pack/unpack is fused into
+//!    the neighboring kernels' addressing (O4) — the "overhead-free" part:
+//!    no standalone transpose pass ever touches memory.
+//! 3. **Outer phase**: `M/G` independent size-`G` NTTs per GPU, now fully
+//!    local.
+//!
+//! The forward output is left in the documented
+//! [`ShardLayout::BlockCyclic`] order (evaluation-domain consumers are
+//! order-oblivious); [`UniNttOptions::natural_output`] adds the extra
+//! all-to-all that restores natural blocks. The inverse transform retraces
+//! the same three phases backwards, so `inverse(forward(x)) == x` exactly.
+//!
+//! Functional correctness is independent of every optimization switch:
+//! options change only the charged [`unintt_gpu_sim::KernelProfile`]s.
+
+use std::sync::OnceLock;
+
+use unintt_ff::TwoAdicField;
+use unintt_gpu_sim::{FieldSpec, Machine, MachineConfig};
+use unintt_ntt::{Direction, Ntt};
+
+use crate::profiles;
+use crate::{DecompositionPlan, Sharded, ShardLayout, UniNttOptions};
+
+/// The UniNTT multi-GPU NTT engine.
+#[derive(Clone, Debug)]
+pub struct UniNttEngine<F: TwoAdicField> {
+    plan: DecompositionPlan,
+    opts: UniNttOptions,
+    field_spec: FieldSpec,
+    // Twiddle tables are built lazily: cost-only simulations
+    // (`simulate_forward`) never pay for them, and a 2^28 engine stays
+    // cheap to construct.
+    local: OnceLock<Ntt<F>>,
+    outer: OnceLock<Ntt<F>>,
+}
+
+impl<F: TwoAdicField> UniNttEngine<F> {
+    /// Plans and precomputes an engine for size `2^log_n` on `machine_cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the GPU count is not a power of two, `log_n` exceeds the
+    /// field's two-adicity, or the shard would be smaller than the GPU
+    /// count (needed by the block-cyclic output layout).
+    pub fn new(
+        log_n: u32,
+        machine_cfg: &MachineConfig,
+        opts: UniNttOptions,
+        field_spec: FieldSpec,
+    ) -> Self {
+        let plan = DecompositionPlan::plan(log_n, machine_cfg, field_spec.elem_bytes);
+        assert!(
+            plan.log_m >= plan.log_g,
+            "shard of 2^{} elements is smaller than the 2^{} GPUs (block-cyclic layout needs log_m >= log_g)",
+            plan.log_m,
+            plan.log_g
+        );
+        Self {
+            local: OnceLock::new(),
+            outer: OnceLock::new(),
+            plan,
+            opts,
+            field_spec,
+        }
+    }
+
+    /// The decomposition plan in force.
+    pub fn plan(&self) -> &DecompositionPlan {
+        &self.plan
+    }
+
+    /// The optimization switches in force.
+    pub fn options(&self) -> &UniNttOptions {
+        &self.opts
+    }
+
+    /// Transform size.
+    pub fn n(&self) -> usize {
+        self.plan.n()
+    }
+
+    /// The lazily-built local (size-M) NTT context.
+    fn local(&self) -> &Ntt<F> {
+        self.local.get_or_init(|| Ntt::new(self.plan.log_m))
+    }
+
+    /// The lazily-built outer (size-G) NTT context.
+    fn outer(&self) -> &Ntt<F> {
+        self.outer.get_or_init(|| Ntt::new(self.plan.log_g))
+    }
+
+    /// The per-device boundary-twiddle step `ω_N^{±dev}`: on device `dev`
+    /// the fused twiddle for output `k2` is `step^k2`, applied by a running
+    /// product (the on-the-fly generation the O2 optimization models).
+    fn boundary_step(&self, dev: usize, direction: Direction) -> F {
+        let omega = F::two_adic_generator(self.plan.log_n);
+        let root = match direction {
+            Direction::Forward => omega,
+            Direction::Inverse => omega.inverse().expect("roots of unity are nonzero"),
+        };
+        root.pow(dev as u64)
+    }
+
+    /// Forward NTT of a single vector. See the module docs for layout
+    /// semantics: input [`ShardLayout::Cyclic`], output
+    /// [`ShardLayout::BlockCyclic`] (or natural blocks when requested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input layout or size does not match, or if
+    /// `machine.num_devices()` differs from the plan.
+    pub fn forward(&self, machine: &mut Machine, data: &mut Sharded<F>) {
+        let mut batch = [std::mem::replace(
+            data,
+            Sharded::from_shards(vec![vec![F::ZERO]], ShardLayout::Cyclic),
+        )];
+        self.forward_batch(machine, &mut batch);
+        *data = std::mem::replace(
+            &mut batch[0],
+            Sharded::from_shards(vec![vec![F::ZERO]], ShardLayout::Cyclic),
+        );
+    }
+
+    /// Inverse NTT of a single vector (exact inverse of [`Self::forward`]).
+    pub fn inverse(&self, machine: &mut Machine, data: &mut Sharded<F>) {
+        let mut batch = [std::mem::replace(
+            data,
+            Sharded::from_shards(vec![vec![F::ZERO]], ShardLayout::BlockCyclic),
+        )];
+        self.inverse_batch(machine, &mut batch);
+        *data = std::mem::replace(
+            &mut batch[0],
+            Sharded::from_shards(vec![vec![F::ZERO]], ShardLayout::BlockCyclic),
+        );
+    }
+
+    /// Forward NTT of a batch of equally-sized vectors.
+    ///
+    /// With [`UniNttOptions::batching`] the batch shares each pass and a
+    /// single (larger) all-to-all; without it every vector pays its own
+    /// kernels and collectives.
+    pub fn forward_batch(&self, machine: &mut Machine, batch: &mut [Sharded<F>]) {
+        self.check_batch(machine, batch, ShardLayout::Cyclic);
+        let g = self.plan.num_gpus();
+
+        // Phase 1: local hierarchical NTT + fused boundary twiddle.
+        self.local_phase(machine, batch, Direction::Forward);
+
+        if g > 1 {
+            // Phase 2: the single all-to-all.
+            self.exchange(machine, batch);
+            // Phase 3: outer size-G NTTs.
+            self.outer_phase(machine, batch, Direction::Forward);
+        }
+        for item in batch.iter_mut() {
+            item.set_layout(ShardLayout::BlockCyclic);
+        }
+
+        if self.opts.natural_output {
+            if g > 1 {
+                self.exchange(machine, batch);
+            }
+            // For g == 1 the block-cyclic and natural layouts coincide, so
+            // only the stamp changes.
+            for item in batch.iter_mut() {
+                item.set_layout(ShardLayout::NaturalBlocks);
+            }
+        }
+    }
+
+    /// Inverse NTT of a batch (exact inverse of [`Self::forward_batch`]).
+    pub fn inverse_batch(&self, machine: &mut Machine, batch: &mut [Sharded<F>]) {
+        let g = self.plan.num_gpus();
+        let expected = if self.opts.natural_output {
+            ShardLayout::NaturalBlocks
+        } else {
+            ShardLayout::BlockCyclic
+        };
+        self.check_batch(machine, batch, expected);
+
+        if self.opts.natural_output {
+            // The chunk transpose is an involution: natural → block-cyclic.
+            if g > 1 {
+                self.exchange(machine, batch);
+            }
+            for item in batch.iter_mut() {
+                item.set_layout(ShardLayout::BlockCyclic);
+            }
+        }
+
+        if g > 1 {
+            // Undo phase 3, then undo the exchange.
+            self.outer_phase(machine, batch, Direction::Inverse);
+            self.exchange(machine, batch);
+        }
+        // Undo phase 1 (boundary twiddle then local inverse NTT).
+        self.local_phase(machine, batch, Direction::Inverse);
+        for item in batch.iter_mut() {
+            item.set_layout(ShardLayout::Cyclic);
+        }
+    }
+
+    fn check_batch(&self, machine: &Machine, batch: &[Sharded<F>], layout: ShardLayout) {
+        assert!(!batch.is_empty(), "batch must not be empty");
+        assert_eq!(
+            machine.num_devices(),
+            self.plan.num_gpus(),
+            "machine does not match the engine's plan"
+        );
+        for item in batch {
+            assert_eq!(item.len(), self.n(), "vector size does not match engine");
+            assert_eq!(
+                item.num_gpus(),
+                self.plan.num_gpus(),
+                "vector sharded over wrong GPU count"
+            );
+            assert_eq!(item.layout(), layout, "unexpected input layout");
+        }
+    }
+
+    /// Phase 1 (forward) / its inverse: the local size-M transform with the
+    /// boundary twiddle, plus all cost charges.
+    fn local_phase(&self, machine: &mut Machine, batch: &mut [Sharded<F>], direction: Direction) {
+        let g = self.plan.num_gpus();
+        let b = batch.len() as u64;
+        let local = self.local();
+        let engine = self;
+
+        // Regroup: one Vec of per-device mutable shard refs per phase call.
+        let mut per_device: Vec<Vec<&mut Vec<F>>> = (0..g).map(|_| Vec::new()).collect();
+        for item in batch.iter_mut() {
+            for (dev, shard) in item.shards_mut().iter_mut().enumerate() {
+                per_device[dev].push(shard);
+            }
+        }
+
+        machine.parallel_phase(&mut per_device, |ctx, dev, shards| {
+            // Functional work.
+            for shard in shards.iter_mut() {
+                match direction {
+                    Direction::Forward => {
+                        local.forward(shard);
+                        if g > 1 {
+                            let step = engine.boundary_step(dev, Direction::Forward);
+                            let mut cur = F::ONE;
+                            for v in shard.iter_mut() {
+                                *v *= cur;
+                                cur *= step;
+                            }
+                        }
+                    }
+                    Direction::Inverse => {
+                        if g > 1 {
+                            let step = engine.boundary_step(dev, Direction::Inverse);
+                            let mut cur = F::ONE;
+                            for v in shard.iter_mut() {
+                                *v *= cur;
+                                cur *= step;
+                            }
+                        }
+                        local.inverse(shard);
+                    }
+                }
+            }
+
+            // Cost charges.
+            engine.charge_local(ctx, b, direction);
+        });
+    }
+
+    /// Charges the cost of one local phase for a batch of `b` vectors.
+    fn charge_local(
+        &self,
+        ctx: &mut unintt_gpu_sim::DeviceCtx<'_>,
+        b: u64,
+        direction: Direction,
+    ) {
+        let g = self.plan.num_gpus();
+        let (plan, opts, fs) = (&self.plan, &self.opts, self.field_spec);
+        let launches = if opts.batching { 1 } else { b };
+        let per_launch = if opts.batching { b } else { 1 };
+        for _ in 0..launches {
+            let passes = plan.num_device_passes();
+            for (i, &radix) in plan.device_passes.iter().enumerate() {
+                let fuse_here = opts.fuse_twiddle && g > 1 && i + 1 == passes;
+                let p = profiles::local_pass_profile(plan, opts, fs, radix, per_launch, fuse_here);
+                ctx.launch(&p);
+            }
+            if !opts.fuse_twiddle && g > 1 {
+                ctx.launch(&profiles::twiddle_kernel_profile(plan, opts, fs, per_launch));
+            }
+            if !opts.fuse_exchange && g > 1 {
+                // Standalone pack (forward) / unpack (inverse) pass.
+                ctx.launch(&profiles::pack_kernel_profile(plan, fs, per_launch));
+            }
+            if direction == Direction::Inverse && !opts.fuse_twiddle {
+                // 1/N scale: fused into the last pass when twiddles are
+                // fused, otherwise a standalone kernel.
+                ctx.launch(&profiles::scale_kernel_profile(plan, fs, per_launch));
+            }
+        }
+    }
+
+    /// Charges the cost of one outer phase for a batch of `b` vectors.
+    fn charge_outer(&self, ctx: &mut unintt_gpu_sim::DeviceCtx<'_>, b: u64) {
+        let (plan, opts, fs) = (&self.plan, &self.opts, self.field_spec);
+        let launches = if opts.batching { 1 } else { b };
+        let per_launch = if opts.batching { b } else { 1 };
+        for _ in 0..launches {
+            if !opts.fuse_exchange {
+                ctx.launch(&profiles::pack_kernel_profile(plan, fs, per_launch));
+            }
+            ctx.launch(&profiles::outer_stage_profile(plan, opts, fs, per_launch));
+        }
+    }
+
+    /// Charges the cost of the multi-GPU exchange(s) for a batch of `b`
+    /// vectors without moving data.
+    fn charge_exchange(&self, machine: &mut Machine, b: u64) {
+        let shard_bytes = (self.plan.shard_len() * self.field_spec.elem_bytes) as u64;
+        if self.opts.batching {
+            machine.charge_all_to_all(b * shard_bytes);
+        } else {
+            for _ in 0..b {
+                machine.charge_all_to_all(shard_bytes);
+            }
+        }
+    }
+
+    /// Coset forward NTT: evaluates the coefficient vector on `shift·H`
+    /// instead of `H` — the low-degree-extension call every ZKP prover
+    /// makes. The coefficient scaling `cᵢ ← cᵢ·shiftⁱ` is fused into the
+    /// first local pass (pure ALU when O1 is on, a standalone pass when
+    /// off). Layout semantics are identical to [`Self::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Self::forward`], or if
+    /// `shift` is zero.
+    pub fn coset_forward(&self, machine: &mut Machine, data: &mut Sharded<F>, shift: F) {
+        assert!(!shift.is_zero(), "coset shift must be nonzero");
+        self.scale_phase(machine, data, shift);
+        self.forward(machine, data);
+    }
+
+    /// Inverse of [`Self::coset_forward`]: recovers coefficients from
+    /// evaluations on `shift·H`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Self::inverse`], or if
+    /// `shift` is zero.
+    pub fn coset_inverse(&self, machine: &mut Machine, data: &mut Sharded<F>, shift: F) {
+        let shift_inv = shift.inverse().expect("coset shift must be nonzero");
+        self.inverse(machine, data);
+        self.scale_phase(machine, data, shift_inv);
+    }
+
+    /// Coset forward NTT of a batch: one fused scale phase plus one
+    /// batched transform (shared passes and collectives under O5).
+    pub fn coset_forward_batch(
+        &self,
+        machine: &mut Machine,
+        batch: &mut [Sharded<F>],
+        shift: F,
+    ) {
+        assert!(!shift.is_zero(), "coset shift must be nonzero");
+        self.scale_phase_batch(machine, batch, shift);
+        self.forward_batch(machine, batch);
+    }
+
+    /// Scales element `i` of the cyclic-distributed vector by `shift^i`:
+    /// device `dev` holds elements `j·G + dev`, so its factors form the
+    /// geometric sequence `shift^dev · (shift^G)^j` — generated on the fly.
+    fn scale_phase(&self, machine: &mut Machine, data: &mut Sharded<F>, shift: F) {
+        let mut batch = [std::mem::replace(
+            data,
+            Sharded::from_shards(vec![vec![F::ZERO]], ShardLayout::Cyclic),
+        )];
+        self.scale_phase_batch(machine, &mut batch, shift);
+        *data = std::mem::replace(
+            &mut batch[0],
+            Sharded::from_shards(vec![vec![F::ZERO]], ShardLayout::Cyclic),
+        );
+    }
+
+    fn scale_phase_batch(&self, machine: &mut Machine, batch: &mut [Sharded<F>], shift: F) {
+        let g = self.plan.num_gpus();
+        let b = batch.len() as u64;
+        let engine = self;
+
+        let mut per_device: Vec<Vec<&mut Vec<F>>> = (0..g).map(|_| Vec::new()).collect();
+        for item in batch.iter_mut() {
+            for (dev, shard) in item.shards_mut().iter_mut().enumerate() {
+                per_device[dev].push(shard);
+            }
+        }
+        machine.parallel_phase(&mut per_device, |ctx, dev, shards| {
+            let step = shift.pow(g as u64);
+            for shard in shards.iter_mut() {
+                let mut cur = shift.pow(dev as u64);
+                for v in shard.iter_mut() {
+                    *v *= cur;
+                    cur *= step;
+                }
+            }
+            engine.charge_scale_batch(ctx, b);
+        });
+    }
+
+    /// Charges coset-scale kernels for a batch of `b` vectors, honoring
+    /// the batching flag (one fused launch vs `b` separate ones).
+    fn charge_scale_batch(&self, ctx: &mut unintt_gpu_sim::DeviceCtx<'_>, b: u64) {
+        let launches = if self.opts.batching { 1 } else { b };
+        let per_launch = if self.opts.batching { b } else { 1 };
+        for _ in 0..launches {
+            self.charge_scale(ctx, per_launch);
+        }
+    }
+
+    /// Charges the coset-scale cost for a batch of `b` vectors.
+    fn charge_scale(&self, ctx: &mut unintt_gpu_sim::DeviceCtx<'_>, b: u64) {
+        let (plan, fs) = (&self.plan, self.field_spec);
+        if self.opts.fuse_twiddle {
+            ctx.launch(&profiles::fused_scale_profile(plan, fs, b));
+        } else {
+            ctx.launch(&profiles::scale_kernel_profile(plan, fs, b));
+        }
+    }
+
+    /// Cost-only twin of [`Self::coset_forward`] /
+    /// [`Self::coset_forward_batch`].
+    pub fn simulate_coset_forward(&self, machine: &mut Machine, batch: u64) {
+        let mut dummy: Vec<()> = vec![(); self.plan.num_gpus()];
+        machine.parallel_phase(&mut dummy, |ctx, _, _| {
+            self.charge_scale_batch(ctx, batch);
+        });
+        self.simulate_forward(machine, batch);
+    }
+
+    /// Cost-only forward transform: charges exactly the kernels and
+    /// collectives [`Self::forward_batch`] would, without touching data.
+    ///
+    /// Used by the benchmark harness for transform sizes whose functional
+    /// execution would not fit in host memory or time budgets. The
+    /// equivalence of the two paths is enforced by tests.
+    pub fn simulate_forward(&self, machine: &mut Machine, batch: u64) {
+        assert!(batch > 0, "batch must be positive");
+        let g = self.plan.num_gpus();
+        let mut dummy: Vec<()> = vec![(); g];
+        machine.parallel_phase(&mut dummy, |ctx, _, _| {
+            self.charge_local(ctx, batch, Direction::Forward);
+        });
+        if g > 1 {
+            self.charge_exchange(machine, batch);
+            machine.parallel_phase(&mut dummy, |ctx, _, _| {
+                self.charge_outer(ctx, batch);
+            });
+            if self.opts.natural_output {
+                self.charge_exchange(machine, batch);
+            }
+        }
+    }
+
+    /// Cost-only inverse transform, mirroring [`Self::inverse_batch`].
+    pub fn simulate_inverse(&self, machine: &mut Machine, batch: u64) {
+        assert!(batch > 0, "batch must be positive");
+        let g = self.plan.num_gpus();
+        let mut dummy: Vec<()> = vec![(); g];
+        if g > 1 {
+            if self.opts.natural_output {
+                self.charge_exchange(machine, batch);
+            }
+            machine.parallel_phase(&mut dummy, |ctx, _, _| {
+                self.charge_outer(ctx, batch);
+            });
+            self.charge_exchange(machine, batch);
+        }
+        machine.parallel_phase(&mut dummy, |ctx, _, _| {
+            self.charge_local(ctx, batch, Direction::Inverse);
+        });
+    }
+
+    /// Phase 3 (forward) / its inverse: size-G NTTs down the received
+    /// columns, plus cost charges.
+    fn outer_phase(&self, machine: &mut Machine, batch: &mut [Sharded<F>], direction: Direction) {
+        let g = self.plan.num_gpus();
+        debug_assert!(g > 1);
+        let b = batch.len() as u64;
+        let c_len = self.plan.shard_len() / g;
+        let outer = self.outer();
+        let engine = self;
+
+        let mut per_device: Vec<Vec<&mut Vec<F>>> = (0..g).map(|_| Vec::new()).collect();
+        for item in batch.iter_mut() {
+            for (dev, shard) in item.shards_mut().iter_mut().enumerate() {
+                per_device[dev].push(shard);
+            }
+        }
+
+        machine.parallel_phase(&mut per_device, |ctx, _dev, shards| {
+            let mut col = vec![F::ZERO; g];
+            for shard in shards.iter_mut() {
+                for t in 0..c_len {
+                    for (src, slot) in col.iter_mut().enumerate() {
+                        *slot = shard[src * c_len + t];
+                    }
+                    match direction {
+                        Direction::Forward => outer.forward(&mut col),
+                        Direction::Inverse => outer.inverse(&mut col),
+                    }
+                    for (k1, &v) in col.iter().enumerate() {
+                        shard[k1 * c_len + t] = v;
+                    }
+                }
+            }
+
+            engine.charge_outer(ctx, b);
+        });
+    }
+
+    /// The multi-GPU exchange: one all-to-all carrying the whole batch
+    /// (batching on) or one per vector (batching off).
+    fn exchange(&self, machine: &mut Machine, batch: &mut [Sharded<F>]) {
+        let g = self.plan.num_gpus();
+        let m = self.plan.shard_len();
+        let elem_bytes = self.field_spec.elem_bytes;
+
+        if self.opts.batching && batch.len() > 1 {
+            // Pack chunk-major so one all-to-all carries every vector:
+            // combined chunk c = [item0 chunk c | item1 chunk c | …].
+            let b = batch.len();
+            let chunk = m / g;
+            let mut combined: Vec<Vec<F>> = (0..g)
+                .map(|dev| {
+                    let mut buf = Vec::with_capacity(b * m);
+                    for c in 0..g {
+                        for item in batch.iter() {
+                            buf.extend_from_slice(
+                                &item.shards()[dev][c * chunk..(c + 1) * chunk],
+                            );
+                        }
+                    }
+                    buf
+                })
+                .collect();
+            machine.all_to_all(&mut combined, elem_bytes);
+            for (dev, buf) in combined.into_iter().enumerate() {
+                // Received layout: for src in 0..g, for item, chunk data.
+                let mut offset = 0;
+                for src in 0..g {
+                    for item in batch.iter_mut() {
+                        item.shards_mut()[dev][src * chunk..(src + 1) * chunk]
+                            .copy_from_slice(&buf[offset..offset + chunk]);
+                        offset += chunk;
+                    }
+                }
+            }
+        } else {
+            for item in batch.iter_mut() {
+                machine.all_to_all(item.shards_mut(), elem_bytes);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use unintt_ff::{Bn254Fr, Field, Goldilocks};
+    use unintt_gpu_sim::presets;
+
+    fn random_vec<F: Field>(n: usize, seed: u64) -> Vec<F> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| F::random(&mut rng)).collect()
+    }
+
+    fn reference_forward<F: TwoAdicField>(input: &[F]) -> Vec<F> {
+        let ntt = Ntt::<F>::new(input.len().trailing_zeros());
+        let mut out = input.to_vec();
+        ntt.forward(&mut out);
+        out
+    }
+
+    fn run_forward<F: TwoAdicField>(
+        log_n: u32,
+        gpus: usize,
+        opts: UniNttOptions,
+        field_spec: FieldSpec,
+        input: &[F],
+    ) -> (Vec<F>, Machine) {
+        let cfg = presets::a100_nvlink(gpus);
+        let engine = UniNttEngine::<F>::new(log_n, &cfg, opts, field_spec);
+        let mut machine = Machine::new(cfg, field_spec);
+        let mut data = Sharded::distribute(input, gpus, ShardLayout::Cyclic);
+        engine.forward(&mut machine, &mut data);
+        (data.collect(), machine)
+    }
+
+    #[test]
+    fn forward_matches_reference_goldilocks() {
+        for gpus in [1usize, 2, 4, 8] {
+            for log_n in [6u32, 8, 10, 12] {
+                let input = random_vec::<Goldilocks>(1 << log_n, log_n as u64);
+                let expected = reference_forward(&input);
+                let (actual, _) = run_forward(
+                    log_n,
+                    gpus,
+                    UniNttOptions::full(),
+                    FieldSpec::goldilocks(),
+                    &input,
+                );
+                assert_eq!(actual, expected, "gpus={gpus} log_n={log_n}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_matches_reference_bn254() {
+        let log_n = 10u32;
+        let input = random_vec::<Bn254Fr>(1 << log_n, 3);
+        let expected = reference_forward(&input);
+        for gpus in [2usize, 8] {
+            let (actual, _) = run_forward(
+                log_n,
+                gpus,
+                UniNttOptions::full(),
+                FieldSpec::bn254_fr(),
+                &input,
+            );
+            assert_eq!(actual, expected, "gpus={gpus}");
+        }
+    }
+
+    #[test]
+    fn natural_output_matches_reference_too() {
+        let log_n = 10u32;
+        let input = random_vec::<Goldilocks>(1 << log_n, 7);
+        let expected = reference_forward(&input);
+        let mut opts = UniNttOptions::full();
+        opts.natural_output = true;
+        let (actual, _) =
+            run_forward(log_n, 4, opts, FieldSpec::goldilocks(), &input);
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn options_never_change_results() {
+        let log_n = 9u32;
+        let input = random_vec::<Goldilocks>(1 << log_n, 11);
+        let expected = reference_forward(&input);
+        let mut all = vec![UniNttOptions::full(), UniNttOptions::none()];
+        all.extend((1..=5).map(UniNttOptions::ablate));
+        for opts in all {
+            let (actual, _) =
+                run_forward(log_n, 4, opts, FieldSpec::goldilocks(), &input);
+            assert_eq!(actual, expected, "opts={opts:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        for gpus in [1usize, 4] {
+            let log_n = 11u32;
+            let input = random_vec::<Goldilocks>(1 << log_n, 13);
+            let cfg = presets::a100_nvlink(gpus);
+            let fs = FieldSpec::goldilocks();
+            let engine = UniNttEngine::<Goldilocks>::new(log_n, &cfg, UniNttOptions::full(), fs);
+            let mut machine = Machine::new(cfg, fs);
+            let mut data = Sharded::distribute(&input, gpus, ShardLayout::Cyclic);
+            engine.forward(&mut machine, &mut data);
+            engine.inverse(&mut machine, &mut data);
+            assert_eq!(data.layout(), ShardLayout::Cyclic);
+            assert_eq!(data.collect(), input, "gpus={gpus}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_natural_output() {
+        let log_n = 10u32;
+        let input = random_vec::<Goldilocks>(1 << log_n, 17);
+        let cfg = presets::a100_nvlink(8);
+        let fs = FieldSpec::goldilocks();
+        let mut opts = UniNttOptions::full();
+        opts.natural_output = true;
+        let engine = UniNttEngine::<Goldilocks>::new(log_n, &cfg, opts, fs);
+        let mut machine = Machine::new(cfg, fs);
+        let mut data = Sharded::distribute(&input, 8, ShardLayout::Cyclic);
+        engine.forward(&mut machine, &mut data);
+        assert_eq!(data.layout(), ShardLayout::NaturalBlocks);
+        engine.inverse(&mut machine, &mut data);
+        assert_eq!(data.collect(), input);
+    }
+
+    #[test]
+    fn batch_matches_individual() {
+        let log_n = 8u32;
+        let gpus = 4usize;
+        let cfg = presets::a100_nvlink(gpus);
+        let fs = FieldSpec::goldilocks();
+        let engine = UniNttEngine::<Goldilocks>::new(log_n, &cfg, UniNttOptions::full(), fs);
+
+        let inputs: Vec<Vec<Goldilocks>> =
+            (0..5).map(|i| random_vec(1 << log_n, 100 + i)).collect();
+
+        let mut machine = Machine::new(cfg, fs);
+        let mut batch: Vec<Sharded<Goldilocks>> = inputs
+            .iter()
+            .map(|x| Sharded::distribute(x, gpus, ShardLayout::Cyclic))
+            .collect();
+        engine.forward_batch(&mut machine, &mut batch);
+
+        for (input, out) in inputs.iter().zip(&batch) {
+            assert_eq!(out.collect(), reference_forward(input));
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let log_n = 8u32;
+        let gpus = 4usize;
+        let cfg = presets::a100_nvlink(gpus);
+        let fs = FieldSpec::goldilocks();
+        let engine = UniNttEngine::<Goldilocks>::new(log_n, &cfg, UniNttOptions::full(), fs);
+        let inputs: Vec<Vec<Goldilocks>> =
+            (0..3).map(|i| random_vec(1 << log_n, 200 + i)).collect();
+        let mut machine = Machine::new(cfg, fs);
+        let mut batch: Vec<Sharded<Goldilocks>> = inputs
+            .iter()
+            .map(|x| Sharded::distribute(x, gpus, ShardLayout::Cyclic))
+            .collect();
+        engine.forward_batch(&mut machine, &mut batch);
+        engine.inverse_batch(&mut machine, &mut batch);
+        for (input, out) in inputs.iter().zip(&batch) {
+            assert_eq!(&out.collect(), input);
+        }
+    }
+
+    #[test]
+    fn ablations_cost_more_than_full() {
+        let log_n = 20u32;
+        let gpus = 8usize;
+        let input = random_vec::<Goldilocks>(1 << log_n, 23);
+        let (_, full_machine) = run_forward(
+            log_n,
+            gpus,
+            UniNttOptions::full(),
+            FieldSpec::goldilocks(),
+            &input,
+        );
+        let full_time = full_machine.max_clock_ns();
+        for which in [1u32, 2, 3, 4] {
+            let (_, m) = run_forward(
+                log_n,
+                gpus,
+                UniNttOptions::ablate(which),
+                FieldSpec::goldilocks(),
+                &input,
+            );
+            assert!(
+                m.max_clock_ns() > full_time,
+                "ablation {which} should slow the engine: full={full_time} ablated={}",
+                m.max_clock_ns()
+            );
+        }
+    }
+
+    #[test]
+    fn single_all_to_all_in_default_mode() {
+        let log_n = 16u32;
+        let input = random_vec::<Goldilocks>(1 << log_n, 29);
+        let (_, machine) = run_forward(
+            log_n,
+            8,
+            UniNttOptions::full(),
+            FieldSpec::goldilocks(),
+            &input,
+        );
+        // One collective per device.
+        assert_eq!(machine.stats().collectives, 8);
+    }
+
+    #[test]
+    fn simulate_charges_exactly_what_run_charges() {
+        for gpus in [1usize, 8] {
+            for natural in [false, true] {
+                for batch_len in [1usize, 3] {
+                    let log_n = 14u32;
+                    let cfg = presets::a100_nvlink(gpus);
+                    let fs = FieldSpec::goldilocks();
+                    let mut opts = UniNttOptions::full();
+                    opts.natural_output = natural;
+                    let engine = UniNttEngine::<Goldilocks>::new(log_n, &cfg, opts, fs);
+
+                    let mut real = Machine::new(cfg.clone(), fs);
+                    let mut batch: Vec<Sharded<Goldilocks>> = (0..batch_len)
+                        .map(|i| {
+                            Sharded::distribute(
+                                &random_vec::<Goldilocks>(1 << log_n, i as u64),
+                                gpus,
+                                ShardLayout::Cyclic,
+                            )
+                        })
+                        .collect();
+                    engine.forward_batch(&mut real, &mut batch);
+                    engine.inverse_batch(&mut real, &mut batch);
+
+                    let mut sim = Machine::new(cfg, fs);
+                    engine.simulate_forward(&mut sim, batch_len as u64);
+                    engine.simulate_inverse(&mut sim, batch_len as u64);
+
+                    let (rt, st) = (real.max_clock_ns(), sim.max_clock_ns());
+                    assert!(
+                        (rt - st).abs() < 1e-6 * rt.max(1.0),
+                        "clock mismatch gpus={gpus} natural={natural} b={batch_len}: real={rt} sim={st}"
+                    );
+                    assert_eq!(
+                        real.stats().kernels_launched,
+                        sim.stats().kernels_launched,
+                        "kernel count mismatch gpus={gpus} natural={natural} b={batch_len}"
+                    );
+                    assert_eq!(
+                        real.stats().interconnect_bytes_sent,
+                        sim.stats().interconnect_bytes_sent,
+                        "bytes mismatch gpus={gpus} natural={natural} b={batch_len}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected input layout")]
+    fn wrong_layout_rejected() {
+        let cfg = presets::a100_nvlink(4);
+        let fs = FieldSpec::goldilocks();
+        let engine = UniNttEngine::<Goldilocks>::new(8, &cfg, UniNttOptions::full(), fs);
+        let mut machine = Machine::new(cfg, fs);
+        let input = random_vec::<Goldilocks>(256, 1);
+        let mut data = Sharded::distribute(&input, 4, ShardLayout::NaturalBlocks);
+        engine.forward(&mut machine, &mut data);
+    }
+}
+
+#[cfg(test)]
+mod coset_tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use unintt_ff::{Field, Goldilocks, PrimeField};
+    use unintt_gpu_sim::presets;
+
+    fn random_vec(n: usize, seed: u64) -> Vec<Goldilocks> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Goldilocks::random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn coset_forward_matches_cpu_library() {
+        let log_n = 10u32;
+        let gpus = 4usize;
+        let fs = FieldSpec::goldilocks();
+        let cfg = presets::a100_nvlink(gpus);
+        let engine =
+            UniNttEngine::<Goldilocks>::new(log_n, &cfg, UniNttOptions::tuned_for(&fs), fs);
+        let mut machine = Machine::new(cfg, fs);
+
+        let coeffs = random_vec(1 << log_n, 1);
+        let shift = Goldilocks::GENERATOR;
+
+        let expected = {
+            let ntt = Ntt::<Goldilocks>::new(log_n);
+            let mut v = coeffs.clone();
+            unintt_ntt::coset_ntt(&ntt, &mut v, shift);
+            v
+        };
+
+        let mut data = Sharded::distribute(&coeffs, gpus, ShardLayout::Cyclic);
+        engine.coset_forward(&mut machine, &mut data, shift);
+        assert_eq!(data.collect(), expected);
+
+        engine.coset_inverse(&mut machine, &mut data, shift);
+        assert_eq!(data.collect(), coeffs);
+    }
+
+    #[test]
+    fn coset_with_unit_shift_is_plain_forward() {
+        let log_n = 8u32;
+        let gpus = 8usize;
+        let fs = FieldSpec::goldilocks();
+        let cfg = presets::a100_nvlink(gpus);
+        let engine =
+            UniNttEngine::<Goldilocks>::new(log_n, &cfg, UniNttOptions::tuned_for(&fs), fs);
+
+        let input = random_vec(1 << log_n, 2);
+        let mut m1 = Machine::new(cfg.clone(), fs);
+        let mut d1 = Sharded::distribute(&input, gpus, ShardLayout::Cyclic);
+        engine.coset_forward(&mut m1, &mut d1, Goldilocks::ONE);
+
+        let mut m2 = Machine::new(cfg, fs);
+        let mut d2 = Sharded::distribute(&input, gpus, ShardLayout::Cyclic);
+        engine.forward(&mut m2, &mut d2);
+
+        assert_eq!(d1.collect(), d2.collect());
+        // The coset path costs strictly more (the fused scale).
+        assert!(m1.max_clock_ns() > m2.max_clock_ns());
+    }
+
+    #[test]
+    fn simulate_coset_matches_functional() {
+        let log_n = 12u32;
+        let gpus = 8usize;
+        let fs = FieldSpec::goldilocks();
+        let cfg = presets::a100_nvlink(gpus);
+        let engine =
+            UniNttEngine::<Goldilocks>::new(log_n, &cfg, UniNttOptions::tuned_for(&fs), fs);
+
+        let mut real = Machine::new(cfg.clone(), fs);
+        let input = random_vec(1 << log_n, 3);
+        let mut data = Sharded::distribute(&input, gpus, ShardLayout::Cyclic);
+        engine.coset_forward(&mut real, &mut data, Goldilocks::GENERATOR);
+
+        let mut sim = Machine::new(cfg, fs);
+        engine.simulate_coset_forward(&mut sim, 1);
+
+        let (rt, st) = (real.max_clock_ns(), sim.max_clock_ns());
+        assert!((rt - st).abs() < 1e-6 * rt, "real={rt} sim={st}");
+        assert_eq!(
+            real.stats().kernels_launched,
+            sim.stats().kernels_launched
+        );
+    }
+
+    #[test]
+    fn coset_batch_matches_individual_and_simulate() {
+        let log_n = 10u32;
+        let gpus = 4usize;
+        let fs = FieldSpec::goldilocks();
+        let cfg = presets::a100_nvlink(gpus);
+        let engine =
+            UniNttEngine::<Goldilocks>::new(log_n, &cfg, UniNttOptions::tuned_for(&fs), fs);
+        let shift = Goldilocks::GENERATOR;
+        let inputs: Vec<Vec<Goldilocks>> = (0..5).map(|i| random_vec(1 << log_n, i)).collect();
+
+        // Individual transforms (separate machine) as the reference.
+        let mut expected = Vec::new();
+        for input in &inputs {
+            let mut m = Machine::new(cfg.clone(), fs);
+            let mut d = Sharded::distribute(input, gpus, ShardLayout::Cyclic);
+            engine.coset_forward(&mut m, &mut d, shift);
+            expected.push(d.collect());
+        }
+
+        // Batched.
+        let mut real = Machine::new(cfg.clone(), fs);
+        let mut batch: Vec<Sharded<Goldilocks>> = inputs
+            .iter()
+            .map(|x| Sharded::distribute(x, gpus, ShardLayout::Cyclic))
+            .collect();
+        engine.coset_forward_batch(&mut real, &mut batch, shift);
+        for (out, exp) in batch.iter().zip(&expected) {
+            assert_eq!(&out.collect(), exp);
+        }
+
+        // Cost-only twin.
+        let mut sim = Machine::new(cfg, fs);
+        engine.simulate_coset_forward(&mut sim, 5);
+        let (rt, st) = (real.max_clock_ns(), sim.max_clock_ns());
+        assert!((rt - st).abs() < 1e-6 * rt, "real={rt} sim={st}");
+        assert_eq!(real.stats().kernels_launched, sim.stats().kernels_launched);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_shift_rejected() {
+        let fs = FieldSpec::goldilocks();
+        let cfg = presets::a100_nvlink(2);
+        let engine =
+            UniNttEngine::<Goldilocks>::new(6, &cfg, UniNttOptions::tuned_for(&fs), fs);
+        let mut machine = Machine::new(cfg, fs);
+        let input = random_vec(64, 4);
+        let mut data = Sharded::distribute(&input, 2, ShardLayout::Cyclic);
+        engine.coset_forward(&mut machine, &mut data, Goldilocks::ZERO);
+    }
+}

@@ -1,0 +1,247 @@
+//! Kernel-footprint builders: how plan + options become [`KernelProfile`]s.
+//!
+//! Every formula here is the byte/op accounting a CUDA programmer would do
+//! on a napkin; the switches in [`UniNttOptions`] add or remove exactly the
+//! traffic the corresponding optimization saves. Keeping the accounting in
+//! one module makes the ablation study (E6) auditable line by line.
+
+use unintt_gpu_sim::{bank_conflict_degree, coalescing_efficiency, FieldSpec, KernelProfile};
+
+use crate::{DecompositionPlan, UniNttOptions};
+
+/// Average shared-memory access stride (in 4-byte words) of an unpadded
+/// butterfly network — the value the O3 layout optimization pads away.
+const UNPADDED_SHARED_STRIDE: usize = 8;
+
+/// Global-memory element stride charged to unpadded (non-block-cyclic)
+/// layouts at pass boundaries.
+const UNPADDED_GLOBAL_STRIDE: usize = 8;
+
+/// Profile of one fused global-memory pass of the local hierarchical NTT.
+///
+/// A pass streams the whole `batch × 2^log_m` shard through shared memory
+/// once, performing `radix_log` butterfly stages per element: the lowest
+/// `min(radix_log, log_warp_tile)` stages in registers via shuffles, the
+/// rest through shared memory.
+pub fn local_pass_profile(
+    plan: &DecompositionPlan,
+    opts: &UniNttOptions,
+    field: FieldSpec,
+    radix_log: u32,
+    batch: u64,
+    fused_boundary_twiddle: bool,
+) -> KernelProfile {
+    let elems = batch * (1u64 << plan.log_m);
+    let bytes = elems * field.elem_bytes as u64;
+    let mut p = KernelProfile::named("unintt-local-pass");
+
+    p.blocks = (elems >> plan.log_block_tile.min(plan.log_m)).max(1);
+
+    p.global_bytes_read = bytes;
+    p.global_bytes_written = bytes;
+    if !opts.twiddle_on_the_fly {
+        // Twiddle tables streamed alongside the data: one factor per
+        // element per pass.
+        p.global_bytes_read += bytes;
+    }
+    p.coalescing_efficiency = if opts.padded_layout {
+        1.0
+    } else {
+        coalescing_efficiency(UNPADDED_GLOBAL_STRIDE, field.elem_bytes)
+    };
+
+    let butterflies = (elems / 2) * radix_log as u64;
+    p.field_muls = butterflies;
+    p.field_adds = 2 * butterflies;
+    if opts.twiddle_on_the_fly {
+        // Regenerating twiddles costs one extra multiply per butterfly.
+        p.field_muls += butterflies;
+    }
+    if fused_boundary_twiddle {
+        // O1 on: the inter-pass twiddle rides along as one multiply per
+        // element inside this kernel.
+        p.field_muls += elems;
+    }
+
+    let warp_stages = radix_log.min(plan.log_warp_tile) as u64;
+    let shared_stages = radix_log as u64 - warp_stages;
+    p.shuffle_ops = elems * warp_stages;
+    // Tile load + store through shared memory, plus two accesses per
+    // element per shared-memory stage.
+    p.shared_accesses = 2 * elems + 2 * elems * shared_stages;
+    p.bank_conflict_degree = if opts.padded_layout {
+        1.0
+    } else {
+        bank_conflict_degree(UNPADDED_SHARED_STRIDE)
+    };
+
+    p
+}
+
+/// Standalone twiddle-multiplication kernel (charged only when O1 is off):
+/// read every element, multiply, write it back.
+pub fn twiddle_kernel_profile(
+    plan: &DecompositionPlan,
+    opts: &UniNttOptions,
+    field: FieldSpec,
+    batch: u64,
+) -> KernelProfile {
+    let elems = batch * (1u64 << plan.log_m);
+    let bytes = elems * field.elem_bytes as u64;
+    let mut p = KernelProfile::named("twiddle-mul");
+    p.blocks = (elems / 256).max(1);
+    p.global_bytes_read = bytes;
+    p.global_bytes_written = bytes;
+    if !opts.twiddle_on_the_fly {
+        p.global_bytes_read += bytes;
+    }
+    p.field_muls = elems + if opts.twiddle_on_the_fly { elems } else { 0 };
+    p.coalescing_efficiency = 1.0;
+    p
+}
+
+/// Pack or unpack kernel around an exchange (charged only when O4 is off):
+/// a full read+write pass, strided on one side.
+pub fn pack_kernel_profile(
+    plan: &DecompositionPlan,
+    field: FieldSpec,
+    batch: u64,
+) -> KernelProfile {
+    let elems = batch * (1u64 << plan.log_m);
+    let bytes = elems * field.elem_bytes as u64;
+    let mut p = KernelProfile::named("exchange-pack");
+    p.blocks = (elems / 256).max(1);
+    p.global_bytes_read = bytes;
+    p.global_bytes_written = bytes;
+    // A transpose-style pack is strided on exactly one side.
+    p.coalescing_efficiency =
+        (1.0 + coalescing_efficiency(UNPADDED_GLOBAL_STRIDE, field.elem_bytes)) / 2.0;
+    p
+}
+
+/// The cross-GPU stage: `2^log_m / G` transforms of length `G` per device,
+/// after the all-to-all has localized each length-`G` vector.
+pub fn outer_stage_profile(
+    plan: &DecompositionPlan,
+    opts: &UniNttOptions,
+    field: FieldSpec,
+    batch: u64,
+) -> KernelProfile {
+    let elems = batch * (1u64 << plan.log_m);
+    let bytes = elems * field.elem_bytes as u64;
+    let g = plan.num_gpus() as u64;
+    let mut p = KernelProfile::named("unintt-outer");
+    p.blocks = (elems / 256).max(1);
+    p.global_bytes_read = bytes;
+    p.global_bytes_written = bytes;
+    p.coalescing_efficiency = if opts.padded_layout { 1.0 } else { 0.5 };
+    let butterflies = if g > 1 {
+        (elems / 2) * plan.log_g as u64
+    } else {
+        0
+    };
+    p.field_muls = butterflies;
+    p.field_adds = 2 * butterflies;
+    p
+}
+
+/// A scale multiplication fused into an adjacent pass: pure ALU cost, no
+/// extra memory traffic (the elements are already in registers).
+pub fn fused_scale_profile(
+    plan: &DecompositionPlan,
+    field: FieldSpec,
+    batch: u64,
+) -> KernelProfile {
+    let elems = batch * (1u64 << plan.log_m);
+    let mut p = KernelProfile::named("fused-coset-scale");
+    p.blocks = (elems >> plan.log_block_tile.min(plan.log_m)).max(1);
+    p.field_muls = elems;
+    let _ = field;
+    p
+}
+
+/// Element-wise scale kernel (the `1/n` of an inverse transform when it
+/// cannot be fused).
+pub fn scale_kernel_profile(
+    plan: &DecompositionPlan,
+    field: FieldSpec,
+    batch: u64,
+) -> KernelProfile {
+    let elems = batch * (1u64 << plan.log_m);
+    let bytes = elems * field.elem_bytes as u64;
+    let mut p = KernelProfile::named("scale");
+    p.blocks = (elems / 256).max(1);
+    p.global_bytes_read = bytes;
+    p.global_bytes_written = bytes;
+    p.field_muls = elems;
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unintt_gpu_sim::presets;
+
+    fn plan() -> DecompositionPlan {
+        DecompositionPlan::plan(24, &presets::a100_nvlink(8), 8)
+    }
+
+    #[test]
+    fn fused_twiddle_removes_standalone_traffic_but_adds_muls() {
+        let plan = plan();
+        let f = FieldSpec::goldilocks();
+        let fused = local_pass_profile(&plan, &UniNttOptions::full(), f, 10, 1, true);
+        let unfused = local_pass_profile(&plan, &UniNttOptions::full(), f, 10, 1, false);
+        assert!(fused.field_muls > unfused.field_muls);
+        assert_eq!(fused.global_bytes_read, unfused.global_bytes_read);
+    }
+
+    #[test]
+    fn table_twiddles_add_read_traffic() {
+        let plan = plan();
+        let f = FieldSpec::goldilocks();
+        let otf = local_pass_profile(&plan, &UniNttOptions::full(), f, 10, 1, false);
+        let table = local_pass_profile(&plan, &UniNttOptions::ablate(2), f, 10, 1, false);
+        assert!(table.global_bytes_read > otf.global_bytes_read);
+        assert!(otf.field_muls > table.field_muls, "otf recomputes in ALU");
+    }
+
+    #[test]
+    fn unpadded_layout_hurts_both_memories() {
+        let plan = plan();
+        let f = FieldSpec::goldilocks();
+        let padded = local_pass_profile(&plan, &UniNttOptions::full(), f, 10, 1, false);
+        let raw = local_pass_profile(&plan, &UniNttOptions::ablate(3), f, 10, 1, false);
+        assert!(raw.coalescing_efficiency < padded.coalescing_efficiency);
+        assert!(raw.bank_conflict_degree > padded.bank_conflict_degree);
+    }
+
+    #[test]
+    fn batching_scales_linear_counters() {
+        let plan = plan();
+        let f = FieldSpec::goldilocks();
+        let one = local_pass_profile(&plan, &UniNttOptions::full(), f, 10, 1, false);
+        let four = local_pass_profile(&plan, &UniNttOptions::full(), f, 10, 4, false);
+        assert_eq!(four.global_bytes_read, 4 * one.global_bytes_read);
+        assert_eq!(four.field_muls, 4 * one.field_muls);
+    }
+
+    #[test]
+    fn warp_stages_capped_at_warp_tile() {
+        let plan = plan();
+        let f = FieldSpec::goldilocks();
+        let small = local_pass_profile(&plan, &UniNttOptions::full(), f, 3, 1, false);
+        let big = local_pass_profile(&plan, &UniNttOptions::full(), f, 11, 1, false);
+        let m = 1u64 << plan.log_m;
+        assert_eq!(small.shuffle_ops, m * 3);
+        assert_eq!(big.shuffle_ops, m * 5, "only 5 stages fit in a warp");
+        assert!(big.shared_accesses > small.shared_accesses);
+    }
+
+    #[test]
+    fn outer_stage_trivial_for_single_gpu() {
+        let plan1 = DecompositionPlan::plan(20, &presets::a100_nvlink(1), 8);
+        let p = outer_stage_profile(&plan1, &UniNttOptions::full(), FieldSpec::goldilocks(), 1);
+        assert_eq!(p.field_muls, 0);
+    }
+}

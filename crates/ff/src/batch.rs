@@ -1,0 +1,172 @@
+//! Batch field operations.
+//!
+//! [`batch_inverse`] implements Montgomery's simultaneous-inversion trick:
+//! `n` inversions for the price of one inversion plus `3(n-1)`
+//! multiplications. NTT twiddle precomputation and KZG opening batches both
+//! rely on it.
+
+use crate::Field;
+
+/// Inverts every nonzero element of `values` in place; zeros stay zero.
+///
+/// Uses Montgomery's trick: one field inversion total.
+///
+/// ```
+/// use unintt_ff::{batch_inverse, Field, Goldilocks, PrimeField};
+///
+/// let mut v = vec![Goldilocks::from_u64(2), Goldilocks::ZERO, Goldilocks::from_u64(4)];
+/// batch_inverse(&mut v);
+/// assert_eq!(v[0] * Goldilocks::from_u64(2), Goldilocks::ONE);
+/// assert!(v[1].is_zero());
+/// assert_eq!(v[2] * Goldilocks::from_u64(4), Goldilocks::ONE);
+/// ```
+pub fn batch_inverse<F: Field>(values: &mut [F]) {
+    // Prefix products over the nonzero entries.
+    let mut prefix = Vec::with_capacity(values.len());
+    let mut acc = F::ONE;
+    for v in values.iter() {
+        prefix.push(acc);
+        if !v.is_zero() {
+            acc *= *v;
+        }
+    }
+
+    // One inversion of the running product.
+    let mut inv = match acc.inverse() {
+        Some(inv) => inv,
+        // All entries zero: nothing to do.
+        None if values.iter().all(F::is_zero) => return,
+        None => unreachable!("product of nonzero elements cannot be zero in a field"),
+    };
+
+    // Unwind: values[i]^-1 = prefix[i] * suffix_inv.
+    for (v, p) in values.iter_mut().zip(prefix.iter()).rev() {
+        if v.is_zero() {
+            continue;
+        }
+        let original = *v;
+        *v = inv * *p;
+        inv *= original;
+    }
+}
+
+/// Returns element-wise inverses without mutating the input; zeros map to zero.
+pub fn batch_inverse_to_vec<F: Field>(values: &[F]) -> Vec<F> {
+    let mut out = values.to_vec();
+    batch_inverse(&mut out);
+    out
+}
+
+/// Computes the `n` successive powers `[1, base, base², …, base^(n-1)]`.
+pub fn powers<F: Field>(base: F, n: usize) -> Vec<F> {
+    let mut out = Vec::with_capacity(n);
+    let mut acc = F::ONE;
+    for _ in 0..n {
+        out.push(acc);
+        acc *= base;
+    }
+    out
+}
+
+/// Horner evaluation of a polynomial given in coefficient order
+/// (`coeffs[0]` is the constant term) at point `x`.
+pub fn horner_eval<F: Field>(coeffs: &[F], x: F) -> F {
+    coeffs
+        .iter()
+        .rev()
+        .fold(F::ZERO, |acc, &c| acc * x + c)
+}
+
+/// Element-wise product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn hadamard_product<F: Field>(a: &[F], b: &[F]) -> Vec<F> {
+    assert_eq!(a.len(), b.len(), "hadamard product requires equal lengths");
+    a.iter().zip(b).map(|(&x, &y)| x * y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bn254Fr, Goldilocks, PrimeField};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn batch_inverse_matches_individual() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let values: Vec<Goldilocks> = (0..100).map(|_| Goldilocks::random(&mut rng)).collect();
+        let batched = batch_inverse_to_vec(&values);
+        for (v, inv) in values.iter().zip(&batched) {
+            assert_eq!(v.inverse().unwrap_or(Goldilocks::ZERO), *inv);
+        }
+    }
+
+    #[test]
+    fn batch_inverse_with_zeros_interleaved() {
+        let mut v = vec![
+            Goldilocks::from_u64(3),
+            Goldilocks::ZERO,
+            Goldilocks::from_u64(7),
+            Goldilocks::ZERO,
+        ];
+        batch_inverse(&mut v);
+        assert_eq!(v[0] * Goldilocks::from_u64(3), Goldilocks::ONE);
+        assert!(v[1].is_zero());
+        assert_eq!(v[2] * Goldilocks::from_u64(7), Goldilocks::ONE);
+        assert!(v[3].is_zero());
+    }
+
+    #[test]
+    fn batch_inverse_all_zero_and_empty() {
+        let mut v = vec![Goldilocks::ZERO; 5];
+        batch_inverse(&mut v);
+        assert!(v.iter().all(|x| x.is_zero()));
+        let mut empty: Vec<Goldilocks> = vec![];
+        batch_inverse(&mut empty);
+    }
+
+    #[test]
+    fn batch_inverse_large_field() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let values: Vec<Bn254Fr> = (0..20).map(|_| Bn254Fr::random(&mut rng)).collect();
+        let batched = batch_inverse_to_vec(&values);
+        for (v, inv) in values.iter().zip(&batched) {
+            assert!((*v * *inv).is_one());
+        }
+    }
+
+    #[test]
+    fn powers_sequence() {
+        let p = powers(Goldilocks::from_u64(3), 5);
+        assert_eq!(
+            p.iter().map(|x| x.to_canonical_u64()).collect::<Vec<_>>(),
+            vec![1, 3, 9, 27, 81]
+        );
+        assert!(powers(Goldilocks::from_u64(3), 0).is_empty());
+    }
+
+    #[test]
+    fn horner_matches_direct() {
+        // 2 + 3x + x^2 at x = 5 => 2 + 15 + 25 = 42
+        let coeffs = vec![
+            Goldilocks::from_u64(2),
+            Goldilocks::from_u64(3),
+            Goldilocks::from_u64(1),
+        ];
+        assert_eq!(
+            horner_eval(&coeffs, Goldilocks::from_u64(5)).to_canonical_u64(),
+            42
+        );
+        assert_eq!(horner_eval::<Goldilocks>(&[], Goldilocks::TWO), Goldilocks::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn hadamard_length_mismatch_panics() {
+        let a = vec![Goldilocks::ONE];
+        let b = vec![Goldilocks::ONE, Goldilocks::ONE];
+        let _ = hadamard_product(&a, &b);
+    }
+}

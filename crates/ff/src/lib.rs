@@ -1,0 +1,46 @@
+//! # unintt-ff — finite-field arithmetic for the UniNTT reproduction
+//!
+//! This crate provides the number theory substrate for the whole workspace:
+//!
+//! * [`U256`] — fixed-width 256-bit integers.
+//! * [`Field`] / [`PrimeField`] / [`TwoAdicField`] — the field abstractions
+//!   every other crate is generic over.
+//! * [`Goldilocks`] (`p = 2^64 − 2^32 + 1`, two-adicity 32) — the fast
+//!   64-bit NTT field, with its quadratic extension [`GoldilocksExt2`]
+//!   for challenge sampling.
+//! * [`BabyBear`] (`p = 2^31 − 2^27 + 1`, two-adicity 27) — a 31-bit
+//!   Montgomery field.
+//! * [`Bn254Fr`] (254-bit, two-adicity 28) — the SNARK scalar field the
+//!   paper's ZKP workloads run over.
+//! * [`Bn254Fq`] (254-bit) — the coordinate field of the BN254 G1 curve
+//!   used by the MSM substrate.
+//! * [`batch_inverse`] and friends — batched field helpers.
+//!
+//! ## Example
+//!
+//! ```
+//! use unintt_ff::{Field, Goldilocks, PrimeField, TwoAdicField};
+//!
+//! // A primitive 8th root of unity: ω^8 = 1, ω^4 = −1.
+//! let omega = Goldilocks::two_adic_generator(3);
+//! assert!(omega.pow(8).is_one());
+//! assert_eq!(omega.pow(4), -Goldilocks::ONE);
+//! ```
+
+#![warn(missing_docs)]
+
+mod babybear;
+mod batch;
+mod bigint;
+mod extension;
+mod goldilocks;
+mod mont;
+mod traits;
+
+pub use babybear::{BabyBear, BABYBEAR_MODULUS};
+pub use batch::{batch_inverse, batch_inverse_to_vec, hadamard_product, horner_eval, powers};
+pub use bigint::U256;
+pub use extension::{extension_w, GoldilocksExt2};
+pub use goldilocks::{Goldilocks, GOLDILOCKS_MODULUS};
+pub use mont::{Bn254Fq, Bn254FqParams, Bn254Fr, Bn254FrParams, Mont, MontParams};
+pub use traits::{Field, PrimeField, TwoAdicField};

@@ -1,0 +1,107 @@
+//! Property-based field-axiom tests, instantiated for every concrete field.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use unintt_ff::{BabyBear, Bn254Fq, Bn254Fr, Field, Goldilocks, PrimeField};
+
+/// Derives a field element deterministically from an arbitrary seed so
+/// proptest can shrink over the seed space.
+fn elem<F: Field>(seed: u64) -> F {
+    let mut rng = StdRng::seed_from_u64(seed);
+    F::random(&mut rng)
+}
+
+macro_rules! field_laws {
+    ($modname:ident, $field:ty) => {
+        mod $modname {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn add_commutative(a in any::<u64>(), b in any::<u64>()) {
+                    let (x, y) = (elem::<$field>(a), elem::<$field>(b));
+                    prop_assert_eq!(x + y, y + x);
+                }
+
+                #[test]
+                fn add_associative(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+                    let (x, y, z) = (elem::<$field>(a), elem::<$field>(b), elem::<$field>(c));
+                    prop_assert_eq!((x + y) + z, x + (y + z));
+                }
+
+                #[test]
+                fn mul_commutative(a in any::<u64>(), b in any::<u64>()) {
+                    let (x, y) = (elem::<$field>(a), elem::<$field>(b));
+                    prop_assert_eq!(x * y, y * x);
+                }
+
+                #[test]
+                fn mul_associative(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+                    let (x, y, z) = (elem::<$field>(a), elem::<$field>(b), elem::<$field>(c));
+                    prop_assert_eq!((x * y) * z, x * (y * z));
+                }
+
+                #[test]
+                fn distributive(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+                    let (x, y, z) = (elem::<$field>(a), elem::<$field>(b), elem::<$field>(c));
+                    prop_assert_eq!(x * (y + z), x * y + x * z);
+                }
+
+                #[test]
+                fn additive_inverse(a in any::<u64>()) {
+                    let x = elem::<$field>(a);
+                    prop_assert_eq!(x + (-x), <$field>::ZERO);
+                    prop_assert_eq!(x - x, <$field>::ZERO);
+                }
+
+                #[test]
+                fn multiplicative_inverse(a in any::<u64>()) {
+                    let x = elem::<$field>(a);
+                    if !x.is_zero() {
+                        prop_assert_eq!(x * x.inverse().unwrap(), <$field>::ONE);
+                    }
+                }
+
+                #[test]
+                fn identities(a in any::<u64>()) {
+                    let x = elem::<$field>(a);
+                    prop_assert_eq!(x + <$field>::ZERO, x);
+                    prop_assert_eq!(x * <$field>::ONE, x);
+                    prop_assert_eq!(x * <$field>::ZERO, <$field>::ZERO);
+                }
+
+                #[test]
+                fn square_matches_mul(a in any::<u64>()) {
+                    let x = elem::<$field>(a);
+                    prop_assert_eq!(x.square(), x * x);
+                    prop_assert_eq!(x.double(), x + x);
+                    prop_assert_eq!(x.double().halve(), x);
+                }
+
+                #[test]
+                fn pow_laws(a in any::<u64>(), e1 in 0u64..64, e2 in 0u64..64) {
+                    let x = elem::<$field>(a);
+                    prop_assert_eq!(x.pow(e1) * x.pow(e2), x.pow(e1 + e2));
+                }
+
+                #[test]
+                fn canonical_roundtrip(a in any::<u64>()) {
+                    let x = elem::<$field>(a);
+                    prop_assert_eq!(<$field>::from_u256(x.to_canonical_u256()), x);
+                }
+
+                #[test]
+                fn from_i64_negates(v in 1i64..i64::MAX) {
+                    let pos = <$field>::from_i64(v);
+                    let neg = <$field>::from_i64(-v);
+                    prop_assert_eq!(pos + neg, <$field>::ZERO);
+                }
+            }
+        }
+    };
+}
+
+field_laws!(goldilocks_laws, Goldilocks);
+field_laws!(babybear_laws, BabyBear);
+field_laws!(bn254_fr_laws, Bn254Fr);
+field_laws!(bn254_fq_laws, Bn254Fq);

@@ -1,0 +1,48 @@
+//! # unintt-fri — hash-based polynomial commitments over Goldilocks
+//!
+//! The second ZKP workload of the reproduction: the transparent
+//! (no-trusted-setup) commitment stack used by STARK provers, whose cost
+//! is dominated by exactly the NTTs UniNTT accelerates:
+//!
+//! * [`hash`] — an algebraic sponge over Goldilocks (Poseidon-shaped,
+//!   performance-grade; see the module docs for the substitution note);
+//! * [`MerkleTree`] / [`MerklePath`] — row-wise matrix commitments;
+//! * [`fri`] — the FRI low-degree test (commit, fold, query) with
+//!   extension-field challenges;
+//! * [`open_trace`] / [`verify_opening`] — DEEP openings of committed
+//!   traces at out-of-domain extension points;
+//! * [`commit_trace`] / [`verify_trace`] — the LDE → Merkle → FRI
+//!   pipeline, runnable on the CPU or on the simulated multi-GPU
+//!   [`LdeBackend`] with bit-identical outputs;
+//! * [`prove_stark`] / [`verify_stark`] — a complete small STARK: AIR
+//!   constraints, composition polynomial, next-row spot checks.
+//!
+//! ```
+//! use unintt_ff::{Field, Goldilocks, PrimeField};
+//! use unintt_fri::{commit_trace, verify_trace, FriConfig, LdeBackend};
+//!
+//! let config = FriConfig::standard();
+//! let column: Vec<Goldilocks> = (0..64).map(Goldilocks::from_u64).collect();
+//! let commitment = commit_trace(&[column], &config, &mut LdeBackend::cpu());
+//! assert!(verify_trace(&commitment, &config));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod deep;
+pub mod fri;
+pub mod hash;
+pub mod stark;
+mod merkle;
+mod pipeline;
+
+pub use deep::{open_trace, verify_opening, DeepOpeningProof};
+pub use fri::{embed, FriConfig, FriProof, FriQueryProof, FriQueryRound};
+pub use hash::{compress, hash_elements, permutations_for, Digest};
+pub use merkle::{MerklePath, MerkleTree};
+pub use pipeline::{
+    commit_trace, verify_trace, LdeBackend, SimulatedLde, TraceCommitment,
+};
+pub use stark::{
+    prove_stark, verify_stark, Air, Boundary, FibonacciAir, StarkProof,
+};

@@ -1,0 +1,279 @@
+//! NCCL-style collectives over the simulated fabric.
+//!
+//! Each collective does two things: *functionally* moves the data between
+//! the per-device shards (so downstream computation is bit-exact), and
+//! charges α–β time from [`crate::cost::CostModel`] to every participant.
+//! All collectives imply a clock synchronization first, as NCCL kernels do.
+
+use crate::machine::Machine;
+use crate::timeline::TraceEvent;
+use crate::trace::Category;
+
+impl Machine {
+    /// Synchronizes clocks and charges `ns` of interconnect time plus
+    /// `egress_bytes` to every device.
+    fn charge_collective(&mut self, ns: f64, egress_bytes: u64) {
+        self.barrier();
+        for d in self.devices_mut() {
+            d.timeline.push(TraceEvent {
+                name: "collective",
+                start_ns: d.clock_ns,
+                duration_ns: ns,
+                category: Category::Interconnect,
+            });
+            d.clock_ns += ns;
+            *d.stats.time_ns.get_mut(Category::Interconnect) += ns;
+            *d.stats.raw_time_ns.get_mut(Category::Interconnect) += ns;
+            d.stats.interconnect_bytes_sent += egress_bytes;
+            d.stats.collectives += 1;
+        }
+    }
+
+    /// All-to-all (NCCL `ncclAllToAll`): shard `d` is split into `D` equal
+    /// chunks and chunk `c` of device `d` is delivered to device `c`, where
+    /// it lands as chunk `d`.
+    ///
+    /// Viewing the global array as a `D×D` grid of chunks, this is the chunk
+    /// transpose at the heart of every distributed four-step NTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shard lengths differ, or are not divisible by the device
+    /// count, or `shards.len() != num_devices`.
+    pub fn all_to_all<T: Copy + Send>(&mut self, shards: &mut [Vec<T>], elem_bytes: usize) {
+        let d = self.num_devices();
+        assert_eq!(shards.len(), d, "need exactly one shard per device");
+        if d <= 1 {
+            return;
+        }
+        let len = shards[0].len();
+        assert!(
+            shards.iter().all(|s| s.len() == len),
+            "all shards must have equal length"
+        );
+        assert_eq!(len % d, 0, "shard length {len} not divisible by {d} devices");
+        let chunk = len / d;
+
+        // Functional exchange.
+        let old: Vec<Vec<T>> = shards.iter().map(|s| s.clone()).collect();
+        for (dst_dev, shard) in shards.iter_mut().enumerate() {
+            for src_dev in 0..d {
+                shard[src_dev * chunk..(src_dev + 1) * chunk]
+                    .copy_from_slice(&old[src_dev][dst_dev * chunk..(dst_dev + 1) * chunk]);
+            }
+        }
+
+        // Timing.
+        self.charge_all_to_all((len * elem_bytes) as u64);
+    }
+
+    /// Charges the time and bytes of an all-to-all of `bytes_per_device`
+    /// without moving any data. Cost-only simulations (large-size sweeps)
+    /// use this to stay in lock-step with the functional path.
+    pub fn charge_all_to_all(&mut self, bytes_per_device: u64) {
+        let d = self.num_devices();
+        if d <= 1 {
+            return;
+        }
+        let ns = self.model().all_to_all_ns(bytes_per_device);
+        let egress = bytes_per_device * (d as u64 - 1) / d as u64;
+        self.charge_collective(ns, egress);
+    }
+
+    /// All-gather: every device ends with the concatenation of all shards
+    /// (device order). Returns the gathered copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shard lengths differ or `shards.len() != num_devices`.
+    pub fn all_gather<T: Copy + Send>(
+        &mut self,
+        shards: &[Vec<T>],
+        elem_bytes: usize,
+    ) -> Vec<Vec<T>> {
+        let d = self.num_devices();
+        assert_eq!(shards.len(), d, "need exactly one shard per device");
+        let len = shards[0].len();
+        assert!(
+            shards.iter().all(|s| s.len() == len),
+            "all shards must have equal length"
+        );
+
+        let mut gathered = Vec::with_capacity(len * d);
+        for s in shards {
+            gathered.extend_from_slice(s);
+        }
+        let out = vec![gathered; d];
+
+        if d > 1 {
+            let bytes_per_device = (len * elem_bytes) as u64;
+            let ns = self.model().all_gather_ns(bytes_per_device);
+            let egress = bytes_per_device * (d as u64 - 1);
+            self.charge_collective(ns, egress);
+        }
+        out
+    }
+
+    /// Tree reduction to device 0 using a caller-supplied combiner
+    /// (e.g. field addition, curve-point addition). Returns the reduced
+    /// value; time is `ceil(log2 D)` point-to-point rounds of the full
+    /// buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != num_devices` or `values` is empty.
+    pub fn reduce_to_root<T: Clone + Send>(
+        &mut self,
+        values: &[T],
+        elem_bytes: usize,
+        combine: impl Fn(&T, &T) -> T,
+    ) -> T {
+        let d = self.num_devices();
+        assert_eq!(values.len(), d, "need exactly one value per device");
+        let mut acc = values[0].clone();
+        for v in &values[1..] {
+            acc = combine(&acc, v);
+        }
+        if d > 1 {
+            let rounds = (d as f64).log2().ceil();
+            let ns = rounds * self.model().p2p_ns(elem_bytes as u64);
+            self.charge_collective(ns, elem_bytes as u64);
+        }
+        acc
+    }
+
+    /// Broadcast from device 0: returns one copy per device; time is a
+    /// `ceil(log2 D)`-round binomial tree.
+    pub fn broadcast<T: Clone + Send>(&mut self, value: &T, elem_bytes: usize) -> Vec<T> {
+        let d = self.num_devices();
+        if d > 1 {
+            let rounds = (d as f64).log2().ceil();
+            let ns = rounds * self.model().p2p_ns(elem_bytes as u64);
+            self.charge_collective(ns, elem_bytes as u64);
+        }
+        vec![value.clone(); d]
+    }
+
+    /// Host → device transfer (PCIe staging of inputs). Charges only the
+    /// target device.
+    pub fn host_to_device_ns(&mut self, device: usize, bytes: u64) {
+        // PCIe 4.0 x16 effective rate, the host link on every preset.
+        const HOST_LINK_GBPS: f64 = 25.0;
+        let ns = bytes as f64 / (HOST_LINK_GBPS * 1e9) * 1e9;
+        let dev = &mut self.devices_mut()[device];
+        dev.clock_ns += ns;
+        *dev.stats.time_ns.get_mut(Category::Interconnect) += ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::FieldSpec;
+    use crate::machine::Machine;
+    use crate::presets;
+
+    fn machine(gpus: usize) -> Machine {
+        Machine::new(presets::a100_nvlink(gpus), FieldSpec::goldilocks())
+    }
+
+    #[test]
+    fn all_to_all_is_chunk_transpose() {
+        let d = 4;
+        let mut m = machine(d);
+        let chunk = 3;
+        // shard[dev][c*chunk + i] = dev*100 + c*10 + i
+        let mut shards: Vec<Vec<u64>> = (0..d)
+            .map(|dev| {
+                (0..d * chunk)
+                    .map(|j| (dev * 100 + (j / chunk) * 10 + j % chunk) as u64)
+                    .collect()
+            })
+            .collect();
+        m.all_to_all(&mut shards, 8);
+        for dev in 0..d {
+            for c in 0..d {
+                for i in 0..chunk {
+                    // After exchange: device `dev` chunk `c` came from
+                    // device `c` chunk `dev`.
+                    assert_eq!(
+                        shards[dev][c * chunk + i],
+                        (c * 100 + dev * 10 + i) as u64
+                    );
+                }
+            }
+        }
+        assert!(m.max_clock_ns() > 0.0);
+        assert!(m.stats().interconnect_bytes_sent > 0);
+    }
+
+    #[test]
+    fn all_to_all_involution() {
+        let d = 8;
+        let mut m = machine(d);
+        let mut shards: Vec<Vec<u64>> = (0..d)
+            .map(|dev| (0..64).map(|j| (dev * 64 + j) as u64).collect())
+            .collect();
+        let original = shards.clone();
+        m.all_to_all(&mut shards, 8);
+        assert_ne!(shards, original);
+        m.all_to_all(&mut shards, 8);
+        assert_eq!(shards, original, "all-to-all must be an involution");
+    }
+
+    #[test]
+    fn all_to_all_single_device_noop() {
+        let mut m = machine(1);
+        let mut shards = vec![vec![1u64, 2, 3, 4]];
+        m.all_to_all(&mut shards, 8);
+        assert_eq!(shards[0], vec![1, 2, 3, 4]);
+        assert_eq!(m.max_clock_ns(), 0.0);
+    }
+
+    #[test]
+    fn all_gather_concatenates_in_device_order() {
+        let mut m = machine(3);
+        let shards = vec![vec![1u64], vec![2], vec![3]];
+        let gathered = m.all_gather(&shards, 8);
+        assert_eq!(gathered.len(), 3);
+        for g in gathered {
+            assert_eq!(g, vec![1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn reduce_to_root_combines_all() {
+        let mut m = machine(4);
+        let values = vec![1u64, 10, 100, 1000];
+        let sum = m.reduce_to_root(&values, 8, |a, b| a + b);
+        assert_eq!(sum, 1111);
+        assert!(m.max_clock_ns() > 0.0);
+    }
+
+    #[test]
+    fn broadcast_replicates() {
+        let mut m = machine(4);
+        let copies = m.broadcast(&42u64, 8);
+        assert_eq!(copies, vec![42; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn all_to_all_indivisible_panics() {
+        let mut m = machine(4);
+        let mut shards: Vec<Vec<u64>> = (0..4).map(|_| vec![0; 6]).collect();
+        m.all_to_all(&mut shards, 8);
+    }
+
+    #[test]
+    fn collective_time_grows_with_bytes() {
+        let mut m1 = machine(4);
+        let mut small: Vec<Vec<u64>> = (0..4).map(|_| vec![0; 1 << 10]).collect();
+        m1.all_to_all(&mut small, 8);
+        let t_small = m1.max_clock_ns();
+
+        let mut m2 = machine(4);
+        let mut big: Vec<Vec<u64>> = (0..4).map(|_| vec![0; 1 << 16]).collect();
+        m2.all_to_all(&mut big, 8);
+        assert!(m2.max_clock_ns() > t_small);
+    }
+}

@@ -1,0 +1,250 @@
+//! The simulated multi-GPU machine.
+//!
+//! [`Machine`] owns one [`DeviceState`] per GPU plus the shared
+//! [`CostModel`]. Engines drive it in *phases*:
+//!
+//! 1. [`Machine::parallel_phase`] — run a closure on every device
+//!    concurrently (real OS threads), each closure transforming its own
+//!    data shard and charging kernel costs through a [`DeviceCtx`];
+//! 2. collectives ([`Machine::all_to_all`] & friends in
+//!    [`crate::collective`]) — functional data movement between shards plus
+//!    an α–β time charge;
+//! 3. [`Machine::barrier`] — clock synchronization.
+//!
+//! Per-device clocks advance independently inside a phase and are re-synced
+//! at collectives and barriers, mimicking streams + NCCL semantics.
+
+use crate::config::{FieldSpec, MachineConfig};
+use crate::cost::CostModel;
+use crate::device::{DeviceCtx, DeviceState};
+use crate::trace::Stats;
+
+/// A simulated multi-GPU machine.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    model: CostModel,
+    devices: Vec<DeviceState>,
+}
+
+impl Machine {
+    /// Builds a machine from a config and the field being processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config fails [`MachineConfig::validate`].
+    pub fn new(cfg: MachineConfig, field: FieldSpec) -> Self {
+        cfg.validate().expect("invalid machine config");
+        let model = CostModel::new(&cfg, field);
+        let devices = (0..cfg.num_gpus).map(|_| DeviceState::default()).collect();
+        Self {
+            cfg,
+            model,
+            devices,
+        }
+    }
+
+    /// Number of GPUs.
+    pub fn num_devices(&self) -> usize {
+        self.cfg.num_gpus
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The cost model.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Runs `f(ctx, device_index, shard)` for every device concurrently.
+    ///
+    /// `shards` must hold exactly one element per device. Each closure owns
+    /// its shard exclusively for the duration of the phase — exactly the
+    /// isolation a real GPU has between kernels on different devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards.len() != self.num_devices()`.
+    pub fn parallel_phase<T, F>(&mut self, shards: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(&mut DeviceCtx<'_>, usize, &mut T) + Sync,
+    {
+        assert_eq!(
+            shards.len(),
+            self.num_devices(),
+            "need exactly one shard per device"
+        );
+        let model = &self.model;
+        std::thread::scope(|scope| {
+            for (id, (state, shard)) in self.devices.iter_mut().zip(shards.iter_mut()).enumerate()
+            {
+                let f = &f;
+                scope.spawn(move || {
+                    let mut ctx = DeviceCtx::new(id, model, state);
+                    f(&mut ctx, id, shard);
+                });
+            }
+        });
+    }
+
+    /// Runs a closure on a single device (stream-0 style host-driven work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn on_device<T, F>(&mut self, device: usize, shard: &mut T, f: F)
+    where
+        F: FnOnce(&mut DeviceCtx<'_>, &mut T),
+    {
+        assert!(device < self.num_devices(), "device index out of range");
+        let mut ctx = DeviceCtx::new(device, &self.model, &mut self.devices[device]);
+        f(&mut ctx, shard);
+    }
+
+    /// Synchronizes all device clocks to the maximum (plus one fabric
+    /// latency), like a `cudaDeviceSynchronize` across the machine.
+    pub fn barrier(&mut self) {
+        let max = self.max_clock_ns();
+        let latency = if self.num_devices() > 1 {
+            self.cfg.interconnect.latency_ns
+        } else {
+            0.0
+        };
+        for d in &mut self.devices {
+            d.clock_ns = max + latency;
+        }
+    }
+
+    /// The current maximum device clock — the machine's makespan so far.
+    pub fn max_clock_ns(&self) -> f64 {
+        self.devices.iter().map(|d| d.clock_ns).fold(0.0, f64::max)
+    }
+
+    /// Merged statistics: counters summed over devices, per-category times
+    /// maxed (critical path across symmetric devices).
+    pub fn stats(&self) -> Stats {
+        let mut out = Stats::new();
+        for d in &self.devices {
+            out.merge_concurrent(&d.stats);
+        }
+        out
+    }
+
+    /// Per-device statistics (read-only).
+    pub fn device_stats(&self, device: usize) -> &Stats {
+        &self.devices[device].stats
+    }
+
+    /// Per-device event timeline (read-only).
+    pub fn timeline(&self, device: usize) -> &crate::timeline::Timeline {
+        &self.devices[device].timeline
+    }
+
+    /// Resets clocks and stats, keeping the configuration.
+    pub fn reset(&mut self) {
+        for d in &mut self.devices {
+            *d = DeviceState::default();
+        }
+    }
+
+    pub(crate) fn devices_mut(&mut self) -> &mut [DeviceState] {
+        &mut self.devices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::KernelProfile;
+    use crate::presets;
+
+    fn machine(gpus: usize) -> Machine {
+        Machine::new(presets::a100_nvlink(gpus), FieldSpec::goldilocks())
+    }
+
+    #[test]
+    fn parallel_phase_transforms_all_shards() {
+        let mut m = machine(4);
+        let mut shards: Vec<Vec<u64>> = (0..4).map(|d| vec![d as u64; 8]).collect();
+        m.parallel_phase(&mut shards, |ctx, id, shard| {
+            let mut p = KernelProfile::named("inc");
+            p.field_adds = shard.len() as u64;
+            ctx.launch(&p);
+            for v in shard.iter_mut() {
+                *v += 10 + id as u64;
+            }
+        });
+        assert_eq!(shards[0], vec![10; 8]);
+        assert_eq!(shards[3], vec![16; 8]);
+        assert_eq!(m.stats().kernels_launched, 4);
+        assert!(m.max_clock_ns() > 0.0);
+    }
+
+    #[test]
+    fn barrier_syncs_clocks() {
+        let mut m = machine(2);
+        let mut shards = vec![0u8, 0u8];
+        // Device 1 does more work than device 0.
+        m.parallel_phase(&mut shards, |ctx, id, _| {
+            let mut p = KernelProfile::named("work");
+            p.global_bytes_read = if id == 1 { 1 << 26 } else { 0 };
+            ctx.launch(&p);
+        });
+        let clocks_differ = {
+            let s0 = m.devices[0].clock_ns;
+            let s1 = m.devices[1].clock_ns;
+            (s0 - s1).abs() > 1.0
+        };
+        assert!(clocks_differ);
+        m.barrier();
+        assert!((m.devices[0].clock_ns - m.devices[1].clock_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_gpu_barrier_free() {
+        let mut m = machine(1);
+        m.barrier();
+        assert_eq!(m.max_clock_ns(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = machine(2);
+        let mut shards = vec![(), ()];
+        m.parallel_phase(&mut shards, |ctx, _, _| {
+            ctx.launch(&KernelProfile::named("k"));
+        });
+        assert!(m.max_clock_ns() > 0.0);
+        m.reset();
+        assert_eq!(m.max_clock_ns(), 0.0);
+        assert_eq!(m.stats().kernels_launched, 0);
+    }
+
+    #[test]
+    fn timeline_records_kernels_and_collectives() {
+        let mut m = machine(2);
+        let mut shards: Vec<Vec<u64>> = vec![vec![0; 8], vec![0; 8]];
+        m.parallel_phase(&mut shards, |ctx, _, _| {
+            ctx.launch(&KernelProfile::named("my-kernel"));
+        });
+        m.all_to_all(&mut shards, 8);
+        let tl = m.timeline(0);
+        assert_eq!(tl.events().len(), 2);
+        assert_eq!(tl.events()[0].name, "my-kernel");
+        assert_eq!(tl.events()[1].name, "collective");
+        assert!(tl.events()[1].start_ns >= tl.events()[0].duration_ns);
+        assert!(tl.render().contains("collective"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one shard per device")]
+    fn shard_count_mismatch_panics() {
+        let mut m = machine(2);
+        let mut shards = vec![0u8];
+        m.parallel_phase(&mut shards, |_, _, _| {});
+    }
+}

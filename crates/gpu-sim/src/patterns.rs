@@ -1,0 +1,134 @@
+//! Access-pattern models: how layouts map to hardware penalties.
+//!
+//! These small pure functions encode the microarchitectural folklore the
+//! cost model needs: shared-memory bank conflicts as a function of access
+//! stride, DRAM coalescing efficiency as a function of stride, and the
+//! shuffle count of a register-level NTT. The UniNTT engine consults them
+//! when it builds [`crate::KernelProfile`]s, so layout optimizations (O3)
+//! change simulated time through exactly these formulas.
+
+/// Number of shared-memory banks on all modeled GPUs.
+pub const SHARED_BANKS: usize = 32;
+
+/// Bank-conflict serialization degree for a warp accessing shared memory
+/// with a fixed element `stride` (in 4-byte words).
+///
+/// Lane `l` touches word `l·stride`; the number of distinct banks hit is
+/// `32 / gcd(stride, 32)`, so `gcd(stride, 32)` lanes collide per bank.
+/// A stride of zero is a same-word broadcast, which the hardware resolves
+/// conflict-free.
+///
+/// ```
+/// use unintt_gpu_sim::bank_conflict_degree;
+/// assert_eq!(bank_conflict_degree(1), 1.0);   // conflict-free
+/// assert_eq!(bank_conflict_degree(2), 2.0);   // 2-way
+/// assert_eq!(bank_conflict_degree(32), 32.0); // fully serialized
+/// assert_eq!(bank_conflict_degree(33), 1.0);  // padding fixes it
+/// ```
+pub fn bank_conflict_degree(stride: usize) -> f64 {
+    if stride == 0 {
+        return 1.0; // broadcast
+    }
+    gcd(stride, SHARED_BANKS) as f64
+}
+
+/// DRAM coalescing efficiency for a warp reading 32 consecutive-lane
+/// elements of `elem_bytes` at a fixed `stride` (in elements).
+///
+/// Stride 1 touches ⌈32·elem/128⌉ cache sectors — full efficiency. Larger
+/// strides spread the warp's footprint over more 32-byte sectors than it
+/// consumes, wasting bandwidth proportionally (floored at one element per
+/// sector).
+pub fn coalescing_efficiency(stride: usize, elem_bytes: usize) -> f64 {
+    const SECTOR: f64 = 32.0;
+    if stride <= 1 {
+        return 1.0;
+    }
+    let useful = elem_bytes as f64;
+    let fetched = (stride * elem_bytes) as f64;
+    (useful / fetched.min(SECTOR.max(useful))).clamp(useful / SECTOR, 1.0)
+}
+
+/// Shuffle operations for one warp to run a complete register-level NTT of
+/// length `warp_size` with one element per lane: `log2(warp)` exchange
+/// stages, each a `shfl_xor` per lane.
+pub fn warp_ntt_shuffles(warp_size: u32) -> u64 {
+    debug_assert!(warp_size.is_power_of_two());
+    (warp_size as u64) * (warp_size.trailing_zeros() as u64)
+}
+
+/// Butterfly operation count of a radix-2 NTT of size `n`:
+/// `(n/2)·log2(n)` butterflies, each one multiply and two add/subs.
+pub fn ntt_butterflies(n: u64) -> u64 {
+    if n <= 1 {
+        return 0;
+    }
+    (n / 2) * (63 - n.leading_zeros() as u64)
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_degrees_follow_gcd() {
+        assert_eq!(bank_conflict_degree(1), 1.0);
+        assert_eq!(bank_conflict_degree(4), 4.0);
+        assert_eq!(bank_conflict_degree(16), 16.0);
+        assert_eq!(bank_conflict_degree(31), 1.0);
+        assert_eq!(bank_conflict_degree(64), 32.0);
+        assert_eq!(bank_conflict_degree(0), 1.0);
+    }
+
+    #[test]
+    fn odd_strides_are_conflict_free() {
+        for stride in (1..100).step_by(2) {
+            assert_eq!(bank_conflict_degree(stride), 1.0, "stride={stride}");
+        }
+    }
+
+    #[test]
+    fn coalescing_unit_stride_perfect() {
+        assert_eq!(coalescing_efficiency(1, 8), 1.0);
+        assert_eq!(coalescing_efficiency(0, 32), 1.0);
+    }
+
+    #[test]
+    fn coalescing_degrades_with_stride_and_floors() {
+        let e2 = coalescing_efficiency(2, 8);
+        let e8 = coalescing_efficiency(8, 8);
+        assert!(e2 < 1.0);
+        assert!(e8 <= e2);
+        // 8-byte elements can never do worse than 8/32 of a sector.
+        assert!(e8 >= 8.0 / 32.0 - 1e-12);
+    }
+
+    #[test]
+    fn wide_elements_coalesce_better() {
+        // A 32-byte element fills a sector by itself: even strided access
+        // wastes nothing.
+        assert!(coalescing_efficiency(4, 32) >= coalescing_efficiency(4, 8));
+    }
+
+    #[test]
+    fn warp_shuffle_count() {
+        assert_eq!(warp_ntt_shuffles(32), 32 * 5);
+        assert_eq!(warp_ntt_shuffles(1), 0);
+    }
+
+    #[test]
+    fn butterfly_counts() {
+        assert_eq!(ntt_butterflies(1), 0);
+        assert_eq!(ntt_butterflies(2), 1);
+        assert_eq!(ntt_butterflies(8), 12);
+        assert_eq!(ntt_butterflies(1 << 20), (1 << 19) * 20);
+    }
+}

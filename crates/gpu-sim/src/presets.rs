@@ -1,0 +1,123 @@
+//! Machine presets with datasheet-derived parameters.
+//!
+//! Numbers come from public NVIDIA whitepapers; where a parameter is not
+//! published (e.g. effective 64-bit IMAD throughput) we use the widely
+//! reported microbenchmark values. Absolute fidelity is *not* claimed — the
+//! reproduction relies on ratios (compute : memory : interconnect), which
+//! these figures capture.
+
+use crate::config::{GpuConfig, InterconnectConfig, MachineConfig, Topology};
+
+/// A100-SXM4 GPUs on an NVSwitch all-to-all fabric (DGX-A100 style).
+///
+/// This is the flagship configuration the paper's headline numbers target.
+pub fn a100_nvlink(num_gpus: usize) -> MachineConfig {
+    MachineConfig {
+        num_gpus,
+        gpu: GpuConfig {
+            name: "A100-SXM4-80GB".into(),
+            sm_count: 108,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            shared_mem_per_block: 164 * 1024,
+            clock_ghz: 1.41,
+            global_mem_bandwidth_gbps: 2039.0,
+            global_mem_latency_ns: 400.0,
+            shared_mem_bytes_per_cycle_per_sm: 128.0,
+            shuffles_per_cycle_per_sm: 32.0,
+            limb_muls_per_cycle_per_sm: 16.0,
+            kernel_launch_overhead_ns: 4000.0,
+            memory_bytes: 80 * (1 << 30),
+        },
+        interconnect: InterconnectConfig {
+            topology: Topology::AllToAll,
+            per_gpu_bandwidth_gbps: 600.0,
+            latency_ns: 9000.0,
+            host_aggregate_bandwidth_gbps: 0.0,
+            efficiency: 0.8,
+        },
+    }
+}
+
+/// V100 GPUs connected by NVLink bridges in a ring (DGX-1 style without
+/// NVSwitch).
+pub fn v100_nvlink_ring(num_gpus: usize) -> MachineConfig {
+    MachineConfig {
+        num_gpus,
+        gpu: GpuConfig {
+            name: "V100-SXM2-32GB".into(),
+            sm_count: 80,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            shared_mem_per_block: 96 * 1024,
+            clock_ghz: 1.53,
+            global_mem_bandwidth_gbps: 900.0,
+            global_mem_latency_ns: 450.0,
+            shared_mem_bytes_per_cycle_per_sm: 128.0,
+            shuffles_per_cycle_per_sm: 32.0,
+            limb_muls_per_cycle_per_sm: 8.0,
+            kernel_launch_overhead_ns: 5000.0,
+            memory_bytes: 32 * (1 << 30),
+        },
+        interconnect: InterconnectConfig {
+            topology: Topology::Ring,
+            per_gpu_bandwidth_gbps: 300.0,
+            latency_ns: 10000.0,
+            host_aggregate_bandwidth_gbps: 0.0,
+            efficiency: 0.75,
+        },
+    }
+}
+
+/// Consumer RTX 4090 GPUs with no peer-to-peer links: traffic bounces
+/// through the host over PCIe 4.0 x16.
+pub fn rtx4090_pcie(num_gpus: usize) -> MachineConfig {
+    MachineConfig {
+        num_gpus,
+        gpu: GpuConfig {
+            name: "RTX-4090".into(),
+            sm_count: 128,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            shared_mem_per_block: 100 * 1024,
+            clock_ghz: 2.52,
+            global_mem_bandwidth_gbps: 1008.0,
+            global_mem_latency_ns: 380.0,
+            shared_mem_bytes_per_cycle_per_sm: 128.0,
+            shuffles_per_cycle_per_sm: 32.0,
+            limb_muls_per_cycle_per_sm: 16.0,
+            kernel_launch_overhead_ns: 3500.0,
+            memory_bytes: 24 * (1 << 30),
+        },
+        interconnect: InterconnectConfig {
+            topology: Topology::HostBounce,
+            per_gpu_bandwidth_gbps: 32.0,
+            latency_ns: 15000.0,
+            host_aggregate_bandwidth_gbps: 64.0,
+            efficiency: 0.85,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_topologies() {
+        assert_eq!(a100_nvlink(8).interconnect.topology, Topology::AllToAll);
+        assert_eq!(v100_nvlink_ring(4).interconnect.topology, Topology::Ring);
+        assert_eq!(rtx4090_pcie(2).interconnect.topology, Topology::HostBounce);
+    }
+
+    #[test]
+    fn bandwidth_hierarchy_holds() {
+        // Shared > global > interconnect is the hierarchy UniNTT exploits.
+        let cfg = a100_nvlink(8);
+        let shared_bw = cfg.gpu.shared_mem_bytes_per_cycle_per_sm
+            * cfg.gpu.sm_count as f64
+            * cfg.gpu.clock_ghz; // GB/s
+        assert!(shared_bw > cfg.gpu.global_mem_bandwidth_gbps);
+        assert!(cfg.gpu.global_mem_bandwidth_gbps > cfg.interconnect.per_gpu_bandwidth_gbps);
+    }
+}

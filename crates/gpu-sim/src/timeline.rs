@@ -1,0 +1,126 @@
+//! Per-device event timelines: what ran, when, and why it took that long.
+//!
+//! Every kernel launch and collective appends a [`TraceEvent`] to its
+//! device's timeline (bounded; see [`MAX_EVENTS`]). The timeline is the
+//! simulator's equivalent of an Nsight trace — the tool for answering
+//! "where did the 400 µs go" questions that aggregate [`crate::Stats`]
+//! cannot.
+
+use serde::{Deserialize, Serialize};
+
+use crate::trace::Category;
+
+/// Maximum events retained per device; beyond this, events are counted
+/// but not stored (timelines are a debugging aid, not an unbounded log).
+pub const MAX_EVENTS: usize = 4096;
+
+/// One executed kernel or collective.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Kernel or collective name.
+    pub name: &'static str,
+    /// Simulated start time on the device stream, ns.
+    pub start_ns: f64,
+    /// Simulated duration, ns.
+    pub duration_ns: f64,
+    /// The bottleneck category the duration was attributed to.
+    pub category: Category,
+}
+
+/// A bounded per-device event log.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+impl Timeline {
+    /// Records an event (or counts it as dropped past [`MAX_EVENTS`]).
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.events.len() < MAX_EVENTS {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained events, in execution order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events that did not fit in the buffer.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total number of events observed (retained + dropped).
+    pub fn total(&self) -> u64 {
+        self.events.len() as u64 + self.dropped
+    }
+
+    /// Renders a compact text trace (one line per event).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.events {
+            let _ = writeln!(
+                out,
+                "{:>12.2} µs  +{:>9.2} µs  {:<24} [{}]",
+                e.start_ns / 1e3,
+                e.duration_ns / 1e3,
+                e.name,
+                e.category
+            );
+        }
+        if self.dropped > 0 {
+            let _ = writeln!(out, "… {} further events dropped", self.dropped);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &'static str, start: f64) -> TraceEvent {
+        TraceEvent {
+            name,
+            start_ns: start,
+            duration_ns: 10.0,
+            category: Category::Compute,
+        }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut t = Timeline::default();
+        t.push(event("a", 0.0));
+        t.push(event("b", 10.0));
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[1].name, "b");
+        assert_eq!(t.total(), 2);
+    }
+
+    #[test]
+    fn bounds_and_counts_drops() {
+        let mut t = Timeline::default();
+        for i in 0..(MAX_EVENTS + 5) {
+            t.push(event("k", i as f64));
+        }
+        assert_eq!(t.events().len(), MAX_EVENTS);
+        assert_eq!(t.dropped(), 5);
+        assert_eq!(t.total(), (MAX_EVENTS + 5) as u64);
+        assert!(t.render().contains("further events dropped"));
+    }
+
+    #[test]
+    fn render_contains_names() {
+        let mut t = Timeline::default();
+        t.push(event("my-kernel", 1000.0));
+        let s = t.render();
+        assert!(s.contains("my-kernel"));
+        assert!(s.contains("[compute]"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests of the cost model: the monotonicity and scaling
+//! laws any sane hardware model must satisfy, fuzzed over machine shapes
+//! and kernel footprints.
+
+use proptest::prelude::*;
+use unintt_gpu_sim::{
+    bank_conflict_degree, coalescing_efficiency, presets, CostModel, FieldSpec, KernelProfile,
+};
+
+fn model(gpus: usize) -> CostModel {
+    CostModel::new(&presets::a100_nvlink(gpus), FieldSpec::goldilocks())
+}
+
+fn profile(bytes: u64, muls: u64, blocks: u64) -> KernelProfile {
+    let mut p = KernelProfile::named("prop");
+    p.global_bytes_read = bytes;
+    p.global_bytes_written = bytes;
+    p.field_muls = muls;
+    p.blocks = blocks.max(1);
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn kernel_cost_monotone_in_bytes(bytes in 1u64..1 << 32, muls in 0u64..1 << 24) {
+        let m = model(1);
+        let small = m.kernel_cost(&profile(bytes, muls, 1 << 12));
+        let big = m.kernel_cost(&profile(bytes * 2, muls, 1 << 12));
+        prop_assert!(big.total_ns >= small.total_ns);
+        prop_assert!(big.global_mem_ns >= small.global_mem_ns);
+    }
+
+    #[test]
+    fn kernel_cost_monotone_in_compute(bytes in 0u64..1 << 24, muls in 1u64..1 << 30) {
+        let m = model(1);
+        let small = m.kernel_cost(&profile(bytes, muls, 1 << 12));
+        let big = m.kernel_cost(&profile(bytes, muls * 2, 1 << 12));
+        prop_assert!(big.total_ns >= small.total_ns);
+        prop_assert!(big.compute_ns >= small.compute_ns * 1.99);
+    }
+
+    #[test]
+    fn occupancy_never_speeds_up(muls in 1u64..1 << 28, blocks in 1u64..108) {
+        // Fewer blocks than SMs must never be faster than a full grid.
+        let m = model(1);
+        let starved = m.kernel_cost(&profile(0, muls, blocks));
+        let full = m.kernel_cost(&profile(0, muls, 1 << 14));
+        prop_assert!(starved.compute_ns >= full.compute_ns);
+    }
+
+    #[test]
+    fn wider_fields_cost_more_compute(bytes in 0u64..1 << 20, muls in 1u64..1 << 26) {
+        let cheap = CostModel::new(&presets::a100_nvlink(1), FieldSpec::goldilocks());
+        let pricey = CostModel::new(&presets::a100_nvlink(1), FieldSpec::bn254_fr());
+        let p = profile(bytes, muls, 1 << 12);
+        prop_assert!(pricey.kernel_cost(&p).compute_ns > cheap.kernel_cost(&p).compute_ns);
+    }
+
+    #[test]
+    fn all_to_all_monotone_in_bytes_and_positive(log_bytes in 10u32..34, gpus_log in 1u32..4) {
+        let m = model(1 << gpus_log);
+        let t1 = m.all_to_all_ns(1 << log_bytes);
+        let t2 = m.all_to_all_ns(1 << (log_bytes + 1));
+        prop_assert!(t1 > 0.0);
+        prop_assert!(t2 > t1);
+    }
+
+    #[test]
+    fn p2p_at_least_latency(bytes in 0u64..1 << 30) {
+        let m = model(2);
+        prop_assert!(m.p2p_ns(bytes) >= 9_000.0);
+    }
+
+    #[test]
+    fn bank_conflicts_bounded_and_odd_free(stride in 0usize..4096) {
+        let d = bank_conflict_degree(stride);
+        prop_assert!((1.0..=32.0).contains(&d));
+        if stride % 2 == 1 {
+            prop_assert_eq!(d, 1.0);
+        }
+    }
+
+    #[test]
+    fn coalescing_in_unit_interval(stride in 0usize..4096, width_log in 2u32..6) {
+        let e = coalescing_efficiency(stride, 1 << width_log);
+        prop_assert!(e > 0.0 && e <= 1.0);
+    }
+}

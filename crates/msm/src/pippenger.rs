@@ -1,0 +1,375 @@
+//! Pippenger's bucket method for multi-scalar multiplication.
+//!
+//! Computes `Σᵢ kᵢ·Pᵢ` in `O(n·b / log n)` group operations by processing
+//! the scalars in `c`-bit windows: within a window, points sharing a digit
+//! land in the same *bucket*; the bucket sums are then combined with the
+//! running-sum trick, and windows are stitched together with `c` doublings
+//! each. This is the algorithm every GPU MSM library (and the paper's MSM
+//! baseline) builds on.
+
+use unintt_ff::{Bn254Fr, PrimeField, U256};
+
+use crate::{G1Affine, G1Projective};
+
+/// Picks the window size `c` that roughly minimizes total group operations
+/// for an `n`-point MSM (the classic `c ≈ ln n` heuristic, clamped).
+pub fn optimal_window_bits(n: usize) -> u32 {
+    match n {
+        0..=1 => 1,
+        _ => (usize::BITS - n.leading_zeros()).saturating_sub(2).clamp(2, 16),
+    }
+}
+
+/// Extracts the `c`-bit digit starting at bit `lo` of a 256-bit scalar.
+fn digit(k: &U256, lo: u32, c: u32) -> usize {
+    let mut d = 0usize;
+    for b in 0..c {
+        if k.bit((lo + b) as usize) {
+            d |= 1 << b;
+        }
+    }
+    d
+}
+
+/// MSM by Pippenger's algorithm with an explicit window size.
+///
+/// # Panics
+///
+/// Panics if `scalars` and `points` have different lengths or `c == 0`.
+pub fn msm_with_window(scalars: &[Bn254Fr], points: &[G1Affine], c: u32) -> G1Projective {
+    assert_eq!(
+        scalars.len(),
+        points.len(),
+        "scalar/point length mismatch"
+    );
+    assert!(c > 0, "window size must be positive");
+    if scalars.is_empty() {
+        return G1Projective::identity();
+    }
+
+    let ks: Vec<U256> = scalars.iter().map(|s| s.to_canonical_u256()).collect();
+    let scalar_bits = Bn254Fr::MODULUS_BITS;
+    let windows = scalar_bits.div_ceil(c);
+    let num_buckets = (1usize << c) - 1;
+
+    let mut acc = G1Projective::identity();
+    for w in (0..windows).rev() {
+        for _ in 0..c {
+            acc = acc.double();
+        }
+        // Bucket accumulation for this window.
+        let mut buckets = vec![G1Projective::identity(); num_buckets];
+        let lo = w * c;
+        for (k, p) in ks.iter().zip(points) {
+            let d = digit(k, lo, c);
+            if d != 0 {
+                buckets[d - 1] = buckets[d - 1].add_affine(p);
+            }
+        }
+        // Running-sum trick: Σ d·bucket[d] with 2·(2^c−1) additions.
+        let mut running = G1Projective::identity();
+        let mut window_sum = G1Projective::identity();
+        for b in buckets.iter().rev() {
+            running += *b;
+            window_sum += running;
+        }
+        acc += window_sum;
+    }
+    acc
+}
+
+/// MSM with the heuristic window size.
+pub fn msm(scalars: &[Bn254Fr], points: &[G1Affine]) -> G1Projective {
+    msm_with_window(scalars, points, optimal_window_bits(scalars.len()))
+}
+
+/// Decomposes a scalar into signed `c`-bit digits in
+/// `[−2^{c−1}, 2^{c−1}]`: `Σ dᵢ·2^{c·i}` reconstructs the scalar exactly
+/// (one extra window absorbs the final carry).
+fn signed_digits(k: &U256, c: u32) -> Vec<i64> {
+    // MODULUS_BITS + 1: one extra bit of headroom absorbs the final carry
+    // (often inside the same window count as the unsigned variant).
+    let windows = (Bn254Fr::MODULUS_BITS + 1).div_ceil(c);
+    let half = 1i64 << (c - 1);
+    let full = 1i64 << c;
+    let mut out = Vec::with_capacity(windows as usize);
+    let mut carry = 0i64;
+    for w in 0..windows {
+        let raw = digit(k, w * c, c) as i64 + carry;
+        if raw >= half {
+            out.push(raw - full);
+            carry = 1;
+        } else {
+            out.push(raw);
+            carry = 0;
+        }
+    }
+    debug_assert_eq!(carry, 0, "top window must absorb the carry");
+    out
+}
+
+/// MSM by Pippenger's algorithm with **signed digits**: digits lie in
+/// `[−2^{c−1}, 2^{c−1}]`, so only `2^{c−1}` buckets are needed per window
+/// (negative digits contribute the negated point — free in affine
+/// coordinates). Halving the bucket count roughly halves the running-sum
+/// work, the classic GPU-MSM refinement.
+///
+/// # Panics
+///
+/// Panics if `scalars` and `points` have different lengths or `c < 2`.
+pub fn msm_signed_with_window(
+    scalars: &[Bn254Fr],
+    points: &[G1Affine],
+    c: u32,
+) -> G1Projective {
+    assert_eq!(scalars.len(), points.len(), "scalar/point length mismatch");
+    assert!(c >= 2, "signed windows need at least 2 bits");
+    if scalars.is_empty() {
+        return G1Projective::identity();
+    }
+
+    let digit_rows: Vec<Vec<i64>> = scalars
+        .iter()
+        .map(|s| signed_digits(&s.to_canonical_u256(), c))
+        .collect();
+    let windows = digit_rows[0].len();
+    let num_buckets = 1usize << (c - 1); // digits 1 ..= 2^{c-1}
+
+    let mut acc = G1Projective::identity();
+    for w in (0..windows).rev() {
+        for _ in 0..c {
+            acc = acc.double();
+        }
+        let mut buckets = vec![G1Projective::identity(); num_buckets];
+        for (row, p) in digit_rows.iter().zip(points) {
+            let d = row[w];
+            match d.cmp(&0) {
+                core::cmp::Ordering::Greater => {
+                    buckets[d as usize - 1] = buckets[d as usize - 1].add_affine(p);
+                }
+                core::cmp::Ordering::Less => {
+                    let neg = -*p;
+                    buckets[(-d) as usize - 1] = buckets[(-d) as usize - 1].add_affine(&neg);
+                }
+                core::cmp::Ordering::Equal => {}
+            }
+        }
+        let mut running = G1Projective::identity();
+        let mut window_sum = G1Projective::identity();
+        for b in buckets.iter().rev() {
+            running += *b;
+            window_sum += running;
+        }
+        acc += window_sum;
+    }
+    acc
+}
+
+/// Signed-digit MSM with the heuristic window size.
+pub fn msm_signed(scalars: &[Bn254Fr], points: &[G1Affine]) -> G1Projective {
+    msm_signed_with_window(
+        scalars,
+        points,
+        optimal_window_bits(scalars.len()).max(2),
+    )
+}
+
+/// Estimated group-operation count of the signed-digit variant: half the
+/// buckets of [`pippenger_group_ops`] per window, one extra window.
+pub fn pippenger_signed_group_ops(n: u64, c: u32) -> u64 {
+    let windows = (Bn254Fr::MODULUS_BITS as u64 + 1).div_ceil(c as u64);
+    let buckets = 1u64 << (c - 1);
+    windows * (n + 2 * buckets + c as u64)
+}
+
+/// Reference MSM: `Σ kᵢ·Pᵢ` by independent double-and-add (O(n·b) ops).
+pub fn msm_naive(scalars: &[Bn254Fr], points: &[G1Affine]) -> G1Projective {
+    assert_eq!(
+        scalars.len(),
+        points.len(),
+        "scalar/point length mismatch"
+    );
+    scalars
+        .iter()
+        .zip(points)
+        .fold(G1Projective::identity(), |acc, (k, p)| {
+            acc + p.to_projective().mul_scalar(k)
+        })
+}
+
+/// Estimated group-operation count of an `n`-point Pippenger MSM with
+/// window `c` (used by the simulator cost profiles).
+pub fn pippenger_group_ops(n: u64, c: u32) -> u64 {
+    let windows = (Bn254Fr::MODULUS_BITS as u64).div_ceil(c as u64);
+    let buckets = (1u64 << c) - 1;
+    // per window: n bucket adds + 2·buckets running-sum adds; plus c
+    // doublings per window to stitch.
+    windows * (n + 2 * buckets + c as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use unintt_ff::Field;
+
+    fn random_pairs(n: usize, seed: u64) -> (Vec<Bn254Fr>, Vec<G1Affine>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scalars = (0..n).map(|_| Bn254Fr::random(&mut rng)).collect();
+        let points = (0..n).map(|_| G1Affine::random(&mut rng)).collect();
+        (scalars, points)
+    }
+
+    #[test]
+    fn msm_matches_naive() {
+        for n in [1usize, 2, 7, 33] {
+            let (scalars, points) = random_pairs(n, n as u64);
+            assert_eq!(
+                msm(&scalars, &points),
+                msm_naive(&scalars, &points),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn msm_all_window_sizes_agree() {
+        let (scalars, points) = random_pairs(16, 9);
+        let expected = msm_naive(&scalars, &points);
+        for c in [1u32, 3, 4, 8, 13] {
+            assert_eq!(msm_with_window(&scalars, &points, c), expected, "c={c}");
+        }
+    }
+
+    #[test]
+    fn msm_empty_is_identity() {
+        assert_eq!(msm(&[], &[]), G1Projective::identity());
+    }
+
+    #[test]
+    fn msm_with_zero_scalars() {
+        let (_, points) = random_pairs(5, 11);
+        let zeros = vec![Bn254Fr::ZERO; 5];
+        assert_eq!(msm(&zeros, &points), G1Projective::identity());
+    }
+
+    #[test]
+    fn msm_with_identity_points() {
+        let (scalars, _) = random_pairs(5, 12);
+        let ids = vec![G1Affine::identity(); 5];
+        assert_eq!(msm(&scalars, &ids), G1Projective::identity());
+    }
+
+    #[test]
+    fn msm_single_pair_is_scalar_mul() {
+        let (scalars, points) = random_pairs(1, 13);
+        assert_eq!(
+            msm(&scalars, &points),
+            points[0].to_projective().mul_scalar(&scalars[0])
+        );
+    }
+
+    #[test]
+    fn digits_reassemble_scalar() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let k = Bn254Fr::random(&mut rng).to_canonical_u256();
+        for c in [4u32, 7, 16] {
+            let windows = 254u32.div_ceil(c);
+            let mut acc = U256::ZERO;
+            for w in (0..windows).rev() {
+                for _ in 0..c {
+                    acc = acc.adc(&acc).0;
+                }
+                acc = acc.adc(&U256::from_u64(digit(&k, w * c, c) as u64)).0;
+            }
+            assert_eq!(acc, k, "c={c}");
+        }
+    }
+
+    #[test]
+    fn signed_digits_reconstruct_scalar() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for c in [2u32, 4, 8, 13] {
+            for _ in 0..20 {
+                let k = Bn254Fr::random(&mut rng).to_canonical_u256();
+                let digits = signed_digits(&k, c);
+                // Reconstruct Σ dᵢ·2^{c·i} high-to-low with doublings,
+                // tracking positive and negative parts separately.
+                let mut neg = U256::ZERO;
+                let mut pos_acc = U256::ZERO;
+                for &d in digits.iter().rev() {
+                    for _ in 0..c {
+                        pos_acc = pos_acc.adc(&pos_acc).0;
+                        neg = neg.adc(&neg).0;
+                    }
+                    if d >= 0 {
+                        pos_acc = pos_acc.adc(&U256::from_u64(d as u64)).0;
+                    } else {
+                        neg = neg.adc(&U256::from_u64((-d) as u64)).0;
+                    }
+                }
+                let (diff, borrow) = pos_acc.sbb(&neg);
+                assert!(!borrow, "c={c}");
+                assert_eq!(diff, k, "c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_msm_matches_unsigned() {
+        for n in [1usize, 3, 17, 64] {
+            let (scalars, points) = random_pairs(n, 500 + n as u64);
+            assert_eq!(
+                msm_signed(&scalars, &points),
+                msm(&scalars, &points),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn signed_msm_all_windows_agree() {
+        let (scalars, points) = random_pairs(10, 77);
+        let expected = msm_naive(&scalars, &points);
+        for c in [2u32, 5, 9, 15] {
+            assert_eq!(
+                msm_signed_with_window(&scalars, &points, c),
+                expected,
+                "c={c}"
+            );
+        }
+    }
+
+    #[test]
+    fn signed_variant_wins_at_equal_bucket_memory() {
+        // Signed digits halve the buckets per window, so at the same
+        // bucket budget the window can be one bit wider — fewer windows,
+        // fewer passes over the points.
+        let n = 1u64 << 20;
+        let c = optimal_window_bits(n as usize);
+        assert!(
+            pippenger_signed_group_ops(n, c) < pippenger_group_ops(n, c),
+            "signed should beat unsigned at the same window: {} vs {}",
+            pippenger_signed_group_ops(n, c),
+            pippenger_group_ops(n, c)
+        );
+    }
+
+    #[test]
+    fn optimal_window_grows_with_n() {
+        assert!(optimal_window_bits(1) >= 1);
+        assert!(optimal_window_bits(1 << 20) > optimal_window_bits(1 << 8));
+        assert!(optimal_window_bits(usize::MAX) <= 16);
+    }
+
+    #[test]
+    fn group_ops_estimate_decreases_with_good_window() {
+        // For 2^16 points, a mid-size window beats both extremes.
+        let n = 1u64 << 16;
+        let tiny = pippenger_group_ops(n, 1);
+        let good = pippenger_group_ops(n, optimal_window_bits(n as usize));
+        let huge = pippenger_group_ops(n, 16);
+        assert!(good < tiny);
+        assert!(good <= huge);
+    }
+}

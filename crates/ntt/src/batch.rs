@@ -1,0 +1,139 @@
+//! Batched NTTs: many independent transforms over the same domain.
+//!
+//! ZKP provers transform dozens of polynomials per round (witness columns,
+//! quotient chunks, openings); batching lets them share one twiddle table
+//! and, in the parallel variant, saturate all cores with embarrassing
+//! parallelism.
+
+use unintt_ff::TwoAdicField;
+
+use crate::{Direction, Ntt};
+
+/// Applies the transform to every contiguous row of `data`.
+///
+/// `data` is interpreted as `data.len() / ntt.n()` rows, each of length
+/// `ntt.n()`.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of the domain size.
+pub fn batch_transform<F: TwoAdicField>(ntt: &Ntt<F>, data: &mut [F], direction: Direction) {
+    let n = ntt.n();
+    assert_eq!(
+        data.len() % n,
+        0,
+        "data length {} is not a multiple of domain size {n}",
+        data.len()
+    );
+    for row in data.chunks_mut(n) {
+        match direction {
+            Direction::Forward => ntt.forward(row),
+            Direction::Inverse => ntt.inverse(row),
+        }
+    }
+}
+
+/// Multithreaded version of [`batch_transform`]: rows are distributed over
+/// `threads` OS threads.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of the domain size or if
+/// `threads == 0`.
+pub fn batch_transform_parallel<F: TwoAdicField>(
+    ntt: &Ntt<F>,
+    data: &mut [F],
+    direction: Direction,
+    threads: usize,
+) {
+    let n = ntt.n();
+    assert!(threads > 0, "thread count must be positive");
+    assert_eq!(
+        data.len() % n,
+        0,
+        "data length {} is not a multiple of domain size {n}",
+        data.len()
+    );
+    let rows = data.len() / n;
+    if rows == 0 {
+        return;
+    }
+    let rows_per_thread = rows.div_ceil(threads);
+
+    std::thread::scope(|scope| {
+        for chunk in data.chunks_mut(rows_per_thread * n) {
+            scope.spawn(move || {
+                for row in chunk.chunks_mut(n) {
+                    match direction {
+                        Direction::Forward => ntt.forward(row),
+                        Direction::Inverse => ntt.inverse(row),
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use unintt_ff::{Field, Goldilocks};
+
+    fn random_vec(n: usize, seed: u64) -> Vec<Goldilocks> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Goldilocks::random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn batch_matches_individual() {
+        let ntt = Ntt::<Goldilocks>::new(4);
+        let rows = 5;
+        let mut data = random_vec(rows * 16, 1);
+        let mut expected = data.clone();
+        for row in expected.chunks_mut(16) {
+            ntt.forward(row);
+        }
+        batch_transform(&ntt, &mut data, Direction::Forward);
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let ntt = Ntt::<Goldilocks>::new(5);
+        let original = random_vec(8 * 32, 2);
+        let mut data = original.clone();
+        batch_transform(&ntt, &mut data, Direction::Forward);
+        batch_transform(&ntt, &mut data, Direction::Inverse);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let ntt = Ntt::<Goldilocks>::new(6);
+        let original = random_vec(13 * 64, 3);
+        let mut serial = original.clone();
+        batch_transform(&ntt, &mut serial, Direction::Forward);
+        for threads in [1, 2, 4, 7, 32] {
+            let mut par = original.clone();
+            batch_transform_parallel(&ntt, &mut par, Direction::Forward, threads);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let ntt = Ntt::<Goldilocks>::new(4);
+        let mut data: Vec<Goldilocks> = vec![];
+        batch_transform(&ntt, &mut data, Direction::Forward);
+        batch_transform_parallel(&ntt, &mut data, Direction::Forward, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn misaligned_batch_panics() {
+        let ntt = Ntt::<Goldilocks>::new(4);
+        let mut data = random_vec(17, 4);
+        batch_transform(&ntt, &mut data, Direction::Forward);
+    }
+}

@@ -1,0 +1,109 @@
+//! Bit-reversal permutations.
+//!
+//! Radix-2 Cooley–Tukey NTTs naturally consume or produce data in
+//! *bit-reversed* order: element `i` sits at position `reverse_bits(i)`.
+//! This module provides the index helper and in-place/out-of-place
+//! permutation routines shared by every NTT variant in the workspace.
+
+/// Reverses the low `bits` bits of `i`.
+///
+/// ```
+/// use unintt_ntt::reverse_bits;
+/// assert_eq!(reverse_bits(0b001, 3), 0b100);
+/// assert_eq!(reverse_bits(0b110, 3), 0b011);
+/// ```
+#[inline]
+pub fn reverse_bits(i: usize, bits: u32) -> usize {
+    if bits == 0 {
+        return 0;
+    }
+    i.reverse_bits() >> (usize::BITS - bits)
+}
+
+/// Applies the bit-reversal permutation in place.
+///
+/// # Panics
+///
+/// Panics if `values.len()` is not a power of two.
+pub fn bit_reverse_permute<T>(values: &mut [T]) {
+    let n = values.len();
+    assert!(n.is_power_of_two(), "length {n} is not a power of two");
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = reverse_bits(i, bits);
+        if i < j {
+            values.swap(i, j);
+        }
+    }
+}
+
+/// Returns a new vector with elements in bit-reversed order.
+pub fn bit_reversed<T: Clone>(values: &[T]) -> Vec<T> {
+    let n = values.len();
+    assert!(n.is_power_of_two(), "length {n} is not a power of two");
+    let bits = n.trailing_zeros();
+    (0..n).map(|i| values[reverse_bits(i, bits)].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reverse_bits_known_values() {
+        assert_eq!(reverse_bits(0, 4), 0);
+        assert_eq!(reverse_bits(1, 4), 8);
+        assert_eq!(reverse_bits(0b1010, 4), 0b0101);
+        assert_eq!(reverse_bits(5, 0), 0);
+    }
+
+    #[test]
+    fn reverse_is_involution() {
+        for bits in 1..10u32 {
+            for i in 0..(1usize << bits) {
+                assert_eq!(reverse_bits(reverse_bits(i, bits), bits), i);
+            }
+        }
+    }
+
+    #[test]
+    fn permute_is_involution() {
+        let original: Vec<u32> = (0..64).collect();
+        let mut v = original.clone();
+        bit_reverse_permute(&mut v);
+        assert_ne!(v, original);
+        bit_reverse_permute(&mut v);
+        assert_eq!(v, original);
+    }
+
+    #[test]
+    fn permute_singleton_and_pair() {
+        let mut one = [42];
+        bit_reverse_permute(&mut one);
+        assert_eq!(one, [42]);
+
+        let mut two = [1, 2];
+        bit_reverse_permute(&mut two);
+        assert_eq!(two, [1, 2]);
+
+        let mut four = [0, 1, 2, 3];
+        bit_reverse_permute(&mut four);
+        assert_eq!(four, [0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn bit_reversed_matches_in_place() {
+        let original: Vec<u32> = (0..32).collect();
+        let out = bit_reversed(&original);
+        let mut inplace = original.clone();
+        bit_reverse_permute(&mut inplace);
+        assert_eq!(out, inplace);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn non_power_of_two_panics() {
+        let mut v = [1, 2, 3];
+        bit_reverse_permute(&mut v);
+    }
+}

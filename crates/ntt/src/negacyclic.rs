@@ -1,0 +1,180 @@
+//! Negacyclic (nega-wrapped) NTTs for arithmetic modulo `xⁿ + 1`.
+//!
+//! Lattice cryptography and some polynomial-commitment tricks multiply in
+//! `F[x]/(xⁿ + 1)` rather than `F[x]/(xⁿ − 1)`. The negacyclic transform
+//! handles this without zero-padding: pre-scale coefficient `i` by `ψⁱ`
+//! where `ψ` is a primitive `2n`-th root of unity (`ψ² = ω`), run a plain
+//! size-`n` NTT, and undo the scaling after the inverse transform.
+
+use unintt_ff::{Field, TwoAdicField};
+
+use crate::Ntt;
+
+/// Negacyclic NTT context for size `2^log_n` (requires two-adicity
+/// `>= log_n + 1` for the `2n`-th root).
+#[derive(Clone, Debug)]
+pub struct NegacyclicNtt<F: TwoAdicField> {
+    ntt: Ntt<F>,
+    /// ψⁱ for i in 0..n.
+    psi_powers: Vec<F>,
+    /// ψ⁻ⁱ for i in 0..n.
+    psi_inv_powers: Vec<F>,
+}
+
+impl<F: TwoAdicField> NegacyclicNtt<F> {
+    /// Creates a context for polynomials of length `2^log_n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log_n + 1` exceeds the field's two-adicity.
+    pub fn new(log_n: u32) -> Self {
+        let n = 1usize << log_n;
+        let psi = F::two_adic_generator(log_n + 1);
+        let psi_inv = psi.inverse().expect("roots of unity are nonzero");
+
+        let mut psi_powers = Vec::with_capacity(n);
+        let mut psi_inv_powers = Vec::with_capacity(n);
+        let (mut p, mut q) = (F::ONE, F::ONE);
+        for _ in 0..n {
+            psi_powers.push(p);
+            psi_inv_powers.push(q);
+            p *= psi;
+            q *= psi_inv;
+        }
+
+        Self {
+            ntt: Ntt::new(log_n),
+            psi_powers,
+            psi_inv_powers,
+        }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.ntt.n()
+    }
+
+    /// Forward negacyclic transform (natural order in and out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.n()`.
+    pub fn forward(&self, values: &mut [F]) {
+        assert_eq!(values.len(), self.n(), "input length mismatch");
+        for (v, &p) in values.iter_mut().zip(&self.psi_powers) {
+            *v *= p;
+        }
+        self.ntt.forward(values);
+    }
+
+    /// Inverse negacyclic transform (natural order in and out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.n()`.
+    pub fn inverse(&self, values: &mut [F]) {
+        assert_eq!(values.len(), self.n(), "input length mismatch");
+        self.ntt.inverse(values);
+        for (v, &q) in values.iter_mut().zip(&self.psi_inv_powers) {
+            *v *= q;
+        }
+    }
+
+    /// Multiplies two polynomials in `F[x]/(xⁿ + 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either input length differs from `self.n()`.
+    pub fn negacyclic_mul(&self, a: &[F], b: &[F]) -> Vec<F> {
+        assert_eq!(a.len(), self.n(), "lhs length mismatch");
+        assert_eq!(b.len(), self.n(), "rhs length mismatch");
+        let mut fa = a.to_vec();
+        let mut fb = b.to_vec();
+        self.forward(&mut fa);
+        self.forward(&mut fb);
+        for (x, y) in fa.iter_mut().zip(&fb) {
+            *x *= *y;
+        }
+        self.inverse(&mut fa);
+        fa
+    }
+}
+
+/// Schoolbook negacyclic multiplication (reference): `xⁿ ≡ −1`.
+pub fn negacyclic_mul_naive<F: Field>(a: &[F], b: &[F]) -> Vec<F> {
+    assert_eq!(a.len(), b.len(), "operand length mismatch");
+    let n = a.len();
+    let mut out = vec![F::ZERO; n];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let prod = ai * bj;
+            if i + j < n {
+                out[i + j] += prod;
+            } else {
+                out[i + j - n] -= prod;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use unintt_ff::{Field, Goldilocks};
+
+    fn random_vec(n: usize, seed: u64) -> Vec<Goldilocks> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Goldilocks::random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let nc = NegacyclicNtt::<Goldilocks>::new(6);
+        let original = random_vec(64, 1);
+        let mut data = original.clone();
+        nc.forward(&mut data);
+        nc.inverse(&mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn mul_matches_naive() {
+        for log_n in [1u32, 3, 5, 8] {
+            let n = 1usize << log_n;
+            let nc = NegacyclicNtt::<Goldilocks>::new(log_n);
+            let a = random_vec(n, 2 + log_n as u64);
+            let b = random_vec(n, 90 + log_n as u64);
+            assert_eq!(
+                nc.negacyclic_mul(&a, &b),
+                negacyclic_mul_naive(&a, &b),
+                "log_n={log_n}"
+            );
+        }
+    }
+
+    #[test]
+    fn x_to_n_wraps_to_minus_one() {
+        // (x^(n-1)) * x = x^n ≡ -1
+        let log_n = 4u32;
+        let n = 1usize << log_n;
+        let nc = NegacyclicNtt::<Goldilocks>::new(log_n);
+        let mut a = vec![Goldilocks::ZERO; n];
+        a[n - 1] = Goldilocks::ONE;
+        let mut b = vec![Goldilocks::ZERO; n];
+        b[1] = Goldilocks::ONE;
+        let prod = nc.negacyclic_mul(&a, &b);
+        assert_eq!(prod[0], -Goldilocks::ONE);
+        assert!(prod[1..].iter().all(|c| c.is_zero()));
+    }
+
+    #[test]
+    fn mul_by_one_is_identity() {
+        let nc = NegacyclicNtt::<Goldilocks>::new(3);
+        let a = random_vec(8, 3);
+        let mut one = vec![Goldilocks::ZERO; 8];
+        one[0] = Goldilocks::ONE;
+        assert_eq!(nc.negacyclic_mul(&a, &one), a);
+    }
+}

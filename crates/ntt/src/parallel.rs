@@ -1,0 +1,196 @@
+//! Multithreaded single-transform NTT.
+//!
+//! A single large NTT parallelizes stage by stage: early DIT stages consist
+//! of many independent small blocks (parallelize across blocks); late
+//! stages have few big blocks (parallelize across butterflies *within* a
+//! block by splitting the block into its two halves and chunking both in
+//! lockstep). This mirrors how a GPU grid covers the butterfly index space
+//! and is the CPU wall-clock baseline for experiment E10.
+
+use unintt_ff::TwoAdicField;
+
+use crate::{bit_reverse_permute, Ntt};
+
+/// A multithreaded NTT over a fixed domain.
+#[derive(Clone, Debug)]
+pub struct ParallelNtt<F: TwoAdicField> {
+    ntt: Ntt<F>,
+    threads: usize,
+}
+
+impl<F: TwoAdicField> ParallelNtt<F> {
+    /// Creates a parallel context with `threads` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `log_n` exceeds the field two-adicity.
+    pub fn new(log_n: u32, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        Self {
+            ntt: Ntt::new(log_n),
+            threads,
+        }
+    }
+
+    /// The underlying serial context.
+    pub fn inner(&self) -> &Ntt<F> {
+        &self.ntt
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.ntt.n()
+    }
+
+    /// Forward NTT, natural order in and out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.n()`.
+    pub fn forward(&self, values: &mut [F]) {
+        assert_eq!(values.len(), self.n(), "input length mismatch");
+        bit_reverse_permute(values);
+        self.dit_stages(values, false);
+    }
+
+    /// Inverse NTT, natural order in and out (includes the `1/n` scale).
+    pub fn inverse(&self, values: &mut [F]) {
+        assert_eq!(values.len(), self.n(), "input length mismatch");
+        bit_reverse_permute(values);
+        self.dit_stages(values, true);
+        let n_inv = self.ntt.table().n_inv();
+        let chunk = values.len().div_ceil(self.threads).max(1);
+        std::thread::scope(|scope| {
+            for part in values.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    for v in part {
+                        *v *= n_inv;
+                    }
+                });
+            }
+        });
+    }
+
+    fn dit_stages(&self, values: &mut [F], inverse: bool) {
+        let log_n = self.ntt.log_n();
+        let n = values.len();
+        let table = self.ntt.table();
+        let twiddles: &[F] = if inverse {
+            table.inverse()
+        } else {
+            table.forward()
+        };
+
+        for s in 1..=log_n {
+            let m = 1usize << s;
+            let half = m / 2;
+            let stride = log_n - s;
+            let blocks = n / m;
+
+            if blocks >= self.threads {
+                // Parallelize across whole blocks.
+                let blocks_per_chunk = blocks.div_ceil(self.threads);
+                std::thread::scope(|scope| {
+                    for chunk in values.chunks_mut(blocks_per_chunk * m) {
+                        scope.spawn(move || {
+                            for block in chunk.chunks_mut(m) {
+                                let (lo, hi) = block.split_at_mut(half);
+                                for j in 0..half {
+                                    let w = twiddles[j << stride];
+                                    let t = hi[j] * w;
+                                    let u = lo[j];
+                                    lo[j] = u + t;
+                                    hi[j] = u - t;
+                                }
+                            }
+                        });
+                    }
+                });
+            } else {
+                // Few big blocks: parallelize across butterflies within each.
+                let chunk_len = half.div_ceil(self.threads).max(1);
+                for block in values.chunks_mut(m) {
+                    let (lo, hi) = block.split_at_mut(half);
+                    std::thread::scope(|scope| {
+                        for (ci, (lc, hc)) in lo
+                            .chunks_mut(chunk_len)
+                            .zip(hi.chunks_mut(chunk_len))
+                            .enumerate()
+                        {
+                            scope.spawn(move || {
+                                let base = ci * chunk_len;
+                                for (j, (u_ref, v_ref)) in
+                                    lc.iter_mut().zip(hc.iter_mut()).enumerate()
+                                {
+                                    let w = twiddles[(base + j) << stride];
+                                    let t = *v_ref * w;
+                                    let u = *u_ref;
+                                    *u_ref = u + t;
+                                    *v_ref = u - t;
+                                }
+                            });
+                        }
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use unintt_ff::{Field, Goldilocks};
+
+    fn random_vec(n: usize, seed: u64) -> Vec<Goldilocks> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Goldilocks::random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_across_thread_counts() {
+        let log_n = 10u32;
+        let serial = Ntt::<Goldilocks>::new(log_n);
+        let input = random_vec(1 << log_n, 1);
+        let mut expected = input.clone();
+        serial.forward(&mut expected);
+
+        for threads in [1usize, 2, 3, 4, 8, 16] {
+            let par = ParallelNtt::<Goldilocks>::new(log_n, threads);
+            let mut actual = input.clone();
+            par.forward(&mut actual);
+            assert_eq!(actual, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_roundtrip() {
+        let par = ParallelNtt::<Goldilocks>::new(9, 4);
+        let original = random_vec(512, 2);
+        let mut data = original.clone();
+        par.forward(&mut data);
+        par.inverse(&mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn tiny_sizes_with_many_threads() {
+        for log_n in 0..4u32 {
+            let par = ParallelNtt::<Goldilocks>::new(log_n, 16);
+            let serial = Ntt::<Goldilocks>::new(log_n);
+            let input = random_vec(1 << log_n, 3);
+            let mut expected = input.clone();
+            serial.forward(&mut expected);
+            let mut actual = input.clone();
+            par.forward(&mut actual);
+            assert_eq!(actual, expected, "log_n={log_n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threads_panics() {
+        let _ = ParallelNtt::<Goldilocks>::new(4, 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Polynomial multiplication via NTT.
+//!
+//! Cyclic convolution of zero-padded inputs gives the plain product; these
+//! functions are the foundation of the ZKP crate's polynomial arithmetic
+//! and the canonical "NTT is useful" demonstration.
+
+use unintt_ff::{Field, TwoAdicField};
+
+use crate::Ntt;
+
+/// Multiplies two coefficient-form polynomials using NTT-based convolution.
+///
+/// The result has length `a.len() + b.len() - 1` (or 0 if either input is
+/// empty). Runs in `O(n log n)` where `n` is the padded power-of-two size.
+///
+/// ```
+/// use unintt_ff::{Goldilocks, PrimeField};
+/// use unintt_ntt::poly_mul_ntt;
+///
+/// // (1 + x)(1 - x) = 1 - x²
+/// let a = vec![Goldilocks::from_u64(1), Goldilocks::from_u64(1)];
+/// let b = vec![Goldilocks::from_u64(1), -Goldilocks::from_u64(1)];
+/// let p = poly_mul_ntt(&a, &b);
+/// assert_eq!(p, vec![
+///     Goldilocks::from_u64(1),
+///     Goldilocks::from_u64(0),
+///     -Goldilocks::from_u64(1),
+/// ]);
+/// ```
+pub fn poly_mul_ntt<F: TwoAdicField>(a: &[F], b: &[F]) -> Vec<F> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    let n = out_len.next_power_of_two();
+    let log_n = n.trailing_zeros();
+    let ntt = Ntt::<F>::new(log_n);
+
+    let mut fa = a.to_vec();
+    fa.resize(n, F::ZERO);
+    let mut fb = b.to_vec();
+    fb.resize(n, F::ZERO);
+
+    ntt.forward(&mut fa);
+    ntt.forward(&mut fb);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x *= *y;
+    }
+    ntt.inverse(&mut fa);
+    fa.truncate(out_len);
+    fa
+}
+
+/// Schoolbook polynomial multiplication (reference; `O(n²)`).
+pub fn poly_mul_naive<F: Field>(a: &[F], b: &[F]) -> Vec<F> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![F::ZERO; a.len() + b.len() - 1];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            out[i + j] += ai * bj;
+        }
+    }
+    out
+}
+
+/// Cyclic convolution of two equal-length power-of-two sequences:
+/// `out[k] = Σ_{i+j ≡ k (mod n)} a[i]·b[j]`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or are not a power of two.
+pub fn cyclic_convolution<F: TwoAdicField>(a: &[F], b: &[F]) -> Vec<F> {
+    assert_eq!(a.len(), b.len(), "operand length mismatch");
+    assert!(a.len().is_power_of_two(), "length must be a power of two");
+    let log_n = a.len().trailing_zeros();
+    let ntt = Ntt::<F>::new(log_n);
+    let mut fa = a.to_vec();
+    let mut fb = b.to_vec();
+    ntt.forward(&mut fa);
+    ntt.forward(&mut fb);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x *= *y;
+    }
+    ntt.inverse(&mut fa);
+    fa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use unintt_ff::{Bn254Fr, Goldilocks};
+
+    fn random_vec<F: Field>(n: usize, seed: u64) -> Vec<F> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| F::random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn mul_matches_naive_various_lengths() {
+        for (la, lb) in [(1, 1), (2, 3), (7, 9), (16, 16), (33, 5), (100, 100)] {
+            let a = random_vec::<Goldilocks>(la, la as u64);
+            let b = random_vec::<Goldilocks>(lb, 1000 + lb as u64);
+            assert_eq!(
+                poly_mul_ntt(&a, &b),
+                poly_mul_naive(&a, &b),
+                "lengths {la}x{lb}"
+            );
+        }
+    }
+
+    #[test]
+    fn mul_matches_naive_bn254() {
+        let a = random_vec::<Bn254Fr>(20, 1);
+        let b = random_vec::<Bn254Fr>(31, 2);
+        assert_eq!(poly_mul_ntt(&a, &b), poly_mul_naive(&a, &b));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let a = random_vec::<Goldilocks>(5, 1);
+        assert!(poly_mul_ntt::<Goldilocks>(&[], &a).is_empty());
+        assert!(poly_mul_ntt::<Goldilocks>(&a, &[]).is_empty());
+        assert!(poly_mul_naive::<Goldilocks>(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn cyclic_convolution_wraps() {
+        // a = x^(n-1), b = x  => cyclic product = x^n mod (x^n - 1) = 1.
+        let n = 8;
+        let mut a = vec![Goldilocks::ZERO; n];
+        a[n - 1] = Goldilocks::ONE;
+        let mut b = vec![Goldilocks::ZERO; n];
+        b[1] = Goldilocks::ONE;
+        let c = cyclic_convolution(&a, &b);
+        assert_eq!(c[0], Goldilocks::ONE);
+        assert!(c[1..].iter().all(|x| x.is_zero()));
+    }
+
+    #[test]
+    fn cyclic_matches_reduced_plain_product() {
+        let n = 16;
+        let a = random_vec::<Goldilocks>(n, 3);
+        let b = random_vec::<Goldilocks>(n, 4);
+        let plain = poly_mul_naive(&a, &b);
+        let mut reduced = vec![Goldilocks::ZERO; n];
+        for (i, &c) in plain.iter().enumerate() {
+            reduced[i % n] += c;
+        }
+        assert_eq!(cyclic_convolution(&a, &b), reduced);
+    }
+}

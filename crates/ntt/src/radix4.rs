@@ -1,0 +1,142 @@
+//! Radix-4 (stage-fused) NTT kernel.
+//!
+//! A radix-4 butterfly is two radix-2 stages executed back-to-back on four
+//! elements held in registers. On a GPU this halves the number of shared- or
+//! global-memory round trips; here it serves as the higher-radix kernel the
+//! UniNTT warp level instantiates and as an ablation point (radix-2 vs
+//! radix-4 leaf kernels).
+//!
+//! The kernel has identical input/output semantics to
+//! [`crate::Ntt::dit_in_place`]: bit-reversed input, natural-order output.
+
+use unintt_ff::TwoAdicField;
+
+use crate::Ntt;
+
+impl<F: TwoAdicField> Ntt<F> {
+    /// Radix-4 DIT kernel: bit-reversed input, natural-order output.
+    ///
+    /// Produces bit-identical results to [`Ntt::dit_in_place`] while
+    /// touching each element half as many times. If `log_n` is odd the
+    /// first stage runs as plain radix-2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.n()`.
+    pub fn dit_radix4_in_place(&self, values: &mut [F]) {
+        assert_eq!(
+            values.len(),
+            self.n(),
+            "input length {} does not match NTT domain size {}",
+            values.len(),
+            self.n()
+        );
+        let log_n = self.log_n();
+        let n = values.len();
+        let twiddles = self.table().forward();
+
+        let mut s = 1u32;
+        // Odd number of stages: burn one radix-2 stage first.
+        if log_n % 2 == 1 {
+            let m = 2usize;
+            for k in (0..n).step_by(m) {
+                let t = values[k + 1];
+                let u = values[k];
+                values[k] = u + t;
+                values[k + 1] = u - t;
+            }
+            s = 2;
+        }
+
+        // Fused stage pairs (s, s+1).
+        while s <= log_n {
+            let m = 1usize << (s + 1); // block size after both stages
+            let q = m / 4;
+            let stride_lo = log_n - s; // twiddle stride for stage s
+            let stride_hi = log_n - s - 1; // twiddle stride for stage s+1
+            for k in (0..n).step_by(m) {
+                for j in 0..q {
+                    let w_lo = twiddles[j << stride_lo];
+                    let w_hi0 = twiddles[j << stride_hi];
+                    let w_hi1 = twiddles[(j + q) << stride_hi];
+
+                    let x0 = values[k + j];
+                    let x1 = values[k + j + q];
+                    let x2 = values[k + j + 2 * q];
+                    let x3 = values[k + j + 3 * q];
+
+                    // Stage s: butterflies (x0,x1) and (x2,x3), same twiddle.
+                    let t1 = x1 * w_lo;
+                    let a0 = x0 + t1;
+                    let a1 = x0 - t1;
+                    let t3 = x3 * w_lo;
+                    let a2 = x2 + t3;
+                    let a3 = x2 - t3;
+
+                    // Stage s+1: butterflies (a0,a2) and (a1,a3).
+                    let t2 = a2 * w_hi0;
+                    values[k + j] = a0 + t2;
+                    values[k + j + 2 * q] = a0 - t2;
+                    let t4 = a3 * w_hi1;
+                    values[k + j + q] = a1 + t4;
+                    values[k + j + 3 * q] = a1 - t4;
+                }
+            }
+            s += 2;
+        }
+    }
+
+    /// Forward NTT via the radix-4 kernel (natural order in and out).
+    pub fn forward_radix4(&self, values: &mut [F]) {
+        crate::bit_reverse_permute(values);
+        self.dit_radix4_in_place(values);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use unintt_ff::{Field, Goldilocks};
+
+    fn random_vec(log_n: u32, seed: u64) -> Vec<Goldilocks> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..1usize << log_n)
+            .map(|_| Goldilocks::random(&mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn radix4_matches_radix2_even_stages() {
+        for log_n in [2u32, 4, 6, 8, 10] {
+            let ntt = Ntt::<Goldilocks>::new(log_n);
+            let input = random_vec(log_n, log_n as u64);
+            let mut r2 = input.clone();
+            let mut r4 = input.clone();
+            ntt.forward(&mut r2);
+            ntt.forward_radix4(&mut r4);
+            assert_eq!(r2, r4, "log_n={log_n}");
+        }
+    }
+
+    #[test]
+    fn radix4_matches_radix2_odd_stages() {
+        for log_n in [1u32, 3, 5, 7, 9] {
+            let ntt = Ntt::<Goldilocks>::new(log_n);
+            let input = random_vec(log_n, 50 + log_n as u64);
+            let mut r2 = input.clone();
+            let mut r4 = input.clone();
+            ntt.forward(&mut r2);
+            ntt.forward_radix4(&mut r4);
+            assert_eq!(r2, r4, "log_n={log_n}");
+        }
+    }
+
+    #[test]
+    fn radix4_trivial_sizes() {
+        let ntt = Ntt::<Goldilocks>::new(0);
+        let mut v = vec![Goldilocks::from(5u64)];
+        ntt.forward_radix4(&mut v);
+        assert_eq!(v[0], Goldilocks::from(5u64));
+    }
+}

@@ -1,0 +1,212 @@
+//! Four-step (Bailey) NTT decomposition on the CPU.
+//!
+//! Splitting `N = N1·N2` and viewing the input as a row-major `N1×N2`
+//! matrix `x[i1·N2 + i2]`, the DFT factors as
+//!
+//! ```text
+//! X[k2·N1 + k1] = Σ_{i2} ω^{i2·k2·N1} · ( ω^{i2·k1} · Σ_{i1} x[i1·N2 + i2] · ω^{i1·k1·N2} )
+//! ```
+//!
+//! i.e. four steps: ① length-`N1` NTTs down each of the `N2` columns,
+//! ② an element-wise *twiddle* multiplication by `ω^{i2·k1}`, ③ length-`N2`
+//! NTTs along each of the `N1` rows, ④ a transpose to restore natural
+//! order. This is exactly the algebra the multi-GPU engines reuse; the CPU
+//! version here is their correctness oracle, and the explicit transpose is
+//! the "overhead" that UniNTT's fused addressing removes.
+
+use unintt_ff::TwoAdicField;
+
+use crate::{Ntt, TwiddleTable};
+
+/// Transposes a row-major `rows×cols` matrix into a new `cols×rows` one.
+///
+/// # Panics
+///
+/// Panics if `data.len() != rows * cols`.
+pub fn transpose<T: Copy>(data: &[T], rows: usize, cols: usize) -> Vec<T> {
+    assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+    let mut out = Vec::with_capacity(data.len());
+    for c in 0..cols {
+        for r in 0..rows {
+            out.push(data[r * cols + c]);
+        }
+    }
+    out
+}
+
+/// Four-step NTT context for `N = 2^(log_n1 + log_n2)`.
+#[derive(Clone, Debug)]
+pub struct FourStepNtt<F: TwoAdicField> {
+    inner: Ntt<F>, // length-N1 transforms
+    outer: Ntt<F>, // length-N2 transforms
+    full: TwiddleTable<F>, // ω for the full size, for step-② twiddles
+}
+
+impl<F: TwoAdicField> FourStepNtt<F> {
+    /// Creates a context splitting `N = 2^log_n1 · 2^log_n2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log_n1 + log_n2` exceeds the field two-adicity.
+    pub fn new(log_n1: u32, log_n2: u32) -> Self {
+        Self {
+            inner: Ntt::new(log_n1),
+            outer: Ntt::new(log_n2),
+            full: TwiddleTable::new(log_n1 + log_n2),
+        }
+    }
+
+    /// Total domain size.
+    pub fn n(&self) -> usize {
+        self.full.n()
+    }
+
+    /// `N1`, the column-transform length.
+    pub fn n1(&self) -> usize {
+        self.inner.n()
+    }
+
+    /// `N2`, the row-transform length.
+    pub fn n2(&self) -> usize {
+        self.outer.n()
+    }
+
+    /// Forward NTT, natural order in and out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.n()`.
+    pub fn forward(&self, values: &mut [F]) {
+        assert_eq!(values.len(), self.n(), "input length mismatch");
+        let n1 = self.n1();
+        let n2 = self.n2();
+
+        // Step 0 (layout): transpose to make columns contiguous. This turns
+        // the four-step into the "six-step" variant, trading strided access
+        // for two extra transposes — the classic CPU/GPU formulation.
+        let mut t = transpose(values, n1, n2); // now n2 rows × n1 cols: t[i2][i1]
+
+        // Step ①: length-N1 NTT of every (now contiguous) column i2.
+        for row in t.chunks_mut(n1) {
+            self.inner.forward(row);
+        }
+
+        // Step ②: twiddle by ω^{i2·k1}.
+        for i2 in 0..n2 {
+            for k1 in 0..n1 {
+                t[i2 * n1 + k1] *= self.full.root_pow(i2 * k1);
+            }
+        }
+
+        // Transpose back: u[k1][i2].
+        let mut u = transpose(&t, n2, n1);
+
+        // Step ③: length-N2 NTT along each row k1.
+        for row in u.chunks_mut(n2) {
+            self.outer.forward(row);
+        }
+
+        // Step ④: transpose so X[k2·N1 + k1] lands at index k2·N1 + k1.
+        let out = transpose(&u, n1, n2);
+        values.copy_from_slice(&out);
+    }
+
+    /// Inverse NTT, natural order in and out (includes the `1/N` scale).
+    pub fn inverse(&self, values: &mut [F]) {
+        assert_eq!(values.len(), self.n(), "input length mismatch");
+        let n1 = self.n1();
+        let n2 = self.n2();
+
+        // Run the forward steps with inverse roots, then scale. The inverse
+        // of the factored DFT retraces the same structure with ω^{-1}.
+        let mut u = transpose(values, n2, n1); // undo step ④: u[k1][k2]
+        for row in u.chunks_mut(n2) {
+            self.outer.inverse(row); // includes 1/N2
+        }
+        let mut t = transpose(&u, n1, n2); // t[i2][k1]
+        for i2 in 0..n2 {
+            for k1 in 0..n1 {
+                let tw = self.full.root_pow(i2 * k1).inverse().expect("roots are nonzero");
+                t[i2 * n1 + k1] *= tw;
+            }
+        }
+        for row in t.chunks_mut(n1) {
+            self.inner.inverse(row); // includes 1/N1
+        }
+        let out = transpose(&t, n2, n1);
+        values.copy_from_slice(&out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use unintt_ff::{Field, Goldilocks, PrimeField};
+
+    fn random_vec(n: usize, seed: u64) -> Vec<Goldilocks> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Goldilocks::random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn transpose_basic() {
+        let m = vec![1, 2, 3, 4, 5, 6]; // 2x3
+        assert_eq!(transpose(&m, 2, 3), vec![1, 4, 2, 5, 3, 6]);
+        let back = transpose(&transpose(&m, 2, 3), 3, 2);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn four_step_matches_radix2_all_splits() {
+        let log_n = 8u32;
+        let reference = Ntt::<Goldilocks>::new(log_n);
+        let input = random_vec(1 << log_n, 5);
+        let mut expected = input.clone();
+        reference.forward(&mut expected);
+
+        for log_n1 in 0..=log_n {
+            let fs = FourStepNtt::<Goldilocks>::new(log_n1, log_n - log_n1);
+            let mut actual = input.clone();
+            fs.forward(&mut actual);
+            assert_eq!(actual, expected, "split {log_n1}+{}", log_n - log_n1);
+        }
+    }
+
+    #[test]
+    fn four_step_roundtrip() {
+        let fs = FourStepNtt::<Goldilocks>::new(5, 7);
+        let input = random_vec(1 << 12, 6);
+        let mut data = input.clone();
+        fs.forward(&mut data);
+        fs.inverse(&mut data);
+        assert_eq!(data, input);
+    }
+
+    #[test]
+    fn four_step_degenerate_splits() {
+        // N1 = 1 or N2 = 1 degenerate to the plain transform.
+        let input = random_vec(16, 8);
+        let reference = Ntt::<Goldilocks>::new(4);
+        let mut expected = input.clone();
+        reference.forward(&mut expected);
+
+        for (l1, l2) in [(0u32, 4u32), (4, 0)] {
+            let fs = FourStepNtt::<Goldilocks>::new(l1, l2);
+            let mut actual = input.clone();
+            fs.forward(&mut actual);
+            assert_eq!(actual, expected, "split {l1}+{l2}");
+        }
+    }
+
+    #[test]
+    fn four_step_size_two_by_two() {
+        let fs = FourStepNtt::<Goldilocks>::new(1, 1);
+        let mut v: Vec<Goldilocks> = (1..=4).map(Goldilocks::from_u64).collect();
+        let reference = Ntt::<Goldilocks>::new(2);
+        let mut expected = v.clone();
+        reference.forward(&mut expected);
+        fs.forward(&mut v);
+        assert_eq!(v, expected);
+    }
+}

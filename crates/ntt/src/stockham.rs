@@ -1,0 +1,173 @@
+//! Stockham auto-sort NTT.
+//!
+//! The Stockham formulation ping-pongs between two buffers and performs
+//! the reordering *inside* each butterfly stage's store pattern, so no
+//! standalone bit-reversal pass ever runs — the same "fold the permutation
+//! into the addressing" philosophy UniNTT applies across the multi-GPU
+//! hierarchy, here at the single-kernel scale. GPU NTT libraries favor it
+//! because every access is stride-coalesced.
+//!
+//! This implementation is the recursive radix-2 decimation-in-frequency
+//! variant: natural-order input, natural-order output, one scratch buffer.
+
+use unintt_ff::TwoAdicField;
+
+use crate::{Ntt, TwiddleTable};
+
+/// Recursive DIF Stockham step.
+///
+/// Transforms `sub_n` interleaved sequences of stride `s` (total `x.len()`
+/// elements). `in_x` says whether the current data lives in `x` (true) or
+/// `y`; the result of this step lands in the *other* buffer. `stride_exp`
+/// tracks the twiddle stride into the full-size table.
+fn step<F: TwoAdicField>(
+    sub_n: usize,
+    s: usize,
+    in_x: bool,
+    x: &mut [F],
+    y: &mut [F],
+    table: &TwiddleTable<F>,
+    twiddles: &[F],
+) {
+    if sub_n == 1 {
+        if !in_x {
+            x.copy_from_slice(y);
+        }
+        return;
+    }
+    let m = sub_n / 2;
+    // Twiddle for butterfly p of a sub-problem of length sub_n:
+    // ω_{sub_n}^p = ω_N^{p·(N/sub_n)} = table[p * N/sub_n].
+    let stride = table.n() / sub_n;
+    {
+        let (src, dst): (&[F], &mut [F]) = if in_x { (&*x, y) } else { (&*y, x) };
+        for p in 0..m {
+            let w = twiddles[p * stride];
+            for q in 0..s {
+                let a = src[q + s * p];
+                let b = src[q + s * (p + m)];
+                dst[q + s * 2 * p] = a + b;
+                dst[q + s * (2 * p + 1)] = (a - b) * w;
+            }
+        }
+    }
+    step(m, 2 * s, !in_x, x, y, table, twiddles);
+}
+
+impl<F: TwoAdicField> Ntt<F> {
+    /// Forward NTT by the Stockham auto-sort algorithm (natural order in
+    /// and out, no bit-reversal pass; uses one scratch allocation).
+    ///
+    /// Produces bit-identical results to [`Ntt::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.n()`.
+    pub fn forward_stockham(&self, values: &mut [F]) {
+        assert_eq!(
+            values.len(),
+            self.n(),
+            "input length {} does not match NTT domain size {}",
+            values.len(),
+            self.n()
+        );
+        let mut scratch = vec![F::ZERO; values.len()];
+        let table = self.table();
+        step(
+            values.len(),
+            1,
+            true,
+            values,
+            &mut scratch,
+            table,
+            table.forward(),
+        );
+    }
+
+    /// Inverse NTT by the Stockham algorithm (includes the `1/n` scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.n()`.
+    pub fn inverse_stockham(&self, values: &mut [F]) {
+        assert_eq!(values.len(), self.n(), "input length mismatch");
+        let mut scratch = vec![F::ZERO; values.len()];
+        let table = self.table();
+        step(
+            values.len(),
+            1,
+            true,
+            values,
+            &mut scratch,
+            table,
+            table.inverse(),
+        );
+        self.scale_by_n_inv(values);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use unintt_ff::{Bn254Fr, Field, Goldilocks};
+
+    fn random_vec<F: Field>(log_n: u32, seed: u64) -> Vec<F> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..1usize << log_n).map(|_| F::random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn stockham_matches_radix2_goldilocks() {
+        for log_n in 0..=11u32 {
+            let ntt = Ntt::<Goldilocks>::new(log_n);
+            let input = random_vec::<Goldilocks>(log_n, log_n as u64);
+            let mut expected = input.clone();
+            ntt.forward(&mut expected);
+            let mut actual = input.clone();
+            ntt.forward_stockham(&mut actual);
+            assert_eq!(actual, expected, "log_n={log_n}");
+        }
+    }
+
+    #[test]
+    fn stockham_matches_radix2_bn254() {
+        let log_n = 8u32;
+        let ntt = Ntt::<Bn254Fr>::new(log_n);
+        let input = random_vec::<Bn254Fr>(log_n, 5);
+        let mut expected = input.clone();
+        ntt.forward(&mut expected);
+        let mut actual = input.clone();
+        ntt.forward_stockham(&mut actual);
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn stockham_roundtrip() {
+        let ntt = Ntt::<Goldilocks>::new(10);
+        let input = random_vec::<Goldilocks>(10, 7);
+        let mut data = input.clone();
+        ntt.forward_stockham(&mut data);
+        ntt.inverse_stockham(&mut data);
+        assert_eq!(data, input);
+    }
+
+    #[test]
+    fn stockham_inverse_matches_standard_inverse() {
+        let ntt = Ntt::<Goldilocks>::new(9);
+        let input = random_vec::<Goldilocks>(9, 8);
+        let mut a = input.clone();
+        ntt.inverse(&mut a);
+        let mut b = input.clone();
+        ntt.inverse_stockham(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn wrong_length_panics() {
+        let ntt = Ntt::<Goldilocks>::new(4);
+        let mut v = vec![Goldilocks::ZERO; 8];
+        ntt.forward_stockham(&mut v);
+    }
+}

@@ -1,0 +1,134 @@
+//! Evaluation domains: power-of-two multiplicative subgroups and cosets.
+
+use unintt_ff::TwoAdicField;
+
+/// The size-`2^log_n` subgroup `H = ⟨ω⟩` and its standard coset `g·H`.
+#[derive(Clone, Debug)]
+pub struct EvaluationDomain<F: TwoAdicField> {
+    log_n: u32,
+    omega: F,
+    /// The coset shift (the field's multiplicative generator).
+    shift: F,
+}
+
+impl<F: TwoAdicField> EvaluationDomain<F> {
+    /// Creates the domain of size `2^log_n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log_n` exceeds the field's two-adicity.
+    pub fn new(log_n: u32) -> Self {
+        Self {
+            log_n,
+            omega: F::two_adic_generator(log_n),
+            shift: F::GENERATOR,
+        }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        1 << self.log_n
+    }
+
+    /// Domain size exponent.
+    pub fn log_n(&self) -> u32 {
+        self.log_n
+    }
+
+    /// The domain's primitive root `ω`.
+    pub fn omega(&self) -> F {
+        self.omega
+    }
+
+    /// The coset shift `g`.
+    pub fn shift(&self) -> F {
+        self.shift
+    }
+
+    /// The `i`-th subgroup element `ωⁱ`.
+    pub fn element(&self, i: usize) -> F {
+        self.omega.pow((i & (self.n() - 1)) as u64)
+    }
+
+    /// The `i`-th coset element `g·ωⁱ`.
+    pub fn coset_element(&self, i: usize) -> F {
+        self.shift * self.element(i)
+    }
+
+    /// Evaluates the vanishing polynomial `Z_H(x) = xⁿ − 1` at `x`.
+    pub fn vanishing_at(&self, x: F) -> F {
+        x.pow(self.n() as u64) - F::ONE
+    }
+
+    /// Evaluations of `Z_H` on the coset `g·H'` of a *larger* domain `H'`
+    /// of size `n·2^log_blowup`. Since `Z_H(g·ω'ᵏ) = gⁿ·ω'^{kn} − 1` and
+    /// `ω'ⁿ` has order `2^log_blowup`, the values repeat with period
+    /// `2^log_blowup` — all nonzero, hence invertible.
+    pub fn vanishing_on_coset(&self, log_blowup: u32) -> Vec<F> {
+        let big_n = self.n() << log_blowup;
+        let omega_big = F::two_adic_generator(self.log_n + log_blowup);
+        let step = omega_big.pow(self.n() as u64); // order 2^log_blowup
+        let shift_n = self.shift.pow(self.n() as u64);
+        let mut out = Vec::with_capacity(big_n);
+        let mut cur = shift_n;
+        let period = 1usize << log_blowup;
+        let mut cycle = Vec::with_capacity(period);
+        for _ in 0..period {
+            cycle.push(cur - F::ONE);
+            cur *= step;
+        }
+        for k in 0..big_n {
+            out.push(cycle[k % period]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unintt_ff::{Field, Goldilocks};
+
+    #[test]
+    fn elements_have_right_order() {
+        let d = EvaluationDomain::<Goldilocks>::new(4);
+        assert_eq!(d.n(), 16);
+        assert_eq!(d.element(0), Goldilocks::ONE);
+        assert_eq!(d.element(16), Goldilocks::ONE); // wraps
+        assert_eq!(d.omega().pow(16), Goldilocks::ONE);
+        assert_ne!(d.omega().pow(8), Goldilocks::ONE);
+    }
+
+    #[test]
+    fn vanishing_zero_on_subgroup_nonzero_on_coset() {
+        let d = EvaluationDomain::<Goldilocks>::new(3);
+        for i in 0..8 {
+            assert!(d.vanishing_at(d.element(i)).is_zero(), "i={i}");
+            assert!(!d.vanishing_at(d.coset_element(i)).is_zero(), "i={i}");
+        }
+    }
+
+    #[test]
+    fn vanishing_on_coset_matches_pointwise() {
+        let d = EvaluationDomain::<Goldilocks>::new(3);
+        let log_blowup = 2;
+        let values = d.vanishing_on_coset(log_blowup);
+        assert_eq!(values.len(), 32);
+        let big = EvaluationDomain::<Goldilocks>::new(5);
+        for (k, &v) in values.iter().enumerate() {
+            let x = big.coset_element(k);
+            assert_eq!(v, d.vanishing_at(x), "k={k}");
+            assert!(!v.is_zero());
+        }
+    }
+
+    #[test]
+    fn coset_is_disjoint_from_subgroup() {
+        let d = EvaluationDomain::<Goldilocks>::new(4);
+        // g·ωⁱ is never in H (g is a non-residue, H has even order).
+        for i in 0..16 {
+            let x = d.coset_element(i);
+            assert!(!d.vanishing_at(x).is_zero());
+        }
+    }
+}

@@ -1,0 +1,636 @@
+//! The PLONK prover and verifier (gate constraints + copy constraints).
+//!
+//! Protocol rounds:
+//!
+//! 1. **Wires**: interpolate witness columns `a, b, c` over `H`
+//!    (**3 iNTTs, size n**) and commit them (**3 MSMs**).
+//! 2. **Permutation**: challenges `β, γ`; build the grand product `z`
+//!    (**1 iNTT**, host-side products with one batch inversion) and commit
+//!    it (**1 MSM**).
+//! 3. **Quotient**: challenge `α`; evaluate the combined constraint
+//!
+//!    ```text
+//!    F = gate + α·[z·Π(wⱼ+β·kⱼ·x+γ) − z(ωx)·Π(wⱼ+β·σⱼ+γ)] + α²·(z−1)·L₀
+//!    ```
+//!
+//!    on the size-`4n` coset (**13 forward coset NTTs, size 4n** — wires,
+//!    selectors, σ's, the public-input polynomial and `z`; `z(ωx)` is a
+//!    rotation of `z`'s table),
+//!    divide by `Z_H`, interpolate `T` (**1 iNTT, size 4n**) and commit it
+//!    (**1 MSM**, degree ≤ 3n−4).
+//! 4. **Openings**: 13 evaluations at `ζ` batched into one KZG witness
+//!    plus the shifted evaluation `z(ωζ)` with its own witness
+//!    (**2 MSMs**).
+//!
+//! This NTT/MSM mix at sizes `n` and `4n` is exactly the workload profile
+//! the paper motivates accelerating (experiment E8).
+
+use unintt_ff::{batch_inverse, Bn254Fr, Field, PrimeField, TwoAdicField};
+use unintt_msm::G1Projective;
+
+use crate::permutation::column_shifts;
+use crate::{Backend, Circuit, EvaluationDomain, Polynomial, Srs, Transcript, Witness};
+
+/// Prover-side preprocessed material.
+#[derive(Clone, Debug)]
+pub struct ProvingKey {
+    circuit: Circuit,
+    domain: EvaluationDomain<Bn254Fr>,
+    srs: Srs,
+    selector_polys: [Polynomial<Bn254Fr>; 5],
+    sigma_polys: [Polynomial<Bn254Fr>; 3],
+}
+
+/// Verifier-side preprocessed material.
+#[derive(Clone, Debug)]
+pub struct VerifyingKey {
+    srs: Srs,
+    domain: EvaluationDomain<Bn254Fr>,
+    selector_commits: [G1Projective; 5],
+    sigma_commits: [G1Projective; 3],
+    num_public_inputs: usize,
+}
+
+/// A proof: wire/grand-product/quotient commitments, 13+1 evaluations at
+/// `ζ` and `ωζ`, and two KZG opening witnesses.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Proof {
+    /// Commitments to the wire polynomials `A`, `B`, `C`.
+    pub wire_commits: [G1Projective; 3],
+    /// Commitment to the grand-product polynomial `z`.
+    pub z_commit: G1Projective,
+    /// Commitment to the quotient polynomial `T`.
+    pub quotient_commit: G1Projective,
+    /// Evaluations at `ζ`:
+    /// `A, B, C, T, q_L, q_R, q_O, q_M, q_C, σ₀, σ₁, σ₂, z`.
+    pub evals: [Bn254Fr; 13],
+    /// The shifted evaluation `z(ωζ)`.
+    pub z_omega_eval: Bn254Fr,
+    /// Batched KZG witness for the 13 openings at `ζ`.
+    pub opening: G1Projective,
+    /// KZG witness for `z` at `ωζ`.
+    pub opening_omega: G1Projective,
+}
+
+/// Runs the one-time setup for a circuit.
+///
+/// The SRS trapdoor is sampled from `rng`; per the KZG module docs it is
+/// retained inside both keys for pairing-free verification.
+pub fn setup<R: rand::Rng + ?Sized>(circuit: &Circuit, rng: &mut R) -> (ProvingKey, VerifyingKey) {
+    let domain = EvaluationDomain::<Bn254Fr>::new(circuit.log_n());
+    // The permutation term reaches degree 4n−4, so the SRS supports 4n.
+    let srs = Srs::generate(4 * circuit.n(), rng);
+
+    let columns = circuit.selector_columns();
+    let selector_polys: [Polynomial<Bn254Fr>; 5] =
+        columns.map(|col| Polynomial::interpolate(&col));
+    let selector_commits: [G1Projective; 5] = [
+        srs.commit(&selector_polys[0]),
+        srs.commit(&selector_polys[1]),
+        srs.commit(&selector_polys[2]),
+        srs.commit(&selector_polys[3]),
+        srs.commit(&selector_polys[4]),
+    ];
+
+    let permutation = circuit.wire_permutation();
+    let sigma_polys = permutation.sigma_polynomials(domain.omega());
+    let sigma_commits: [G1Projective; 3] = [
+        srs.commit(&sigma_polys[0]),
+        srs.commit(&sigma_polys[1]),
+        srs.commit(&sigma_polys[2]),
+    ];
+
+    let vk = VerifyingKey {
+        srs: srs.clone(),
+        domain: domain.clone(),
+        selector_commits,
+        sigma_commits,
+        num_public_inputs: circuit.num_public_inputs(),
+    };
+    let pk = ProvingKey {
+        circuit: circuit.clone(),
+        domain,
+        srs,
+        selector_polys,
+        sigma_polys,
+    };
+    (pk, vk)
+}
+
+impl ProvingKey {
+    /// The underlying circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.circuit.n()
+    }
+}
+
+/// Commits through the backend (so MSM time lands on the simulated clock).
+fn commit_via(backend: &mut Backend, srs: &Srs, poly: &Polynomial<Bn254Fr>) -> G1Projective {
+    let coeffs = poly.coeffs();
+    assert!(coeffs.len() <= srs.max_len(), "polynomial exceeds SRS");
+    backend.msm(coeffs, &srs.powers()[..coeffs.len()])
+}
+
+/// Batched coset-NTT through the backend: scales every polynomial's
+/// coefficients onto the coset (the cheap host step, charged as pointwise
+/// kernels) then submits the whole batch as one transform — sharing
+/// passes and collectives under the O5 optimization.
+fn coset_ntt_batch_via(
+    backend: &mut Backend,
+    polys: &[&Polynomial<Bn254Fr>],
+    shift: Bn254Fr,
+    size: usize,
+) -> Vec<Vec<Bn254Fr>> {
+    let mut batch: Vec<Vec<Bn254Fr>> = polys
+        .iter()
+        .map(|p| {
+            let mut values = p.coeffs().to_vec();
+            assert!(values.len() <= size, "polynomial does not fit the domain");
+            values.resize(size, Bn254Fr::ZERO);
+            let mut s = Bn254Fr::ONE;
+            for v in values.iter_mut() {
+                *v *= s;
+                s *= shift;
+            }
+            values
+        })
+        .collect();
+    backend.charge_pointwise(size * polys.len(), 1);
+    backend.ntt_forward_batch(&mut batch);
+    batch
+}
+
+/// Evaluations of the Lagrange polynomial `L₀(x) = (xⁿ−1)/(n·(x−1))` on
+/// the size-`n·2^log_blowup` coset.
+fn lagrange0_on_coset(domain: &EvaluationDomain<Bn254Fr>, log_blowup: u32) -> Vec<Bn254Fr> {
+    let n = domain.n();
+    let vanishing = domain.vanishing_on_coset(log_blowup);
+    let big = EvaluationDomain::<Bn254Fr>::new(domain.log_n() + log_blowup);
+    let n_inv = Bn254Fr::from_u64(n as u64).inverse().expect("n nonzero");
+    let mut denoms: Vec<Bn254Fr> = (0..big.n())
+        .map(|k| big.coset_element(k) - Bn254Fr::ONE)
+        .collect();
+    batch_inverse(&mut denoms);
+    vanishing
+        .iter()
+        .zip(&denoms)
+        .map(|(&v, &d)| v * n_inv * d)
+        .collect()
+}
+
+/// Generates a proof that `witness` satisfies `pk`'s circuit (gates and
+/// copy constraints).
+///
+/// All heavy operations route through `backend`; a
+/// [`crate::Backend::simulated`] backend accumulates the simulated
+/// multi-GPU clock while producing a bit-identical proof to the CPU
+/// backend.
+///
+/// # Panics
+///
+/// Panics if the witness length does not match the circuit.
+pub fn prove(
+    pk: &ProvingKey,
+    witness: &Witness,
+    public_inputs: &[Bn254Fr],
+    backend: &mut Backend,
+) -> Proof {
+    let n = pk.circuit.n();
+    assert_eq!(witness.len(), n, "witness length must equal circuit size");
+    assert_eq!(
+        public_inputs.len(),
+        pk.circuit.num_public_inputs(),
+        "wrong number of public inputs"
+    );
+    let omega = pk.domain.omega();
+    let mut transcript = Transcript::new("unintt-plonk-v2");
+    transcript.absorb_u64(n as u64);
+    for p in public_inputs {
+        transcript.absorb_scalar(*p);
+    }
+
+    // The public-input polynomial: PI interpolates −pubᵢ on the first
+    // rows (zero elsewhere), so gate + PI vanishes on the PI rows exactly
+    // when the a-wire carries the public values.
+    let pi_poly = {
+        let mut evals = vec![Bn254Fr::ZERO; n];
+        for (e, &p) in evals.iter_mut().zip(public_inputs) {
+            *e = -p;
+        }
+        Polynomial::interpolate(&evals)
+    };
+
+    // Round 1: wire polynomials (one batched interpolation) and
+    // commitments.
+    let mut wires = [
+        witness.a.clone(),
+        witness.b.clone(),
+        witness.c.clone(),
+    ];
+    backend.ntt_inverse_batch(&mut wires);
+    let [a, b, c] = wires;
+    let poly_a = Polynomial::new(a);
+    let poly_b = Polynomial::new(b);
+    let poly_c = Polynomial::new(c);
+
+    let wire_commits = [
+        commit_via(backend, &pk.srs, &poly_a),
+        commit_via(backend, &pk.srs, &poly_b),
+        commit_via(backend, &pk.srs, &poly_c),
+    ];
+    for w in &wire_commits {
+        transcript.absorb_point(w);
+    }
+
+    // Round 2: grand product.
+    let beta = transcript.challenge();
+    let gamma = transcript.challenge();
+    let permutation = pk.circuit.wire_permutation();
+    let wires = [witness.a.clone(), witness.b.clone(), witness.c.clone()];
+    let mut z_evals = permutation.grand_product(&wires, omega, beta, gamma);
+    backend.charge_pointwise(n, 8); // products + batch-inverted ratios
+    backend.ntt_inverse(&mut z_evals);
+    let poly_z = Polynomial::new(z_evals);
+    let z_commit = commit_via(backend, &pk.srs, &poly_z);
+    transcript.absorb_point(&z_commit);
+
+    // Round 3: quotient on the size-4n coset.
+    let alpha = transcript.challenge();
+    let log_blowup = 2u32;
+    let big_n = n << log_blowup;
+    let shift = pk.domain.shift();
+    let blowup = 1usize << log_blowup;
+
+    // All thirteen LDEs go out as one batch (wires, selectors, σ's, PI, z).
+    let lde_inputs: [&Polynomial<Bn254Fr>; 13] = [
+        &poly_a,
+        &poly_b,
+        &poly_c,
+        &pk.selector_polys[0],
+        &pk.selector_polys[1],
+        &pk.selector_polys[2],
+        &pk.selector_polys[3],
+        &pk.selector_polys[4],
+        &pk.sigma_polys[0],
+        &pk.sigma_polys[1],
+        &pk.sigma_polys[2],
+        &pi_poly,
+        &poly_z,
+    ];
+    let mut ldes = coset_ntt_batch_via(backend, &lde_inputs, shift, big_n);
+    let ev_z = ldes.pop().expect("thirteen LDEs");
+    let ev_pi = ldes.pop().expect("PI evaluations");
+    let ev_sig: Vec<Vec<Bn254Fr>> = ldes.split_off(8);
+    let ev_sel: Vec<Vec<Bn254Fr>> = ldes.split_off(3);
+    let ev_c = ldes.pop().expect("wire C");
+    let ev_b = ldes.pop().expect("wire B");
+    let ev_a = ldes.pop().expect("wire A");
+
+    let mut z_h_inv = pk.domain.vanishing_on_coset(log_blowup);
+    batch_inverse(&mut z_h_inv);
+    let l0 = lagrange0_on_coset(&pk.domain, log_blowup);
+
+    // Coset points x_k = shift·ω₄ₙᵏ, generated on the fly.
+    let omega_big = Bn254Fr::two_adic_generator(pk.domain.log_n() + log_blowup);
+    let [k0, k1, k2] = column_shifts();
+
+    let mut t_evals = Vec::with_capacity(big_n);
+    let mut x = shift;
+    for k in 0..big_n {
+        let gate = ev_sel[0][k] * ev_a[k]
+            + ev_sel[1][k] * ev_b[k]
+            + ev_sel[2][k] * ev_c[k]
+            + ev_sel[3][k] * ev_a[k] * ev_b[k]
+            + ev_sel[4][k]
+            + ev_pi[k];
+
+        // z(ωx) on the coset table is a rotation by `blowup` positions.
+        let z_omega = ev_z[(k + blowup) % big_n];
+        let numer = (ev_a[k] + beta * k0 * x + gamma)
+            * (ev_b[k] + beta * k1 * x + gamma)
+            * (ev_c[k] + beta * k2 * x + gamma);
+        let denom = (ev_a[k] + beta * ev_sig[0][k] + gamma)
+            * (ev_b[k] + beta * ev_sig[1][k] + gamma)
+            * (ev_c[k] + beta * ev_sig[2][k] + gamma);
+        let perm_term = ev_z[k] * numer - z_omega * denom;
+
+        let boundary = (ev_z[k] - Bn254Fr::ONE) * l0[k];
+
+        let f = gate + alpha * (perm_term + alpha * boundary);
+        t_evals.push(f * z_h_inv[k]);
+        x *= omega_big;
+    }
+    backend.charge_pointwise(big_n, 16);
+
+    // Interpolate T from the coset: iNTT then unscale by shift^{-i}.
+    backend.ntt_inverse(&mut t_evals);
+    let shift_inv = shift.inverse().expect("generator is nonzero");
+    let mut s = Bn254Fr::ONE;
+    for v in t_evals.iter_mut() {
+        *v *= s;
+        s *= shift_inv;
+    }
+    backend.charge_pointwise(big_n, 1);
+    let poly_t = Polynomial::new(t_evals);
+    debug_assert!(
+        poly_t.degree() <= 3 * n || poly_t.is_zero(),
+        "quotient degree {} out of range for n={n} — unsatisfied circuit?",
+        poly_t.degree()
+    );
+
+    let quotient_commit = commit_via(backend, &pk.srs, &poly_t);
+    transcript.absorb_point(&quotient_commit);
+
+    // Round 4: evaluations and openings.
+    let zeta = transcript.challenge();
+    let polys: [&Polynomial<Bn254Fr>; 13] = [
+        &poly_a,
+        &poly_b,
+        &poly_c,
+        &poly_t,
+        &pk.selector_polys[0],
+        &pk.selector_polys[1],
+        &pk.selector_polys[2],
+        &pk.selector_polys[3],
+        &pk.selector_polys[4],
+        &pk.sigma_polys[0],
+        &pk.sigma_polys[1],
+        &pk.sigma_polys[2],
+        &poly_z,
+    ];
+    let mut evals = [Bn254Fr::ZERO; 13];
+    for (e, p) in evals.iter_mut().zip(&polys) {
+        *e = p.evaluate(zeta);
+        transcript.absorb_scalar(*e);
+    }
+    let z_omega_eval = poly_z.evaluate(omega * zeta);
+    transcript.absorb_scalar(z_omega_eval);
+    backend.charge_pointwise(n, 14);
+
+    let v = transcript.challenge();
+    let mut combined = Polynomial::zero();
+    let mut vi = Bn254Fr::ONE;
+    for p in &polys {
+        combined = combined.add(&p.scale(vi));
+        vi *= v;
+    }
+    let (open_quotient, _) = combined.divide_by_linear(zeta);
+    backend.charge_pointwise(n, 14);
+    let opening = commit_via(backend, &pk.srs, &open_quotient);
+
+    let (open_z_quotient, _) = poly_z.divide_by_linear(omega * zeta);
+    let opening_omega = commit_via(backend, &pk.srs, &open_z_quotient);
+
+    Proof {
+        wire_commits,
+        z_commit,
+        quotient_commit,
+        evals,
+        z_omega_eval,
+        opening,
+        opening_omega,
+    }
+}
+
+/// Verifies a proof.
+pub fn verify(vk: &VerifyingKey, proof: &Proof, public_inputs: &[Bn254Fr]) -> bool {
+    if public_inputs.len() != vk.num_public_inputs {
+        return false;
+    }
+    let n = vk.domain.n();
+    let omega = vk.domain.omega();
+    let mut transcript = Transcript::new("unintt-plonk-v2");
+    transcript.absorb_u64(n as u64);
+    for p in public_inputs {
+        transcript.absorb_scalar(*p);
+    }
+    for w in &proof.wire_commits {
+        transcript.absorb_point(w);
+    }
+    let beta = transcript.challenge();
+    let gamma = transcript.challenge();
+    transcript.absorb_point(&proof.z_commit);
+    let alpha = transcript.challenge();
+    transcript.absorb_point(&proof.quotient_commit);
+    let zeta = transcript.challenge();
+    for e in &proof.evals {
+        transcript.absorb_scalar(*e);
+    }
+    transcript.absorb_scalar(proof.z_omega_eval);
+    let v = transcript.challenge();
+
+    // The combined identity at ζ.
+    let [a, b, c, t, q_l, q_r, q_o, q_m, q_c, s0, s1, s2, z] = proof.evals;
+    let z_omega = proof.z_omega_eval;
+    let [k0, k1, k2] = column_shifts();
+
+    // PI(ζ) = Σ −pubᵢ·Lᵢ(ζ) with Lᵢ(ζ) = ωⁱ·(ζⁿ−1) / (n·(ζ−ωⁱ)).
+    let vanishing_zeta = vk.domain.vanishing_at(zeta);
+    let n_inv = match Bn254Fr::from_u64(n as u64).inverse() {
+        Some(v) => v,
+        None => return false,
+    };
+    let mut pi_at_zeta = Bn254Fr::ZERO;
+    let mut omega_i = Bn254Fr::ONE;
+    for &p in public_inputs {
+        let Some(denom) = (zeta - omega_i).inverse() else {
+            return false; // ζ landed on the subgroup: negligible, reject
+        };
+        pi_at_zeta += -p * omega_i * vanishing_zeta * n_inv * denom;
+        omega_i *= omega;
+    }
+
+    let gate = q_l * a + q_r * b + q_o * c + q_m * a * b + q_c + pi_at_zeta;
+    let numer = (a + beta * k0 * zeta + gamma)
+        * (b + beta * k1 * zeta + gamma)
+        * (c + beta * k2 * zeta + gamma);
+    let denom =
+        (a + beta * s0 + gamma) * (b + beta * s1 + gamma) * (c + beta * s2 + gamma);
+    let perm_term = z * numer - z_omega * denom;
+
+    let vanishing = vanishing_zeta;
+    // L₀(ζ) = (ζⁿ−1)/(n·(ζ−1)); a ζ that landed inside H would divide by
+    // zero — negligible for a random challenge, but reject rather than
+    // panic if it happens.
+    let Some(denom_l0) = (Bn254Fr::from_u64(n as u64) * (zeta - Bn254Fr::ONE)).inverse() else {
+        return false;
+    };
+    let l0 = vanishing * denom_l0;
+    let boundary = (z - Bn254Fr::ONE) * l0;
+
+    let lhs = gate + alpha * (perm_term + alpha * boundary);
+    if lhs != t * vanishing {
+        return false;
+    }
+
+    // Batched KZG check at ζ over all 13 commitments.
+    let commitments = [
+        proof.wire_commits[0],
+        proof.wire_commits[1],
+        proof.wire_commits[2],
+        proof.quotient_commit,
+        vk.selector_commits[0],
+        vk.selector_commits[1],
+        vk.selector_commits[2],
+        vk.selector_commits[3],
+        vk.selector_commits[4],
+        vk.sigma_commits[0],
+        vk.sigma_commits[1],
+        vk.sigma_commits[2],
+        proof.z_commit,
+    ];
+    if !vk
+        .srs
+        .batch_verify(&commitments, zeta, &proof.evals, v, &proof.opening)
+    {
+        return false;
+    }
+
+    // Single KZG check for z at ωζ.
+    vk.srs.verify(
+        &proof.z_commit,
+        omega * zeta,
+        proof.z_omega_eval,
+        &proof.opening_omega,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::permutation::{Cell, Column};
+    use crate::{cubic_circuit, random_circuit};
+    use rand::{rngs::StdRng, SeedableRng};
+    use unintt_gpu_sim::presets;
+
+    #[test]
+    fn cubic_proof_roundtrip_cpu() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (circuit, witness, _y) = cubic_circuit(Bn254Fr::from_u64(3));
+        assert!(circuit.is_satisfied(&witness));
+        let (pk, vk) = setup(&circuit, &mut rng);
+        let mut backend = Backend::cpu();
+        let proof = prove(&pk, &witness, &[_y], &mut backend);
+        assert!(verify(&vk, &proof, &[_y]));
+        // The proof must not verify against a different public output.
+        assert!(!verify(&vk, &proof, &[_y + Bn254Fr::ONE]));
+    }
+
+    #[test]
+    fn random_circuit_proof_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (circuit, witness) = random_circuit(60, &mut rng);
+        assert!(!circuit.copies().is_empty(), "random circuits are wired");
+        let (pk, vk) = setup(&circuit, &mut rng);
+        let mut backend = Backend::cpu();
+        let proof = prove(&pk, &witness, &[], &mut backend);
+        assert!(verify(&vk, &proof, &[]));
+    }
+
+    #[test]
+    fn copy_constraint_violation_rejected() {
+        // A witness that satisfies every *gate* but breaks the wiring must
+        // be rejected — the whole point of the permutation argument.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut circuit = Circuit::new(vec![crate::Gate::noop(); 4]);
+        circuit.connect(Cell::new(Column::A, 0), Cell::new(Column::A, 1));
+        let witness = circuit.pad_witness(crate::Witness {
+            a: vec![Bn254Fr::from_u64(1), Bn254Fr::from_u64(2)], // 1 ≠ 2!
+            b: vec![Bn254Fr::ZERO; 2],
+            c: vec![Bn254Fr::ZERO; 2],
+        });
+        assert!(!circuit.is_satisfied(&witness), "wiring is broken");
+
+        let (pk, vk) = setup(&circuit, &mut rng);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            prove(&pk, &witness, &[], &mut Backend::cpu())
+        }));
+        match result {
+            Ok(proof) => assert!(!verify(&vk, &proof, &[])),
+            Err(_) => {} // quotient-degree debug assert fired: also a fail
+        }
+    }
+
+    #[test]
+    fn invalid_gate_witness_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (circuit, mut witness) = random_circuit(20, &mut rng);
+        witness.b[3] += Bn254Fr::ONE;
+        let (pk, vk) = setup(&circuit, &mut rng);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            prove(&pk, &witness, &[], &mut Backend::cpu())
+        }));
+        match result {
+            Ok(proof) => assert!(!verify(&vk, &proof, &[])),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn tampered_proof_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (circuit, witness) = random_circuit(20, &mut rng);
+        let (pk, vk) = setup(&circuit, &mut rng);
+        let proof = prove(&pk, &witness, &[], &mut Backend::cpu());
+        assert!(verify(&vk, &proof, &[]));
+
+        let mut bad = proof.clone();
+        bad.evals[0] += Bn254Fr::ONE;
+        assert!(!verify(&vk, &bad, &[]));
+
+        let mut bad = proof.clone();
+        bad.z_omega_eval += Bn254Fr::ONE;
+        assert!(!verify(&vk, &bad, &[]));
+
+        let mut bad = proof.clone();
+        bad.z_commit = bad.z_commit.double();
+        assert!(!verify(&vk, &bad, &[]));
+
+        let mut bad = proof.clone();
+        bad.opening_omega = G1Projective::identity();
+        assert!(!verify(&vk, &bad, &[]));
+
+        let mut bad = proof;
+        bad.quotient_commit = bad.quotient_commit.double();
+        assert!(!verify(&vk, &bad, &[]));
+    }
+
+    #[test]
+    fn simulated_backend_produces_identical_proof() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (circuit, witness) = random_circuit(60, &mut rng); // n = 64
+        let (pk, vk) = setup(&circuit, &mut rng);
+
+        let mut cpu = Backend::cpu();
+        let cpu_proof = prove(&pk, &witness, &[], &mut cpu);
+
+        let mut sim = Backend::simulated(presets::a100_nvlink(4), presets::a100_nvlink(4));
+        let sim_proof = prove(&pk, &witness, &[], &mut sim);
+
+        assert_eq!(cpu_proof, sim_proof, "backends must agree bit-for-bit");
+        assert!(verify(&vk, &sim_proof, &[]));
+
+        let report = sim.report();
+        assert!(report.ntt_time_ns > 0.0);
+        assert!(report.msm_time_ns > 0.0);
+        // 3 wire iNTT + 1 z iNTT + 13 coset NTT + 1 quotient iNTT.
+        assert_eq!(report.ntt_calls, 18);
+        // 3 wires + z + quotient + 2 openings.
+        assert_eq!(report.msm_calls, 7);
+    }
+
+    #[test]
+    fn proof_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (circuit, witness) = random_circuit(10, &mut rng);
+        let (pk, _vk) = setup(&circuit, &mut rng);
+        let mut b1 = Backend::cpu();
+        let mut b2 = Backend::cpu();
+        assert_eq!(prove(&pk, &witness, &[], &mut b1), prove(&pk, &witness, &[], &mut b2));
+    }
+}

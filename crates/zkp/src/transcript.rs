@@ -1,0 +1,125 @@
+//! Fiat–Shamir transcript over the BN254 scalar field.
+//!
+//! A deterministic sponge with a power-map permutation (`x ↦ x⁵`, which is
+//! a bijection on Fr since `gcd(5, r−1) = 1`). It gives both prover and
+//! verifier the same challenge stream from the same absorbed messages.
+//!
+//! **Not cryptographically hardened** — it is a stand-in for a
+//! Poseidon/Keccak transcript, sufficient for a performance reproduction
+//! where challenge *unpredictability from the prover's perspective* is not
+//! under test. (Documented in DESIGN.md as a substitution.)
+
+use unintt_ff::{Bn254Fr, Field, PrimeField, U256};
+use unintt_msm::G1Projective;
+
+/// A Fiat–Shamir transcript.
+#[derive(Clone, Debug)]
+pub struct Transcript {
+    state: Bn254Fr,
+    counter: u64,
+}
+
+impl Transcript {
+    /// Creates a transcript bound to a protocol label.
+    pub fn new(label: &str) -> Self {
+        let mut t = Self {
+            state: Bn254Fr::ZERO,
+            counter: 0,
+        };
+        for b in label.bytes() {
+            t.absorb_scalar(Bn254Fr::from_u64(b as u64));
+        }
+        t
+    }
+
+    fn permute(&mut self) {
+        // x ← (x + round)⁵ : a full-domain bijection plus a counter to
+        // break fixed points.
+        self.counter += 1;
+        let x = self.state + Bn254Fr::from_u64(self.counter);
+        self.state = x.square().square() * x;
+    }
+
+    /// Absorbs one field element.
+    pub fn absorb_scalar(&mut self, v: Bn254Fr) {
+        self.state += v;
+        self.permute();
+    }
+
+    /// Absorbs a curve point (by its canonical coordinate encodings).
+    pub fn absorb_point(&mut self, p: &G1Projective) {
+        let affine = p.to_affine();
+        if affine.infinity {
+            self.absorb_scalar(Bn254Fr::from_u64(1));
+            return;
+        }
+        // Coordinates live in Fq; reduce their canonical integers into Fr.
+        // Collisions between Fq values congruent mod r are irrelevant for a
+        // performance-grade transcript.
+        self.absorb_scalar(Bn254Fr::from_u256(affine.x.to_canonical_u256()));
+        self.absorb_scalar(Bn254Fr::from_u256(affine.y.to_canonical_u256()));
+    }
+
+    /// Squeezes a challenge scalar.
+    pub fn challenge(&mut self) -> Bn254Fr {
+        self.permute();
+        self.state
+    }
+
+    /// Convenience: absorbs a `u64` (sizes, indices).
+    pub fn absorb_u64(&mut self, v: u64) {
+        self.absorb_scalar(Bn254Fr::from_u256(U256::from_u64(v)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_inputs() {
+        let mut a = Transcript::new("test");
+        let mut b = Transcript::new("test");
+        a.absorb_scalar(Bn254Fr::from_u64(7));
+        b.absorb_scalar(Bn254Fr::from_u64(7));
+        assert_eq!(a.challenge(), b.challenge());
+        assert_eq!(a.challenge(), b.challenge());
+    }
+
+    #[test]
+    fn different_inputs_give_different_challenges() {
+        let mut a = Transcript::new("test");
+        let mut b = Transcript::new("test");
+        a.absorb_scalar(Bn254Fr::from_u64(7));
+        b.absorb_scalar(Bn254Fr::from_u64(8));
+        assert_ne!(a.challenge(), b.challenge());
+    }
+
+    #[test]
+    fn label_separates_domains() {
+        let mut a = Transcript::new("protocol-a");
+        let mut b = Transcript::new("protocol-b");
+        assert_ne!(a.challenge(), b.challenge());
+    }
+
+    #[test]
+    fn absorbing_points_works() {
+        let mut a = Transcript::new("pts");
+        let mut b = Transcript::new("pts");
+        let g = G1Projective::generator();
+        a.absorb_point(&g);
+        b.absorb_point(&g.double());
+        assert_ne!(a.challenge(), b.challenge());
+        let mut c = Transcript::new("pts");
+        c.absorb_point(&G1Projective::identity());
+        let _ = c.challenge();
+    }
+
+    #[test]
+    fn challenges_evolve() {
+        let mut t = Transcript::new("evolve");
+        let c1 = t.challenge();
+        let c2 = t.challenge();
+        assert_ne!(c1, c2);
+    }
+}

@@ -1,0 +1,75 @@
+//! Multi-GPU scaling explorer: sweep GPU counts, fields, and interconnect
+//! topologies for one transform size, printing the speedup matrix — the
+//! fast way to see where multi-GPU NTT pays off on *your* machine shape.
+//!
+//! ```bash
+//! cargo run --release --example multi_gpu_scaling [log_n]
+//! ```
+
+use unintt_core::{single_gpu, UniNttEngine, UniNttOptions};
+use unintt_ff::{Bn254Fr, Goldilocks, TwoAdicField};
+use unintt_gpu_sim::{presets, FieldSpec, Machine, MachineConfig, Topology};
+
+fn simulated_ns<F: TwoAdicField>(log_n: u32, cfg: &MachineConfig, fs: FieldSpec) -> f64 {
+    let engine = UniNttEngine::<F>::new(log_n, cfg, UniNttOptions::tuned_for(&fs), fs);
+    let mut machine = Machine::new(cfg.clone(), fs);
+    engine.simulate_forward(&mut machine, 1);
+    machine.max_clock_ns()
+}
+
+fn single_ns<F: TwoAdicField>(log_n: u32, fs: FieldSpec) -> f64 {
+    let cfg = presets::a100_nvlink(1);
+    let engine = single_gpu::engine::<F>(log_n, &cfg, fs);
+    let mut machine = single_gpu::machine(&cfg, fs);
+    engine.simulate_forward(&mut machine, 1);
+    machine.max_clock_ns()
+}
+
+fn main() {
+    let log_n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(24);
+    println!("UniNTT speedup vs 1×A100, transform size 2^{log_n}\n");
+    println!("{:<12} {:<22} {:>6} {:>6} {:>6}", "field", "topology", "2 GPU", "4 GPU", "8 GPU");
+    println!("{}", "-".repeat(56));
+
+    for (fs, name) in [
+        (FieldSpec::goldilocks(), "Goldilocks"),
+        (FieldSpec::bn254_fr(), "BN254-Fr"),
+    ] {
+        let t1 = if name == "Goldilocks" {
+            single_ns::<Goldilocks>(log_n, fs)
+        } else {
+            single_ns::<Bn254Fr>(log_n, fs)
+        };
+        for (topology, tname) in [
+            (Topology::AllToAll, "NVSwitch all-to-all"),
+            (Topology::Ring, "NVLink ring"),
+            (Topology::HostBounce, "PCIe host-bounce"),
+        ] {
+            let mut cells = Vec::new();
+            for gpus in [2usize, 4, 8] {
+                let mut cfg = presets::a100_nvlink(gpus);
+                cfg.interconnect.topology = topology;
+                if topology == Topology::HostBounce {
+                    cfg.interconnect.per_gpu_bandwidth_gbps = 32.0;
+                    cfg.interconnect.host_aggregate_bandwidth_gbps = 64.0;
+                    cfg.interconnect.latency_ns = 15_000.0;
+                }
+                let t = if name == "Goldilocks" {
+                    simulated_ns::<Goldilocks>(log_n, &cfg, fs)
+                } else {
+                    simulated_ns::<Bn254Fr>(log_n, &cfg, fs)
+                };
+                cells.push(format!("{:.2}x", t1 / t));
+            }
+            println!(
+                "{:<12} {:<22} {:>6} {:>6} {:>6}",
+                name, tname, cells[0], cells[1], cells[2]
+            );
+        }
+    }
+    println!("\n>1x: the multi-GPU configuration beats a single GPU of the same model.");
+    println!("Topology decides everything: NTT is communication-bound.");
+}

@@ -1,0 +1,2 @@
+//! Umbrella crate: see member crates. Hosts workspace-level integration tests and examples.
+pub use unintt_core as core_engine;

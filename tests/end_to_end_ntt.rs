@@ -1,0 +1,135 @@
+//! Cross-crate integration: the simulated multi-GPU engines against the
+//! CPU NTT library over a wide configuration matrix.
+
+use rand::{rngs::StdRng, SeedableRng};
+use unintt_core::{
+    single_gpu, FourStepMultiGpuEngine, Sharded, ShardLayout, UniNttEngine, UniNttOptions,
+};
+use unintt_ff::{BabyBear, Bn254Fr, Field, Goldilocks, TwoAdicField};
+use unintt_gpu_sim::{presets, FieldSpec, Machine};
+use unintt_ntt::Ntt;
+
+fn random_vec<F: Field>(n: usize, seed: u64) -> Vec<F> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| F::random(&mut rng)).collect()
+}
+
+fn check_engine_matrix<F: TwoAdicField>(fs: FieldSpec, seed: u64) {
+    for gpus in [1usize, 2, 4, 8] {
+        for log_n in [6u32, 9, 11] {
+            let input = random_vec::<F>(1 << log_n, seed + log_n as u64);
+            let reference = {
+                let ntt = Ntt::<F>::new(log_n);
+                let mut out = input.clone();
+                ntt.forward(&mut out);
+                out
+            };
+
+            let cfg = presets::a100_nvlink(gpus);
+            let engine =
+                UniNttEngine::<F>::new(log_n, &cfg, UniNttOptions::tuned_for(&fs), fs);
+            let mut machine = Machine::new(cfg, fs);
+            let mut data = Sharded::distribute(&input, gpus, ShardLayout::Cyclic);
+            engine.forward(&mut machine, &mut data);
+            assert_eq!(
+                data.collect(),
+                reference,
+                "{} gpus={gpus} log_n={log_n}",
+                fs.name
+            );
+            engine.inverse(&mut machine, &mut data);
+            assert_eq!(data.collect(), input, "{} roundtrip", fs.name);
+        }
+    }
+}
+
+#[test]
+fn unintt_matrix_goldilocks() {
+    check_engine_matrix::<Goldilocks>(FieldSpec::goldilocks(), 1);
+}
+
+#[test]
+fn unintt_matrix_babybear() {
+    check_engine_matrix::<BabyBear>(FieldSpec::babybear(), 2);
+}
+
+#[test]
+fn unintt_matrix_bn254() {
+    check_engine_matrix::<Bn254Fr>(FieldSpec::bn254_fr(), 3);
+}
+
+#[test]
+fn all_engines_agree_on_one_input() {
+    let log_n = 10u32;
+    let gpus = 4usize;
+    let fs = FieldSpec::goldilocks();
+    let input = random_vec::<Goldilocks>(1 << log_n, 42);
+    let cfg = presets::a100_nvlink(gpus);
+
+    let reference = {
+        let ntt = Ntt::<Goldilocks>::new(log_n);
+        let mut out = input.clone();
+        ntt.forward(&mut out);
+        out
+    };
+
+    // UniNTT multi-GPU.
+    let unintt = UniNttEngine::<Goldilocks>::new(log_n, &cfg, UniNttOptions::tuned_for(&fs), fs);
+    let mut m1 = Machine::new(cfg.clone(), fs);
+    let mut d1 = Sharded::distribute(&input, gpus, ShardLayout::Cyclic);
+    unintt.forward(&mut m1, &mut d1);
+
+    // Four-step baseline.
+    let four_step = FourStepMultiGpuEngine::<Goldilocks>::new(log_n, &cfg, fs);
+    let mut m2 = Machine::new(cfg.clone(), fs);
+    let mut d2 = Sharded::distribute(&input, gpus, ShardLayout::NaturalBlocks);
+    four_step.forward(&mut m2, &mut d2);
+
+    // Single GPU.
+    let single = single_gpu::engine::<Goldilocks>(log_n, &cfg, fs);
+    let mut m3 = single_gpu::machine(&cfg, fs);
+    let mut d3 = Sharded::distribute(&input, 1, ShardLayout::Cyclic);
+    single.forward(&mut m3, &mut d3);
+
+    assert_eq!(d1.collect(), reference);
+    assert_eq!(d2.collect(), reference);
+    assert_eq!(d3.collect(), reference);
+
+    // And the performance relations hold on this very machine.
+    assert!(m2.max_clock_ns() > m1.max_clock_ns(), "baseline slower than UniNTT");
+    assert!(
+        m2.stats().interconnect_bytes_sent > m1.stats().interconnect_bytes_sent,
+        "baseline moves more bytes"
+    );
+}
+
+#[test]
+fn engine_composes_with_pointwise_ops_for_convolution() {
+    // Cyclic convolution computed entirely through the multi-GPU engine:
+    // forward both, multiply in the (permuted) evaluation domain, inverse.
+    let log_n = 9u32;
+    let gpus = 8usize;
+    let fs = FieldSpec::goldilocks();
+    let cfg = presets::a100_nvlink(gpus);
+    let a = random_vec::<Goldilocks>(1 << log_n, 7);
+    let b = random_vec::<Goldilocks>(1 << log_n, 8);
+
+    let expected = unintt_ntt::cyclic_convolution(&a, &b);
+
+    let engine = UniNttEngine::<Goldilocks>::new(log_n, &cfg, UniNttOptions::tuned_for(&fs), fs);
+    let mut machine = Machine::new(cfg, fs);
+    let mut da = Sharded::distribute(&a, gpus, ShardLayout::Cyclic);
+    let mut db = Sharded::distribute(&b, gpus, ShardLayout::Cyclic);
+    engine.forward(&mut machine, &mut da);
+    engine.forward(&mut machine, &mut db);
+
+    // Pointwise product shard by shard — valid because both outputs are in
+    // the *same* permuted order (the whole point of permuted chaining).
+    for (sa, sb) in da.shards_mut().iter_mut().zip(db.shards()) {
+        for (x, y) in sa.iter_mut().zip(sb) {
+            *x *= *y;
+        }
+    }
+    engine.inverse(&mut machine, &mut da);
+    assert_eq!(da.collect(), expected);
+}

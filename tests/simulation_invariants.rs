@@ -1,0 +1,104 @@
+//! Property-based invariants of the simulator and the decomposition
+//! planner, fuzzing machine shapes and transform sizes.
+
+use proptest::prelude::*;
+use unintt_core::{DecompositionPlan, Sharded, ShardLayout, UniNttEngine, UniNttOptions};
+use unintt_ff::{Field, Goldilocks};
+use unintt_gpu_sim::{presets, FieldSpec, Machine};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn plan_covers_all_stages(log_n in 4u32..28, log_g in 0u32..4, wide in any::<bool>()) {
+        prop_assume!(log_n >= 2 * log_g);
+        let machine = presets::a100_nvlink(1 << log_g);
+        let elem_bytes = if wide { 32 } else { 8 };
+        let plan = DecompositionPlan::plan(log_n, &machine, elem_bytes);
+        prop_assert_eq!(plan.log_g + plan.log_m, log_n);
+        prop_assert_eq!(plan.device_passes.iter().sum::<u32>(), plan.log_m);
+        prop_assert!(plan.device_passes.iter().all(|&p| p <= plan.log_block_tile));
+        prop_assert!(plan.log_warp_tile <= 5);
+    }
+
+    #[test]
+    fn all_to_all_is_involution(log_g in 1u32..4, log_chunk in 0u32..6, seed in any::<u64>()) {
+        let g = 1usize << log_g;
+        let mut machine = Machine::new(presets::a100_nvlink(g), FieldSpec::goldilocks());
+        let len = g << log_chunk;
+        let mut shards: Vec<Vec<u64>> = (0..g)
+            .map(|d| (0..len).map(|j| seed ^ ((d * len + j) as u64)).collect())
+            .collect();
+        let original = shards.clone();
+        machine.all_to_all(&mut shards, 8);
+        machine.all_to_all(&mut shards, 8);
+        prop_assert_eq!(shards, original);
+    }
+
+    #[test]
+    fn sharded_distribute_collect_roundtrip(
+        log_n in 3u32..10,
+        log_g in 0u32..4,
+        layout_idx in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(log_n >= 2 * log_g);
+        let layout = [ShardLayout::Cyclic, ShardLayout::NaturalBlocks, ShardLayout::BlockCyclic][layout_idx];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::SeedableRng;
+        let input: Vec<Goldilocks> =
+            (0..1usize << log_n).map(|_| Goldilocks::random(&mut rng)).collect();
+        let sharded = Sharded::distribute(&input, 1 << log_g, layout);
+        prop_assert_eq!(sharded.collect(), input);
+    }
+
+    #[test]
+    fn engine_forward_inverse_identity(log_n in 6u32..10, log_g in 0u32..4, seed in any::<u64>()) {
+        prop_assume!(log_n >= 2 * log_g);
+        let gpus = 1usize << log_g;
+        let fs = FieldSpec::goldilocks();
+        let cfg = presets::a100_nvlink(gpus);
+        let engine = UniNttEngine::<Goldilocks>::new(log_n, &cfg, UniNttOptions::tuned_for(&fs), fs);
+        let mut machine = Machine::new(cfg, fs);
+
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let input: Vec<Goldilocks> =
+            (0..1usize << log_n).map(|_| Goldilocks::random(&mut rng)).collect();
+        let mut data = Sharded::distribute(&input, gpus, ShardLayout::Cyclic);
+        engine.forward(&mut machine, &mut data);
+        engine.inverse(&mut machine, &mut data);
+        prop_assert_eq!(data.collect(), input);
+    }
+
+    #[test]
+    fn simulated_time_monotone_in_size(log_n in 12u32..24, log_g in 1u32..4) {
+        let gpus = 1usize << log_g;
+        let fs = FieldSpec::goldilocks();
+        let cfg = presets::a100_nvlink(gpus);
+        let t = |ln: u32| {
+            let engine = UniNttEngine::<Goldilocks>::new(ln, &cfg, UniNttOptions::tuned_for(&fs), fs);
+            let mut machine = Machine::new(cfg.clone(), fs);
+            engine.simulate_forward(&mut machine, 1);
+            machine.max_clock_ns()
+        };
+        prop_assert!(t(log_n + 1) >= t(log_n), "doubling N must not get cheaper");
+    }
+
+    #[test]
+    fn interconnect_bytes_exact(log_n in 10u32..24, log_g in 1u32..4) {
+        prop_assume!(log_n >= 2 * log_g);
+        let gpus = 1u64 << log_g;
+        let fs = FieldSpec::goldilocks();
+        let cfg = presets::a100_nvlink(gpus as usize);
+        let engine = UniNttEngine::<Goldilocks>::new(log_n, &cfg, UniNttOptions::tuned_for(&fs), fs);
+        let mut machine = Machine::new(cfg, fs);
+        engine.simulate_forward(&mut machine, 1);
+        // Exactly one all-to-all: per device, shard_bytes * (G-1)/G.
+        let shard_bytes = (1u64 << (log_n - log_g)) * 8;
+        prop_assert_eq!(
+            machine.stats().interconnect_bytes_sent,
+            gpus * shard_bytes * (gpus - 1) / gpus
+        );
+    }
+}
