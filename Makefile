@@ -1,0 +1,25 @@
+# Convenience targets mirroring .github/workflows/ci.yml.
+
+# Crates this project actively develops; vendored offline stubs under
+# vendor/ are exempt from lints.
+CRATES := -p unintt-gpu-sim -p unintt-core -p unintt-fri -p unintt-zkp \
+          -p unintt-msm -p unintt-bench -p unintt-suite
+
+.PHONY: verify fmt clippy build test e13
+
+verify: fmt clippy build test
+
+fmt:
+	cargo fmt --all --check
+
+clippy:
+	cargo clippy --release $(CRATES) --all-targets -- -D warnings
+
+build:
+	cargo build --release --workspace
+
+test:
+	cargo test -q --release --workspace
+
+e13:
+	cargo run --release -p unintt-bench --bin harness -- --quick e13

@@ -19,13 +19,17 @@ fn bench_serial_goldilocks(c: &mut Criterion) {
         let ntt = Ntt::<Goldilocks>::new(log_n);
         let input = random_vec::<Goldilocks>(n, log_n as u64);
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(format!("2^{log_n}")), &n, |b, _| {
-            b.iter_batched(
-                || input.clone(),
-                |mut data| ntt.forward(&mut data),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("2^{log_n}")),
+            &n,
+            |b, _| {
+                b.iter_batched(
+                    || input.clone(),
+                    |mut data| ntt.forward(&mut data),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
     group.finish();
 }
@@ -38,13 +42,17 @@ fn bench_serial_bn254(c: &mut Criterion) {
         let ntt = Ntt::<Bn254Fr>::new(log_n);
         let input = random_vec::<Bn254Fr>(n, log_n as u64);
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(format!("2^{log_n}")), &n, |b, _| {
-            b.iter_batched(
-                || input.clone(),
-                |mut data| ntt.forward(&mut data),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("2^{log_n}")),
+            &n,
+            |b, _| {
+                b.iter_batched(
+                    || input.clone(),
+                    |mut data| ntt.forward(&mut data),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
     group.finish();
 }

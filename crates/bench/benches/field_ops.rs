@@ -19,7 +19,9 @@ fn bench_field<F: Field>(c: &mut Criterion, name: &str) {
     group.bench_function("add", |bench| {
         bench.iter(|| black_box(black_box(a) + black_box(b)))
     });
-    group.bench_function("square", |bench| bench.iter(|| black_box(black_box(a).square())));
+    group.bench_function("square", |bench| {
+        bench.iter(|| black_box(black_box(a).square()))
+    });
     group.bench_function("inverse", |bench| {
         bench.iter(|| black_box(black_box(a).inverse()))
     });

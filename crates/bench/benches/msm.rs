@@ -18,9 +18,11 @@ fn bench_pippenger(c: &mut Criterion) {
     for log_n in [6u32, 8, 10] {
         let n = 1usize << log_n;
         let (scalars, points) = random_pairs(n, log_n as u64);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("2^{log_n}")), &n, |b, _| {
-            b.iter(|| msm(&scalars, &points))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("2^{log_n}")),
+            &n,
+            |b, _| b.iter(|| msm(&scalars, &points)),
+        );
     }
     group.finish();
 }

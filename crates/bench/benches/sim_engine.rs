@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{rngs::StdRng, SeedableRng};
-use unintt_core::{Sharded, ShardLayout, UniNttEngine, UniNttOptions};
+use unintt_core::{ShardLayout, Sharded, UniNttEngine, UniNttOptions};
 use unintt_ff::{Field, Goldilocks};
 use unintt_gpu_sim::{presets, FieldSpec, Machine};
 
@@ -17,20 +17,25 @@ fn bench_functional_engine(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     for log_n in [14u32, 16, 18] {
         let engine = UniNttEngine::<Goldilocks>::new(log_n, &cfg, UniNttOptions::full(), fs);
-        let input: Vec<Goldilocks> =
-            (0..1usize << log_n).map(|_| Goldilocks::random(&mut rng)).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(format!("2^{log_n}")), &log_n, |b, _| {
-            b.iter_batched(
-                || {
-                    (
-                        Machine::new(cfg.clone(), fs),
-                        Sharded::distribute(&input, gpus, ShardLayout::Cyclic),
-                    )
-                },
-                |(mut machine, mut data)| engine.forward(&mut machine, &mut data),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        let input: Vec<Goldilocks> = (0..1usize << log_n)
+            .map(|_| Goldilocks::random(&mut rng))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("2^{log_n}")),
+            &log_n,
+            |b, _| {
+                b.iter_batched(
+                    || {
+                        (
+                            Machine::new(cfg.clone(), fs),
+                            Sharded::distribute(&input, gpus, ShardLayout::Cyclic),
+                        )
+                    },
+                    |(mut machine, mut data)| engine.forward(&mut machine, &mut data),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
     group.finish();
 }
@@ -42,13 +47,17 @@ fn bench_cost_only(c: &mut Criterion) {
     let fs = FieldSpec::goldilocks();
     for log_n in [20u32, 28] {
         let engine = UniNttEngine::<Goldilocks>::new(log_n, &cfg, UniNttOptions::full(), fs);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("2^{log_n}")), &log_n, |b, _| {
-            b.iter(|| {
-                let mut machine = Machine::new(cfg.clone(), fs);
-                engine.simulate_forward(&mut machine, 1);
-                machine.max_clock_ns()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("2^{log_n}")),
+            &log_n,
+            |b, _| {
+                b.iter(|| {
+                    let mut machine = Machine::new(cfg.clone(), fs);
+                    engine.simulate_forward(&mut machine, 1);
+                    machine.max_clock_ns()
+                })
+            },
+        );
     }
     group.finish();
 }

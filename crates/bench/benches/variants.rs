@@ -65,7 +65,9 @@ fn bench_hash_and_commit(c: &mut Criterion) {
     let mut group = c.benchmark_group("variants/fri");
     group.sample_size(10);
     let input = random_vec::<Goldilocks>(1 << 10, 4);
-    group.bench_function("sponge_hash_2^10_elems", |b| b.iter(|| hash_elements(&input)));
+    group.bench_function("sponge_hash_2^10_elems", |b| {
+        b.iter(|| hash_elements(&input))
+    });
 
     let config = FriConfig::standard();
     let trace: Vec<Vec<Goldilocks>> = (0..4).map(|i| random_vec(1 << 10, 10 + i)).collect();

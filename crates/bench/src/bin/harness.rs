@@ -7,7 +7,7 @@ use unintt_bench::Table;
 
 const USAGE: &str = "\
 usage: harness [--quick] <experiment>...
-  <experiment>  one or more of: e1 e2 e3 e4 e5 e6 e7 e8 e9 e11 e12 all
+  <experiment>  one or more of: e1 e2 e3 e4 e5 e6 e7 e8 e9 e11 e12 e13 all
   --quick       trimmed sweeps (seconds instead of minutes)
 ";
 
@@ -38,6 +38,7 @@ fn main() -> ExitCode {
             "e9" => experiments::e9_batching::run(quick),
             "e11" => experiments::e11_stark_commit::run(quick),
             "e12" => experiments::e12_multi_node::run(quick),
+            "e13" => experiments::e13_fault_tolerance::run(quick),
             _ => return None,
         };
         Some(table)

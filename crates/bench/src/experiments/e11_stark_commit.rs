@@ -44,7 +44,10 @@ fn projected(log_rows: u32, width: usize, cfg: &MachineConfig, config: &FriConfi
         });
     };
     charge(&mut machine, big_n * permutations_for(width) + big_n - 1);
-    charge(&mut machine, fri::prove_hash_permutations(config, big_n as usize));
+    charge(
+        &mut machine,
+        fri::prove_hash_permutations(config, big_n as usize),
+    );
     machine.max_clock_ns()
 }
 

@@ -47,7 +47,11 @@ pub fn run(quick: bool) -> Table {
             }
             table.row(vec![
                 nodes.to_string(),
-                if nodes == 1 { "-".into() } else { name.to_string() },
+                if nodes == 1 {
+                    "-".into()
+                } else {
+                    name.to_string()
+                },
                 fmt_ns(t),
                 format!("{:.2}x", baseline_ns / t),
                 crate::report::fmt_bytes(cluster.network_bytes()),
@@ -71,13 +75,8 @@ mod tests {
     fn infiniband_beats_ethernet() {
         let fs = FieldSpec::bn254_fr();
         let node_cfg = presets::a100_nvlink(8);
-        let engine = ClusterNttEngine::<Bn254Fr>::new(
-            26,
-            4,
-            &node_cfg,
-            UniNttOptions::tuned_for(&fs),
-            fs,
-        );
+        let engine =
+            ClusterNttEngine::<Bn254Fr>::new(26, 4, &node_cfg, UniNttOptions::tuned_for(&fs), fs);
         let mut ib = Cluster::new(4, node_cfg.clone(), NetworkConfig::infiniband_400g(), fs);
         engine.simulate_forward(&mut ib);
         let mut eth = Cluster::new(4, node_cfg, NetworkConfig::ethernet_100g(), fs);

@@ -52,7 +52,10 @@ mod tests {
             .map(|l| {
                 let cells: Vec<&str> = l.split_whitespace().collect();
                 // speedup column like "3.10x"
-                cells[cells.len() - 2].trim_end_matches('x').parse().unwrap()
+                cells[cells.len() - 2]
+                    .trim_end_matches('x')
+                    .parse()
+                    .unwrap()
             })
             .collect();
         assert_eq!(times.len(), 4);

@@ -24,7 +24,14 @@ pub fn run(quick: bool) -> Table {
 
     let mut table = Table::new(
         format!("E3: UniNTT vs naive four-step on {gpus}×A100 (BN254-Fr)"),
-        &["log2(N)", "1-GPU", "four-step-4", "UniNTT-4", "UniNTT gain", "multi-GPU worth it?"],
+        &[
+            "log2(N)",
+            "1-GPU",
+            "four-step-4",
+            "UniNTT-4",
+            "UniNTT gain",
+            "multi-GPU worth it?",
+        ],
     );
 
     for &log_n in sizes {
@@ -37,7 +44,11 @@ pub fn run(quick: bool) -> Table {
             fmt_ns(tb),
             fmt_ns(tu),
             format!("{:.2}x", tb / tu),
-            if tu < t1 { "yes".into() } else { "no (latency-bound)".into() },
+            if tu < t1 {
+                "yes".into()
+            } else {
+                "no (latency-bound)".into()
+            },
         ]);
     }
     table.note("UniNTT gain = four-step time / UniNTT time (same GPU count)");
@@ -52,7 +63,11 @@ mod tests {
     fn unintt_always_beats_four_step() {
         let rendered = run(false).render();
         let mut rows = 0;
-        for line in rendered.lines().map(str::trim).filter(|l| l.starts_with("2^")) {
+        for line in rendered
+            .lines()
+            .map(str::trim)
+            .filter(|l| l.starts_with("2^"))
+        {
             rows += 1;
             let gain: f64 = line
                 .split_whitespace()
@@ -81,7 +96,10 @@ mod tests {
         };
         let first = find("2^14");
         let last = find("2^28");
-        assert!(first.contains("no"), "2^14 should be latency-bound: {first}");
+        assert!(
+            first.contains("no"),
+            "2^14 should be latency-bound: {first}"
+        );
         assert!(last.contains("yes"), "2^28 should profit: {last}");
     }
 }

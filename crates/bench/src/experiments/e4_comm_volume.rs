@@ -14,11 +14,21 @@ pub fn run(quick: bool) -> Table {
     let gpus = 8;
     let cfg = presets::a100_nvlink(gpus);
     let fs = FieldSpec::bn254_fr();
-    let sizes: &[u32] = if quick { &[20, 24] } else { &[20, 22, 24, 26, 28] };
+    let sizes: &[u32] = if quick {
+        &[20, 24]
+    } else {
+        &[20, 22, 24, 26, 28]
+    };
 
     let mut table = Table::new(
         format!("E4: inter-GPU traffic per forward NTT ({gpus}×A100, BN254-Fr)"),
-        &["log2(N)", "data size", "UniNTT bytes", "four-step bytes", "ratio"],
+        &[
+            "log2(N)",
+            "data size",
+            "UniNTT bytes",
+            "four-step bytes",
+            "ratio",
+        ],
     );
 
     for &log_n in sizes {
@@ -61,7 +71,11 @@ mod tests {
         let table = run(true);
         let rendered = table.render();
         let mut rows = 0;
-        for line in rendered.lines().map(str::trim).filter(|l| l.starts_with("2^")) {
+        for line in rendered
+            .lines()
+            .map(str::trim)
+            .filter(|l| l.starts_with("2^"))
+        {
             rows += 1;
             let ratio: f64 = line
                 .split_whitespace()

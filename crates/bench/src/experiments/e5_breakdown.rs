@@ -68,8 +68,7 @@ mod tests {
     fn interconnect_is_major_for_cheap_fields() {
         let fs = FieldSpec::goldilocks();
         let cfg = presets::a100_nvlink(8);
-        let (_, stats) =
-            unintt_run::<Goldilocks>(24, &cfg, UniNttOptions::tuned_for(&fs), fs, 1);
+        let (_, stats) = unintt_run::<Goldilocks>(24, &cfg, UniNttOptions::tuned_for(&fs), fs, 1);
         let by_level = stats.raw_time_ns.by_level();
         let total: f64 = by_level.iter().map(|(_, t)| t).sum();
         let multi = by_level

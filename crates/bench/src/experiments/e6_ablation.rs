@@ -38,12 +38,18 @@ pub fn run(quick: bool) -> Table {
     let tuned = UniNttOptions::tuned_for(&fs);
 
     let mut table = Table::new(
-        format!("E6: optimization ablation (UniNTT, 2^{log_n} BN254-Fr, batch {batch}, {gpus}×A100)"),
+        format!(
+            "E6: optimization ablation (UniNTT, 2^{log_n} BN254-Fr, batch {batch}, {gpus}×A100)"
+        ),
         &["configuration", "time", "slowdown"],
     );
 
     let (t_tuned, _) = unintt_run::<Bn254Fr>(log_n, &cfg, tuned, fs, batch);
-    table.row(vec!["tuned (O1-O5)".into(), fmt_ns(t_tuned), "1.00x".into()]);
+    table.row(vec![
+        "tuned (O1-O5)".into(),
+        fmt_ns(t_tuned),
+        "1.00x".into(),
+    ]);
 
     for which in 1..=5u32 {
         let (t, _) = unintt_run::<Bn254Fr>(log_n, &cfg, flipped(tuned, which), fs, batch);

@@ -51,7 +51,11 @@ fn projected(log_rows: u32, ntt_cfg: &MachineConfig, msm_cfg: &MachineConfig) ->
 /// Runs E8 and renders the table.
 pub fn run(quick: bool) -> Table {
     let gpus = 8;
-    let functional_sizes: &[usize] = if quick { &[1 << 8] } else { &[1 << 8, 1 << 10, 1 << 12] };
+    let functional_sizes: &[usize] = if quick {
+        &[1 << 8]
+    } else {
+        &[1 << 8, 1 << 10, 1 << 12]
+    };
     let projected_sizes: &[u32] = if quick { &[20] } else { &[16, 18, 20, 22, 24] };
 
     let mut table = Table::new(
@@ -79,8 +83,7 @@ pub fn run(quick: bool) -> Table {
         assert!(verify(&vk, &proof_sq, &[]), "status-quo proof must verify");
         let r_sq = status_quo.report();
 
-        let mut unintt =
-            Backend::simulated(presets::a100_nvlink(gpus), presets::a100_nvlink(gpus));
+        let mut unintt = Backend::simulated(presets::a100_nvlink(gpus), presets::a100_nvlink(gpus));
         let proof_u = prove(&pk, &witness, &[], &mut unintt);
         assert_eq!(proof_sq, proof_u, "backends must agree bit-for-bit");
         let r_u = unintt.report();

@@ -16,7 +16,11 @@ pub fn run(quick: bool) -> Table {
     let cfg = presets::a100_nvlink(gpus);
     let fs = FieldSpec::bn254_fr();
     let log_n = if quick { 16 } else { 20 };
-    let batches: &[u64] = if quick { &[1, 8, 32] } else { &[1, 2, 4, 8, 16, 32, 64] };
+    let batches: &[u64] = if quick {
+        &[1, 8, 32]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64]
+    };
 
     let mut table = Table::new(
         format!("E9: batch NTT throughput (2^{log_n} BN254-Fr, {gpus}×A100)"),
@@ -57,7 +61,10 @@ mod tests {
         let (t32_on, _) = unintt_run::<Bn254Fr>(16, &cfg, tuned, fs, 32);
         let (t32_off, _) = unintt_run::<Bn254Fr>(16, &cfg, unbatched, fs, 32);
         // Batched 32 should be far cheaper than 32 separate transforms.
-        assert!(t32_on < 0.5 * t32_off, "batching should help: on={t32_on} off={t32_off}");
+        assert!(
+            t32_on < 0.5 * t32_off,
+            "batching should help: on={t32_on} off={t32_off}"
+        );
         // And throughput at batch 32 beats batch 1.
         assert!(32.0 / t32_on > 1.5 * (1.0 / t1_on));
     }

@@ -16,7 +16,7 @@ use unintt_ff::TwoAdicField;
 use unintt_gpu_sim::{FieldSpec, Machine, MachineConfig};
 
 use crate::profiles;
-use crate::{Sharded, ShardLayout, UniNttEngine, UniNttOptions};
+use crate::{ShardLayout, Sharded, UniNttEngine, UniNttOptions};
 
 /// The conventional multi-GPU four-step NTT baseline.
 #[derive(Clone, Debug)]
@@ -117,7 +117,7 @@ impl<F: TwoAdicField> FourStepMultiGpuEngine<F> {
                     1,
                 ));
             });
-            machine.all_to_all(data.shards_mut(), self.field_spec.elem_bytes);
+            machine.all_to_all_unchecked(data.shards_mut(), self.field_spec.elem_bytes);
         }
         data.set_layout(ShardLayout::Cyclic);
     }
@@ -129,7 +129,7 @@ impl<F: TwoAdicField> FourStepMultiGpuEngine<F> {
         if g > 1 {
             let m = data.shard_len();
             let bucket = m / g;
-            machine.all_to_all(data.shards_mut(), self.field_spec.elem_bytes);
+            machine.all_to_all_unchecked(data.shards_mut(), self.field_spec.elem_bytes);
             machine.parallel_phase(data.shards_mut(), |ctx, _dev, shard| {
                 let mut unpacked = vec![F::ZERO; m];
                 for (j, slot) in unpacked.iter_mut().enumerate() {

@@ -20,10 +20,10 @@
 
 use serde::{Deserialize, Serialize};
 use unintt_ff::TwoAdicField;
-use unintt_gpu_sim::{FieldSpec, KernelProfile, Machine, MachineConfig};
+use unintt_gpu_sim::{FabricError, FieldSpec, KernelProfile, Machine, MachineConfig};
 use unintt_ntt::Ntt;
 
-use crate::{Sharded, ShardLayout, UniNttEngine, UniNttOptions};
+use crate::{RecoveryPolicy, ShardLayout, Sharded, UniNttEngine, UniNttOptions};
 
 /// Datacenter network datasheet (node-to-node fabric).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -127,14 +127,47 @@ impl Cluster {
         &self.nodes[i]
     }
 
+    /// Mutable access to one node's machine (to install fault plans or
+    /// inspect traces).
+    pub fn node_mut(&mut self, i: usize) -> &mut Machine {
+        &mut self.nodes[i]
+    }
+
+    /// Nodes whose every GPU is still alive, in index order.
+    pub fn healthy_nodes(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].first_dead_device().is_none())
+            .collect()
+    }
+
     fn charge_network_all_to_all(&mut self, bytes_per_node: u64) {
         let t = self.nodes.len();
-        if t <= 1 {
+        self.charge_network_all_to_all_among(t, bytes_per_node);
+    }
+
+    /// Charges a cross-node all-to-all among `nodes` participants (the
+    /// degraded path exchanges among survivors only).
+    fn charge_network_all_to_all_among(&mut self, nodes: usize, bytes_per_node: u64) {
+        if nodes <= 1 {
             return;
         }
-        self.network_ns += self.network.all_to_all_ns(t, bytes_per_node);
-        self.network_bytes += (bytes_per_node * (t as u64 - 1) / t as u64) * t as u64;
+        self.network_ns += self.network.all_to_all_ns(nodes, bytes_per_node);
+        self.network_bytes += (bytes_per_node * (nodes as u64 - 1) / nodes as u64) * nodes as u64;
     }
+}
+
+/// Outcome of a fault-tolerant cluster run ([`ClusterNttEngine::forward_with_recovery`]).
+#[derive(Clone, Debug)]
+pub struct ClusterRunReport<F> {
+    /// The transform result in natural order (bit-identical to the CPU
+    /// reference whenever `Ok` is returned).
+    pub output: Vec<F>,
+    /// How many times the decomposition was re-derived over survivors.
+    pub replans: u32,
+    /// Nodes evicted mid-run by a permanent device loss, in eviction order.
+    pub lost_nodes: Vec<usize>,
+    /// How many nodes the final (successful) plan spanned.
+    pub nodes_used: usize,
 }
 
 /// The cluster-scale UniNTT engine.
@@ -144,6 +177,10 @@ pub struct ClusterNttEngine<F: TwoAdicField> {
     node_engine: UniNttEngine<F>,
     outer: Ntt<F>,
     field_spec: FieldSpec,
+    /// Kept so the decomposition can be re-derived over survivors after a
+    /// permanent node loss.
+    node_cfg: MachineConfig,
+    opts: UniNttOptions,
 }
 
 impl<F: TwoAdicField> ClusterNttEngine<F> {
@@ -181,6 +218,8 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
             node_engine: UniNttEngine::new(log_n - log_t, node_cfg, node_opts, field_spec),
             outer: Ntt::new(log_t),
             field_spec,
+            node_cfg: node_cfg.clone(),
+            opts,
         }
     }
 
@@ -221,8 +260,11 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
         // node-boundary twiddle ω_N^{t·k2}.
         let omega = F::two_adic_generator(self.log_n);
         let gpus = self.node_engine.plan().num_gpus();
-        for (node_idx, (machine, shard)) in
-            cluster.nodes.iter_mut().zip(node_shards.iter_mut()).enumerate()
+        for (node_idx, (machine, shard)) in cluster
+            .nodes
+            .iter_mut()
+            .zip(node_shards.iter_mut())
+            .enumerate()
         {
             let mut data = Sharded::distribute(shard, gpus, ShardLayout::Cyclic);
             self.node_engine.forward(machine, &mut data);
@@ -277,6 +319,181 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
                 ctx.launch(&profile);
             });
         }
+    }
+
+    /// Fault-tolerant forward NTT with degraded re-planning.
+    ///
+    /// Takes the input in natural host order and returns the transform in
+    /// natural order, surviving permanent device losses inside node
+    /// machines: when a node's engine reports [`FabricError::DeviceLost`],
+    /// the node is evicted, the mixed-radix decomposition is re-derived
+    /// over the largest power-of-two subset of healthy nodes, and the run
+    /// replays from the last completed checkpoint. With the simulated
+    /// fault model only the node phase (level 0 → 1) can fail — the
+    /// cross-node exchange is charged analytically — so a replan resumes
+    /// from the level-0 checkpoint, i.e. the input itself; transient drops
+    /// and corrupted transfers are absorbed *within* a plan by the node
+    /// engines' retry/checksum machinery and never reach this level.
+    ///
+    /// Simulated time accumulates across replans on every surviving
+    /// machine, so the recovery overhead of a policy is directly visible
+    /// in [`Cluster::total_time_ns`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the final [`FabricError`] when no healthy node subset can
+    /// complete the transform (all nodes lost, or a transient fault
+    /// outlived `policy.max_retries`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the planned transform size or
+    /// the cluster does not match the plan.
+    pub fn forward_with_recovery(
+        &self,
+        cluster: &mut Cluster,
+        input: &[F],
+        policy: &RecoveryPolicy,
+    ) -> Result<ClusterRunReport<F>, FabricError> {
+        assert_eq!(input.len(), self.n(), "input length mismatch");
+        assert_eq!(
+            cluster.num_nodes(),
+            self.num_nodes(),
+            "cluster does not match the plan"
+        );
+        let mut survivors = cluster.healthy_nodes();
+        let mut replans = 0u32;
+        let mut lost_nodes = Vec::new();
+        let mut last_err = None;
+        loop {
+            let mut t = 0usize;
+            if !survivors.is_empty() {
+                t = 1;
+                while t * 2 <= survivors.len() {
+                    t *= 2;
+                }
+            }
+            if t == 0 {
+                return Err(last_err.unwrap_or(FabricError::DeviceLost {
+                    device: 0,
+                    seq: cluster.nodes.first().map_or(0, Machine::collective_seq),
+                }));
+            }
+            // Checkpoint level 0: the input vector. Every replan re-derives
+            // the plan over the survivor prefix and replays from here.
+            let plan = if t == self.num_nodes() {
+                None
+            } else {
+                Some(Self::new(
+                    self.log_n,
+                    t,
+                    &self.node_cfg,
+                    self.opts,
+                    self.field_spec,
+                ))
+            };
+            let plan = plan.as_ref().unwrap_or(self);
+            match plan.try_forward_active(cluster, &survivors[..t], input, policy) {
+                Ok(output) => {
+                    return Ok(ClusterRunReport {
+                        output,
+                        replans,
+                        lost_nodes,
+                        nodes_used: t,
+                    })
+                }
+                Err((Some(node), e)) => {
+                    lost_nodes.push(node);
+                    survivors.retain(|&i| i != node);
+                    replans += 1;
+                    last_err = Some(e);
+                }
+                Err((None, e)) => return Err(e),
+            }
+        }
+    }
+
+    /// One attempt of the three cluster phases over the `active` node
+    /// subset (which must have exactly `self.num_nodes()` entries).
+    /// Returns `Err((Some(node), e))` when `node` suffered a permanent
+    /// device loss (recoverable by eviction), `Err((None, e))` for
+    /// non-recoverable fabric errors.
+    fn try_forward_active(
+        &self,
+        cluster: &mut Cluster,
+        active: &[usize],
+        input: &[F],
+        policy: &RecoveryPolicy,
+    ) -> Result<Vec<F>, (Option<usize>, FabricError)> {
+        let t = self.num_nodes();
+        debug_assert_eq!(active.len(), t);
+        let r = self.n() / t;
+        let mut shards = self.distribute(input);
+
+        // Level 0 → 1: per-node UniNTT + fused boundary twiddle.
+        let omega = F::two_adic_generator(self.log_n);
+        let gpus = self.node_engine.plan().num_gpus();
+        for (slot, (&node, shard)) in active.iter().zip(shards.iter_mut()).enumerate() {
+            let machine = &mut cluster.nodes[node];
+            let mut data = Sharded::distribute(shard, gpus, ShardLayout::Cyclic);
+            if let Err(e) = self.node_engine.try_forward(machine, &mut data, policy) {
+                return match e {
+                    FabricError::DeviceLost { .. } => Err((Some(node), e)),
+                    other => Err((None, other)),
+                };
+            }
+            *shard = data.collect();
+
+            let step = omega.pow(slot as u64);
+            let mut cur = F::ONE;
+            for v in shard.iter_mut() {
+                *v *= cur;
+                cur *= step;
+            }
+            let mut profile = KernelProfile::named("node-boundary-twiddle");
+            profile.field_muls = r as u64 / gpus as u64;
+            profile.blocks = (r as u64 / 256).max(1);
+            let mut unused = ();
+            machine.on_device(0, &mut unused, |ctx, _| {
+                ctx.launch(&profile);
+            });
+        }
+
+        // Level 1 → 2: cross-node all-to-all among the survivors only.
+        let chunk = r / t;
+        let old: Vec<Vec<F>> = shards.to_vec();
+        for (dst, shard) in shards.iter_mut().enumerate() {
+            for (src, old_shard) in old.iter().enumerate() {
+                shard[src * chunk..(src + 1) * chunk]
+                    .copy_from_slice(&old_shard[dst * chunk..(dst + 1) * chunk]);
+            }
+        }
+        cluster.charge_network_all_to_all_among(t, (r * self.field_spec.elem_bytes) as u64);
+
+        // Level 2 → 3: size-T outer NTTs on each surviving node.
+        for (&node, shard) in active.iter().zip(shards.iter_mut()) {
+            let machine = &mut cluster.nodes[node];
+            let mut col = vec![F::ZERO; t];
+            for j in 0..chunk {
+                for (src, slot) in col.iter_mut().enumerate() {
+                    *slot = shard[src * chunk + j];
+                }
+                self.outer.forward(&mut col);
+                for (k1, &v) in col.iter().enumerate() {
+                    shard[k1 * chunk + j] = v;
+                }
+            }
+            let mut profile = KernelProfile::named("cluster-outer-ntt");
+            profile.field_muls = (r as u64 / 2) * self.log_t as u64 / gpus as u64;
+            profile.global_bytes_read = (r * self.field_spec.elem_bytes) as u64;
+            profile.global_bytes_written = (r * self.field_spec.elem_bytes) as u64;
+            profile.blocks = (r as u64 / 256).max(1);
+            let mut unused = ();
+            machine.on_device(0, &mut unused, |ctx, _| {
+                ctx.launch(&profile);
+            });
+        }
+        Ok(self.collect(&shards))
     }
 
     /// Reassembles the cluster output into the natural-order host vector.
@@ -401,10 +618,7 @@ mod tests {
         engine.forward(&mut cluster, &mut shards);
         // Each node sends (T-1)/T of its R-element shard once.
         let r_bytes = (1u64 << (log_n - 2)) * 8;
-        assert_eq!(
-            cluster.network_bytes(),
-            r_bytes * 3 / 4 * nodes as u64
-        );
+        assert_eq!(cluster.network_bytes(), r_bytes * 3 / 4 * nodes as u64);
     }
 
     #[test]
@@ -421,7 +635,12 @@ mod tests {
             fs,
         );
 
-        let mut real = Cluster::new(nodes, node_cfg.clone(), NetworkConfig::infiniband_400g(), fs);
+        let mut real = Cluster::new(
+            nodes,
+            node_cfg.clone(),
+            NetworkConfig::infiniband_400g(),
+            fs,
+        );
         let input = random_vec(1 << log_n, 2);
         let mut shards = engine.distribute(&input);
         engine.forward(&mut real, &mut shards);
@@ -443,6 +662,120 @@ mod tests {
         assert!(t8 > t2, "more nodes exchange a larger fraction");
         let eth = NetworkConfig::ethernet_100g();
         assert!(eth.all_to_all_ns(4, 1 << 30) > net.all_to_all_ns(4, 1 << 30));
+    }
+
+    #[test]
+    fn recovery_without_faults_matches_reference() {
+        let fs = FieldSpec::goldilocks();
+        let node_cfg = presets::a100_nvlink(4);
+        let engine = ClusterNttEngine::<Goldilocks>::new(
+            12,
+            4,
+            &node_cfg,
+            UniNttOptions::tuned_for(&fs),
+            fs,
+        );
+        let mut cluster = Cluster::new(4, node_cfg, NetworkConfig::infiniband_400g(), fs);
+        let input = random_vec(1 << 12, 11);
+        let report = engine
+            .forward_with_recovery(&mut cluster, &input, &RecoveryPolicy::default())
+            .unwrap();
+        assert_eq!(report.output, reference(&input));
+        assert_eq!(report.replans, 0);
+        assert!(report.lost_nodes.is_empty());
+        assert_eq!(report.nodes_used, 4);
+    }
+
+    #[test]
+    fn recovery_skips_pre_dead_node() {
+        let fs = FieldSpec::goldilocks();
+        let node_cfg = presets::a100_nvlink(4);
+        let engine = ClusterNttEngine::<Goldilocks>::new(
+            12,
+            4,
+            &node_cfg,
+            UniNttOptions::tuned_for(&fs),
+            fs,
+        );
+        let mut cluster = Cluster::new(4, node_cfg, NetworkConfig::infiniband_400g(), fs);
+        cluster.node_mut(2).fail_device(1);
+        let input = random_vec(1 << 12, 12);
+        let report = engine
+            .forward_with_recovery(&mut cluster, &input, &RecoveryPolicy::default())
+            .unwrap();
+        assert_eq!(report.output, reference(&input));
+        // Three healthy nodes -> largest power-of-two subset is two.
+        assert_eq!(report.nodes_used, 2);
+        assert_eq!(
+            report.replans, 0,
+            "pre-dead nodes are excluded, not replanned"
+        );
+    }
+
+    #[test]
+    fn mid_run_node_loss_replans_and_recovers() {
+        use unintt_gpu_sim::{FaultEvent, FaultKind, FaultPlan};
+        let fs = FieldSpec::goldilocks();
+        let node_cfg = presets::a100_nvlink(4);
+        let engine = ClusterNttEngine::<Goldilocks>::new(
+            12,
+            4,
+            &node_cfg,
+            UniNttOptions::tuned_for(&fs),
+            fs,
+        );
+        let mut cluster = Cluster::new(4, node_cfg, NetworkConfig::infiniband_400g(), fs);
+        // Node 1 loses GPU 3 at its first collective.
+        cluster
+            .node_mut(1)
+            .set_fault_plan(FaultPlan::scripted(vec![FaultEvent {
+                seq: 0,
+                kind: FaultKind::DeviceLoss { device: 3 },
+            }]));
+        let input = random_vec(1 << 12, 13);
+        let report = engine
+            .forward_with_recovery(&mut cluster, &input, &RecoveryPolicy::default())
+            .unwrap();
+        assert_eq!(
+            report.output,
+            reference(&input),
+            "degraded result must stay exact"
+        );
+        assert_eq!(report.replans, 1);
+        assert_eq!(report.lost_nodes, vec![1]);
+        assert_eq!(report.nodes_used, 2);
+        assert!(!cluster.node(1).is_alive(3));
+    }
+
+    #[test]
+    fn all_nodes_lost_reports_error() {
+        use unintt_gpu_sim::{FaultEvent, FaultKind, FaultPlan};
+        let fs = FieldSpec::goldilocks();
+        let node_cfg = presets::a100_nvlink(2);
+        let engine = ClusterNttEngine::<Goldilocks>::new(
+            12,
+            2,
+            &node_cfg,
+            UniNttOptions::tuned_for(&fs),
+            fs,
+        );
+        let mut cluster = Cluster::new(2, node_cfg, NetworkConfig::infiniband_400g(), fs);
+        for i in 0..2 {
+            cluster
+                .node_mut(i)
+                .set_fault_plan(FaultPlan::scripted(vec![FaultEvent {
+                    seq: 0,
+                    kind: FaultKind::DeviceLoss { device: 0 },
+                }]));
+        }
+        let input = random_vec(1 << 12, 14);
+        let err = engine
+            .forward_with_recovery(&mut cluster, &input, &RecoveryPolicy::default())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            unintt_gpu_sim::FabricError::DeviceLost { .. }
+        ));
     }
 
     #[test]

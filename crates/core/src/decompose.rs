@@ -173,10 +173,7 @@ mod tests {
             plan.log_m,
             "device passes must cover the local transform"
         );
-        assert!(plan
-            .device_passes
-            .iter()
-            .all(|&p| p <= plan.log_block_tile));
+        assert!(plan.device_passes.iter().all(|&p| p <= plan.log_block_tile));
     }
 
     #[test]

@@ -34,11 +34,11 @@
 use std::sync::OnceLock;
 
 use unintt_ff::TwoAdicField;
-use unintt_gpu_sim::{FieldSpec, Machine, MachineConfig};
+use unintt_gpu_sim::{FabricError, FieldSpec, Machine, MachineConfig};
 use unintt_ntt::{Direction, Ntt};
 
 use crate::profiles;
-use crate::{DecompositionPlan, Sharded, ShardLayout, UniNttOptions};
+use crate::{DecompositionPlan, RecoveryPolicy, ShardLayout, Sharded, UniNttOptions};
 
 /// The UniNTT multi-GPU NTT engine.
 #[derive(Clone, Debug)]
@@ -159,6 +159,28 @@ impl<F: TwoAdicField> UniNttEngine<F> {
     /// single (larger) all-to-all; without it every vector pays its own
     /// kernels and collectives.
     pub fn forward_batch(&self, machine: &mut Machine, batch: &mut [Sharded<F>]) {
+        self.try_forward_batch(machine, batch, &RecoveryPolicy::none())
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fault-tolerant [`Self::forward_batch`]: dropped collectives are
+    /// retried up to `policy.max_retries` times with exponential backoff
+    /// (charged as simulated fault time), and with
+    /// [`RecoveryPolicy::verify_checksums`] corrupted chunks are detected
+    /// and re-requested. Permanent failures (device loss, retry budget
+    /// exhausted) surface as [`FabricError`]s — multi-machine callers
+    /// re-plan around them ([`crate::ClusterNttEngine`]).
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::CollectiveDropped`] once retries are exhausted;
+    /// [`FabricError::DeviceLost`] on device loss.
+    pub fn try_forward_batch(
+        &self,
+        machine: &mut Machine,
+        batch: &mut [Sharded<F>],
+        policy: &RecoveryPolicy,
+    ) -> Result<(), FabricError> {
         self.check_batch(machine, batch, ShardLayout::Cyclic);
         let g = self.plan.num_gpus();
 
@@ -167,7 +189,7 @@ impl<F: TwoAdicField> UniNttEngine<F> {
 
         if g > 1 {
             // Phase 2: the single all-to-all.
-            self.exchange(machine, batch);
+            self.exchange(machine, batch, policy)?;
             // Phase 3: outer size-G NTTs.
             self.outer_phase(machine, batch, Direction::Forward);
         }
@@ -177,7 +199,7 @@ impl<F: TwoAdicField> UniNttEngine<F> {
 
         if self.opts.natural_output {
             if g > 1 {
-                self.exchange(machine, batch);
+                self.exchange(machine, batch, policy)?;
             }
             // For g == 1 the block-cyclic and natural layouts coincide, so
             // only the stamp changes.
@@ -185,10 +207,27 @@ impl<F: TwoAdicField> UniNttEngine<F> {
                 item.set_layout(ShardLayout::NaturalBlocks);
             }
         }
+        Ok(())
     }
 
     /// Inverse NTT of a batch (exact inverse of [`Self::forward_batch`]).
     pub fn inverse_batch(&self, machine: &mut Machine, batch: &mut [Sharded<F>]) {
+        self.try_inverse_batch(machine, batch, &RecoveryPolicy::none())
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fault-tolerant [`Self::inverse_batch`]; see
+    /// [`Self::try_forward_batch`] for the recovery semantics.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::try_forward_batch`].
+    pub fn try_inverse_batch(
+        &self,
+        machine: &mut Machine,
+        batch: &mut [Sharded<F>],
+        policy: &RecoveryPolicy,
+    ) -> Result<(), FabricError> {
         let g = self.plan.num_gpus();
         let expected = if self.opts.natural_output {
             ShardLayout::NaturalBlocks
@@ -200,7 +239,7 @@ impl<F: TwoAdicField> UniNttEngine<F> {
         if self.opts.natural_output {
             // The chunk transpose is an involution: natural → block-cyclic.
             if g > 1 {
-                self.exchange(machine, batch);
+                self.exchange(machine, batch, policy)?;
             }
             for item in batch.iter_mut() {
                 item.set_layout(ShardLayout::BlockCyclic);
@@ -210,13 +249,61 @@ impl<F: TwoAdicField> UniNttEngine<F> {
         if g > 1 {
             // Undo phase 3, then undo the exchange.
             self.outer_phase(machine, batch, Direction::Inverse);
-            self.exchange(machine, batch);
+            self.exchange(machine, batch, policy)?;
         }
         // Undo phase 1 (boundary twiddle then local inverse NTT).
         self.local_phase(machine, batch, Direction::Inverse);
         for item in batch.iter_mut() {
             item.set_layout(ShardLayout::Cyclic);
         }
+        Ok(())
+    }
+
+    /// Fault-tolerant [`Self::forward`] for a single vector.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::try_forward_batch`]. On error the vector's contents are
+    /// unspecified (mid-transform); re-run from the caller's checkpoint.
+    pub fn try_forward(
+        &self,
+        machine: &mut Machine,
+        data: &mut Sharded<F>,
+        policy: &RecoveryPolicy,
+    ) -> Result<(), FabricError> {
+        let mut batch = [std::mem::replace(
+            data,
+            Sharded::from_shards(vec![vec![F::ZERO]], ShardLayout::Cyclic),
+        )];
+        let res = self.try_forward_batch(machine, &mut batch, policy);
+        *data = std::mem::replace(
+            &mut batch[0],
+            Sharded::from_shards(vec![vec![F::ZERO]], ShardLayout::Cyclic),
+        );
+        res
+    }
+
+    /// Fault-tolerant [`Self::inverse`] for a single vector.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::try_forward`].
+    pub fn try_inverse(
+        &self,
+        machine: &mut Machine,
+        data: &mut Sharded<F>,
+        policy: &RecoveryPolicy,
+    ) -> Result<(), FabricError> {
+        let mut batch = [std::mem::replace(
+            data,
+            Sharded::from_shards(vec![vec![F::ZERO]], ShardLayout::BlockCyclic),
+        )];
+        let res = self.try_inverse_batch(machine, &mut batch, policy);
+        *data = std::mem::replace(
+            &mut batch[0],
+            Sharded::from_shards(vec![vec![F::ZERO]], ShardLayout::BlockCyclic),
+        );
+        res
     }
 
     fn check_batch(&self, machine: &Machine, batch: &[Sharded<F>], layout: ShardLayout) {
@@ -288,12 +375,7 @@ impl<F: TwoAdicField> UniNttEngine<F> {
     }
 
     /// Charges the cost of one local phase for a batch of `b` vectors.
-    fn charge_local(
-        &self,
-        ctx: &mut unintt_gpu_sim::DeviceCtx<'_>,
-        b: u64,
-        direction: Direction,
-    ) {
+    fn charge_local(&self, ctx: &mut unintt_gpu_sim::DeviceCtx<'_>, b: u64, direction: Direction) {
         let g = self.plan.num_gpus();
         let (plan, opts, fs) = (&self.plan, &self.opts, self.field_spec);
         let launches = if opts.batching { 1 } else { b };
@@ -306,7 +388,9 @@ impl<F: TwoAdicField> UniNttEngine<F> {
                 ctx.launch(&p);
             }
             if !opts.fuse_twiddle && g > 1 {
-                ctx.launch(&profiles::twiddle_kernel_profile(plan, opts, fs, per_launch));
+                ctx.launch(&profiles::twiddle_kernel_profile(
+                    plan, opts, fs, per_launch,
+                ));
             }
             if !opts.fuse_exchange && g > 1 {
                 // Standalone pack (forward) / unpack (inverse) pass.
@@ -377,15 +461,32 @@ impl<F: TwoAdicField> UniNttEngine<F> {
 
     /// Coset forward NTT of a batch: one fused scale phase plus one
     /// batched transform (shared passes and collectives under O5).
-    pub fn coset_forward_batch(
+    pub fn coset_forward_batch(&self, machine: &mut Machine, batch: &mut [Sharded<F>], shift: F) {
+        assert!(!shift.is_zero(), "coset shift must be nonzero");
+        self.scale_phase_batch(machine, batch, shift);
+        self.forward_batch(machine, batch);
+    }
+
+    /// Fault-tolerant twin of [`Self::coset_forward_batch`]: the scale
+    /// phase is collective-free, the transform runs under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`FabricError`] that outlived the policy's retries.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Self::coset_forward_batch`].
+    pub fn try_coset_forward_batch(
         &self,
         machine: &mut Machine,
         batch: &mut [Sharded<F>],
         shift: F,
-    ) {
+        policy: &RecoveryPolicy,
+    ) -> Result<(), FabricError> {
         assert!(!shift.is_zero(), "coset shift must be nonzero");
         self.scale_phase_batch(machine, batch, shift);
-        self.forward_batch(machine, batch);
+        self.try_forward_batch(machine, batch, policy)
     }
 
     /// Scales element `i` of the cyclic-distributed vector by `shift^i`:
@@ -538,12 +639,47 @@ impl<F: TwoAdicField> UniNttEngine<F> {
         });
     }
 
+    /// One all-to-all under the recovery policy: transient drops are
+    /// retried with exponential backoff (charged as simulated fault
+    /// time); with checksums on, corrupted chunks are repaired inside the
+    /// collective. Drops are atomic — no data moves on a failed attempt —
+    /// so retrying the same buffers is always safe.
+    fn exchange_step(
+        &self,
+        machine: &mut Machine,
+        shards: &mut [Vec<F>],
+        policy: &RecoveryPolicy,
+    ) -> Result<(), FabricError> {
+        let elem_bytes = self.field_spec.elem_bytes;
+        let mut attempt = 0;
+        loop {
+            let res = if policy.verify_checksums {
+                machine.all_to_all_checked(shards, elem_bytes)
+            } else {
+                machine.all_to_all(shards, elem_bytes)
+            };
+            match res {
+                Ok(_) => return Ok(()),
+                Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                    machine.charge_fault_ns("retry-backoff", policy.backoff_ns(attempt));
+                    machine.count_retry();
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// The multi-GPU exchange: one all-to-all carrying the whole batch
     /// (batching on) or one per vector (batching off).
-    fn exchange(&self, machine: &mut Machine, batch: &mut [Sharded<F>]) {
+    fn exchange(
+        &self,
+        machine: &mut Machine,
+        batch: &mut [Sharded<F>],
+        policy: &RecoveryPolicy,
+    ) -> Result<(), FabricError> {
         let g = self.plan.num_gpus();
         let m = self.plan.shard_len();
-        let elem_bytes = self.field_spec.elem_bytes;
 
         if self.opts.batching && batch.len() > 1 {
             // Pack chunk-major so one all-to-all carries every vector:
@@ -555,15 +691,13 @@ impl<F: TwoAdicField> UniNttEngine<F> {
                     let mut buf = Vec::with_capacity(b * m);
                     for c in 0..g {
                         for item in batch.iter() {
-                            buf.extend_from_slice(
-                                &item.shards()[dev][c * chunk..(c + 1) * chunk],
-                            );
+                            buf.extend_from_slice(&item.shards()[dev][c * chunk..(c + 1) * chunk]);
                         }
                     }
                     buf
                 })
                 .collect();
-            machine.all_to_all(&mut combined, elem_bytes);
+            self.exchange_step(machine, &mut combined, policy)?;
             for (dev, buf) in combined.into_iter().enumerate() {
                 // Received layout: for src in 0..g, for item, chunk data.
                 let mut offset = 0;
@@ -577,9 +711,10 @@ impl<F: TwoAdicField> UniNttEngine<F> {
             }
         } else {
             for item in batch.iter_mut() {
-                machine.all_to_all(item.shards_mut(), elem_bytes);
+                self.exchange_step(machine, item.shards_mut(), policy)?;
             }
         }
+        Ok(())
     }
 }
 
@@ -659,8 +794,7 @@ mod tests {
         let expected = reference_forward(&input);
         let mut opts = UniNttOptions::full();
         opts.natural_output = true;
-        let (actual, _) =
-            run_forward(log_n, 4, opts, FieldSpec::goldilocks(), &input);
+        let (actual, _) = run_forward(log_n, 4, opts, FieldSpec::goldilocks(), &input);
         assert_eq!(actual, expected);
     }
 
@@ -672,8 +806,7 @@ mod tests {
         let mut all = vec![UniNttOptions::full(), UniNttOptions::none()];
         all.extend((1..=5).map(UniNttOptions::ablate));
         for opts in all {
-            let (actual, _) =
-                run_forward(log_n, 4, opts, FieldSpec::goldilocks(), &input);
+            let (actual, _) = run_forward(log_n, 4, opts, FieldSpec::goldilocks(), &input);
             assert_eq!(actual, expected, "opts={opts:?}");
         }
     }
@@ -944,10 +1077,7 @@ mod coset_tests {
 
         let (rt, st) = (real.max_clock_ns(), sim.max_clock_ns());
         assert!((rt - st).abs() < 1e-6 * rt, "real={rt} sim={st}");
-        assert_eq!(
-            real.stats().kernels_launched,
-            sim.stats().kernels_launched
-        );
+        assert_eq!(real.stats().kernels_launched, sim.stats().kernels_launched);
     }
 
     #[test]
@@ -994,8 +1124,7 @@ mod coset_tests {
     fn zero_shift_rejected() {
         let fs = FieldSpec::goldilocks();
         let cfg = presets::a100_nvlink(2);
-        let engine =
-            UniNttEngine::<Goldilocks>::new(6, &cfg, UniNttOptions::tuned_for(&fs), fs);
+        let engine = UniNttEngine::<Goldilocks>::new(6, &cfg, UniNttOptions::tuned_for(&fs), fs);
         let mut machine = Machine::new(cfg, fs);
         let input = random_vec(64, 4);
         let mut data = Sharded::distribute(&input, 2, ShardLayout::Cyclic);

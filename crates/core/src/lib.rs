@@ -44,11 +44,13 @@ mod decompose;
 mod engine;
 mod opts;
 pub mod profiles;
+mod recovery;
 mod sharded;
 
 pub use baseline::{single_gpu, FourStepMultiGpuEngine};
-pub use cluster::{Cluster, ClusterNttEngine, NetworkConfig};
+pub use cluster::{Cluster, ClusterNttEngine, ClusterRunReport, NetworkConfig};
 pub use decompose::{DecompositionPlan, LOG_WARP_TILE, MAX_LOG_BLOCK_TILE};
 pub use engine::UniNttEngine;
 pub use opts::UniNttOptions;
-pub use sharded::{Sharded, ShardLayout};
+pub use recovery::RecoveryPolicy;
+pub use sharded::{ShardLayout, Sharded};

@@ -48,10 +48,7 @@ impl<F: Field> Sharded<F> {
             shards.len().is_power_of_two(),
             "GPU count must be a power of two"
         );
-        assert!(
-            len.is_power_of_two(),
-            "shard length must be a power of two"
-        );
+        assert!(len.is_power_of_two(), "shard length must be a power of two");
         Self { shards, layout }
     }
 
@@ -64,7 +61,10 @@ impl<F: Field> Sharded<F> {
     /// shard length is smaller than the GPU count.
     pub fn distribute(input: &[F], num_gpus: usize, layout: ShardLayout) -> Self {
         let n = input.len();
-        assert!(num_gpus.is_power_of_two(), "GPU count must be a power of two");
+        assert!(
+            num_gpus.is_power_of_two(),
+            "GPU count must be a power of two"
+        );
         assert_eq!(n % num_gpus, 0, "input not divisible across GPUs");
         let m = n / num_gpus;
         assert!(m.is_power_of_two(), "shard length must be a power of two");

@@ -55,7 +55,11 @@ fn multi_gpu_wins_at_large_sizes() {
                 unintt_time::<Bn254Fr>(log_n, 8, fs)
             };
             let speedup = t1 / t8;
-            println!("{name} 2^{log_n}: single={:.1}us  unintt8={:.1}us  speedup={speedup:.2}x", t1 / 1e3, t8 / 1e3);
+            println!(
+                "{name} 2^{log_n}: single={:.1}us  unintt8={:.1}us  speedup={speedup:.2}x",
+                t1 / 1e3,
+                t8 / 1e3
+            );
             assert!(
                 speedup > 1.0,
                 "8 GPUs must beat 1 at 2^{log_n} {name}: {speedup:.2}"
@@ -69,7 +73,12 @@ fn unintt_beats_naive_baseline() {
     for log_n in [20u32, 24] {
         let u = unintt_time::<Bn254Fr>(log_n, 8, FieldSpec::bn254_fr());
         let b = baseline_time::<Bn254Fr>(log_n, 8, FieldSpec::bn254_fr());
-        println!("2^{log_n}: unintt={:.1}us naive={:.1}us ratio={:.2}x", u / 1e3, b / 1e3, b / u);
+        println!(
+            "2^{log_n}: unintt={:.1}us naive={:.1}us ratio={:.2}x",
+            u / 1e3,
+            b / 1e3,
+            b / u
+        );
         assert!(b > u, "naive baseline must be slower at 2^{log_n}");
     }
 }

@@ -98,7 +98,11 @@ impl Sub for BabyBear {
     #[inline]
     fn sub(self, rhs: Self) -> Self {
         let (d, borrow) = self.0.overflowing_sub(rhs.0);
-        Self(if borrow { d.wrapping_add(BABYBEAR_MODULUS) } else { d })
+        Self(if borrow {
+            d.wrapping_add(BABYBEAR_MODULUS)
+        } else {
+            d
+        })
     }
 }
 
@@ -258,8 +262,7 @@ mod tests {
         for _ in 0..10_000 {
             let a = BabyBear::random(&mut rng);
             let b = BabyBear::random(&mut rng);
-            let expected =
-                (a.value() as u64 * b.value() as u64 % BABYBEAR_MODULUS as u64) as u32;
+            let expected = (a.value() as u64 * b.value() as u64 % BABYBEAR_MODULUS as u64) as u32;
             assert_eq!((a * b).value(), expected);
         }
     }

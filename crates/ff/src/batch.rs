@@ -71,10 +71,7 @@ pub fn powers<F: Field>(base: F, n: usize) -> Vec<F> {
 /// Horner evaluation of a polynomial given in coefficient order
 /// (`coeffs[0]` is the constant term) at point `x`.
 pub fn horner_eval<F: Field>(coeffs: &[F], x: F) -> F {
-    coeffs
-        .iter()
-        .rev()
-        .fold(F::ZERO, |acc, &c| acc * x + c)
+    coeffs.iter().rev().fold(F::ZERO, |acc, &c| acc * x + c)
 }
 
 /// Element-wise product of two equal-length slices.
@@ -159,7 +156,10 @@ mod tests {
             horner_eval(&coeffs, Goldilocks::from_u64(5)).to_canonical_u64(),
             42
         );
-        assert_eq!(horner_eval::<Goldilocks>(&[], Goldilocks::TWO), Goldilocks::ZERO);
+        assert_eq!(
+            horner_eval::<Goldilocks>(&[], Goldilocks::TWO),
+            Goldilocks::ZERO
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@
 use serde::{Deserialize, Serialize};
 
 /// A 256-bit unsigned integer stored as four little-endian `u64` limbs.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct U256(pub [u64; 4]);
 
 impl U256 {
@@ -98,9 +100,8 @@ impl U256 {
             let mut carry = 0u64;
             let mut j = 0;
             while j < 4 {
-                let t = (self.0[i] as u128) * (rhs.0[j] as u128)
-                    + (w[i + j] as u128)
-                    + (carry as u128);
+                let t =
+                    (self.0[i] as u128) * (rhs.0[j] as u128) + (w[i + j] as u128) + (carry as u128);
                 w[i + j] = t as u64;
                 carry = (t >> 64) as u64;
                 j += 1;
@@ -301,7 +302,10 @@ mod tests {
         // (2^256 - 1)^2 = 2^512 - 2^257 + 1
         let (lo, hi) = U256::MAX.widening_mul(&U256::MAX);
         assert_eq!(lo, U256::ONE);
-        assert_eq!(hi, U256::from_limbs([u64::MAX - 1, u64::MAX, u64::MAX, u64::MAX]));
+        assert_eq!(
+            hi,
+            U256::from_limbs([u64::MAX - 1, u64::MAX, u64::MAX, u64::MAX])
+        );
     }
 
     #[test]

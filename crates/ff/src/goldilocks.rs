@@ -267,7 +267,10 @@ mod tests {
     fn add_sub_wraparound() {
         let max = Goldilocks::from_u64(GOLDILOCKS_MODULUS - 1);
         assert_eq!((max + Goldilocks::ONE).value(), 0);
-        assert_eq!((Goldilocks::ZERO - Goldilocks::ONE).value(), GOLDILOCKS_MODULUS - 1);
+        assert_eq!(
+            (Goldilocks::ZERO - Goldilocks::ONE).value(),
+            GOLDILOCKS_MODULUS - 1
+        );
     }
 
     #[test]
@@ -294,7 +297,10 @@ mod tests {
             let w = Goldilocks::two_adic_generator(bits);
             assert!(w.pow(1 << bits).is_one(), "bits={bits}");
             if bits > 0 {
-                assert!(!w.pow(1 << (bits - 1)).is_one(), "bits={bits} order too small");
+                assert!(
+                    !w.pow(1 << (bits - 1)).is_one(),
+                    "bits={bits} order too small"
+                );
             }
         }
     }

@@ -20,7 +20,9 @@ use serde::{Deserialize, Serialize};
 use crate::{Field, PrimeField, U256};
 
 /// Compile-time description of a 256-bit prime field.
-pub trait MontParams: Copy + Clone + Send + Sync + Eq + core::hash::Hash + core::fmt::Debug + Default + 'static {
+pub trait MontParams:
+    Copy + Clone + Send + Sync + Eq + core::hash::Hash + core::fmt::Debug + Default + 'static
+{
     /// The field modulus. Must be odd and below `2^254`.
     const MODULUS: U256;
     /// Number of significant bits of the modulus.
@@ -369,10 +371,7 @@ mod tests {
     #[test]
     fn canonical_roundtrip() {
         for v in [0u64, 1, 2, 5, u64::MAX] {
-            assert_eq!(
-                Bn254Fr::from_u64(v).to_canonical_u256(),
-                U256::from_u64(v),
-            );
+            assert_eq!(Bn254Fr::from_u64(v).to_canonical_u256(), U256::from_u64(v),);
         }
     }
 
@@ -400,9 +399,7 @@ mod tests {
 
             // Reference: widening multiply then slow 512-bit reduction done
             // as (hi·(2^256 mod p) + lo) mod p.
-            let (lo, hi) = a
-                .to_canonical_u256()
-                .widening_mul(&b.to_canonical_u256());
+            let (lo, hi) = a.to_canonical_u256().widening_mul(&b.to_canonical_u256());
             let r_mod_p = pow2_mod(256, &Bn254FrParams::MODULUS);
             // hi * R mod p via from_u256 arithmetic in the field itself
             // would be circular; instead reduce via double-and-add.
@@ -415,10 +412,8 @@ mod tests {
                     acc = acc.add_mod(&r_mod_p, &Bn254FrParams::MODULUS);
                 }
             }
-            let expected = acc.add_mod(
-                &lo.reduce(&Bn254FrParams::MODULUS),
-                &Bn254FrParams::MODULUS,
-            );
+            let expected =
+                acc.add_mod(&lo.reduce(&Bn254FrParams::MODULUS), &Bn254FrParams::MODULUS);
             assert_eq!(prod, expected);
         }
     }

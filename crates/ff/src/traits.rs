@@ -110,7 +110,10 @@ pub trait Field:
 
     /// Computes `self * 2^-1`. Provided for radix-2 inverse NTT scaling.
     fn halve(&self) -> Self {
-        *self * Self::TWO.inverse().expect("2 is invertible in odd-characteristic fields")
+        *self
+            * Self::TWO
+                .inverse()
+                .expect("2 is invertible in odd-characteristic fields")
     }
 }
 

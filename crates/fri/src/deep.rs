@@ -42,7 +42,11 @@ pub struct DeepOpeningProof {
 }
 
 /// Derives the DEEP combination challenge from the transcript so far.
-fn deep_challenge(root: &Digest, zeta: &GoldilocksExt2, evals: &[GoldilocksExt2]) -> GoldilocksExt2 {
+fn deep_challenge(
+    root: &Digest,
+    zeta: &GoldilocksExt2,
+    evals: &[GoldilocksExt2],
+) -> GoldilocksExt2 {
     let mut flat = vec![zeta.a, zeta.b];
     for e in evals {
         flat.push(e.a);
@@ -93,12 +97,9 @@ pub fn open_trace(
         .map(|col| {
             let mut coeffs = col.clone();
             ntt.inverse(&mut coeffs);
-            coeffs
-                .iter()
-                .rev()
-                .fold(GoldilocksExt2::ZERO, |acc, &c| {
-                    acc * zeta + GoldilocksExt2::from_base(c)
-                })
+            coeffs.iter().rev().fold(GoldilocksExt2::ZERO, |acc, &c| {
+                acc * zeta + GoldilocksExt2::from_base(c)
+            })
         })
         .collect();
     backend.charge_pointwise(n * columns.len(), 5);
@@ -162,11 +163,7 @@ pub fn open_trace(
 }
 
 /// Verifies a DEEP opening at `zeta`.
-pub fn verify_opening(
-    proof: &DeepOpeningProof,
-    zeta: GoldilocksExt2,
-    config: &FriConfig,
-) -> bool {
+pub fn verify_opening(proof: &DeepOpeningProof, zeta: GoldilocksExt2, config: &FriConfig) -> bool {
     let big_n = proof.n << config.log_blowup;
     if proof.evals.len() != proof.width
         || proof.trace_openings.len() != proof.fri_proof.queries.len()
@@ -181,8 +178,7 @@ pub fn verify_opening(
     let alpha = deep_challenge(&proof.trace_root, &zeta, &proof.evals);
     let omega = Goldilocks::two_adic_generator(big_n.trailing_zeros());
 
-    for (query, (low_open, high_open)) in
-        proof.fri_proof.queries.iter().zip(&proof.trace_openings)
+    for (query, (low_open, high_open)) in proof.fri_proof.queries.iter().zip(&proof.trace_openings)
     {
         let first = &query.rounds[0];
         for (open, fri_path) in [(low_open, &first.low), (high_open, &first.high)] {

@@ -82,7 +82,10 @@ pub struct FriProof {
 /// Embeds a base-field codeword into the extension (the usual entry point
 /// when a single column, rather than a combination, is tested).
 pub fn embed(values: &[Goldilocks]) -> Vec<GoldilocksExt2> {
-    values.iter().map(|&v| GoldilocksExt2::from_base(v)).collect()
+    values
+        .iter()
+        .map(|&v| GoldilocksExt2::from_base(v))
+        .collect()
 }
 
 /// A Merkle row for one extension element: its two base coefficients.
@@ -201,11 +204,7 @@ fn fold(
 ///
 /// Panics if the codeword length is not a power of two at least
 /// `2^(log_final_len + 1)`.
-pub fn prove(
-    config: &FriConfig,
-    codeword: Vec<GoldilocksExt2>,
-    shift: Goldilocks,
-) -> FriProof {
+pub fn prove(config: &FriConfig, codeword: Vec<GoldilocksExt2>, shift: Goldilocks) -> FriProof {
     prove_seeded(config, codeword, shift, &Digest::zero())
 }
 
@@ -218,7 +217,10 @@ pub fn prove_seeded(
     seed: &Digest,
 ) -> FriProof {
     let n = codeword.len();
-    assert!(n.is_power_of_two(), "codeword length must be a power of two");
+    assert!(
+        n.is_power_of_two(),
+        "codeword length must be a power of two"
+    );
     assert!(
         n >= 1 << (config.log_final_len + 1),
         "codeword of length {n} is already at or below the final length"
@@ -335,13 +337,11 @@ pub fn verify_seeded(
             if round.low.index != low_idx || round.high.index != low_idx + half {
                 return false;
             }
-            if !round.low.verify(&proof.layer_roots[i])
-                || !round.high.verify(&proof.layer_roots[i])
+            if !round.low.verify(&proof.layer_roots[i]) || !round.high.verify(&proof.layer_roots[i])
             {
                 return false;
             }
-            let (Some(lo), Some(hi)) =
-                (row_to_ext(&round.low.row), row_to_ext(&round.high.row))
+            let (Some(lo), Some(hi)) = (row_to_ext(&round.low.row), row_to_ext(&round.high.row))
             else {
                 return false;
             };
@@ -416,7 +416,10 @@ mod tests {
             let codeword = low_degree_codeword(log_degree, config.log_blowup, shift(), 1);
             let n = codeword.len();
             let proof = prove(&config, codeword, shift());
-            assert!(verify(&config, &proof, n, shift()), "log_degree={log_degree}");
+            assert!(
+                verify(&config, &proof, n, shift()),
+                "log_degree={log_degree}"
+            );
         }
     }
 
@@ -454,8 +457,9 @@ mod tests {
         // f_e + β·f_o (even/odd split) on the squared domain.
         let mut rng = StdRng::seed_from_u64(2);
         let log_n = 6u32;
-        let coeffs: Vec<Goldilocks> =
-            (0..1usize << log_n).map(|_| Goldilocks::random(&mut rng)).collect();
+        let coeffs: Vec<Goldilocks> = (0..1usize << log_n)
+            .map(|_| Goldilocks::random(&mut rng))
+            .collect();
         let s = shift();
         let mut codeword_base = coeffs.clone();
         let ntt = Ntt::<Goldilocks>::new(log_n);
@@ -504,7 +508,9 @@ mod tests {
         let s = shift();
         let mut coeffs: Vec<Goldilocks> = {
             let mut rng = StdRng::seed_from_u64(4);
-            (0..1usize << log_degree).map(|_| Goldilocks::random(&mut rng)).collect()
+            (0..1usize << log_degree)
+                .map(|_| Goldilocks::random(&mut rng))
+                .collect()
         };
         coeffs.resize(1 << (log_degree + config.log_blowup), Goldilocks::ZERO);
         // Plant a coefficient above the bound.

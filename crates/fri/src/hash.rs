@@ -206,7 +206,10 @@ mod tests {
         permute(&mut s1);
         permute(&mut s2);
         let differing = s1.iter().zip(&s2).filter(|(a, b)| a != b).count();
-        assert_eq!(differing, WIDTH, "one-element change must diffuse everywhere");
+        assert_eq!(
+            differing, WIDTH,
+            "one-element change must diffuse everywhere"
+        );
     }
 
     #[test]

@@ -32,17 +32,13 @@
 pub mod deep;
 pub mod fri;
 pub mod hash;
-pub mod stark;
 mod merkle;
 mod pipeline;
+pub mod stark;
 
 pub use deep::{open_trace, verify_opening, DeepOpeningProof};
 pub use fri::{embed, FriConfig, FriProof, FriQueryProof, FriQueryRound};
 pub use hash::{compress, hash_elements, permutations_for, Digest};
 pub use merkle::{MerklePath, MerkleTree};
-pub use pipeline::{
-    commit_trace, verify_trace, LdeBackend, SimulatedLde, TraceCommitment,
-};
-pub use stark::{
-    prove_stark, verify_stark, Air, Boundary, FibonacciAir, StarkProof,
-};
+pub use pipeline::{commit_trace, verify_trace, LdeBackend, SimulatedLde, TraceCommitment};
+pub use stark::{prove_stark, verify_stark, Air, Boundary, FibonacciAir, StarkProof};

@@ -39,7 +39,10 @@ impl MerkleTree {
     /// Panics if `rows` is empty or its length is not a power of two.
     pub fn commit(rows: &[Vec<Goldilocks>]) -> Self {
         let leaves = rows.len();
-        assert!(leaves.is_power_of_two() && leaves > 0, "leaf count must be a power of two");
+        assert!(
+            leaves.is_power_of_two() && leaves > 0,
+            "leaf count must be a power of two"
+        );
         let mut nodes = vec![Digest::zero(); 2 * leaves];
         for (j, row) in rows.iter().enumerate() {
             nodes[leaves + j] = hash_elements(row);
@@ -94,7 +97,7 @@ impl MerklePath {
         let mut digest = hash_elements(&self.row);
         let mut pos = self.index;
         for sibling in &self.siblings {
-            digest = if pos % 2 == 0 {
+            digest = if pos.is_multiple_of(2) {
                 compress(&digest, sibling)
             } else {
                 compress(sibling, &digest)

@@ -12,9 +12,9 @@
 //! the [`UniNttEngine`] and charges Merkle hashing and folding to the
 //! simulated clock, while producing bit-identical commitments.
 
-use unintt_core::{Sharded, ShardLayout, UniNttEngine, UniNttOptions};
+use unintt_core::{RecoveryPolicy, ShardLayout, Sharded, UniNttEngine, UniNttOptions};
 use unintt_ff::{Field, Goldilocks, GoldilocksExt2, PrimeField};
-use unintt_gpu_sim::{FieldSpec, KernelProfile, Machine, MachineConfig};
+use unintt_gpu_sim::{FabricError, FieldSpec, KernelProfile, Machine, MachineConfig};
 
 use crate::fri::{self, FriConfig, FriProof};
 use crate::hash::{compress, hash_elements, permutations_for, Digest, ROUNDS, WIDTH};
@@ -25,6 +25,7 @@ use crate::merkle::{MerklePath, MerkleTree};
 const MULS_PER_PERMUTATION: u64 = (ROUNDS * (3 * WIDTH + WIDTH * WIDTH)) as u64;
 
 /// Where the pipeline's heavy work runs.
+#[allow(clippy::large_enum_variant)] // SimulatedLde is the hot variant; boxing buys nothing
 pub enum LdeBackend {
     /// Plain host execution.
     Cpu,
@@ -57,7 +58,11 @@ impl LdeBackend {
     /// Batched LDE of equal-length columns: on the simulated backend the
     /// whole batch shares passes and collectives (O5), as a production
     /// committer would submit a trace.
-    pub fn lde_batch(&mut self, columns: &[Vec<Goldilocks>], log_blowup: u32) -> Vec<Vec<Goldilocks>> {
+    pub fn lde_batch(
+        &mut self,
+        columns: &[Vec<Goldilocks>],
+        log_blowup: u32,
+    ) -> Vec<Vec<Goldilocks>> {
         match self {
             LdeBackend::Cpu => columns
                 .iter()
@@ -87,6 +92,67 @@ impl LdeBackend {
             LdeBackend::Cpu => 0.0,
             LdeBackend::Simulated(sim) => sim.machine.max_clock_ns(),
         }
+    }
+
+    /// The simulated machine, if any (to install fault plans or read
+    /// traces); `None` for the CPU backend.
+    pub fn machine_mut(&mut self) -> Option<&mut Machine> {
+        match self {
+            LdeBackend::Cpu => None,
+            LdeBackend::Simulated(sim) => Some(&mut sim.machine),
+        }
+    }
+
+    /// Fault-tolerant batched LDE, checkpointed at NTT-batch granularity:
+    /// on `Err` the checkpoint keeps whatever batch completed
+    /// (interpolation and/or evaluation), and a subsequent call resumes
+    /// there instead of redoing the NTT work.
+    pub fn try_lde_batch(
+        &mut self,
+        columns: &[Vec<Goldilocks>],
+        log_blowup: u32,
+        policy: &RecoveryPolicy,
+        checkpoint: &mut CommitCheckpoint,
+    ) -> Result<Vec<Vec<Goldilocks>>, FabricError> {
+        if let Some(ldes) = &checkpoint.ldes {
+            return Ok(ldes.clone());
+        }
+        let ldes = match self {
+            LdeBackend::Cpu => columns
+                .iter()
+                .map(|c| unintt_ntt::low_degree_extension(c, log_blowup, Goldilocks::GENERATOR))
+                .collect(),
+            LdeBackend::Simulated(sim) => {
+                sim.try_lde_batch(columns, log_blowup, policy, checkpoint)?
+            }
+        };
+        checkpoint.coeffs = None; // superseded by the completed LDEs
+        checkpoint.ldes = Some(ldes.clone());
+        Ok(ldes)
+    }
+}
+
+/// Resumable state for [`commit_trace_with_recovery`]: the outputs of the
+/// completed NTT batches of the LDE phase. All later commitment phases
+/// (Merkle, α-combination, FRI, openings) are host-side or charge-only and
+/// cannot fault, so this is exactly the state worth keeping.
+#[derive(Clone, Debug, Default)]
+pub struct CommitCheckpoint {
+    /// Column coefficients after the batched interpolation (phase 1a).
+    coeffs: Option<Vec<Vec<Goldilocks>>>,
+    /// Extended evaluations after the batched coset NTT (phase 1b).
+    ldes: Option<Vec<Vec<Goldilocks>>>,
+}
+
+impl CommitCheckpoint {
+    /// True once the interpolation batch has completed.
+    pub fn has_coefficients(&self) -> bool {
+        self.coeffs.is_some() || self.ldes.is_some()
+    }
+
+    /// True once the full LDE phase has completed.
+    pub fn has_ldes(&self) -> bool {
+        self.ldes.is_some()
     }
 }
 
@@ -126,8 +192,7 @@ impl SimulatedLde {
 
         // Too small to split: host math plus a single-device charge.
         if log_n < 2 * log_g {
-            let out =
-                unintt_ntt::low_degree_extension(evals, log_blowup, Goldilocks::GENERATOR);
+            let out = unintt_ntt::low_degree_extension(evals, log_blowup, Goldilocks::GENERATOR);
             let mut p = KernelProfile::named("small-lde-single-device");
             let bytes = (out.len() * 8) as u64;
             p.global_bytes_read = bytes * big_log as u64;
@@ -192,12 +257,69 @@ impl SimulatedLde {
                 Sharded::distribute(&coeffs, g, ShardLayout::Cyclic)
             })
             .collect();
-        engine_big.coset_forward_batch(
+        engine_big.coset_forward_batch(&mut self.machine, &mut big_batch, Goldilocks::GENERATOR);
+        big_batch.iter().map(Sharded::collect).collect()
+    }
+
+    /// Fault-tolerant batched LDE with per-batch checkpoints. The
+    /// interpolation result is parked in `checkpoint` as soon as it
+    /// completes, so a fault in the coset-evaluation batch only replays
+    /// that batch.
+    fn try_lde_batch(
+        &mut self,
+        columns: &[Vec<Goldilocks>],
+        log_blowup: u32,
+        policy: &RecoveryPolicy,
+        checkpoint: &mut CommitCheckpoint,
+    ) -> Result<Vec<Vec<Goldilocks>>, FabricError> {
+        let n = columns[0].len();
+        assert!(
+            columns.iter().all(|c| c.len() == n),
+            "all columns must have equal length"
+        );
+        let log_n = n.trailing_zeros();
+        let g = self.cfg.num_gpus;
+        let log_g = g.trailing_zeros();
+        if log_n < 2 * log_g {
+            // Single-device path: no collectives, nothing can fault.
+            return Ok(columns.iter().map(|c| self.lde(c, log_blowup)).collect());
+        }
+        let big_log = log_n + log_blowup;
+
+        // Phase 1a: batched interpolation, or resume from the checkpoint.
+        let coeffs: Vec<Vec<Goldilocks>> = match checkpoint.coeffs.take() {
+            Some(c) => c,
+            None => {
+                let mut small_batch: Vec<Sharded<Goldilocks>> = columns
+                    .iter()
+                    .map(|c| Sharded::distribute(c, g, ShardLayout::NaturalBlocks))
+                    .collect();
+                self.engine(log_n);
+                let engine_small = self.engines.get(&log_n).expect("just inserted").clone();
+                engine_small.try_inverse_batch(&mut self.machine, &mut small_batch, policy)?;
+                small_batch.iter().map(Sharded::collect).collect()
+            }
+        };
+        checkpoint.coeffs = Some(coeffs.clone());
+
+        // Phase 1b: zero-pad and coset-evaluate as one batch.
+        self.engine(big_log);
+        let engine_big = self.engines.get(&big_log).expect("just inserted").clone();
+        let mut big_batch: Vec<Sharded<Goldilocks>> = coeffs
+            .iter()
+            .map(|c| {
+                let mut padded = c.clone();
+                padded.resize(n << log_blowup, Goldilocks::ZERO);
+                Sharded::distribute(&padded, g, ShardLayout::Cyclic)
+            })
+            .collect();
+        engine_big.try_coset_forward_batch(
             &mut self.machine,
             &mut big_batch,
             Goldilocks::GENERATOR,
-        );
-        big_batch.iter().map(Sharded::collect).collect()
+            policy,
+        )?;
+        Ok(big_batch.iter().map(Sharded::collect).collect())
     }
 
     fn charge_hash(&mut self, permutations: u64) {
@@ -263,6 +385,36 @@ pub fn commit_trace(
     config: &FriConfig,
     backend: &mut LdeBackend,
 ) -> TraceCommitment {
+    commit_trace_with_recovery(
+        columns,
+        config,
+        backend,
+        &RecoveryPolicy::none(),
+        &mut CommitCheckpoint::default(),
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fault-tolerant [`commit_trace`]: transient fabric faults are absorbed
+/// per `policy`, and on a permanent failure the `checkpoint` keeps every
+/// completed NTT batch so a subsequent call (after the operator repairs or
+/// degrades the machine) resumes from the last completed batch instead of
+/// restarting the proof. On success the checkpoint is reset.
+///
+/// # Errors
+///
+/// Returns the [`FabricError`] that outlived the policy's retries.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`commit_trace`].
+pub fn commit_trace_with_recovery(
+    columns: &[Vec<Goldilocks>],
+    config: &FriConfig,
+    backend: &mut LdeBackend,
+    policy: &RecoveryPolicy,
+    checkpoint: &mut CommitCheckpoint,
+) -> Result<TraceCommitment, FabricError> {
     assert!(!columns.is_empty(), "trace must have at least one column");
     let n = columns[0].len();
     assert!(
@@ -270,8 +422,10 @@ pub fn commit_trace(
         "all trace columns must have equal length"
     );
 
-    // 1. LDE every column as one batch (the NTT-heavy phase).
-    let ldes: Vec<Vec<Goldilocks>> = backend.lde_batch(columns, config.log_blowup);
+    // 1. LDE every column as one batch (the NTT-heavy phase — the only
+    // one that touches the fabric, hence the only one checkpointed).
+    let ldes: Vec<Vec<Goldilocks>> =
+        backend.try_lde_batch(columns, config.log_blowup, policy, checkpoint)?;
     let big_n = n << config.log_blowup;
 
     // 2. Row-wise Merkle commitment of the extended matrix.
@@ -315,24 +469,20 @@ pub fn commit_trace(
         })
         .collect();
 
-    TraceCommitment {
+    *checkpoint = CommitCheckpoint::default();
+    Ok(TraceCommitment {
         trace_root,
         fri_proof,
         trace_openings,
         n,
         width: columns.len(),
-    }
+    })
 }
 
 /// Verifies a trace commitment.
 pub fn verify_trace(commitment: &TraceCommitment, config: &FriConfig) -> bool {
     let big_n = commitment.n << config.log_blowup;
-    if !fri::verify(
-        config,
-        &commitment.fri_proof,
-        big_n,
-        Goldilocks::GENERATOR,
-    ) {
+    if !fri::verify(config, &commitment.fri_proof, big_n, Goldilocks::GENERATOR) {
         return false;
     }
     if commitment.trace_openings.len() != commitment.fri_proof.queries.len() {
@@ -429,6 +579,76 @@ mod tests {
         let trace = random_trace(32, 1, 5);
         let commitment = commit_trace(&trace, &config, &mut LdeBackend::cpu());
         assert!(verify_trace(&commitment, &config));
+    }
+
+    #[test]
+    fn recovery_under_dropped_collectives_matches_cpu() {
+        use unintt_gpu_sim::{FaultPlan, FaultRates};
+        let config = FriConfig::standard();
+        let trace = random_trace(256, 4, 7);
+        let cpu = commit_trace(&trace, &config, &mut LdeBackend::cpu());
+
+        let mut sim = LdeBackend::simulated(presets::a100_nvlink(4));
+        sim.machine_mut()
+            .unwrap()
+            .set_fault_plan(FaultPlan::random(99, FaultRates::transfers_only(0.2)));
+        let mut ckpt = CommitCheckpoint::default();
+        let committed = commit_trace_with_recovery(
+            &trace,
+            &config,
+            &mut sim,
+            &RecoveryPolicy::default(),
+            &mut ckpt,
+        )
+        .expect("retries should absorb 20% drop/corrupt rates");
+        assert_eq!(committed.trace_root, cpu.trace_root);
+        assert_eq!(committed.fri_proof, cpu.fri_proof);
+        assert!(!ckpt.has_coefficients(), "checkpoint resets on success");
+    }
+
+    #[test]
+    fn checkpoint_resumes_after_permanent_failure() {
+        use unintt_gpu_sim::{FaultEvent, FaultKind, FaultPlan};
+        let config = FriConfig::standard();
+        let trace = random_trace(256, 4, 8);
+        let cpu = commit_trace(&trace, &config, &mut LdeBackend::cpu());
+
+        // Probe a clean run to find the total collective count, then drop
+        // the *last* collective (part of the coset-evaluation batch).
+        let mut probe = LdeBackend::simulated(presets::a100_nvlink(4));
+        let _ = commit_trace(&trace, &config, &mut probe);
+        let total = probe.machine_mut().unwrap().collective_seq();
+        assert!(
+            total >= 2,
+            "need at least two collectives to stage the test"
+        );
+
+        let mut sim = LdeBackend::simulated(presets::a100_nvlink(4));
+        sim.machine_mut()
+            .unwrap()
+            .set_fault_plan(FaultPlan::scripted(vec![FaultEvent {
+                seq: total - 1,
+                kind: FaultKind::Drop,
+            }]));
+        let no_retries = RecoveryPolicy {
+            max_retries: 0,
+            ..RecoveryPolicy::default()
+        };
+        let mut ckpt = CommitCheckpoint::default();
+        let err = commit_trace_with_recovery(&trace, &config, &mut sim, &no_retries, &mut ckpt)
+            .unwrap_err();
+        assert!(err.is_transient(), "a drop is transient: {err}");
+        assert!(
+            ckpt.has_coefficients() && !ckpt.has_ldes(),
+            "interpolation batch must have been checkpointed"
+        );
+
+        // Resume: the drop was consumed, the interpolation is skipped.
+        let committed =
+            commit_trace_with_recovery(&trace, &config, &mut sim, &no_retries, &mut ckpt)
+                .expect("resume from checkpoint");
+        assert_eq!(committed.trace_root, cpu.trace_root);
+        assert_eq!(committed.fri_proof, cpu.fri_proof);
     }
 
     #[test]

@@ -118,7 +118,10 @@ impl Air for FibonacciAir {
 impl FibonacciAir {
     /// Builds the satisfying trace and the AIR for `n` steps.
     pub fn generate(n: usize) -> (Self, Vec<Vec<Goldilocks>>) {
-        assert!(n.is_power_of_two() && n >= 4, "trace length must be a power of two ≥ 4");
+        assert!(
+            n.is_power_of_two() && n >= 4,
+            "trace length must be a power of two ≥ 4"
+        );
         let mut a = Vec::with_capacity(n);
         let mut b = Vec::with_capacity(n);
         let (mut x, mut y) = (Goldilocks::ONE, Goldilocks::ONE);
@@ -263,10 +266,8 @@ pub fn prove_stark(
     let mut x = shift;
     for k in 0..big_n {
         let current: Vec<Goldilocks> = ldes.iter().map(|c| c[k]).collect();
-        let next: Vec<Goldilocks> =
-            ldes.iter().map(|c| c[(k + blowup) % big_n]).collect();
-        let denom_invs: Vec<GoldilocksExt2> =
-            boundary_denoms.iter().map(|d| d[k]).collect();
+        let next: Vec<Goldilocks> = ldes.iter().map(|c| c[(k + blowup) % big_n]).collect();
+        let denom_invs: Vec<GoldilocksExt2> = boundary_denoms.iter().map(|d| d[k]).collect();
         composition.push(composition_at(
             air,
             &current,
@@ -278,16 +279,10 @@ pub fn prove_stark(
         ));
         x *= omega_big;
     }
-    backend.charge_pointwise(
-        big_n * (air.transition_count() + boundaries.len()),
-        6,
-    );
+    backend.charge_pointwise(big_n * (air.transition_count() + boundaries.len()), 6);
 
     // 3. FRI on the composition, seeded by the commitment transcript.
-    let seed = compress(
-        &trace_root,
-        &hash_elements(&[alpha.a, alpha.b]),
-    );
+    let seed = compress(&trace_root, &hash_elements(&[alpha.a, alpha.b]));
     backend.charge_hash(fri::prove_hash_permutations(config, big_n));
     let fri_proof = fri::prove_seeded(config, composition, shift, &seed);
 
@@ -342,9 +337,7 @@ pub fn verify_stark(air: &impl Air, proof: &StarkProof, config: &FriConfig) -> b
 
     for (query, opens) in proof.fri_proof.queries.iter().zip(&proof.trace_openings) {
         let first = &query.rounds[0];
-        for ((cur_open, next_open), fri_path) in
-            opens.iter().zip([&first.low, &first.high])
-        {
+        for ((cur_open, next_open), fri_path) in opens.iter().zip([&first.low, &first.high]) {
             let idx = fri_path.index;
             if cur_open.index != idx
                 || next_open.index != (idx + blowup) % big_n
@@ -358,11 +351,9 @@ pub fn verify_stark(air: &impl Air, proof: &StarkProof, config: &FriConfig) -> b
             }
 
             let x = shift * omega_big.pow(idx as u64);
-            let Some(z_t_inv) =
-                ((x.pow(n as u64) - Goldilocks::ONE)
-                    * (x - last).inverse().expect("coset avoids H"))
-                .inverse()
-            else {
+            let Some(z_t_inv) = ((x.pow(n as u64) - Goldilocks::ONE)
+                * (x - last).inverse().expect("coset avoids H"))
+            .inverse() else {
                 return false;
             };
             let mut denom_invs = Vec::with_capacity(boundaries.len());

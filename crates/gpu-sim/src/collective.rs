@@ -4,17 +4,54 @@
 //! the per-device shards (so downstream computation is bit-exact), and
 //! charges α–β time from [`crate::cost::CostModel`] to every participant.
 //! All collectives imply a clock synchronization first, as NCCL kernels do.
+//!
+//! # Faults
+//!
+//! Every collective consumes one sequence number from the machine's
+//! monotone collective counter and consults the installed [`FaultPlan`]
+//! (if any). Argument bugs and injected faults both surface as typed
+//! [`FabricError`]s instead of panics:
+//!
+//! * **Drop** — atomic: no data moves, a detection timeout (one modeled
+//!   collective duration) is charged as fault time, and
+//!   [`FabricError::CollectiveDropped`] is returned. Retrying is safe.
+//! * **Corrupt** — the collective *succeeds* with one damaged chunk.
+//!   [`Machine::all_to_all_checked`] detects this by per-chunk checksum
+//!   and re-requests only the bad chunks (charged as fault time +
+//!   retransmitted bytes); the plain variant delivers it silently.
+//! * **Delay / Straggler** — the collective succeeds; extra time is
+//!   charged (once, or persistently on the slow device).
+//! * **DeviceLoss** — the device dies; this and every later collective
+//!   return [`FabricError::DeviceLost`] until the caller re-plans.
+//!
+//! Legacy `*_unchecked` shims keep the old panicking signatures for
+//! callers that neither install fault plans nor want `Result`s.
+//!
+//! [`FaultPlan`]: crate::fault::FaultPlan
 
+use std::hash::{Hash, Hasher};
+
+use crate::fault::{CollectiveReport, FabricError, FaultKind};
 use crate::machine::Machine;
 use crate::timeline::TraceEvent;
 use crate::trace::Category;
 
+/// Order-sensitive checksum of one chunk (std SipHash with fixed keys:
+/// deterministic across runs and platforms for `Hash`-stable types).
+fn chunk_checksum<T: Hash>(chunk: &[T]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for x in chunk {
+        x.hash(&mut h);
+    }
+    h.finish()
+}
+
 impl Machine {
     /// Synchronizes clocks and charges `ns` of interconnect time plus
-    /// `egress_bytes` to every device.
+    /// `egress_bytes` to every alive device.
     fn charge_collective(&mut self, ns: f64, egress_bytes: u64) {
         self.barrier();
-        for d in self.devices_mut() {
+        for d in self.devices_mut().iter_mut().filter(|d| d.alive) {
             d.timeline.push(TraceEvent {
                 name: "collective",
                 start_ns: d.clock_ns,
@@ -29,6 +66,68 @@ impl Machine {
         }
     }
 
+    /// Fails fast if a device has already died.
+    fn ensure_all_alive(&self) -> Result<(), FabricError> {
+        match self.first_dead_device() {
+            Some(device) => Err(FabricError::DeviceLost {
+                device,
+                seq: self.collective_seq(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Handles the fault kinds common to every collective. Returns the
+    /// fault back for collective-specific handling (corruption, delay)
+    /// when the collective should proceed.
+    fn apply_pre_fault(
+        &mut self,
+        seq: u64,
+        fault: Option<FaultKind>,
+        base_ns: f64,
+    ) -> Result<Option<FaultKind>, FabricError> {
+        match fault {
+            Some(FaultKind::Drop) => {
+                // The fabric waits out one modeled completion window
+                // before declaring the collective dead.
+                self.charge_fault_ns("collective-timeout", base_ns);
+                Err(FabricError::CollectiveDropped { seq })
+            }
+            Some(FaultKind::DeviceLoss { device }) => {
+                self.charge_fault_ns("device-loss-detect", base_ns);
+                self.fail_device(device);
+                Err(FabricError::DeviceLost { device, seq })
+            }
+            Some(FaultKind::Straggler { device, factor }) => {
+                self.degrade_device(device, factor);
+                Ok(None)
+            }
+            other => Ok(other),
+        }
+    }
+
+    /// Charges the post-completion cost of a transient delay fault.
+    fn apply_delay_fault(&mut self, fault: Option<FaultKind>, base_ns: f64) {
+        if let Some(FaultKind::Delay { factor }) = fault {
+            self.charge_fault_ns("collective-delay", (factor - 1.0).max(0.0) * base_ns);
+        }
+    }
+
+    fn validate_equal_shards<T>(&self, shards: &[Vec<T>]) -> Result<usize, FabricError> {
+        let d = self.num_devices();
+        if shards.len() != d {
+            return Err(FabricError::ShardCountMismatch {
+                expected: d,
+                got: shards.len(),
+            });
+        }
+        let len = shards[0].len();
+        if !shards.iter().all(|s| s.len() == len) {
+            return Err(FabricError::UnequalShardLengths);
+        }
+        Ok(len)
+    }
+
     /// All-to-all (NCCL `ncclAllToAll`): shard `d` is split into `D` equal
     /// chunks and chunk `c` of device `d` is delivered to device `c`, where
     /// it lands as chunk `d`.
@@ -36,26 +135,96 @@ impl Machine {
     /// Viewing the global array as a `D×D` grid of chunks, this is the chunk
     /// transpose at the heart of every distributed four-step NTT.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if shard lengths differ, or are not divisible by the device
-    /// count, or `shards.len() != num_devices`.
-    pub fn all_to_all<T: Copy + Send>(&mut self, shards: &mut [Vec<T>], elem_bytes: usize) {
+    /// [`FabricError::ShardCountMismatch`] / [`UnequalShardLengths`] /
+    /// [`IndivisibleShard`] on argument bugs;
+    /// [`CollectiveDropped`] / [`DeviceLost`] on injected faults. An
+    /// injected *corruption* is **not** an error here — it silently
+    /// damages one chunk; use [`Machine::all_to_all_checked`] to detect
+    /// and repair it.
+    ///
+    /// [`UnequalShardLengths`]: FabricError::UnequalShardLengths
+    /// [`IndivisibleShard`]: FabricError::IndivisibleShard
+    /// [`CollectiveDropped`]: FabricError::CollectiveDropped
+    /// [`DeviceLost`]: FabricError::DeviceLost
+    pub fn all_to_all<T: Copy + Send>(
+        &mut self,
+        shards: &mut [Vec<T>],
+        elem_bytes: usize,
+    ) -> Result<CollectiveReport, FabricError> {
+        let (report, _snapshot) = self.all_to_all_core(shards, elem_bytes, false)?;
+        Ok(report)
+    }
+
+    /// [`Machine::all_to_all`] plus per-chunk checksum verification: every
+    /// received chunk is checked against a checksum of what the sender
+    /// dispatched, and mismatching chunks are re-requested point-to-point
+    /// (charged as fault time and counted as retransmitted bytes). The
+    /// returned report says how much was repaired.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::all_to_all`].
+    pub fn all_to_all_checked<T: Copy + Send + Hash>(
+        &mut self,
+        shards: &mut [Vec<T>],
+        elem_bytes: usize,
+    ) -> Result<CollectiveReport, FabricError> {
+        let (mut report, snapshot) = self.all_to_all_core(shards, elem_bytes, true)?;
+        let Some(old) = snapshot else {
+            return Ok(report); // single device: nothing moved
+        };
         let d = self.num_devices();
-        assert_eq!(shards.len(), d, "need exactly one shard per device");
-        if d <= 1 {
-            return;
+        let chunk = shards[0].len() / d;
+        let chunk_bytes = (chunk * elem_bytes) as u64;
+        for dst in 0..d {
+            for src in 0..d {
+                let received = &shards[dst][src * chunk..(src + 1) * chunk];
+                let sent = &old[src][dst * chunk..(dst + 1) * chunk];
+                if chunk_checksum(received) != chunk_checksum(sent) {
+                    // Re-request the damaged chunk from its sender.
+                    shards[dst][src * chunk..(src + 1) * chunk].copy_from_slice(sent);
+                    let ns = self.model().p2p_ns(chunk_bytes);
+                    self.charge_fault_ns("chunk-retransmit", ns);
+                    self.devices_mut()[src]
+                        .stats
+                        .interconnect_bytes_retransmitted += chunk_bytes;
+                    report.retransmitted_chunks += 1;
+                    report.retransmitted_bytes += chunk_bytes;
+                }
+            }
         }
-        let len = shards[0].len();
-        assert!(
-            shards.iter().all(|s| s.len() == len),
-            "all shards must have equal length"
-        );
-        assert_eq!(len % d, 0, "shard length {len} not divisible by {d} devices");
+        Ok(report)
+    }
+
+    /// Shared body of the checked/unchecked all-to-all. Returns the
+    /// pre-exchange snapshot when `keep_snapshot` (for checksum repair).
+    #[allow(clippy::type_complexity)]
+    fn all_to_all_core<T: Copy + Send>(
+        &mut self,
+        shards: &mut [Vec<T>],
+        elem_bytes: usize,
+        keep_snapshot: bool,
+    ) -> Result<(CollectiveReport, Option<Vec<Vec<T>>>), FabricError> {
+        let d = self.num_devices();
+        let len = self.validate_equal_shards(shards)?;
+        if d <= 1 {
+            return Ok((CollectiveReport::default(), None));
+        }
+        if len % d != 0 {
+            return Err(FabricError::IndivisibleShard { len, devices: d });
+        }
+        self.ensure_all_alive()?;
         let chunk = len / d;
+        let bytes_per_device = (len * elem_bytes) as u64;
+        let base_ns = self.model().all_to_all_ns(bytes_per_device);
+
+        let (seq, fault) = self.take_fault_decision();
+        let fault = self.apply_pre_fault(seq, fault, base_ns)?;
 
         // Functional exchange.
-        let old: Vec<Vec<T>> = shards.iter().map(|s| s.clone()).collect();
+        let old: Vec<Vec<T>> = shards.to_vec();
         for (dst_dev, shard) in shards.iter_mut().enumerate() {
             for src_dev in 0..d {
                 shard[src_dev * chunk..(src_dev + 1) * chunk]
@@ -63,13 +232,48 @@ impl Machine {
             }
         }
 
+        // In-flight corruption: one element of the (src → dst) chunk is
+        // overwritten by a neighbouring element from another chunk. The
+        // position is a pure function of the sequence number.
+        if let Some(FaultKind::Corrupt { src, dst }) = fault {
+            let off = (crate::fault::splitmix64(seq ^ 0xc0ff_ee00) % chunk as u64) as usize;
+            let pos = src * chunk + off;
+            let other = (pos + chunk) % len;
+            shards[dst][pos] = shards[dst][other];
+        }
+
         // Timing.
-        self.charge_all_to_all((len * elem_bytes) as u64);
+        self.charge_all_to_all(bytes_per_device);
+        self.apply_delay_fault(fault, base_ns);
+
+        let report = CollectiveReport {
+            seq,
+            injected: fault,
+            ..CollectiveReport::default()
+        };
+        Ok((report, keep_snapshot.then_some(old)))
+    }
+
+    /// Legacy panicking shim over [`Machine::all_to_all`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`FabricError`], including injected faults — only
+    /// use on machines without a fault plan.
+    pub fn all_to_all_unchecked<T: Copy + Send>(
+        &mut self,
+        shards: &mut [Vec<T>],
+        elem_bytes: usize,
+    ) {
+        if let Err(e) = self.all_to_all(shards, elem_bytes) {
+            panic!("{e}");
+        }
     }
 
     /// Charges the time and bytes of an all-to-all of `bytes_per_device`
     /// without moving any data. Cost-only simulations (large-size sweeps)
-    /// use this to stay in lock-step with the functional path.
+    /// use this to stay in lock-step with the functional path; it is
+    /// fault-blind and consumes no collective sequence number.
     pub fn charge_all_to_all(&mut self, bytes_per_device: u64) {
         let d = self.num_devices();
         if d <= 1 {
@@ -83,35 +287,65 @@ impl Machine {
     /// All-gather: every device ends with the concatenation of all shards
     /// (device order). Returns the gathered copies.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if shard lengths differ or `shards.len() != num_devices`.
+    /// [`FabricError::ShardCountMismatch`] / [`UnequalShardLengths`] on
+    /// argument bugs; [`CollectiveDropped`] / [`DeviceLost`] on injected
+    /// faults. Injected corruption damages one element of one device's
+    /// gathered copy (silently — gathers carry no checksums here).
+    ///
+    /// [`UnequalShardLengths`]: FabricError::UnequalShardLengths
+    /// [`CollectiveDropped`]: FabricError::CollectiveDropped
+    /// [`DeviceLost`]: FabricError::DeviceLost
     pub fn all_gather<T: Copy + Send>(
         &mut self,
         shards: &[Vec<T>],
         elem_bytes: usize,
-    ) -> Vec<Vec<T>> {
+    ) -> Result<Vec<Vec<T>>, FabricError> {
         let d = self.num_devices();
-        assert_eq!(shards.len(), d, "need exactly one shard per device");
-        let len = shards[0].len();
-        assert!(
-            shards.iter().all(|s| s.len() == len),
-            "all shards must have equal length"
-        );
+        let len = self.validate_equal_shards(shards)?;
 
         let mut gathered = Vec::with_capacity(len * d);
         for s in shards {
             gathered.extend_from_slice(s);
         }
-        let out = vec![gathered; d];
+        let mut out = vec![gathered; d];
 
         if d > 1 {
+            self.ensure_all_alive()?;
             let bytes_per_device = (len * elem_bytes) as u64;
-            let ns = self.model().all_gather_ns(bytes_per_device);
+            let base_ns = self.model().all_gather_ns(bytes_per_device);
+            let (seq, fault) = self.take_fault_decision();
+            let fault = self.apply_pre_fault(seq, fault, base_ns)?;
+            if let Some(FaultKind::Corrupt { src, dst }) = fault {
+                if len > 0 && out[dst].len() > 1 {
+                    let pos = src * len
+                        + (crate::fault::splitmix64(seq ^ 0xc0ff_ee01) % len as u64) as usize;
+                    let other = (pos + 1) % out[dst].len();
+                    out[dst][pos] = out[dst][other];
+                }
+            }
             let egress = bytes_per_device * (d as u64 - 1);
-            self.charge_collective(ns, egress);
+            self.charge_collective(base_ns, egress);
+            self.apply_delay_fault(fault, base_ns);
         }
-        out
+        Ok(out)
+    }
+
+    /// Legacy panicking shim over [`Machine::all_gather`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`FabricError`], including injected faults.
+    pub fn all_gather_unchecked<T: Copy + Send>(
+        &mut self,
+        shards: &[Vec<T>],
+        elem_bytes: usize,
+    ) -> Vec<Vec<T>> {
+        match self.all_gather(shards, elem_bytes) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Tree reduction to device 0 using a caller-supplied combiner
@@ -119,39 +353,99 @@ impl Machine {
     /// value; time is `ceil(log2 D)` point-to-point rounds of the full
     /// buffer.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `values.len() != num_devices` or `values` is empty.
+    /// [`FabricError::ShardCountMismatch`] if `values.len()` differs from
+    /// the device count; [`CollectiveDropped`] / [`DeviceLost`] on
+    /// injected faults. Injected corruption is ignored (reductions are
+    /// assumed end-to-end verified by their small size).
+    ///
+    /// [`CollectiveDropped`]: FabricError::CollectiveDropped
+    /// [`DeviceLost`]: FabricError::DeviceLost
     pub fn reduce_to_root<T: Clone + Send>(
         &mut self,
         values: &[T],
         elem_bytes: usize,
         combine: impl Fn(&T, &T) -> T,
-    ) -> T {
+    ) -> Result<T, FabricError> {
         let d = self.num_devices();
-        assert_eq!(values.len(), d, "need exactly one value per device");
+        if values.len() != d {
+            return Err(FabricError::ShardCountMismatch {
+                expected: d,
+                got: values.len(),
+            });
+        }
         let mut acc = values[0].clone();
         for v in &values[1..] {
             acc = combine(&acc, v);
         }
         if d > 1 {
+            self.ensure_all_alive()?;
             let rounds = (d as f64).log2().ceil();
-            let ns = rounds * self.model().p2p_ns(elem_bytes as u64);
-            self.charge_collective(ns, elem_bytes as u64);
+            let base_ns = rounds * self.model().p2p_ns(elem_bytes as u64);
+            let (seq, fault) = self.take_fault_decision();
+            let fault = self.apply_pre_fault(seq, fault, base_ns)?;
+            self.charge_collective(base_ns, elem_bytes as u64);
+            self.apply_delay_fault(fault, base_ns);
         }
-        acc
+        Ok(acc)
+    }
+
+    /// Legacy panicking shim over [`Machine::reduce_to_root`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`FabricError`], including injected faults.
+    pub fn reduce_to_root_unchecked<T: Clone + Send>(
+        &mut self,
+        values: &[T],
+        elem_bytes: usize,
+        combine: impl Fn(&T, &T) -> T,
+    ) -> T {
+        match self.reduce_to_root(values, elem_bytes, combine) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Broadcast from device 0: returns one copy per device; time is a
     /// `ceil(log2 D)`-round binomial tree.
-    pub fn broadcast<T: Clone + Send>(&mut self, value: &T, elem_bytes: usize) -> Vec<T> {
+    ///
+    /// # Errors
+    ///
+    /// [`CollectiveDropped`] / [`DeviceLost`] on injected faults.
+    /// Injected corruption is ignored, as for reductions.
+    ///
+    /// [`CollectiveDropped`]: FabricError::CollectiveDropped
+    /// [`DeviceLost`]: FabricError::DeviceLost
+    pub fn broadcast<T: Clone + Send>(
+        &mut self,
+        value: &T,
+        elem_bytes: usize,
+    ) -> Result<Vec<T>, FabricError> {
         let d = self.num_devices();
         if d > 1 {
+            self.ensure_all_alive()?;
             let rounds = (d as f64).log2().ceil();
-            let ns = rounds * self.model().p2p_ns(elem_bytes as u64);
-            self.charge_collective(ns, elem_bytes as u64);
+            let base_ns = rounds * self.model().p2p_ns(elem_bytes as u64);
+            let (seq, fault) = self.take_fault_decision();
+            let fault = self.apply_pre_fault(seq, fault, base_ns)?;
+            self.charge_collective(base_ns, elem_bytes as u64);
+            self.apply_delay_fault(fault, base_ns);
         }
-        vec![value.clone(); d]
+        Ok(vec![value.clone(); d])
+    }
+
+    /// Legacy panicking shim over [`Machine::broadcast`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`FabricError`], including injected faults.
+    pub fn broadcast_unchecked<T: Clone + Send>(&mut self, value: &T, elem_bytes: usize) -> Vec<T> {
+        match self.broadcast(value, elem_bytes) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Host → device transfer (PCIe staging of inputs). Charges only the
@@ -169,11 +463,17 @@ impl Machine {
 #[cfg(test)]
 mod tests {
     use crate::config::FieldSpec;
+    use crate::fault::{FabricError, FaultEvent, FaultKind, FaultPlan, FaultRates};
     use crate::machine::Machine;
     use crate::presets;
+    use crate::trace::Category;
 
     fn machine(gpus: usize) -> Machine {
         Machine::new(presets::a100_nvlink(gpus), FieldSpec::goldilocks())
+    }
+
+    fn scripted(machine: &mut Machine, seq: u64, kind: FaultKind) {
+        machine.set_fault_plan(FaultPlan::scripted(vec![FaultEvent { seq, kind }]));
     }
 
     #[test]
@@ -189,16 +489,13 @@ mod tests {
                     .collect()
             })
             .collect();
-        m.all_to_all(&mut shards, 8);
-        for dev in 0..d {
+        m.all_to_all(&mut shards, 8).unwrap();
+        for (dev, shard) in shards.iter().enumerate() {
             for c in 0..d {
                 for i in 0..chunk {
                     // After exchange: device `dev` chunk `c` came from
                     // device `c` chunk `dev`.
-                    assert_eq!(
-                        shards[dev][c * chunk + i],
-                        (c * 100 + dev * 10 + i) as u64
-                    );
+                    assert_eq!(shard[c * chunk + i], (c * 100 + dev * 10 + i) as u64);
                 }
             }
         }
@@ -214,9 +511,9 @@ mod tests {
             .map(|dev| (0..64).map(|j| (dev * 64 + j) as u64).collect())
             .collect();
         let original = shards.clone();
-        m.all_to_all(&mut shards, 8);
+        m.all_to_all(&mut shards, 8).unwrap();
         assert_ne!(shards, original);
-        m.all_to_all(&mut shards, 8);
+        m.all_to_all(&mut shards, 8).unwrap();
         assert_eq!(shards, original, "all-to-all must be an involution");
     }
 
@@ -224,7 +521,7 @@ mod tests {
     fn all_to_all_single_device_noop() {
         let mut m = machine(1);
         let mut shards = vec![vec![1u64, 2, 3, 4]];
-        m.all_to_all(&mut shards, 8);
+        m.all_to_all(&mut shards, 8).unwrap();
         assert_eq!(shards[0], vec![1, 2, 3, 4]);
         assert_eq!(m.max_clock_ns(), 0.0);
     }
@@ -233,7 +530,7 @@ mod tests {
     fn all_gather_concatenates_in_device_order() {
         let mut m = machine(3);
         let shards = vec![vec![1u64], vec![2], vec![3]];
-        let gathered = m.all_gather(&shards, 8);
+        let gathered = m.all_gather(&shards, 8).unwrap();
         assert_eq!(gathered.len(), 3);
         for g in gathered {
             assert_eq!(g, vec![1, 2, 3]);
@@ -244,7 +541,7 @@ mod tests {
     fn reduce_to_root_combines_all() {
         let mut m = machine(4);
         let values = vec![1u64, 10, 100, 1000];
-        let sum = m.reduce_to_root(&values, 8, |a, b| a + b);
+        let sum = m.reduce_to_root(&values, 8, |a, b| a + b).unwrap();
         assert_eq!(sum, 1111);
         assert!(m.max_clock_ns() > 0.0);
     }
@@ -252,28 +549,197 @@ mod tests {
     #[test]
     fn broadcast_replicates() {
         let mut m = machine(4);
-        let copies = m.broadcast(&42u64, 8);
+        let copies = m.broadcast(&42u64, 8).unwrap();
         assert_eq!(copies, vec![42; 4]);
     }
 
     #[test]
-    #[should_panic(expected = "not divisible")]
-    fn all_to_all_indivisible_panics() {
+    fn all_to_all_indivisible_is_typed_error() {
         let mut m = machine(4);
         let mut shards: Vec<Vec<u64>> = (0..4).map(|_| vec![0; 6]).collect();
-        m.all_to_all(&mut shards, 8);
+        assert_eq!(
+            m.all_to_all(&mut shards, 8),
+            Err(FabricError::IndivisibleShard { len: 6, devices: 4 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn all_to_all_unchecked_indivisible_panics() {
+        let mut m = machine(4);
+        let mut shards: Vec<Vec<u64>> = (0..4).map(|_| vec![0; 6]).collect();
+        m.all_to_all_unchecked(&mut shards, 8);
+    }
+
+    #[test]
+    fn shard_count_mismatch_is_typed_error() {
+        let mut m = machine(4);
+        let mut shards: Vec<Vec<u64>> = (0..3).map(|_| vec![0; 4]).collect();
+        assert_eq!(
+            m.all_to_all(&mut shards, 8),
+            Err(FabricError::ShardCountMismatch {
+                expected: 4,
+                got: 3
+            })
+        );
+        assert_eq!(
+            m.all_gather(&shards, 8),
+            Err(FabricError::ShardCountMismatch {
+                expected: 4,
+                got: 3
+            })
+        );
     }
 
     #[test]
     fn collective_time_grows_with_bytes() {
         let mut m1 = machine(4);
         let mut small: Vec<Vec<u64>> = (0..4).map(|_| vec![0; 1 << 10]).collect();
-        m1.all_to_all(&mut small, 8);
+        m1.all_to_all(&mut small, 8).unwrap();
         let t_small = m1.max_clock_ns();
 
         let mut m2 = machine(4);
         let mut big: Vec<Vec<u64>> = (0..4).map(|_| vec![0; 1 << 16]).collect();
-        m2.all_to_all(&mut big, 8);
+        m2.all_to_all(&mut big, 8).unwrap();
         assert!(m2.max_clock_ns() > t_small);
+    }
+
+    #[test]
+    fn dropped_collective_moves_no_data_and_charges_timeout() {
+        let mut m = machine(4);
+        scripted(&mut m, 0, FaultKind::Drop);
+        let mut shards: Vec<Vec<u64>> = (0..4)
+            .map(|dev| (0..8).map(|j| (dev * 8 + j) as u64).collect())
+            .collect();
+        let before = shards.clone();
+        let err = m.all_to_all(&mut shards, 8).unwrap_err();
+        assert_eq!(err, FabricError::CollectiveDropped { seq: 0 });
+        assert_eq!(shards, before, "drop must be atomic");
+        assert!(m.stats().time_ns.get(Category::Fault) > 0.0);
+        // The retry (seq 1) is clean and completes.
+        m.all_to_all(&mut shards, 8).unwrap();
+        assert_ne!(shards, before);
+        assert_eq!(m.fault_log().len(), 1);
+    }
+
+    #[test]
+    fn corruption_is_silent_unchecked_but_repaired_checked() {
+        let kind = FaultKind::Corrupt { src: 2, dst: 1 };
+        let make_shards = || -> Vec<Vec<u64>> {
+            (0..4)
+                .map(|dev| (0..16).map(|j| (dev * 1000 + j) as u64).collect())
+                .collect()
+        };
+        // Expected result of a clean exchange.
+        let mut clean = make_shards();
+        machine(4).all_to_all(&mut clean, 8).unwrap();
+
+        // Unchecked: corruption lands in the (src=2 → dst=1) chunk.
+        let mut m = machine(4);
+        scripted(&mut m, 0, kind);
+        let mut shards = make_shards();
+        m.all_to_all(&mut shards, 8).unwrap();
+        assert_ne!(shards, clean, "corruption should damage the data");
+
+        // Checked: detected, repaired, and billed.
+        let mut m = machine(4);
+        scripted(&mut m, 0, kind);
+        let mut shards = make_shards();
+        let report = m.all_to_all_checked(&mut shards, 8).unwrap();
+        assert_eq!(shards, clean, "checksum repair must restore the data");
+        assert_eq!(report.retransmitted_chunks, 1);
+        assert!(report.retransmitted_bytes > 0);
+        assert!(m.stats().interconnect_bytes_retransmitted > 0);
+        assert!(m.stats().time_ns.get(Category::Fault) > 0.0);
+    }
+
+    #[test]
+    fn checked_clean_run_retransmits_nothing() {
+        let mut m = machine(4);
+        let mut shards: Vec<Vec<u64>> = (0..4)
+            .map(|dev| (0..16).map(|j| (dev * 16 + j) as u64).collect())
+            .collect();
+        let report = m.all_to_all_checked(&mut shards, 8).unwrap();
+        assert_eq!(report.retransmitted_chunks, 0);
+        assert_eq!(m.stats().time_ns.get(Category::Fault), 0.0);
+    }
+
+    #[test]
+    fn device_loss_fails_this_and_later_collectives() {
+        let mut m = machine(4);
+        scripted(&mut m, 1, FaultKind::DeviceLoss { device: 2 });
+        let mut shards: Vec<Vec<u64>> = (0..4).map(|_| vec![7u64; 8]).collect();
+        m.all_to_all(&mut shards, 8).unwrap();
+        let err = m.all_to_all(&mut shards, 8).unwrap_err();
+        assert_eq!(err, FabricError::DeviceLost { device: 2, seq: 1 });
+        assert!(!m.is_alive(2));
+        assert_eq!(m.alive_devices(), 3);
+        // Every later collective keeps failing until the caller re-plans.
+        assert!(matches!(
+            m.all_to_all(&mut shards, 8),
+            Err(FabricError::DeviceLost { device: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn delay_charges_extra_fault_time() {
+        let mut clean = machine(4);
+        let mut shards: Vec<Vec<u64>> = (0..4).map(|_| vec![0u64; 1 << 10]).collect();
+        clean.all_to_all(&mut shards, 8).unwrap();
+        let t_clean = clean.max_clock_ns();
+
+        let mut m = machine(4);
+        scripted(&mut m, 0, FaultKind::Delay { factor: 5.0 });
+        let mut shards: Vec<Vec<u64>> = (0..4).map(|_| vec![0u64; 1 << 10]).collect();
+        m.all_to_all(&mut shards, 8).unwrap();
+        assert!(m.max_clock_ns() > t_clean);
+        assert!(m.stats().time_ns.get(Category::Fault) > 0.0);
+    }
+
+    #[test]
+    fn straggler_slows_subsequent_kernels() {
+        use crate::device::KernelProfile;
+        let run = |straggle: bool| -> f64 {
+            let mut m = machine(2);
+            if straggle {
+                scripted(
+                    &mut m,
+                    0,
+                    FaultKind::Straggler {
+                        device: 0,
+                        factor: 3.0,
+                    },
+                );
+            }
+            let mut shards: Vec<Vec<u64>> = (0..2).map(|_| vec![0u64; 8]).collect();
+            m.all_to_all(&mut shards, 8).unwrap();
+            m.parallel_phase(&mut shards, |ctx, _, _| {
+                let mut p = KernelProfile::named("work");
+                p.global_bytes_read = 1 << 24;
+                ctx.launch(&p);
+            });
+            m.max_clock_ns()
+        };
+        assert!(run(true) > run(false));
+    }
+
+    #[test]
+    fn random_plan_replays_identically() {
+        let run = || {
+            let mut m = machine(4);
+            m.set_fault_plan(FaultPlan::random(99, FaultRates::transfers_only(0.2)));
+            let mut shards: Vec<Vec<u64>> = (0..4)
+                .map(|dev| (0..16).map(|j| (dev * 16 + j) as u64).collect())
+                .collect();
+            let mut outcomes = Vec::new();
+            for _ in 0..20 {
+                outcomes.push(
+                    m.all_to_all_checked(&mut shards, 8)
+                        .map(|r| r.retransmitted_chunks),
+                );
+            }
+            (outcomes, m.fault_log().to_vec(), m.max_clock_ns(), shards)
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -100,9 +100,18 @@ impl MachineConfig {
         }
         for (name, v) in [
             ("clock_ghz", self.gpu.clock_ghz),
-            ("global_mem_bandwidth_gbps", self.gpu.global_mem_bandwidth_gbps),
-            ("limb_muls_per_cycle_per_sm", self.gpu.limb_muls_per_cycle_per_sm),
-            ("per_gpu_bandwidth_gbps", self.interconnect.per_gpu_bandwidth_gbps),
+            (
+                "global_mem_bandwidth_gbps",
+                self.gpu.global_mem_bandwidth_gbps,
+            ),
+            (
+                "limb_muls_per_cycle_per_sm",
+                self.gpu.limb_muls_per_cycle_per_sm,
+            ),
+            (
+                "per_gpu_bandwidth_gbps",
+                self.interconnect.per_gpu_bandwidth_gbps,
+            ),
             ("efficiency", self.interconnect.efficiency),
         ] {
             if v <= 0.0 || !v.is_finite() {
@@ -177,7 +186,8 @@ mod tests {
             presets::v100_nvlink_ring(4),
             presets::rtx4090_pcie(2),
         ] {
-            cfg.validate().expect("preset must be internally consistent");
+            cfg.validate()
+                .expect("preset must be internally consistent");
         }
     }
 

@@ -109,8 +109,7 @@ impl CostModel {
 
         // Warp shuffles.
         let shuffle_ns = if profile.shuffle_ops > 0 {
-            profile.shuffle_ops as f64
-                / (g.shuffles_per_cycle_per_sm * effective_sms * clock_hz)
+            profile.shuffle_ops as f64 / (g.shuffles_per_cycle_per_sm * effective_sms * clock_hz)
                 * 1e9
         } else {
             0.0
@@ -124,16 +123,17 @@ impl CostModel {
             (Category::SharedMem, shared_mem_ns),
             (Category::Shuffle, shuffle_ns),
         ];
-        let (bottleneck, max_ns) = components
-            .iter()
-            .copied()
-            .fold((Category::Compute, 0.0f64), |acc, (c, v)| {
-                if v > acc.1 {
-                    (c, v)
-                } else {
-                    acc
-                }
-            });
+        let (bottleneck, max_ns) =
+            components
+                .iter()
+                .copied()
+                .fold((Category::Compute, 0.0f64), |acc, (c, v)| {
+                    if v > acc.1 {
+                        (c, v)
+                    } else {
+                        acc
+                    }
+                });
 
         KernelCost {
             total_ns: max_ns + launch_ns,

@@ -56,7 +56,7 @@ impl KernelProfile {
 }
 
 /// Mutable per-device simulation state: a clock and accumulated stats.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct DeviceState {
     /// Simulated time on this device's stream, ns.
     pub clock_ns: f64,
@@ -64,6 +64,25 @@ pub struct DeviceState {
     pub stats: Stats,
     /// Bounded event log.
     pub timeline: Timeline,
+    /// False once the device has been killed by an injected fault; a dead
+    /// device's clock freezes and it is excluded from phases, barriers,
+    /// and collectives.
+    pub alive: bool,
+    /// Straggler multiplier applied to every kernel's simulated time
+    /// (`1.0` = healthy).
+    pub speed_factor: f64,
+}
+
+impl Default for DeviceState {
+    fn default() -> Self {
+        Self {
+            clock_ns: 0.0,
+            stats: Stats::default(),
+            timeline: Timeline::default(),
+            alive: true,
+            speed_factor: 1.0,
+        }
+    }
 }
 
 /// Handle passed to per-device closures; charges costs to one device.
@@ -93,7 +112,16 @@ impl<'a> DeviceCtx<'a> {
     /// Call this alongside the Rust code that performs the kernel's data
     /// transformation.
     pub fn launch(&mut self, profile: &KernelProfile) -> crate::cost::KernelCost {
-        let cost = self.model.kernel_cost(profile);
+        let mut cost = self.model.kernel_cost(profile);
+        let s = self.state.speed_factor;
+        if s != 1.0 {
+            cost.total_ns *= s;
+            cost.compute_ns *= s;
+            cost.global_mem_ns *= s;
+            cost.shared_mem_ns *= s;
+            cost.shuffle_ns *= s;
+            cost.launch_ns *= s;
+        }
         let st = &mut self.state.stats;
         st.kernels_launched += 1;
         st.field_muls += profile.field_muls;

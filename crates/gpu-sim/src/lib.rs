@@ -29,9 +29,14 @@
 //! });
 //!
 //! // …then an all-to-all over NVLink.
-//! machine.all_to_all(&mut shards, 8);
+//! machine.all_to_all(&mut shards, 8).unwrap();
 //! assert!(machine.max_clock_ns() > 0.0);
 //! ```
+//!
+//! Collectives return `Result<_, FabricError>`: argument bugs and
+//! injected faults (see [`FaultPlan`]) surface as typed errors instead of
+//! panics, so recovery layers can retry, repair, or re-plan. The
+//! `*_unchecked` shims keep the legacy panicking behaviour.
 
 #![warn(missing_docs)]
 
@@ -39,6 +44,7 @@ mod collective;
 mod config;
 mod cost;
 mod device;
+mod fault;
 mod machine;
 mod patterns;
 pub mod presets;
@@ -48,6 +54,7 @@ mod trace;
 pub use config::{FieldSpec, GpuConfig, InterconnectConfig, MachineConfig, Topology};
 pub use cost::{CostModel, KernelCost};
 pub use device::{DeviceCtx, DeviceState, KernelProfile};
+pub use fault::{CollectiveReport, FabricError, FaultEvent, FaultKind, FaultPlan, FaultRates};
 pub use machine::Machine;
 pub use patterns::{
     bank_conflict_degree, coalescing_efficiency, ntt_butterflies, warp_ntt_shuffles, SHARED_BANKS,

@@ -17,7 +17,9 @@
 use crate::config::{FieldSpec, MachineConfig};
 use crate::cost::CostModel;
 use crate::device::{DeviceCtx, DeviceState};
-use crate::trace::Stats;
+use crate::fault::{FaultEvent, FaultPlan};
+use crate::timeline::TraceEvent;
+use crate::trace::{Category, Stats};
 
 /// A simulated multi-GPU machine.
 #[derive(Debug)]
@@ -25,6 +27,9 @@ pub struct Machine {
     cfg: MachineConfig,
     model: CostModel,
     devices: Vec<DeviceState>,
+    fault_plan: Option<FaultPlan>,
+    collective_seq: u64,
+    fault_log: Vec<FaultEvent>,
 }
 
 impl Machine {
@@ -41,6 +46,9 @@ impl Machine {
             cfg,
             model,
             devices,
+            fault_plan: None,
+            collective_seq: 0,
+            fault_log: Vec::new(),
         }
     }
 
@@ -80,8 +88,10 @@ impl Machine {
         );
         let model = &self.model;
         std::thread::scope(|scope| {
-            for (id, (state, shard)) in self.devices.iter_mut().zip(shards.iter_mut()).enumerate()
-            {
+            for (id, (state, shard)) in self.devices.iter_mut().zip(shards.iter_mut()).enumerate() {
+                if !state.alive {
+                    continue;
+                }
                 let f = &f;
                 scope.spawn(move || {
                     let mut ctx = DeviceCtx::new(id, model, state);
@@ -107,6 +117,7 @@ impl Machine {
 
     /// Synchronizes all device clocks to the maximum (plus one fabric
     /// latency), like a `cudaDeviceSynchronize` across the machine.
+    /// Dead devices stay frozen at their time of death.
     pub fn barrier(&mut self) {
         let max = self.max_clock_ns();
         let latency = if self.num_devices() > 1 {
@@ -115,7 +126,9 @@ impl Machine {
             0.0
         };
         for d in &mut self.devices {
-            d.clock_ns = max + latency;
+            if d.alive {
+                d.clock_ns = max + latency;
+            }
         }
     }
 
@@ -144,11 +157,106 @@ impl Machine {
         &self.devices[device].timeline
     }
 
-    /// Resets clocks and stats, keeping the configuration.
+    /// Resets clocks, stats, device health, and the fault log, keeping
+    /// the configuration and any installed fault plan (so a reset machine
+    /// deterministically replays the same faults).
     pub fn reset(&mut self) {
         for d in &mut self.devices {
             *d = DeviceState::default();
         }
+        self.collective_seq = 0;
+        self.fault_log.clear();
+    }
+
+    /// Installs a fault plan; subsequent collectives consult it.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Removes the fault plan; subsequent collectives run fault-free.
+    pub fn clear_fault_plan(&mut self) {
+        self.fault_plan = None;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Every fault injected so far, in execution order.
+    pub fn fault_log(&self) -> &[FaultEvent] {
+        &self.fault_log
+    }
+
+    /// The next collective sequence number.
+    pub fn collective_seq(&self) -> u64 {
+        self.collective_seq
+    }
+
+    /// Whether device `device` is still alive.
+    pub fn is_alive(&self, device: usize) -> bool {
+        self.devices[device].alive
+    }
+
+    /// Number of devices still alive.
+    pub fn alive_devices(&self) -> usize {
+        self.devices.iter().filter(|d| d.alive).count()
+    }
+
+    /// The lowest-numbered dead device, if any.
+    pub fn first_dead_device(&self) -> Option<usize> {
+        self.devices.iter().position(|d| !d.alive)
+    }
+
+    /// Kills a device: its clock freezes and every later collective on
+    /// this machine fails with `FabricError::DeviceLost`.
+    pub fn fail_device(&mut self, device: usize) {
+        self.devices[device].alive = false;
+    }
+
+    /// Makes device `device` a straggler: every subsequent kernel on it
+    /// takes `factor`× the modeled time.
+    pub fn degrade_device(&mut self, device: usize, factor: f64) {
+        self.devices[device].speed_factor = factor;
+    }
+
+    /// Charges `ns` of fault-handling time (detection timeouts, recovery
+    /// backoff) to every alive device and records it on their timelines.
+    pub fn charge_fault_ns(&mut self, name: &'static str, ns: f64) {
+        for d in self.devices.iter_mut().filter(|d| d.alive) {
+            d.timeline.push(TraceEvent {
+                name,
+                start_ns: d.clock_ns,
+                duration_ns: ns,
+                category: Category::Fault,
+            });
+            d.clock_ns += ns;
+            *d.stats.time_ns.get_mut(Category::Fault) += ns;
+            *d.stats.raw_time_ns.get_mut(Category::Fault) += ns;
+        }
+    }
+
+    /// Counts one retried collective attempt on every alive device.
+    pub fn count_retry(&mut self) {
+        for d in self.devices.iter_mut().filter(|d| d.alive) {
+            d.stats.retries += 1;
+        }
+    }
+
+    pub(crate) fn take_fault_decision(&mut self) -> (u64, Option<crate::fault::FaultKind>) {
+        let seq = self.collective_seq;
+        self.collective_seq += 1;
+        let kind = self
+            .fault_plan
+            .as_ref()
+            .and_then(|p| p.decide(seq, self.num_devices()));
+        if let Some(kind) = kind {
+            self.fault_log.push(FaultEvent { seq, kind });
+            for d in self.devices.iter_mut().filter(|d| d.alive) {
+                d.stats.faults_injected += 1;
+            }
+        }
+        (seq, kind)
     }
 
     pub(crate) fn devices_mut(&mut self) -> &mut [DeviceState] {
@@ -231,7 +339,7 @@ mod tests {
         m.parallel_phase(&mut shards, |ctx, _, _| {
             ctx.launch(&KernelProfile::named("my-kernel"));
         });
-        m.all_to_all(&mut shards, 8);
+        m.all_to_all(&mut shards, 8).unwrap();
         let tl = m.timeline(0);
         assert_eq!(tl.events().len(), 2);
         assert_eq!(tl.events()[0].name, "my-kernel");

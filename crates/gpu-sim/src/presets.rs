@@ -114,9 +114,8 @@ mod tests {
     fn bandwidth_hierarchy_holds() {
         // Shared > global > interconnect is the hierarchy UniNTT exploits.
         let cfg = a100_nvlink(8);
-        let shared_bw = cfg.gpu.shared_mem_bytes_per_cycle_per_sm
-            * cfg.gpu.sm_count as f64
-            * cfg.gpu.clock_ghz; // GB/s
+        let shared_bw =
+            cfg.gpu.shared_mem_bytes_per_cycle_per_sm * cfg.gpu.sm_count as f64 * cfg.gpu.clock_ghz; // GB/s
         assert!(shared_bw > cfg.gpu.global_mem_bandwidth_gbps);
         assert!(cfg.gpu.global_mem_bandwidth_gbps > cfg.interconnect.per_gpu_bandwidth_gbps);
     }

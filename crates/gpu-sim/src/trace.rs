@@ -17,17 +17,22 @@ pub enum Category {
     Launch,
     /// Inter-GPU communication.
     Interconnect,
+    /// Fault handling: detection timeouts, chunk retransmissions, and
+    /// recovery backoff. The fault-category share of total time is the
+    /// recovery overhead of a run.
+    Fault,
 }
 
 impl Category {
     /// All categories, in display order.
-    pub const ALL: [Category; 6] = [
+    pub const ALL: [Category; 7] = [
         Category::Compute,
         Category::GlobalMem,
         Category::SharedMem,
         Category::Shuffle,
         Category::Launch,
         Category::Interconnect,
+        Category::Fault,
     ];
 
     /// The hierarchy level this category's hardware lives at.
@@ -36,7 +41,7 @@ impl Category {
             Category::Shuffle => Level::Warp,
             Category::SharedMem => Level::Block,
             Category::Compute | Category::GlobalMem | Category::Launch => Level::Device,
-            Category::Interconnect => Level::MultiGpu,
+            Category::Interconnect | Category::Fault => Level::MultiGpu,
         }
     }
 }
@@ -50,6 +55,7 @@ impl core::fmt::Display for Category {
             Category::Shuffle => "shuffle",
             Category::Launch => "launch",
             Category::Interconnect => "interconnect",
+            Category::Fault => "fault",
         };
         f.write_str(s)
     }
@@ -102,10 +108,16 @@ pub struct Stats {
     pub global_bytes_written: u64,
     /// Bytes this device injected into the inter-GPU fabric.
     pub interconnect_bytes_sent: u64,
+    /// Bytes re-sent after checksum-detected corruption.
+    pub interconnect_bytes_retransmitted: u64,
     /// Kernel launches.
     pub kernels_launched: u64,
     /// Collective operations participated in.
     pub collectives: u64,
+    /// Injected faults observed by this device.
+    pub faults_injected: u64,
+    /// Collective attempts retried after transient failures.
+    pub retries: u64,
     /// Field multiplications executed.
     pub field_muls: u64,
     /// Field additions executed.
@@ -132,6 +144,8 @@ pub struct TimeByCategory {
     pub launch: f64,
     /// See [`Category::Interconnect`].
     pub interconnect: f64,
+    /// See [`Category::Fault`].
+    pub fault: f64,
 }
 
 impl TimeByCategory {
@@ -144,6 +158,7 @@ impl TimeByCategory {
             Category::Shuffle => &mut self.shuffle,
             Category::Launch => &mut self.launch,
             Category::Interconnect => &mut self.interconnect,
+            Category::Fault => &mut self.fault,
         }
     }
 
@@ -156,6 +171,7 @@ impl TimeByCategory {
             Category::Shuffle => self.shuffle,
             Category::Launch => self.launch,
             Category::Interconnect => self.interconnect,
+            Category::Fault => self.fault,
         }
     }
 
@@ -208,8 +224,11 @@ impl Stats {
         self.global_bytes_read += other.global_bytes_read;
         self.global_bytes_written += other.global_bytes_written;
         self.interconnect_bytes_sent += other.interconnect_bytes_sent;
+        self.interconnect_bytes_retransmitted += other.interconnect_bytes_retransmitted;
         self.kernels_launched += other.kernels_launched;
         self.collectives += other.collectives;
+        self.faults_injected += other.faults_injected;
+        self.retries += other.retries;
         self.field_muls += other.field_muls;
         self.field_adds += other.field_adds;
         self.shuffle_ops += other.shuffle_ops;
@@ -240,11 +259,13 @@ mod tests {
 
     #[test]
     fn by_level_aggregates_device_categories() {
-        let mut t = TimeByCategory::default();
-        t.compute = 1.0;
-        t.global_mem = 2.0;
-        t.launch = 3.0;
-        t.shuffle = 10.0;
+        let t = TimeByCategory {
+            compute: 1.0,
+            global_mem: 2.0,
+            launch: 3.0,
+            shuffle: 10.0,
+            ..TimeByCategory::default()
+        };
         let by = t.by_level();
         assert_eq!(by[0], (Level::Warp, 10.0));
         assert_eq!(by[2], (Level::Device, 6.0));

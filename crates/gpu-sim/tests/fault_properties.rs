@@ -1,0 +1,107 @@
+//! Property-based tests of the fault-injection layer: the determinism
+//! and atomicity guarantees recovery is built on, fuzzed over seeds,
+//! rates, and machine shapes.
+
+use proptest::prelude::*;
+use unintt_gpu_sim::{presets, FaultKind, FaultPlan, FaultRates, FieldSpec, Machine};
+
+/// Everything observable about a driven machine: final shard data, fault
+/// event sequence, simulated clock, faults injected, bytes retransmitted.
+type DriveOutcome = (Vec<Vec<u64>>, Vec<(u64, FaultKind)>, f64, u64, u64);
+
+/// Drives `n` all-to-alls on a fresh machine under `plan`, returning the
+/// full observable outcome: data, fault log, clock, and key counters.
+fn drive(plan: &FaultPlan, gpus: usize, n: usize) -> DriveOutcome {
+    let mut machine = Machine::new(presets::a100_nvlink(gpus), FieldSpec::goldilocks());
+    machine.set_fault_plan(plan.clone());
+    let mut shards: Vec<Vec<u64>> = (0..gpus)
+        .map(|d| (0..4 * gpus as u64).map(|i| 1000 * d as u64 + i).collect())
+        .collect();
+    for _ in 0..n {
+        // Errors (drops, losses) are part of the observable sequence too;
+        // the machine stays usable after transient ones.
+        let _ = machine.all_to_all_checked(&mut shards, 8);
+    }
+    let log = machine
+        .fault_log()
+        .iter()
+        .map(|e| (e.seq, e.kind))
+        .collect();
+    let stats = machine.stats();
+    (
+        shards,
+        log,
+        machine.max_clock_ns(),
+        stats.faults_injected,
+        stats.interconnect_bytes_retransmitted,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole guarantee: the same seed produces the identical
+    /// fault decision for every (seq, device count) — twice-built plans
+    /// are indistinguishable.
+    #[test]
+    fn same_seed_same_decisions(seed in any::<u64>(), p in 0.0f64..0.19, gpus_log in 0u32..4) {
+        let a = FaultPlan::random(seed, FaultRates::uniform(p));
+        let b = FaultPlan::random(seed, FaultRates::uniform(p));
+        let d = 1usize << gpus_log;
+        for seq in 0..256 {
+            prop_assert_eq!(a.decide(seq, d), b.decide(seq, d));
+        }
+    }
+
+    /// End to end: two machines driven identically under the same plan
+    /// agree on the injected event sequence, the simulated clock, the
+    /// fault counters, and every data element.
+    #[test]
+    fn same_plan_same_execution(seed in any::<u64>(), p in 0.0f64..0.3, gpus_log in 1u32..4) {
+        let plan = FaultPlan::random(seed, FaultRates::transfers_only(p));
+        let gpus = 1usize << gpus_log;
+        let a = drive(&plan, gpus, 12);
+        let b = drive(&plan, gpus, 12);
+        prop_assert_eq!(a.0, b.0); // data
+        prop_assert_eq!(a.1, b.1); // fault event sequence
+        prop_assert_eq!(a.2, b.2); // simulated time, bit-exact
+        prop_assert_eq!(a.3, b.3); // faults injected
+        prop_assert_eq!(a.4, b.4); // bytes retransmitted
+    }
+
+    /// Rate profiles are respected: a transfers-only plan never decides
+    /// a device fault, so single-machine recovery always suffices.
+    #[test]
+    fn transfers_only_never_touches_devices(seed in any::<u64>(), p in 0.0f64..0.5) {
+        let plan = FaultPlan::random(seed, FaultRates::transfers_only(p));
+        for seq in 0..512 {
+            match plan.decide(seq, 8) {
+                None | Some(FaultKind::Drop) | Some(FaultKind::Corrupt { .. }) => {}
+                other => prop_assert!(false, "unexpected {other:?}"),
+            }
+        }
+    }
+
+    /// Drops are atomic: a dropped collective moves no data, so the
+    /// caller can retry with the shards it already holds.
+    #[test]
+    fn dropped_collective_leaves_data_intact(seed in any::<u64>(), gpus_log in 1u32..4) {
+        let gpus = 1usize << gpus_log;
+        let mut machine = Machine::new(presets::a100_nvlink(gpus), FieldSpec::goldilocks());
+        machine.set_fault_plan(FaultPlan::random(seed, FaultRates { drop_p: 1.0, ..FaultRates::default() }));
+        let mut shards: Vec<Vec<u64>> = (0..gpus)
+            .map(|d| (0..4 * gpus as u64).map(|i| 1000 * d as u64 + i).collect())
+            .collect();
+        let before = shards.clone();
+        prop_assert!(machine.all_to_all(&mut shards, 8).is_err());
+        prop_assert_eq!(&shards, &before);
+        // And the checksummed variant always repairs corruption: with a
+        // corrupt-everything plan, the exchange still matches a clean one.
+        machine.set_fault_plan(FaultPlan::random(seed, FaultRates { corrupt_p: 1.0, ..FaultRates::default() }));
+        machine.all_to_all_checked(&mut shards, 8).unwrap();
+        let mut clean_machine = Machine::new(presets::a100_nvlink(gpus), FieldSpec::goldilocks());
+        let mut clean = before;
+        clean_machine.all_to_all(&mut clean, 8).unwrap();
+        prop_assert_eq!(shards, clean);
+    }
+}

@@ -202,7 +202,7 @@ impl G1Projective {
         for i in (0..bits).rev() {
             acc = acc.double();
             if k.bit(i as usize) {
-                acc = acc + *self;
+                acc += *self;
             }
         }
         acc
@@ -374,10 +374,7 @@ mod tests {
         assert_eq!(g.add_affine(&G1Affine::identity()), g);
         assert_eq!(g.add_affine(&g.to_affine()), g.double());
         assert_eq!(g.add_affine(&(-g.to_affine())), G1Projective::identity());
-        assert_eq!(
-            G1Projective::identity().add_affine(&g.to_affine()),
-            g
-        );
+        assert_eq!(G1Projective::identity().add_affine(&g.to_affine()), g);
     }
 
     #[test]
@@ -396,10 +393,7 @@ mod tests {
         for _ in 0..5 {
             let a = Bn254Fr::random(&mut rng);
             let b = Bn254Fr::random(&mut rng);
-            assert_eq!(
-                g.mul_scalar(&(a + b)),
-                g.mul_scalar(&a) + g.mul_scalar(&b)
-            );
+            assert_eq!(g.mul_scalar(&(a + b)), g.mul_scalar(&a) + g.mul_scalar(&b));
         }
     }
 
@@ -422,10 +416,7 @@ mod tests {
             assert!(p.is_on_curve());
             assert_eq!(p.to_projective().to_affine(), p);
         }
-        assert_eq!(
-            G1Projective::identity().to_affine(),
-            G1Affine::identity()
-        );
+        assert_eq!(G1Projective::identity().to_affine(), G1Affine::identity());
     }
 
     #[test]

@@ -31,14 +31,13 @@ pub fn multi_gpu_msm(
     scalars: &[Bn254Fr],
     points: &[G1Affine],
 ) -> G1Projective {
-    assert_eq!(
-        scalars.len(),
-        points.len(),
-        "scalar/point length mismatch"
-    );
+    assert_eq!(scalars.len(), points.len(), "scalar/point length mismatch");
     let g = machine.num_devices();
     let n = scalars.len();
-    assert!(n >= g, "need at least one pair per GPU ({n} pairs, {g} GPUs)");
+    assert!(
+        n >= g,
+        "need at least one pair per GPU ({n} pairs, {g} GPUs)"
+    );
 
     // Contiguous chunking (last chunk takes the remainder).
     let chunk = n.div_ceil(g);
@@ -60,7 +59,7 @@ pub fn multi_gpu_msm(
     });
 
     let partials: Vec<G1Projective> = shards.iter().map(|(_, _, p)| *p).collect();
-    machine.reduce_to_root(&partials, G1_BYTES, |a, b| *a + *b)
+    machine.reduce_to_root_unchecked(&partials, G1_BYTES, |a, b| *a + *b)
 }
 
 /// Cost profile of one GPU's Pippenger kernel over `n` pairs.
@@ -93,7 +92,7 @@ pub fn simulate_multi_gpu_msm(machine: &mut Machine, n: u64) {
     });
     if g > 1 {
         let dummies: Vec<G1Projective> = vec![G1Projective::identity(); g as usize];
-        machine.reduce_to_root(&dummies, G1_BYTES, |a, _| *a);
+        machine.reduce_to_root_unchecked(&dummies, G1_BYTES, |a, _| *a);
     }
 }
 
@@ -116,8 +115,7 @@ mod tests {
     fn multi_gpu_matches_naive() {
         for gpus in [1usize, 2, 4] {
             let (scalars, points) = random_pairs(50, gpus as u64);
-            let mut machine =
-                Machine::new(presets::a100_nvlink(gpus), FieldSpec::bn254_fr());
+            let mut machine = Machine::new(presets::a100_nvlink(gpus), FieldSpec::bn254_fr());
             let result = multi_gpu_msm(&mut machine, &scalars, &points);
             assert_eq!(result, msm_naive(&scalars, &points), "gpus={gpus}");
             assert!(machine.max_clock_ns() > 0.0);

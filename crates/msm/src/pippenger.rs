@@ -16,7 +16,9 @@ use crate::{G1Affine, G1Projective};
 pub fn optimal_window_bits(n: usize) -> u32 {
     match n {
         0..=1 => 1,
-        _ => (usize::BITS - n.leading_zeros()).saturating_sub(2).clamp(2, 16),
+        _ => (usize::BITS - n.leading_zeros())
+            .saturating_sub(2)
+            .clamp(2, 16),
     }
 }
 
@@ -37,11 +39,7 @@ fn digit(k: &U256, lo: u32, c: u32) -> usize {
 ///
 /// Panics if `scalars` and `points` have different lengths or `c == 0`.
 pub fn msm_with_window(scalars: &[Bn254Fr], points: &[G1Affine], c: u32) -> G1Projective {
-    assert_eq!(
-        scalars.len(),
-        points.len(),
-        "scalar/point length mismatch"
-    );
+    assert_eq!(scalars.len(), points.len(), "scalar/point length mismatch");
     assert!(c > 0, "window size must be positive");
     if scalars.is_empty() {
         return G1Projective::identity();
@@ -117,11 +115,7 @@ fn signed_digits(k: &U256, c: u32) -> Vec<i64> {
 /// # Panics
 ///
 /// Panics if `scalars` and `points` have different lengths or `c < 2`.
-pub fn msm_signed_with_window(
-    scalars: &[Bn254Fr],
-    points: &[G1Affine],
-    c: u32,
-) -> G1Projective {
+pub fn msm_signed_with_window(scalars: &[Bn254Fr], points: &[G1Affine], c: u32) -> G1Projective {
     assert_eq!(scalars.len(), points.len(), "scalar/point length mismatch");
     assert!(c >= 2, "signed windows need at least 2 bits");
     if scalars.is_empty() {
@@ -167,11 +161,7 @@ pub fn msm_signed_with_window(
 
 /// Signed-digit MSM with the heuristic window size.
 pub fn msm_signed(scalars: &[Bn254Fr], points: &[G1Affine]) -> G1Projective {
-    msm_signed_with_window(
-        scalars,
-        points,
-        optimal_window_bits(scalars.len()).max(2),
-    )
+    msm_signed_with_window(scalars, points, optimal_window_bits(scalars.len()).max(2))
 }
 
 /// Estimated group-operation count of the signed-digit variant: half the
@@ -184,11 +174,7 @@ pub fn pippenger_signed_group_ops(n: u64, c: u32) -> u64 {
 
 /// Reference MSM: `Σ kᵢ·Pᵢ` by independent double-and-add (O(n·b) ops).
 pub fn msm_naive(scalars: &[Bn254Fr], points: &[G1Affine]) -> G1Projective {
-    assert_eq!(
-        scalars.len(),
-        points.len(),
-        "scalar/point length mismatch"
-    );
+    assert_eq!(scalars.len(), points.len(), "scalar/point length mismatch");
     scalars
         .iter()
         .zip(points)

@@ -42,7 +42,9 @@ pub fn bit_reversed<T: Clone>(values: &[T]) -> Vec<T> {
     let n = values.len();
     assert!(n.is_power_of_two(), "length {n} is not a power of two");
     let bits = n.trailing_zeros();
-    (0..n).map(|i| values[reverse_bits(i, bits)].clone()).collect()
+    (0..n)
+        .map(|i| values[reverse_bits(i, bits)].clone())
+        .collect()
 }
 
 #[cfg(test)]

@@ -58,11 +58,7 @@ pub fn coset_intt<F: TwoAdicField>(ntt: &Ntt<F>, values: &mut [F], shift: F) {
 ///
 /// Panics if `evals.len()` is not a power of two or the blown-up size
 /// exceeds the field two-adicity.
-pub fn low_degree_extension<F: TwoAdicField>(
-    evals: &[F],
-    log_blowup: u32,
-    shift: F,
-) -> Vec<F> {
+pub fn low_degree_extension<F: TwoAdicField>(evals: &[F], log_blowup: u32, shift: F) -> Vec<F> {
     let n = evals.len();
     assert!(n.is_power_of_two(), "length {n} is not a power of two");
     let log_n = n.trailing_zeros();

@@ -296,15 +296,13 @@ mod tests {
         let b = random_vec::<Goldilocks>(6, 2);
         let c = Goldilocks::from_u64(12345);
 
-        let mut lhs: Vec<Goldilocks> =
-            a.iter().zip(&b).map(|(&x, &y)| x * c + y).collect();
+        let mut lhs: Vec<Goldilocks> = a.iter().zip(&b).map(|(&x, &y)| x * c + y).collect();
         ntt.forward(&mut lhs);
 
         let (mut fa, mut fb) = (a.clone(), b.clone());
         ntt.forward(&mut fa);
         ntt.forward(&mut fb);
-        let rhs: Vec<Goldilocks> =
-            fa.iter().zip(&fb).map(|(&x, &y)| x * c + y).collect();
+        let rhs: Vec<Goldilocks> = fa.iter().zip(&fb).map(|(&x, &y)| x * c + y).collect();
 
         assert_eq!(lhs, rhs);
     }

@@ -37,8 +37,8 @@ pub fn transpose<T: Copy>(data: &[T], rows: usize, cols: usize) -> Vec<T> {
 /// Four-step NTT context for `N = 2^(log_n1 + log_n2)`.
 #[derive(Clone, Debug)]
 pub struct FourStepNtt<F: TwoAdicField> {
-    inner: Ntt<F>, // length-N1 transforms
-    outer: Ntt<F>, // length-N2 transforms
+    inner: Ntt<F>,         // length-N1 transforms
+    outer: Ntt<F>,         // length-N2 transforms
     full: TwiddleTable<F>, // ω for the full size, for step-② twiddles
 }
 
@@ -126,7 +126,11 @@ impl<F: TwoAdicField> FourStepNtt<F> {
         let mut t = transpose(&u, n1, n2); // t[i2][k1]
         for i2 in 0..n2 {
             for k1 in 0..n1 {
-                let tw = self.full.root_pow(i2 * k1).inverse().expect("roots are nonzero");
+                let tw = self
+                    .full
+                    .root_pow(i2 * k1)
+                    .inverse()
+                    .expect("roots are nonzero");
                 t[i2 * n1 + k1] *= tw;
             }
         }

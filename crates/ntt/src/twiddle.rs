@@ -30,9 +30,7 @@ impl<F: TwoAdicField> TwiddleTable<F> {
     /// Panics if `log_n` exceeds the field's two-adicity.
     pub fn new(log_n: u32) -> Self {
         let omega = F::two_adic_generator(log_n);
-        let omega_inv = omega
-            .inverse()
-            .expect("roots of unity are nonzero");
+        let omega_inv = omega.inverse().expect("roots of unity are nonzero");
         let half = 1usize << log_n.saturating_sub(1);
 
         let mut forward = Vec::with_capacity(half);
@@ -130,10 +128,7 @@ mod tests {
     #[test]
     fn n_inv_scales() {
         let t = TwiddleTable::<Goldilocks>::new(5);
-        assert_eq!(
-            t.n_inv() * Goldilocks::from(32u64),
-            Goldilocks::ONE
-        );
+        assert_eq!(t.n_inv() * Goldilocks::from(32u64), Goldilocks::ONE);
     }
 
     #[test]

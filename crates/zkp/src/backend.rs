@@ -15,9 +15,9 @@
 
 use std::collections::HashMap;
 
-use unintt_core::{Sharded, ShardLayout, UniNttEngine, UniNttOptions};
+use unintt_core::{RecoveryPolicy, ShardLayout, Sharded, UniNttEngine, UniNttOptions};
 use unintt_ff::Bn254Fr;
-use unintt_gpu_sim::{FieldSpec, KernelProfile, Machine, MachineConfig, Stats};
+use unintt_gpu_sim::{FabricError, FieldSpec, KernelProfile, Machine, MachineConfig, Stats};
 use unintt_msm::{multi_gpu_msm, G1Affine, G1Projective};
 use unintt_ntt::Ntt;
 
@@ -56,6 +56,7 @@ impl BackendReport {
 }
 
 /// A prover execution backend.
+#[allow(clippy::large_enum_variant)] // SimulatedBackend is the hot variant; boxing buys nothing
 pub enum Backend {
     /// Plain host execution.
     Cpu(CpuBackend),
@@ -118,6 +119,76 @@ impl Backend {
         }
     }
 
+    /// Fault-tolerant twin of [`Self::ntt_inverse`]: faults are absorbed
+    /// per `policy`; on `Err` the values are left untouched so the caller
+    /// can replay the call.
+    pub fn try_ntt_inverse(
+        &mut self,
+        values: &mut Vec<Bn254Fr>,
+        policy: &RecoveryPolicy,
+    ) -> Result<(), FabricError> {
+        match self {
+            Backend::Cpu(b) => {
+                b.transform(values, true);
+                Ok(())
+            }
+            Backend::Simulated(b) => b.try_transform(values, true, policy),
+        }
+    }
+
+    /// Fault-tolerant twin of [`Self::ntt_forward_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`FabricError`] that outlived the policy's retries; the
+    /// batch contents are unspecified afterwards (replay from the caller's
+    /// checkpoint).
+    pub fn try_ntt_forward_batch(
+        &mut self,
+        batch: &mut [Vec<Bn254Fr>],
+        policy: &RecoveryPolicy,
+    ) -> Result<(), FabricError> {
+        match self {
+            Backend::Cpu(b) => {
+                for v in batch.iter_mut() {
+                    b.transform(v, false);
+                }
+                Ok(())
+            }
+            Backend::Simulated(b) => b.try_transform_batch(batch, false, policy),
+        }
+    }
+
+    /// Fault-tolerant twin of [`Self::ntt_inverse_batch`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::try_ntt_forward_batch`].
+    pub fn try_ntt_inverse_batch(
+        &mut self,
+        batch: &mut [Vec<Bn254Fr>],
+        policy: &RecoveryPolicy,
+    ) -> Result<(), FabricError> {
+        match self {
+            Backend::Cpu(b) => {
+                for v in batch.iter_mut() {
+                    b.transform(v, true);
+                }
+                Ok(())
+            }
+            Backend::Simulated(b) => b.try_transform_batch(batch, true, policy),
+        }
+    }
+
+    /// The simulated NTT machine, if any (to install fault plans or read
+    /// traces); `None` for the CPU backend.
+    pub fn ntt_machine_mut(&mut self) -> Option<&mut Machine> {
+        match self {
+            Backend::Cpu(_) => None,
+            Backend::Simulated(b) => Some(&mut b.ntt_machine),
+        }
+    }
+
     /// Charges an element-wise kernel of `n` elements with
     /// `muls_per_elem` multiplies (quotient combination, coset scaling).
     /// Functional work is done by the caller; the CPU backend ignores this.
@@ -157,8 +228,11 @@ pub struct CpuBackend {
 }
 
 impl CpuBackend {
-    fn transform(&mut self, values: &mut Vec<Bn254Fr>, inverse: bool) {
-        assert!(values.len().is_power_of_two(), "length must be a power of two");
+    fn transform(&mut self, values: &mut [Bn254Fr], inverse: bool) {
+        assert!(
+            values.len().is_power_of_two(),
+            "length must be a power of two"
+        );
         let log_n = values.len().trailing_zeros();
         let ntt = self.ntts.entry(log_n).or_insert_with(|| Ntt::new(log_n));
         if inverse {
@@ -202,14 +276,28 @@ impl SimulatedBackend {
     }
 
     fn transform(&mut self, values: &mut Vec<Bn254Fr>, inverse: bool) {
-        assert!(values.len().is_power_of_two(), "length must be a power of two");
+        self.try_transform(values, inverse, &RecoveryPolicy::none())
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_transform(
+        &mut self,
+        values: &mut Vec<Bn254Fr>,
+        inverse: bool,
+        policy: &RecoveryPolicy,
+    ) -> Result<(), FabricError> {
+        assert!(
+            values.len().is_power_of_two(),
+            "length must be a power of two"
+        );
         let log_n = values.len().trailing_zeros();
         let g = self.ntt_cfg.num_gpus;
         let log_g = g.trailing_zeros();
         self.ntt_calls += 1;
 
         // Transforms too small to split across the machine run on one
-        // device (exactly what a real system does with tiny polynomials).
+        // device (exactly what a real system does with tiny polynomials);
+        // no collectives, so nothing can fault.
         if log_n < 2 * log_g || (1usize << log_n) < 2 * g {
             let ntt = self
                 .cpu_fallback
@@ -229,7 +317,7 @@ impl SimulatedBackend {
             self.ntt_machine.on_device(0, &mut unused, |ctx, _| {
                 ctx.launch(&profile);
             });
-            return;
+            return Ok(());
         }
 
         let cfg = &self.ntt_cfg;
@@ -244,22 +332,35 @@ impl SimulatedBackend {
 
         // Natural-order host vector ↔ shards at the boundary: forward
         // consumes cyclic and emits natural blocks; inverse is the mirror.
+        // The host vector stays intact until success, so a failed call can
+        // simply be replayed.
         let mut data = if inverse {
             Sharded::distribute(values, g, ShardLayout::NaturalBlocks)
         } else {
             Sharded::distribute(values, g, ShardLayout::Cyclic)
         };
         if inverse {
-            engine.inverse(&mut self.ntt_machine, &mut data);
+            engine.try_inverse(&mut self.ntt_machine, &mut data, policy)?;
         } else {
-            engine.forward(&mut self.ntt_machine, &mut data);
+            engine.try_forward(&mut self.ntt_machine, &mut data, policy)?;
         }
         *values = data.collect();
+        Ok(())
     }
 
     /// Batched transform: one engine invocation for the whole batch
     /// (shared passes + coalesced all-to-alls).
     fn transform_batch(&mut self, batch: &mut [Vec<Bn254Fr>], inverse: bool) {
+        self.try_transform_batch(batch, inverse, &RecoveryPolicy::none())
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_transform_batch(
+        &mut self,
+        batch: &mut [Vec<Bn254Fr>],
+        inverse: bool,
+        policy: &RecoveryPolicy,
+    ) -> Result<(), FabricError> {
         assert!(!batch.is_empty(), "batch must not be empty");
         let len = batch[0].len();
         assert!(
@@ -275,9 +376,9 @@ impl SimulatedBackend {
             // Small transforms: reuse the single-vector fallback per item.
             self.ntt_calls -= batch.len() as u64; // transform re-counts
             for v in batch.iter_mut() {
-                self.transform(v, inverse);
+                self.try_transform(v, inverse, policy)?;
             }
-            return;
+            return Ok(());
         }
 
         let cfg = &self.ntt_cfg;
@@ -297,13 +398,14 @@ impl SimulatedBackend {
             .map(|v| Sharded::distribute(v, g, layout))
             .collect();
         if inverse {
-            engine.inverse_batch(&mut self.ntt_machine, &mut sharded);
+            engine.try_inverse_batch(&mut self.ntt_machine, &mut sharded, policy)?;
         } else {
-            engine.forward_batch(&mut self.ntt_machine, &mut sharded);
+            engine.try_forward_batch(&mut self.ntt_machine, &mut sharded, policy)?;
         }
         for (out, data) in batch.iter_mut().zip(&sharded) {
             *out = data.collect();
         }
+        Ok(())
     }
 
     fn charge_pointwise(&mut self, n: usize, muls_per_elem: u64) {

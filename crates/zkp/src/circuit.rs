@@ -133,10 +133,7 @@ impl Circuit {
             ..Default::default()
         };
         for (i, g) in self.gates.iter().enumerate().take(k) {
-            assert_eq!(
-                *g, expected,
-                "public-input row {i} must be the q_L=1 gate"
-            );
+            assert_eq!(*g, expected, "public-input row {i} must be the q_L=1 gate");
         }
         self.num_public_inputs = k;
     }

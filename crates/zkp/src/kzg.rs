@@ -208,9 +208,8 @@ mod tests {
     fn batch_open_verify() {
         let mut rng = StdRng::seed_from_u64(5);
         let s = srs(32);
-        let polys: Vec<Polynomial<Bn254Fr>> = (0..4)
-            .map(|_| Polynomial::random(20, &mut rng))
-            .collect();
+        let polys: Vec<Polynomial<Bn254Fr>> =
+            (0..4).map(|_| Polynomial::random(20, &mut rng)).collect();
         let refs: Vec<&Polynomial<Bn254Fr>> = polys.iter().collect();
         let commitments: Vec<G1Projective> = polys.iter().map(|p| s.commit(p)).collect();
         let z = Bn254Fr::random(&mut rng);

@@ -168,9 +168,7 @@ impl WirePermutation {
 
         let mut out = Vec::with_capacity(3);
         for j in 0..3 {
-            let evals: Vec<Bn254Fr> = (0..n)
-                .map(|i| label(self.sigma[j * n + i]))
-                .collect();
+            let evals: Vec<Bn254Fr> = (0..n).map(|i| label(self.sigma[j * n + i])).collect();
             out.push(Polynomial::interpolate(&evals));
         }
         out.try_into().expect("exactly three columns")
@@ -203,8 +201,8 @@ impl WirePermutation {
         let mut denom = Vec::with_capacity(n);
         for i in 0..n {
             let mut d = Bn254Fr::ONE;
-            for j in 0..3 {
-                d *= wires[j][i] + beta * label(self.sigma[j * n + i]) + gamma;
+            for (j, wire) in wires.iter().enumerate() {
+                d *= wire[i] + beta * label(self.sigma[j * n + i]) + gamma;
             }
             denom.push(d);
         }
@@ -259,7 +257,9 @@ mod tests {
         let n = 8;
         let perm = WirePermutation::identity(n);
         let wires = [
-            (0..n).map(|_| Bn254Fr::random(&mut rng)).collect::<Vec<_>>(),
+            (0..n)
+                .map(|_| Bn254Fr::random(&mut rng))
+                .collect::<Vec<_>>(),
             (0..n).map(|_| Bn254Fr::random(&mut rng)).collect(),
             (0..n).map(|_| Bn254Fr::random(&mut rng)).collect(),
         ];
@@ -305,7 +305,9 @@ mod tests {
         let v = Bn254Fr::random(&mut rng);
         let w = Bn254Fr::random(&mut rng);
         let mut wires = [
-            (0..n).map(|_| Bn254Fr::random(&mut rng)).collect::<Vec<_>>(),
+            (0..n)
+                .map(|_| Bn254Fr::random(&mut rng))
+                .collect::<Vec<_>>(),
             (0..n).map(|_| Bn254Fr::random(&mut rng)).collect(),
             (0..n).map(|_| Bn254Fr::random(&mut rng)).collect(),
         ];

@@ -170,7 +170,6 @@ impl Proof {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,8 +214,7 @@ mod tests {
         let mut bytes = proof.to_bytes();
         // Set an eval (offset: after 5 points) to the field modulus.
         let off = 5 * POINT_BYTES;
-        bytes[off..off + 32]
-            .copy_from_slice(&unintt_ff::Bn254Fr::MODULUS.to_le_bytes());
+        bytes[off..off + 32].copy_from_slice(&unintt_ff::Bn254Fr::MODULUS.to_le_bytes());
         assert_eq!(
             Proof::from_bytes(&bytes),
             Err(DecodeError::NonCanonicalField)
@@ -231,7 +229,10 @@ mod tests {
         bytes[0] ^= 1;
         let err = Proof::from_bytes(&bytes).unwrap_err();
         assert!(
-            matches!(err, DecodeError::NotOnCurve | DecodeError::NonCanonicalField),
+            matches!(
+                err,
+                DecodeError::NotOnCurve | DecodeError::NonCanonicalField
+            ),
             "{err:?}"
         );
     }

@@ -31,7 +31,10 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(24);
     println!("UniNTT speedup vs 1×A100, transform size 2^{log_n}\n");
-    println!("{:<12} {:<22} {:>6} {:>6} {:>6}", "field", "topology", "2 GPU", "4 GPU", "8 GPU");
+    println!(
+        "{:<12} {:<22} {:>6} {:>6} {:>6}",
+        "field", "topology", "2 GPU", "4 GPU", "8 GPU"
+    );
     println!("{}", "-".repeat(56));
 
     for (fs, name) in [

@@ -32,7 +32,9 @@ fn main() {
     let slow = poly_mul_naive(&a, &b);
     let t_slow = t.elapsed();
     assert_eq!(fast, slow);
-    println!("degree-{degree} product : NTT {t_fast:?} vs schoolbook {t_slow:?} (identical results)");
+    println!(
+        "degree-{degree} product : NTT {t_fast:?} vs schoolbook {t_slow:?} (identical results)"
+    );
 
     // 2. Low-degree extension: evaluate a committed polynomial on a 4x
     // larger coset, as every STARK prover does per column.
@@ -48,7 +50,9 @@ fn main() {
         let omega_big = Ntt::<Goldilocks>::new(12).table().omega();
         let x = shift * omega_big.pow(1234);
         assert_eq!(extended[1234], horner_eval(&coeffs, x));
-        println!("LDE                  : 2^10 evaluations -> 2^12 coset evaluations (spot-checked)");
+        println!(
+            "LDE                  : 2^10 evaluations -> 2^12 coset evaluations (spot-checked)"
+        );
         e
     };
     let _ = evals;

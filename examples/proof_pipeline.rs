@@ -34,7 +34,10 @@ fn main() {
 
     let wall = std::time::Instant::now();
     let cpu_proof = prove(&pk, &witness, &[], &mut Backend::cpu());
-    println!("CPU backend      : proved in {:?} (wall clock)", wall.elapsed());
+    println!(
+        "CPU backend      : proved in {:?} (wall clock)",
+        wall.elapsed()
+    );
 
     let mut status_quo = Backend::simulated(presets::a100_nvlink(1), presets::a100_nvlink(8));
     let sq_proof = prove(&pk, &witness, &[], &mut status_quo);

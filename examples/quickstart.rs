@@ -7,7 +7,7 @@
 //! ```
 
 use rand::{rngs::StdRng, SeedableRng};
-use unintt_core::{single_gpu, Sharded, ShardLayout, UniNttEngine, UniNttOptions};
+use unintt_core::{single_gpu, ShardLayout, Sharded, UniNttEngine, UniNttOptions};
 use unintt_ff::{Field, Goldilocks};
 use unintt_gpu_sim::{presets, FieldSpec, Machine};
 use unintt_ntt::Ntt;

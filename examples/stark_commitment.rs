@@ -39,7 +39,10 @@ fn main() {
     // CPU reference.
     let wall = std::time::Instant::now();
     let cpu_commitment = commit_trace(&trace, &config, &mut LdeBackend::cpu());
-    println!("CPU backend    : committed in {:?} (wall clock)", wall.elapsed());
+    println!(
+        "CPU backend    : committed in {:?} (wall clock)",
+        wall.elapsed()
+    );
 
     // Simulated machines.
     for gpus in [1usize, 8] {
@@ -80,10 +83,7 @@ fn main() {
     let (air, fib_trace) = FibonacciAir::generate(1 << 10);
     let stark = prove_stark(&air, &fib_trace, &config, &mut LdeBackend::cpu());
     assert!(verify_stark(&air, &stark, &config));
-    println!(
-        "full STARK: proved fib(2^10) = {} — verified ✓",
-        air.result
-    );
+    println!("full STARK: proved fib(2^10) = {} — verified ✓", air.result);
 
     println!("\n(production traces are 2^20+ rows; see `harness e11` for projections)");
 }

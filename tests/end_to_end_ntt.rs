@@ -3,7 +3,7 @@
 
 use rand::{rngs::StdRng, SeedableRng};
 use unintt_core::{
-    single_gpu, FourStepMultiGpuEngine, Sharded, ShardLayout, UniNttEngine, UniNttOptions,
+    single_gpu, FourStepMultiGpuEngine, ShardLayout, Sharded, UniNttEngine, UniNttOptions,
 };
 use unintt_ff::{BabyBear, Bn254Fr, Field, Goldilocks, TwoAdicField};
 use unintt_gpu_sim::{presets, FieldSpec, Machine};
@@ -26,8 +26,7 @@ fn check_engine_matrix<F: TwoAdicField>(fs: FieldSpec, seed: u64) {
             };
 
             let cfg = presets::a100_nvlink(gpus);
-            let engine =
-                UniNttEngine::<F>::new(log_n, &cfg, UniNttOptions::tuned_for(&fs), fs);
+            let engine = UniNttEngine::<F>::new(log_n, &cfg, UniNttOptions::tuned_for(&fs), fs);
             let mut machine = Machine::new(cfg, fs);
             let mut data = Sharded::distribute(&input, gpus, ShardLayout::Cyclic);
             engine.forward(&mut machine, &mut data);
@@ -96,7 +95,10 @@ fn all_engines_agree_on_one_input() {
     assert_eq!(d3.collect(), reference);
 
     // And the performance relations hold on this very machine.
-    assert!(m2.max_clock_ns() > m1.max_clock_ns(), "baseline slower than UniNTT");
+    assert!(
+        m2.max_clock_ns() > m1.max_clock_ns(),
+        "baseline slower than UniNTT"
+    );
     assert!(
         m2.stats().interconnect_bytes_sent > m1.stats().interconnect_bytes_sent,
         "baseline moves more bytes"

@@ -78,12 +78,9 @@ fn extension_field_challenges_compose_with_base_codewords() {
 
     // Evaluate at a random extension point two ways.
     let zeta = GoldilocksExt2::random(&mut rng);
-    let direct: GoldilocksExt2 = coeffs
-        .iter()
-        .rev()
-        .fold(GoldilocksExt2::ZERO, |acc, &c| {
-            acc * zeta + GoldilocksExt2::from_base(c)
-        });
+    let direct: GoldilocksExt2 = coeffs.iter().rev().fold(GoldilocksExt2::ZERO, |acc, &c| {
+        acc * zeta + GoldilocksExt2::from_base(c)
+    });
 
     // Via the evaluation form: barycentric over the subgroup.
     let ntt = Ntt::<Goldilocks>::new(log_n);
@@ -103,9 +100,7 @@ fn extension_field_challenges_compose_with_base_codewords() {
         let _ = acc;
         z - GoldilocksExt2::ONE
     };
-    let n_inv = GoldilocksExt2::from_base(
-        Goldilocks::from_u64(n as u64).inverse().unwrap(),
-    );
+    let n_inv = GoldilocksExt2::from_base(Goldilocks::from_u64(n as u64).inverse().unwrap());
     let mut sum = GoldilocksExt2::ZERO;
     let mut wi = Goldilocks::ONE;
     for &e in &evals {

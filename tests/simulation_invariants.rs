@@ -2,7 +2,7 @@
 //! planner, fuzzing machine shapes and transform sizes.
 
 use proptest::prelude::*;
-use unintt_core::{DecompositionPlan, Sharded, ShardLayout, UniNttEngine, UniNttOptions};
+use unintt_core::{DecompositionPlan, ShardLayout, Sharded, UniNttEngine, UniNttOptions};
 use unintt_ff::{Field, Goldilocks};
 use unintt_gpu_sim::{presets, FieldSpec, Machine};
 
@@ -30,8 +30,8 @@ proptest! {
             .map(|d| (0..len).map(|j| seed ^ ((d * len + j) as u64)).collect())
             .collect();
         let original = shards.clone();
-        machine.all_to_all(&mut shards, 8);
-        machine.all_to_all(&mut shards, 8);
+        machine.all_to_all(&mut shards, 8).unwrap();
+        machine.all_to_all(&mut shards, 8).unwrap();
         prop_assert_eq!(shards, original);
     }
 

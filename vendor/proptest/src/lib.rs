@@ -1,0 +1,172 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! Supports the forms this workspace uses: the `proptest!` macro with an
+//! optional `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! `x in <range>` / `x in any::<T>()` bindings, `prop_assert!`,
+//! `prop_assert_eq!`, and `prop_assume!`.
+//!
+//! Differences from upstream: inputs are drawn from a deterministic
+//! per-test generator (seeded from the test name and case index, so every
+//! run explores the same cases) and failing cases are reported without
+//! shrinking. That trades minimal counterexamples for zero dependencies —
+//! the right trade in an offline build environment.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// What `use proptest::prelude::*` brings into scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Deterministic sampling strategies.
+pub mod strategy_impl {}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    use crate::test_runner::{ProptestConfig, TestCaseError};
+
+    /// Deterministic per-case RNG: the same (test, case) pair always draws
+    /// the same inputs, in every environment.
+    pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x9e37_79b9))
+    }
+
+    /// Drives one proptest-style test: runs `body` for each case, skipping
+    /// rejected cases and panicking (with the case description) on failure.
+    pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, mut body: F)
+    where
+        F: FnMut(&mut StdRng) -> (String, Result<(), TestCaseError>),
+    {
+        let mut rejected = 0u32;
+        for case in 0..config.cases {
+            let mut rng = case_rng(test_name, case);
+            let (desc, outcome) = body(&mut rng);
+            match outcome {
+                Ok(()) => {}
+                Err(TestCaseError::Reject) => rejected += 1,
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest case {case}/{} failed for {test_name}({desc}): {msg}",
+                        config.cases
+                    );
+                }
+            }
+        }
+        // Mirror upstream's guard against vacuous tests.
+        assert!(
+            rejected < config.cases,
+            "proptest: every case of {test_name} was rejected by prop_assume!"
+        );
+    }
+}
+
+/// Defines property tests. See the module docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::__rt::run_cases(&config, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                let __desc = {
+                    let mut parts: Vec<String> = Vec::new();
+                    $(parts.push(format!("{} = {:?}", stringify!($arg), &$arg));)*
+                    parts.join(", ")
+                };
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                (__desc, __outcome)
+            });
+        }
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

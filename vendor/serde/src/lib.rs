@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Re-exports the no-op derives and defines the marker traits so
+//! `use serde::{Deserialize, Serialize}` and `#[derive(Serialize,
+//! Deserialize)]` compile unchanged. Nothing in the workspace performs
+//! serde-based (de)serialization at runtime; the repo's own
+//! `unintt_zkp::serialize` module handles proof bytes by hand.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,22 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace builds offline, so this stands in for `serde_derive`: the
+//! derives accept the usual `#[serde(...)]` helper attributes and expand to
+//! nothing. No code in the workspace serializes through serde at runtime —
+//! the derives exist so type definitions keep their upstream shape.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
