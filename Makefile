@@ -1,22 +1,25 @@
 # Convenience targets mirroring .github/workflows/ci.yml.
 
-# Crates this project actively develops; vendored offline stubs under
-# vendor/ are exempt from lints.
-CRATES := -p unintt-gpu-sim -p unintt-core -p unintt-fri -p unintt-zkp \
-          -p unintt-msm -p unintt-bench -p unintt-suite
+# Whole workspace except the vendored offline stubs under vendor/.
+EXCLUDE_VENDOR := --exclude criterion --exclude proptest --exclude rand \
+                  --exclude serde --exclude serde_derive
 
-.PHONY: verify fmt clippy build test e13
+.PHONY: verify fmt clippy build bench-check test e13
 
-verify: fmt clippy build test
+verify: fmt clippy build bench-check test
 
 fmt:
 	cargo fmt --all --check
 
+# Perf lints are warnings-as-errors on the hot paths.
 clippy:
-	cargo clippy --release $(CRATES) --all-targets -- -D warnings
+	cargo clippy --release --workspace $(EXCLUDE_VENDOR) --all-targets -- -D warnings -D clippy::perf
 
 build:
 	cargo build --release --workspace
+
+bench-check:
+	cargo bench --no-run
 
 test:
 	cargo test -q --release --workspace

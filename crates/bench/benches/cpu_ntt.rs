@@ -102,11 +102,65 @@ fn bench_radix4(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_bitrev(c: &mut Criterion) {
+    // The table-driven bit-reversal permutation on its own: the dominant
+    // non-arithmetic cost of the legacy path at large sizes.
+    let mut group = c.benchmark_group("cpu_ntt/bitrev/goldilocks");
+    group.sample_size(10);
+    for log_n in [12u32, 16, 20] {
+        let n = 1usize << log_n;
+        let input = random_vec::<Goldilocks>(n, 3);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("2^{log_n}")),
+            &n,
+            |b, _| {
+                b.iter_batched(
+                    || input.clone(),
+                    |mut data| unintt_ntt::bit_reverse_permute(&mut data),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_kernel_modes(c: &mut Criterion) {
+    // Legacy vs Shoup/six-step on the same size — the ratio the
+    // `bench-host` harness gate tracks, as a criterion entry.
+    use unintt_ntt::{set_kernel_mode, KernelMode};
+    let mut group = c.benchmark_group("cpu_ntt/kernel_modes/goldilocks_2^18");
+    group.sample_size(10);
+    let log_n = 18u32;
+    let ntt = Ntt::<Goldilocks>::new(log_n);
+    let input = random_vec::<Goldilocks>(1 << log_n, 4);
+    group.bench_function("legacy", |b| {
+        set_kernel_mode(KernelMode::Legacy);
+        b.iter_batched(
+            || input.clone(),
+            |mut data| ntt.forward(&mut data),
+            criterion::BatchSize::LargeInput,
+        );
+        set_kernel_mode(KernelMode::Fast);
+    });
+    group.bench_function("shoup", |b| {
+        b.iter_batched(
+            || input.clone(),
+            |mut data| ntt.forward(&mut data),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_serial_goldilocks,
     bench_serial_bn254,
     bench_parallel,
-    bench_radix4
+    bench_radix4,
+    bench_bitrev,
+    bench_kernel_modes
 );
 criterion_main!(benches);

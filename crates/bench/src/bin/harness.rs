@@ -6,14 +6,21 @@ use unintt_bench::experiments;
 use unintt_bench::Table;
 
 const USAGE: &str = "\
-usage: harness [--quick] <experiment>...
-  <experiment>  one or more of: e1 e2 e3 e4 e5 e6 e7 e8 e9 e11 e12 e13 all
-  --quick       trimmed sweeps (seconds instead of minutes)
+usage: harness [--quick] [--legacy-kernels] <experiment>...
+  <experiment>      one or more of: e1 e2 e3 e4 e5 e6 e7 e8 e9 e11 e12 e13
+                    bench-host all
+  --quick           trimmed sweeps (seconds instead of minutes)
+  --legacy-kernels  run all host NTTs on the original radix-2 DIT path
+                    instead of the Shoup/six-step fast path (A/B escape
+                    hatch; outputs are bit-identical either way)
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--legacy-kernels") {
+        unintt_ntt::set_kernel_mode(unintt_ntt::KernelMode::Legacy);
+    }
     let selected: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -27,6 +34,7 @@ fn main() -> ExitCode {
 
     let run_one = |name: &str| -> Option<Table> {
         let table = match name {
+            "bench-host" => unintt_bench::host_bench::run(quick),
             "e1" => experiments::e1_headline::run(quick),
             "e2" => experiments::e2_scaling::run(quick),
             "e3" => experiments::e3_vs_baseline::run(quick),

@@ -1,0 +1,235 @@
+//! `bench-host`: wall-clock benchmark of the host-side NTT hot path.
+//!
+//! Measures batched Goldilocks forward NTTs across sizes, thread counts,
+//! and kernel families (legacy radix-2 DIT vs the Shoup/lazy fast path),
+//! prints the comparison table, and writes machine-readable results to
+//! `BENCH_ntt.json` in the current directory. The headline number — the
+//! speedup at `2^20`, 8 threads — is the acceptance gate for the fast
+//! path; see EXPERIMENTS.md for how to reproduce it.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use unintt_ff::{Field, Goldilocks};
+use unintt_ntt::{
+    batch_transform_parallel, bit_reverse_permute, set_kernel_mode, Direction, KernelMode, Ntt,
+};
+
+use crate::report::{fmt_ns, Table};
+
+/// Where the machine-readable results land.
+pub const JSON_PATH: &str = "BENCH_ntt.json";
+
+/// The size/thread grid: full runs sweep `2^12 .. 2^22`; `--quick` trims to
+/// three sizes. Thread counts are chunking knobs for
+/// [`batch_transform_parallel`] — deterministic regardless of pool size.
+fn grid(quick: bool) -> (Vec<u32>, Vec<usize>) {
+    let sizes = if quick {
+        vec![12, 16, 20]
+    } else {
+        vec![12, 14, 16, 18, 20, 22]
+    };
+    (sizes, vec![1, 4, 8])
+}
+
+/// Total elements per measurement, shared across sizes so every cell does
+/// comparable work (a 2^12 run transforms 1024 rows, a 2^22 run one row).
+const TOTAL_LOG: u32 = 22;
+
+#[derive(Clone, Copy)]
+struct Cell {
+    log_n: u32,
+    rows: usize,
+    threads: usize,
+    legacy_ns: f64,
+    fast_ns: f64,
+}
+
+fn pseudo_random_input(len: usize) -> Vec<Goldilocks> {
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(0x005e_ed17);
+    (0..len).map(|_| Goldilocks::random(&mut rng)).collect()
+}
+
+/// Best-of-`iters` wall-clock time of one batched forward transform.
+fn time_batch(
+    ntt: &Ntt<Goldilocks>,
+    pristine: &[Goldilocks],
+    threads: usize,
+    mode: KernelMode,
+    iters: u32,
+) -> f64 {
+    set_kernel_mode(mode);
+    let mut buf = pristine.to_vec();
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        buf.copy_from_slice(pristine);
+        let t0 = Instant::now();
+        batch_transform_parallel(ntt, &mut buf, Direction::Forward, threads);
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9);
+    }
+    set_kernel_mode(KernelMode::Fast);
+    best
+}
+
+/// Wall-clock of the bit-reversal permutation alone (table-driven at these
+/// sizes), per element — context for where the legacy path's time goes.
+fn time_bitrev(pristine: &[Goldilocks], iters: u32) -> f64 {
+    let mut buf = pristine.to_vec();
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        buf.copy_from_slice(pristine);
+        let t0 = Instant::now();
+        bit_reverse_permute(&mut buf);
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9);
+    }
+    best
+}
+
+fn render_json(cells: &[Cell], headline: Option<&Cell>, bitrev_ns: f64, quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"host-ntt\",");
+    let _ = writeln!(out, "  \"field\": \"Goldilocks\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"total_elements_log2\": {TOTAL_LOG},");
+    let _ = writeln!(out, "  \"bitrev_2^20_ns\": {:.0},", bitrev_ns);
+    out.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"log_n\": {}, \"rows\": {}, \"threads\": {}, \
+             \"legacy_ns\": {:.0}, \"shoup_ns\": {:.0}, \"speedup\": {:.3}}}",
+            c.log_n,
+            c.rows,
+            c.threads,
+            c.legacy_ns,
+            c.fast_ns,
+            c.legacy_ns / c.fast_ns
+        );
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    match headline {
+        Some(c) => {
+            let _ = writeln!(
+                out,
+                "  \"headline\": {{\"log_n\": {}, \"threads\": {}, \"legacy_ns\": {:.0}, \
+                 \"shoup_ns\": {:.0}, \"speedup\": {:.3}}}",
+                c.log_n,
+                c.threads,
+                c.legacy_ns,
+                c.fast_ns,
+                c.legacy_ns / c.fast_ns
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  \"headline\": null");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Runs the host-path benchmark, writes [`JSON_PATH`], and returns the
+/// printable table.
+pub fn run(quick: bool) -> Table {
+    let (sizes, thread_counts) = grid(quick);
+    let iters = if quick { 2 } else { 3 };
+
+    let mut table = Table::new(
+        "bench-host: batched Goldilocks forward NTT, legacy vs Shoup kernels",
+        &["size", "rows", "threads", "legacy", "shoup", "speedup"],
+    );
+
+    let mut cells = Vec::new();
+    for &log_n in &sizes {
+        let rows = 1usize.max(1usize << (TOTAL_LOG.saturating_sub(log_n)));
+        let pristine = pseudo_random_input(rows << log_n);
+        let ntt = Ntt::<Goldilocks>::new(log_n);
+        for &threads in &thread_counts {
+            let legacy_ns = time_batch(&ntt, &pristine, threads, KernelMode::Legacy, iters);
+            let fast_ns = time_batch(&ntt, &pristine, threads, KernelMode::Fast, iters);
+            let cell = Cell {
+                log_n,
+                rows,
+                threads,
+                legacy_ns,
+                fast_ns,
+            };
+            cells.push(cell);
+            table.row(vec![
+                format!("2^{log_n}"),
+                rows.to_string(),
+                threads.to_string(),
+                fmt_ns(legacy_ns),
+                fmt_ns(fast_ns),
+                format!("{:.2}x", legacy_ns / fast_ns),
+            ]);
+        }
+    }
+
+    let bitrev_input = pseudo_random_input(1 << 20);
+    let bitrev_ns = time_bitrev(&bitrev_input, iters);
+    table.note(format!(
+        "bit-reversal of 2^20 elements (table-driven): {}",
+        fmt_ns(bitrev_ns)
+    ));
+
+    let headline = cells
+        .iter()
+        .find(|c| c.log_n == 20 && c.threads == 8)
+        .copied();
+    if let Some(c) = headline {
+        table.note(format!(
+            "headline (2^20, 8 threads): {:.2}x Shoup/six-step over legacy",
+            c.legacy_ns / c.fast_ns
+        ));
+    }
+
+    let json = render_json(&cells, headline.as_ref(), bitrev_ns, quick);
+    match std::fs::write(JSON_PATH, &json) {
+        Ok(()) => table.note(format!("machine-readable results written to {JSON_PATH}")),
+        Err(e) => table.note(format!("could not write {JSON_PATH}: {e}")),
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shapes() {
+        let (sizes, threads) = grid(true);
+        assert_eq!(sizes, vec![12, 16, 20]);
+        assert_eq!(threads, vec![1, 4, 8]);
+        let (full, _) = grid(false);
+        assert!(full.contains(&20) && full.contains(&22));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let cells = [Cell {
+            log_n: 20,
+            rows: 4,
+            threads: 8,
+            legacy_ns: 2e6,
+            fast_ns: 1e6,
+        }];
+        let s = render_json(&cells, Some(&cells[0]), 1e5, true);
+        assert!(s.starts_with("{\n") && s.ends_with("}\n"));
+        assert!(s.contains("\"speedup\": 2.000"));
+        assert!(s.contains("\"headline\""));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn timing_helpers_return_positive() {
+        let pristine = pseudo_random_input(1 << 8);
+        let ntt = Ntt::<Goldilocks>::new(8);
+        let t = time_batch(&ntt, &pristine, 2, KernelMode::Fast, 1);
+        assert!(t > 0.0 && t.is_finite());
+        assert!(time_bitrev(&pristine, 1) > 0.0);
+    }
+}

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod host_bench;
 pub mod report;
 
 pub use report::{fmt_bytes, fmt_ns, Table};

@@ -12,7 +12,7 @@ use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::{Field, PrimeField, TwoAdicField, U256};
+use crate::{Field, PrimeField, ShoupField, ShoupTwiddle, TwoAdicField, U256};
 
 /// The BabyBear prime `2^31 - 2^27 + 1`.
 pub const BABYBEAR_MODULUS: u32 = 0x7800_0001;
@@ -225,6 +225,70 @@ impl TwoAdicField for BabyBear {
     const TWO_ADICITY: u32 = 27;
 }
 
+/// Twice the modulus: the upper bound of a lazy BabyBear lane.
+const TWO_P: u64 = 2 * BABYBEAR_MODULUS as u64;
+
+/// Harvey/Shoup kernels. Lanes are raw `u32` values in `[0, 2p)` — the
+/// redundant range fits the word comfortably (`2p < 2^32`), so butterflies
+/// skip the final canonicalization and a whole conditional subtraction per
+/// add/sub until [`ShoupField::reduce_lane`] runs at the end of a kernel.
+///
+/// Twiddle companions are stored in **plain** (non-Montgomery) form:
+/// multiplying a Montgomery lane `x·R` by a plain constant `w` yields
+/// `(x·w)·R`, i.e. the product stays in Montgomery form without a
+/// Montgomery reduction — this is what makes Shoup multiplication
+/// compatible with the internal representation.
+impl ShoupField for BabyBear {
+    const SHOUP_ACCELERATED: bool = true;
+
+    #[inline]
+    fn shoup_prepare(w: Self) -> ShoupTwiddle<Self> {
+        let plain = w.value() as u64; // out of Montgomery form
+        let quot = (plain << 32) / BABYBEAR_MODULUS as u64; // ⌊w·2^32/p⌋
+        ShoupTwiddle {
+            w,
+            aux: (quot << 32) | plain,
+        }
+    }
+
+    #[inline]
+    fn shoup_mul(a: Self, t: &ShoupTwiddle<Self>) -> Self {
+        let plain = t.aux & 0xffff_ffff;
+        let quot = t.aux >> 32;
+        let q = (a.0 as u64 * quot) >> 32;
+        // a·w − q·p ∈ [0, 2p) for any 32-bit lane `a`: exact in u64.
+        Self((a.0 as u64 * plain - q * BABYBEAR_MODULUS as u64) as u32)
+    }
+
+    #[inline]
+    fn dit_butterfly(u: Self, v: Self, t: &ShoupTwiddle<Self>) -> (Self, Self) {
+        let x = Self::shoup_mul(v, t).0 as u64; // [0, 2p)
+        let s = u.0 as u64 + x; // [0, 4p): one conditional step back to [0, 2p)
+        let s = if s >= TWO_P { s - TWO_P } else { s };
+        let d = u.0 as u64 + TWO_P - x; // (0, 4p)
+        let d = if d >= TWO_P { d - TWO_P } else { d };
+        (Self(s as u32), Self(d as u32))
+    }
+
+    #[inline]
+    fn dif_butterfly(u: Self, v: Self, t: &ShoupTwiddle<Self>) -> (Self, Self) {
+        let s = u.0 as u64 + v.0 as u64;
+        let s = if s >= TWO_P { s - TWO_P } else { s };
+        let d = u.0 as u64 + TWO_P - v.0 as u64;
+        let d = if d >= TWO_P { d - TWO_P } else { d };
+        (Self(s as u32), Self::shoup_mul(Self(d as u32), t))
+    }
+
+    #[inline]
+    fn reduce_lane(x: Self) -> Self {
+        Self(if x.0 >= BABYBEAR_MODULUS {
+            x.0 - BABYBEAR_MODULUS
+        } else {
+            x.0
+        })
+    }
+}
+
 impl From<u32> for BabyBear {
     fn from(v: u32) -> Self {
         Self::from_u64(v as u64)
@@ -241,7 +305,7 @@ mod tests {
         // R * R^{-1} ≡ 1: reducing R should give 1.
         assert_eq!(BabyBear::mont_reduce(MONT_R as u64), 1);
         // -p * p^{-1} ≡ 1 (mod 2^32)
-        assert_eq!(BABYBEAR_MODULUS.wrapping_mul(MONT_NEG_INV), u32::MAX - 0);
+        assert_eq!(BABYBEAR_MODULUS.wrapping_mul(MONT_NEG_INV), u32::MAX);
         assert_eq!(
             BABYBEAR_MODULUS.wrapping_mul(MONT_NEG_INV.wrapping_neg()),
             1

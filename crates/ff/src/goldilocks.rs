@@ -20,7 +20,7 @@ use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::{Field, PrimeField, TwoAdicField, U256};
+use crate::{Field, PrimeField, ShoupField, ShoupTwiddle, TwoAdicField, U256};
 
 /// The Goldilocks prime `2^64 - 2^32 + 1`.
 pub const GOLDILOCKS_MODULUS: u64 = 0xffff_ffff_0000_0001;
@@ -214,6 +214,38 @@ impl PrimeField for Goldilocks {
 
 impl TwoAdicField for Goldilocks {
     const TWO_ADICITY: u32 = 32;
+}
+
+impl ShoupField for Goldilocks {
+    const SHOUP_ACCELERATED: bool = true;
+
+    #[inline]
+    fn shoup_prepare(w: Self) -> ShoupTwiddle<Self> {
+        // aux = ⌊w·2^64 / p⌋; exact u128 division, paid once per twiddle.
+        let aux = (((w.0 as u128) << 64) / (GOLDILOCKS_MODULUS as u128)) as u64;
+        ShoupTwiddle { w, aux }
+    }
+
+    /// Shoup product with a precomputed twiddle. Unlike [`Goldilocks::mul`]
+    /// via [`Goldilocks::reduce128`], the quotient estimate makes the
+    /// reduction a single comparison with no data-dependent carry chains.
+    ///
+    /// `r = a·w − q·p` lies in `[0, 2p)`, which exceeds `2^64` for this
+    /// field, so `r` is formed exactly in `u128` and reduced with one
+    /// conditional subtraction — the output lane is canonical, hence
+    /// Goldilocks lanes are always canonical and `reduce_lane` stays the
+    /// identity.
+    #[inline]
+    fn shoup_mul(a: Self, t: &ShoupTwiddle<Self>) -> Self {
+        let q = ((a.0 as u128 * t.aux as u128) >> 64) as u64;
+        // q·p with p = 2^64 − 2^32 + 1 strength-reduces to shifts:
+        // q·p = (q << 64) − (q << 32) + q, replacing a wide multiply.
+        let qp = ((q as u128) << 64) - ((q as u128) << 32) + q as u128;
+        let r = a.0 as u128 * t.w.0 as u128 - qp;
+        let p = GOLDILOCKS_MODULUS as u128;
+        let r = if r >= p { r - p } else { r };
+        Self(r as u64)
+    }
 }
 
 impl From<u64> for Goldilocks {

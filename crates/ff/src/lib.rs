@@ -35,6 +35,7 @@ mod bigint;
 mod extension;
 mod goldilocks;
 mod mont;
+mod shoup;
 mod traits;
 
 pub use babybear::{BabyBear, BABYBEAR_MODULUS};
@@ -43,4 +44,5 @@ pub use bigint::U256;
 pub use extension::{extension_w, GoldilocksExt2};
 pub use goldilocks::{Goldilocks, GOLDILOCKS_MODULUS};
 pub use mont::{Bn254Fq, Bn254FqParams, Bn254Fr, Bn254FrParams, Mont, MontParams};
+pub use shoup::{ShoupField, ShoupTwiddle};
 pub use traits::{Field, PrimeField, TwoAdicField};

@@ -222,6 +222,11 @@ impl<P: MontParams> Product for Mont<P> {
     }
 }
 
+/// Generic Montgomery fields use the canonical [`crate::ShoupField`]
+/// fallback: 256-bit operands do not fit the word-level Shoup scheme, and
+/// the NTT kernels remain exact (just unaccelerated) through the defaults.
+impl<P: MontParams> crate::ShoupField for Mont<P> {}
+
 impl<P: MontParams> Field for Mont<P> {
     const ZERO: Self = Self::from_repr(U256::ZERO);
     const ONE: Self = Self::from_repr(Self::R);

@@ -165,7 +165,11 @@ pub trait PrimeField: Field {
 }
 
 /// A prime field supporting radix-2 NTTs of length up to `2^TWO_ADICITY`.
-pub trait TwoAdicField: PrimeField {
+///
+/// Requires [`crate::ShoupField`] so every NTT-capable field offers the
+/// Shoup/lazy butterfly hooks (possibly via the canonical fallback) —
+/// generic kernels can then use one code path for all fields.
+pub trait TwoAdicField: PrimeField + crate::ShoupField {
     /// Largest `s` such that `2^s` divides `p - 1`.
     const TWO_ADICITY: u32;
 

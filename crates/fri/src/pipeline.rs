@@ -57,17 +57,15 @@ impl LdeBackend {
 
     /// Batched LDE of equal-length columns: on the simulated backend the
     /// whole batch shares passes and collectives (O5), as a production
-    /// committer would submit a trace.
+    /// committer would submit a trace. The CPU backend extends the columns
+    /// concurrently on the persistent worker pool.
     pub fn lde_batch(
         &mut self,
         columns: &[Vec<Goldilocks>],
         log_blowup: u32,
     ) -> Vec<Vec<Goldilocks>> {
         match self {
-            LdeBackend::Cpu => columns
-                .iter()
-                .map(|c| unintt_ntt::low_degree_extension(c, log_blowup, Goldilocks::GENERATOR))
-                .collect(),
+            LdeBackend::Cpu => cpu_lde_batch(columns, log_blowup),
             LdeBackend::Simulated(sim) => sim.lde_batch(columns, log_blowup),
         }
     }
@@ -118,10 +116,7 @@ impl LdeBackend {
             return Ok(ldes.clone());
         }
         let ldes = match self {
-            LdeBackend::Cpu => columns
-                .iter()
-                .map(|c| unintt_ntt::low_degree_extension(c, log_blowup, Goldilocks::GENERATOR))
-                .collect(),
+            LdeBackend::Cpu => cpu_lde_batch(columns, log_blowup),
             LdeBackend::Simulated(sim) => {
                 sim.try_lde_batch(columns, log_blowup, policy, checkpoint)?
             }
@@ -130,6 +125,21 @@ impl LdeBackend {
         checkpoint.ldes = Some(ldes.clone());
         Ok(ldes)
     }
+}
+
+/// Host-side batched LDE: independent columns, one task per column on the
+/// process-wide worker pool. Per-column results are bit-identical to the
+/// serial loop (each column's extension is self-contained).
+fn cpu_lde_batch(columns: &[Vec<Goldilocks>], log_blowup: u32) -> Vec<Vec<Goldilocks>> {
+    let mut out: Vec<Vec<Goldilocks>> = vec![Vec::new(); columns.len()];
+    unintt_exec::Executor::global().scope(|scope| {
+        for (col, slot) in columns.iter().zip(out.iter_mut()) {
+            scope.spawn(move || {
+                *slot = unintt_ntt::low_degree_extension(col, log_blowup, Goldilocks::GENERATOR);
+            });
+        }
+    });
+    out
 }
 
 /// Resumable state for [`commit_trace_with_recovery`]: the outputs of the

@@ -72,6 +72,10 @@ impl Machine {
     /// `shards` must hold exactly one element per device. Each closure owns
     /// its shard exclusively for the duration of the phase — exactly the
     /// isolation a real GPU has between kernels on different devices.
+    /// Device closures run as tasks on the process-wide persistent worker
+    /// pool ([`unintt_exec::Executor::global`]); simulated-clock accounting
+    /// is unaffected because each device charges its own [`DeviceState`]
+    /// regardless of which OS thread executes it.
     ///
     /// # Panics
     ///
@@ -87,7 +91,7 @@ impl Machine {
             "need exactly one shard per device"
         );
         let model = &self.model;
-        std::thread::scope(|scope| {
+        unintt_exec::Executor::global().scope(|scope| {
             for (id, (state, shard)) in self.devices.iter_mut().zip(shards.iter_mut()).enumerate() {
                 if !state.alive {
                     continue;

@@ -32,6 +32,6 @@ mod pippenger;
 pub use curve::{curve_b, G1Affine, G1Projective};
 pub use multi_gpu::{msm_kernel_profile, multi_gpu_msm, simulate_multi_gpu_msm};
 pub use pippenger::{
-    msm, msm_naive, msm_signed, msm_signed_with_window, msm_with_window, optimal_window_bits,
-    pippenger_group_ops, pippenger_signed_group_ops,
+    msm, msm_naive, msm_parallel, msm_parallel_with_window, msm_signed, msm_signed_with_window,
+    msm_with_window, optimal_window_bits, pippenger_group_ops, pippenger_signed_group_ops,
 };

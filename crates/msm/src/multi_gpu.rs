@@ -9,7 +9,7 @@
 use unintt_ff::Bn254Fr;
 use unintt_gpu_sim::{FieldSpec, KernelProfile, Machine};
 
-use crate::{msm, optimal_window_bits, pippenger_group_ops, G1Affine, G1Projective};
+use crate::{msm_parallel, optimal_window_bits, pippenger_group_ops, G1Affine, G1Projective};
 
 /// Field multiplications per Jacobian group operation (mixed adds and
 /// doublings average out around this; the exact mix barely moves it).
@@ -53,8 +53,11 @@ pub fn multi_gpu_msm(
         })
         .collect();
 
+    // Window-parallel Pippenger per device: nested scopes on the shared
+    // worker pool (device tasks spawn window tasks) are supported and
+    // bit-identical to the serial kernel.
     machine.parallel_phase(&mut shards, |ctx, _dev, (ks, ps, out)| {
-        *out = msm(ks, ps);
+        *out = msm_parallel(ks, ps);
         ctx.launch(&msm_kernel_profile(ks.len() as u64));
     });
 

@@ -33,6 +33,28 @@ fn digit(k: &U256, lo: u32, c: u32) -> usize {
     d
 }
 
+/// Bucket accumulation + running-sum for one window: `Σ d·P` over pairs
+/// whose window-`w` digit is `d`.
+fn window_sum(ks: &[U256], points: &[G1Affine], w: u32, c: u32) -> G1Projective {
+    let num_buckets = (1usize << c) - 1;
+    let mut buckets = vec![G1Projective::identity(); num_buckets];
+    let lo = w * c;
+    for (k, p) in ks.iter().zip(points) {
+        let d = digit(k, lo, c);
+        if d != 0 {
+            buckets[d - 1] = buckets[d - 1].add_affine(p);
+        }
+    }
+    // Running-sum trick: Σ d·bucket[d] with 2·(2^c−1) additions.
+    let mut running = G1Projective::identity();
+    let mut sum = G1Projective::identity();
+    for b in buckets.iter().rev() {
+        running += *b;
+        sum += running;
+    }
+    sum
+}
+
 /// MSM by Pippenger's algorithm with an explicit window size.
 ///
 /// # Panics
@@ -48,30 +70,13 @@ pub fn msm_with_window(scalars: &[Bn254Fr], points: &[G1Affine], c: u32) -> G1Pr
     let ks: Vec<U256> = scalars.iter().map(|s| s.to_canonical_u256()).collect();
     let scalar_bits = Bn254Fr::MODULUS_BITS;
     let windows = scalar_bits.div_ceil(c);
-    let num_buckets = (1usize << c) - 1;
 
     let mut acc = G1Projective::identity();
     for w in (0..windows).rev() {
         for _ in 0..c {
             acc = acc.double();
         }
-        // Bucket accumulation for this window.
-        let mut buckets = vec![G1Projective::identity(); num_buckets];
-        let lo = w * c;
-        for (k, p) in ks.iter().zip(points) {
-            let d = digit(k, lo, c);
-            if d != 0 {
-                buckets[d - 1] = buckets[d - 1].add_affine(p);
-            }
-        }
-        // Running-sum trick: Σ d·bucket[d] with 2·(2^c−1) additions.
-        let mut running = G1Projective::identity();
-        let mut window_sum = G1Projective::identity();
-        for b in buckets.iter().rev() {
-            running += *b;
-            window_sum += running;
-        }
-        acc += window_sum;
+        acc += window_sum(&ks, points, w, c);
     }
     acc
 }
@@ -79,6 +84,50 @@ pub fn msm_with_window(scalars: &[Bn254Fr], points: &[G1Affine], c: u32) -> G1Pr
 /// MSM with the heuristic window size.
 pub fn msm(scalars: &[Bn254Fr], points: &[G1Affine]) -> G1Projective {
     msm_with_window(scalars, points, optimal_window_bits(scalars.len()))
+}
+
+/// Window-parallel Pippenger MSM: every window's bucket phase is an
+/// independent pass over the pairs, so the window sums compute as tasks on
+/// the process-wide worker pool ([`unintt_exec::Executor::global`]); the
+/// serial stitch (`c` doublings between windows) is unchanged, so the
+/// result is bit-identical to [`msm_with_window`].
+///
+/// # Panics
+///
+/// Panics if `scalars` and `points` have different lengths or `c == 0`.
+pub fn msm_parallel_with_window(scalars: &[Bn254Fr], points: &[G1Affine], c: u32) -> G1Projective {
+    assert_eq!(scalars.len(), points.len(), "scalar/point length mismatch");
+    assert!(c > 0, "window size must be positive");
+    if scalars.is_empty() {
+        return G1Projective::identity();
+    }
+
+    let ks: Vec<U256> = scalars.iter().map(|s| s.to_canonical_u256()).collect();
+    let windows = Bn254Fr::MODULUS_BITS.div_ceil(c);
+    let mut sums = vec![G1Projective::identity(); windows as usize];
+
+    unintt_exec::Executor::global().scope(|scope| {
+        let ks = &ks;
+        for (w, out) in sums.iter_mut().enumerate() {
+            scope.spawn(move || {
+                *out = window_sum(ks, points, w as u32, c);
+            });
+        }
+    });
+
+    let mut acc = G1Projective::identity();
+    for w in (0..windows as usize).rev() {
+        for _ in 0..c {
+            acc = acc.double();
+        }
+        acc += sums[w];
+    }
+    acc
+}
+
+/// Window-parallel MSM with the heuristic window size.
+pub fn msm_parallel(scalars: &[Bn254Fr], points: &[G1Affine]) -> G1Projective {
+    msm_parallel_with_window(scalars, points, optimal_window_bits(scalars.len()))
 }
 
 /// Decomposes a scalar into signed `c`-bit digits in
@@ -230,6 +279,27 @@ mod tests {
     #[test]
     fn msm_empty_is_identity() {
         assert_eq!(msm(&[], &[]), G1Projective::identity());
+        assert_eq!(msm_parallel(&[], &[]), G1Projective::identity());
+    }
+
+    #[test]
+    fn parallel_msm_is_bit_identical_to_serial() {
+        for n in [1usize, 2, 7, 33, 100] {
+            let (scalars, points) = random_pairs(n, 900 + n as u64);
+            assert_eq!(
+                msm_parallel(&scalars, &points),
+                msm(&scalars, &points),
+                "n={n}"
+            );
+        }
+        let (scalars, points) = random_pairs(24, 901);
+        for c in [1u32, 4, 9, 13] {
+            assert_eq!(
+                msm_parallel_with_window(&scalars, &points, c),
+                msm_with_window(&scalars, &points, c),
+                "c={c}"
+            );
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! and, in the parallel variant, saturate all cores with embarrassing
 //! parallelism.
 
+use unintt_exec::Executor;
 use unintt_ff::TwoAdicField;
 
 use crate::{Direction, Ntt};
@@ -33,8 +34,13 @@ pub fn batch_transform<F: TwoAdicField>(ntt: &Ntt<F>, data: &mut [F], direction:
     }
 }
 
-/// Multithreaded version of [`batch_transform`]: rows are distributed over
-/// `threads` OS threads.
+/// Multithreaded version of [`batch_transform`]: rows are split into
+/// `threads` contiguous chunks, executed as tasks on the process-wide
+/// persistent worker pool ([`unintt_exec::Executor::global`]).
+///
+/// `threads` controls the *chunking* (and therefore the work decomposition
+/// is deterministic regardless of pool size); the pool decides which
+/// worker runs which chunk.
 ///
 /// # Panics
 ///
@@ -60,7 +66,7 @@ pub fn batch_transform_parallel<F: TwoAdicField>(
     }
     let rows_per_thread = rows.div_ceil(threads);
 
-    std::thread::scope(|scope| {
+    Executor::global().scope(|scope| {
         for chunk in data.chunks_mut(rows_per_thread * n) {
             scope.spawn(move || {
                 for row in chunk.chunks_mut(n) {
@@ -127,6 +133,49 @@ mod tests {
         let mut data: Vec<Goldilocks> = vec![];
         batch_transform(&ntt, &mut data, Direction::Forward);
         batch_transform_parallel(&ntt, &mut data, Direction::Forward, 4);
+    }
+
+    #[test]
+    fn single_row_parallel_matches_serial() {
+        let ntt = Ntt::<Goldilocks>::new(5);
+        let original = random_vec(32, 5);
+        let mut serial = original.clone();
+        ntt.forward(&mut serial);
+        for threads in [1, 2, 8] {
+            let mut par = original.clone();
+            batch_transform_parallel(&ntt, &mut par, Direction::Forward, threads);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_rows() {
+        // rows_per_thread clamps to 1; extra threads get no chunk.
+        let ntt = Ntt::<Goldilocks>::new(4);
+        let original = random_vec(3 * 16, 6);
+        let mut serial = original.clone();
+        batch_transform(&ntt, &mut serial, Direction::Inverse);
+        let mut par = original.clone();
+        batch_transform_parallel(&ntt, &mut par, Direction::Inverse, 64);
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn parallel_roundtrip_inverse() {
+        let ntt = Ntt::<Goldilocks>::new(6);
+        let original = random_vec(9 * 64, 7);
+        let mut data = original.clone();
+        batch_transform_parallel(&ntt, &mut data, Direction::Forward, 3);
+        batch_transform_parallel(&ntt, &mut data, Direction::Inverse, 5);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threads_panics() {
+        let ntt = Ntt::<Goldilocks>::new(4);
+        let mut data = random_vec(16, 8);
+        batch_transform_parallel(&ntt, &mut data, Direction::Forward, 0);
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub fn reverse_bits(i: usize, bits: u32) -> usize {
 
 /// Applies the bit-reversal permutation in place.
 ///
+/// For sizes up to `2^20` the swap pairs come from a process-wide
+/// precomputed table (see [`crate::cache`]): the permutation loop then
+/// reads the pair list sequentially instead of re-deriving each index,
+/// and skips the `i < j` test on the half of the indices it would reject.
+///
 /// # Panics
 ///
 /// Panics if `values.len()` is not a power of two.
@@ -29,10 +34,16 @@ pub fn bit_reverse_permute<T>(values: &mut [T]) {
     let n = values.len();
     assert!(n.is_power_of_two(), "length {n} is not a power of two");
     let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = reverse_bits(i, bits);
-        if i < j {
-            values.swap(i, j);
+    if bits <= crate::cache::MAX_CACHED_BITREV_BITS {
+        for &(i, j) in crate::cache::bitrev_pairs(bits).iter() {
+            values.swap(i as usize, j as usize);
+        }
+    } else {
+        for i in 0..n {
+            let j = reverse_bits(i, bits);
+            if i < j {
+                values.swap(i, j);
+            }
         }
     }
 }

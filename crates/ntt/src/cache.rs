@@ -1,0 +1,156 @@
+//! Process-wide plan and twiddle caches.
+//!
+//! Engines, provers and benches construct [`crate::Ntt`] contexts for the
+//! same `(field, log_n)` pairs over and over (the ZKP backend builds one
+//! per proof, the FRI pipeline two per LDE, the cluster engines one per
+//! shard size…). Tables and kernel plans are immutable once built, so the
+//! whole process shares them: one `HashMap` keyed by `(TypeId, log_n)`
+//! behind a mutex, holding `Arc`s. Both transform directions live in the
+//! same entry (forward and inverse lanes are built together), so the key
+//! `(field, log_n)` covers the `(field, log_n, direction)` plan space.
+//!
+//! The bit-reversal pair tables (see [`crate::bit_reverse_permute`]) are
+//! cached here too, keyed by `log_n` alone — the permutation is
+//! element-type agnostic.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use unintt_ff::TwoAdicField;
+
+use crate::fast::DirectPlan;
+use crate::twiddle::TwiddleTable;
+
+type AnyArc = Arc<dyn Any + Send + Sync>;
+
+fn table_cache() -> &'static Mutex<HashMap<(TypeId, u32), AnyArc>> {
+    static CACHE: OnceLock<Mutex<HashMap<(TypeId, u32), AnyArc>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn plan_cache() -> &'static Mutex<HashMap<(TypeId, u32), AnyArc>> {
+    static CACHE: OnceLock<Mutex<HashMap<(TypeId, u32), AnyArc>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The shared twiddle table for `(F, log_n)`, built on first request.
+///
+/// # Panics
+///
+/// Panics if `log_n` exceeds the field's two-adicity (as
+/// [`TwiddleTable::new`] does).
+pub fn shared_table<F: TwoAdicField>(log_n: u32) -> Arc<TwiddleTable<F>> {
+    let key = (TypeId::of::<F>(), log_n);
+    if let Some(hit) = table_cache().lock().unwrap().get(&key) {
+        return Arc::clone(hit).downcast().expect("cache type invariant");
+    }
+    // Build outside the lock: large tables take real time and other sizes
+    // shouldn't stall behind them. A racing builder just loses its copy.
+    let built = Arc::new(TwiddleTable::<F>::new(log_n));
+    let mut cache = table_cache().lock().unwrap();
+    let entry = cache
+        .entry(key)
+        .or_insert_with(|| built as Arc<dyn Any + Send + Sync>);
+    Arc::clone(entry).downcast().expect("cache type invariant")
+}
+
+/// The shared direct-kernel plan (per-stage Shoup tables) for `(F, log_n)`.
+pub(crate) fn shared_plan<F: TwoAdicField>(log_n: u32) -> Arc<DirectPlan<F>> {
+    let key = (TypeId::of::<F>(), log_n);
+    if let Some(hit) = plan_cache().lock().unwrap().get(&key) {
+        return Arc::clone(hit).downcast().expect("cache type invariant");
+    }
+    let built = Arc::new(DirectPlan::new(&shared_table::<F>(log_n)));
+    let mut cache = plan_cache().lock().unwrap();
+    let entry = cache
+        .entry(key)
+        .or_insert_with(|| built as Arc<dyn Any + Send + Sync>);
+    Arc::clone(entry).downcast().expect("cache type invariant")
+}
+
+/// Largest `log_n` whose bit-reversal swap pairs are cached (a pair table
+/// at `2^20` is 4 MiB; larger permutations fall back to on-the-fly index
+/// computation — the fast NTT path never bit-reverses at those sizes
+/// anyway, it decomposes six-step instead).
+pub(crate) const MAX_CACHED_BITREV_BITS: u32 = 20;
+
+/// A cached table of bit-reversal swap pairs.
+type BitrevPairs = Arc<Vec<(u32, u32)>>;
+
+/// The swap pairs `(i, j)` with `i < j = reverse_bits(i)` for a size-`2^bits`
+/// bit-reversal permutation, shared process-wide.
+pub(crate) fn bitrev_pairs(bits: u32) -> BitrevPairs {
+    assert!(bits <= MAX_CACHED_BITREV_BITS);
+    static CACHE: OnceLock<Mutex<HashMap<u32, BitrevPairs>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = cache.lock().unwrap().get(&bits) {
+        return Arc::clone(hit);
+    }
+    let n = 1usize << bits;
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        let j = crate::bitrev::reverse_bits(i, bits);
+        if i < j {
+            pairs.push((i as u32, j as u32));
+        }
+    }
+    let built = Arc::new(pairs);
+    let mut guard = cache.lock().unwrap();
+    Arc::clone(guard.entry(bits).or_insert(built))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unintt_ff::{BabyBear, Goldilocks};
+
+    #[test]
+    fn tables_are_shared_per_field_and_size() {
+        let a = shared_table::<Goldilocks>(6);
+        let b = shared_table::<Goldilocks>(6);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = shared_table::<Goldilocks>(7);
+        assert!(!Arc::ptr_eq(&a, &c));
+        // Different field, same log_n: distinct entries.
+        let d = shared_table::<BabyBear>(6);
+        assert_eq!(d.log_n(), 6);
+    }
+
+    #[test]
+    fn shared_table_matches_fresh_table() {
+        let shared = shared_table::<Goldilocks>(8);
+        let fresh = TwiddleTable::<Goldilocks>::new(8);
+        assert_eq!(shared.forward(), fresh.forward());
+        assert_eq!(shared.inverse(), fresh.inverse());
+        assert_eq!(shared.n_inv(), fresh.n_inv());
+    }
+
+    #[test]
+    fn plans_are_shared() {
+        let a = shared_plan::<Goldilocks>(5);
+        let b = shared_plan::<Goldilocks>(5);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn bitrev_pairs_are_shared_and_correct() {
+        let p = bitrev_pairs(4);
+        assert!(Arc::ptr_eq(&p, &bitrev_pairs(4)));
+        // Applying the pairs must equal the naive permutation.
+        let mut via_pairs: Vec<u32> = (0..16).collect();
+        for &(i, j) in p.iter() {
+            via_pairs.swap(i as usize, j as usize);
+        }
+        let mut naive: Vec<u32> = (0..16).collect();
+        let n = naive.len();
+        let bits = n.trailing_zeros();
+        for i in 0..n {
+            let j = crate::bitrev::reverse_bits(i, bits);
+            if i < j {
+                naive.swap(i, j);
+            }
+        }
+        assert_eq!(via_pairs, naive);
+    }
+}

@@ -1,0 +1,464 @@
+//! The fast host-side NTT path: Shoup/lazy butterflies, per-stage packed
+//! twiddle tables, and a cache-blocked six-step decomposition.
+//!
+//! [`crate::Ntt::forward`]/[`crate::Ntt::inverse`] dispatch here by
+//! default ([`KernelMode::Fast`]); the pre-existing radix-2 DIT kernels
+//! remain available as [`KernelMode::Legacy`] for A/B comparison (the
+//! harness exposes `--legacy-kernels`). **Both paths produce bit-identical
+//! outputs**: every kernel computes the exact DFT over the field and
+//! canonicalizes its lanes before returning, and canonical representations
+//! are unique.
+//!
+//! Structure of the fast path:
+//!
+//! * `log_n ≤ DIRECT_MAX_LOG_N` — a decimation-in-frequency pass using
+//!   [`unintt_ff::ShoupField::dif_butterfly`] on lazy lanes with
+//!   *per-stage packed* twiddle tables (sequential reads, no `j << stride`
+//!   gather), followed by a table-driven bit-reversal. Working set fits in
+//!   cache, so the permutation is cheap here.
+//! * larger sizes — the Bailey six-step factorization `N = N1·N2` with
+//!   tile-blocked transposes: all row transforms run over contiguous,
+//!   cache-resident rows via the direct path above, and the step-②
+//!   twiddle multiplication is fused right after the inner transforms
+//!   while each row is still hot. The bit-reversal of an 8 MiB array —
+//!   pure random access in the legacy path — never happens.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+use unintt_ff::{ShoupTwiddle, TwoAdicField};
+
+use crate::twiddle::TwiddleTable;
+use crate::{bit_reverse_permute, cache};
+
+/// Which kernel family [`crate::Ntt`] dispatches to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Shoup/lazy butterflies + six-step blocking (default).
+    Fast,
+    /// The original radix-2 bit-reverse + DIT path.
+    Legacy,
+}
+
+static KERNEL_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the kernel family process-wide. Outputs are bit-identical in
+/// both modes; this is a performance A/B switch, not a semantic one.
+pub fn set_kernel_mode(mode: KernelMode) {
+    KERNEL_MODE.store(mode as u8, Ordering::Relaxed);
+}
+
+/// The currently selected kernel family.
+pub fn kernel_mode() -> KernelMode {
+    if KERNEL_MODE.load(Ordering::Relaxed) == 0 {
+        KernelMode::Fast
+    } else {
+        KernelMode::Legacy
+    }
+}
+
+/// Largest `log_n` the direct (single-pass) kernel handles; larger sizes
+/// decompose six-step so the working set of every inner loop stays cache
+/// sized. At `2^16` data + packed stage tables is ~1.5 MiB — L2-resident,
+/// where the direct kernel still beats three transpose passes. Also bounds
+/// the memory of cached per-stage plans.
+pub(crate) const DIRECT_MAX_LOG_N: u32 = 16;
+
+/// A direct-kernel plan: per-stage packed Shoup twiddles for both
+/// directions plus the prepared inverse-scale constant. Cached
+/// process-wide by `(field, log_n)` — see [`crate::cache`].
+pub(crate) struct DirectPlan<F: TwoAdicField> {
+    log_n: u32,
+    /// `fwd_stages[s-1][j]` is the stage-`s` DIF twiddle `ω^{j·2^(log_n−s)}`,
+    /// prepared; packed contiguously so stage loops read sequentially.
+    fwd_stages: Vec<Vec<ShoupTwiddle<F>>>,
+    inv_stages: Vec<Vec<ShoupTwiddle<F>>>,
+    n_inv: ShoupTwiddle<F>,
+}
+
+fn pack_stages<F: TwoAdicField>(lane: &[ShoupTwiddle<F>], log_n: u32) -> Vec<Vec<ShoupTwiddle<F>>> {
+    (1..=log_n)
+        .map(|s| {
+            let half = 1usize << (s - 1);
+            let stride = log_n - s;
+            (0..half).map(|j| lane[j << stride]).collect()
+        })
+        .collect()
+}
+
+impl<F: TwoAdicField> DirectPlan<F> {
+    pub(crate) fn new(table: &TwiddleTable<F>) -> Self {
+        let log_n = table.log_n();
+        Self {
+            log_n,
+            fwd_stages: pack_stages(table.forward_shoup(), log_n),
+            inv_stages: pack_stages(table.inverse_shoup(), log_n),
+            n_inv: F::shoup_prepare(table.n_inv()),
+        }
+    }
+
+    /// DIF stages on lazy lanes. When `canonicalize` is set the final
+    /// stage folds [`ShoupField::reduce_lane`] into its stores; otherwise
+    /// lanes stay lazy for a caller-fused final pass. All inner loops are
+    /// zipped iterators so no bounds check survives into the hot path.
+    /// (A fused radix-4 variant was measured and lost: holding four u128
+    /// butterfly temporaries spills on this target.)
+    fn dif_lazy(&self, values: &mut [F], stages: &[Vec<ShoupTwiddle<F>>], canonicalize: bool) {
+        let log_n = self.log_n;
+        if log_n == 0 {
+            return;
+        }
+        for s in (2..=log_n).rev() {
+            let m = 1usize << s;
+            let half = m / 2;
+            let tw = &stages[(s - 1) as usize][..half];
+            for block in values.chunks_exact_mut(m) {
+                let (lo, hi) = block.split_at_mut(half);
+                for ((u, v), t) in lo.iter_mut().zip(hi.iter_mut()).zip(tw) {
+                    let (a, b) = F::dif_butterfly(*u, *v, t);
+                    *u = a;
+                    *v = b;
+                }
+            }
+        }
+        // Final stage (s = 1): single unit twiddle per block pair.
+        let t1 = &stages[0][0];
+        if canonicalize {
+            for block in values.chunks_exact_mut(2) {
+                let (a, b) = F::dif_butterfly(block[0], block[1], t1);
+                block[0] = F::reduce_lane(a);
+                block[1] = F::reduce_lane(b);
+            }
+        } else {
+            for block in values.chunks_exact_mut(2) {
+                let (a, b) = F::dif_butterfly(block[0], block[1], t1);
+                block[0] = a;
+                block[1] = b;
+            }
+        }
+    }
+
+    /// Forward transform, natural order in and out, canonical output.
+    pub(crate) fn forward(&self, values: &mut [F]) {
+        self.dif_lazy(values, &self.fwd_stages, true);
+        bit_reverse_permute(values);
+    }
+
+    /// Inverse transform including the `1/n` scale; the scale pass doubles
+    /// as the lane canonicalization.
+    pub(crate) fn inverse(&self, values: &mut [F]) {
+        self.dif_lazy(values, &self.inv_stages, false);
+        bit_reverse_permute(values);
+        for v in values.iter_mut() {
+            *v = F::reduce_lane(F::shoup_mul(*v, &self.n_inv));
+        }
+    }
+}
+
+/// Transpose tile edge: 32×32 Goldilocks elements = 8 KiB, comfortably two
+/// L1-resident tiles (source and destination).
+const TILE: usize = 32;
+
+/// Blocked out-of-place transpose: `dst[c·rows + r] = src[r·cols + c]`
+/// (same semantics as [`crate::transpose`], without the allocation).
+fn transpose_blocked<F: Copy>(src: &[F], dst: &mut [F], rows: usize, cols: usize) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    for rb in (0..rows).step_by(TILE) {
+        let r_end = (rb + TILE).min(rows);
+        for cb in (0..cols).step_by(TILE) {
+            let c_end = (cb + TILE).min(cols);
+            for r in rb..r_end {
+                for c in cb..c_end {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+        }
+    }
+}
+
+/// In-place blocked transpose of an `n × n` matrix: swaps each
+/// above-diagonal tile with its mirror and transposes diagonal tiles where
+/// they sit. Same tiling as [`transpose_blocked`] but no second buffer and
+/// half the memory passes of a transpose-then-copy sequence.
+fn transpose_in_place_square<F: Copy>(a: &mut [F], n: usize) {
+    debug_assert_eq!(a.len(), n * n);
+    for rb in (0..n).step_by(TILE) {
+        let r_end = (rb + TILE).min(n);
+        for r in rb..r_end {
+            for c in (r + 1)..r_end {
+                a.swap(r * n + c, c * n + r);
+            }
+        }
+        for cb in ((rb + TILE)..n).step_by(TILE) {
+            let c_end = (cb + TILE).min(n);
+            for r in rb..r_end {
+                for c in cb..c_end {
+                    a.swap(r * n + c, c * n + r);
+                }
+            }
+        }
+    }
+}
+
+/// Multiplies `row[k]` by `ω^{±i2·k}` (step ② of six-step). Uses a pair of
+/// interleaved running products restarted every `CHUNK` elements: no
+/// strided table gathers, no per-element `pow`, and the two chains hide
+/// multiplication latency. The chain update multiplies by the *fixed*
+/// `step²`, so it runs as a Shoup product off one prepared constant.
+fn twiddle_row<F: TwoAdicField>(row: &mut [F], table: &TwiddleTable<F>, i2: usize, inverse: bool) {
+    if i2 == 0 {
+        return;
+    }
+    const CHUNK: usize = 256;
+    let root = |e: usize| {
+        if inverse {
+            table.root_pow_inv(e)
+        } else {
+            table.root_pow(e)
+        }
+    };
+    let step = root(i2);
+    let step2 = F::shoup_prepare(step * step);
+    for (ci, chunk) in row.chunks_mut(CHUNK).enumerate() {
+        let mut cur0 = root(i2 * ci * CHUNK);
+        let mut cur1 = cur0 * step;
+        for pair in chunk.chunks_exact_mut(2) {
+            pair[0] *= cur0;
+            pair[1] *= cur1;
+            cur0 = F::reduce_lane(F::shoup_mul(cur0, &step2));
+            cur1 = F::reduce_lane(F::shoup_mul(cur1, &step2));
+        }
+    }
+}
+
+/// Fast forward NTT for any supported size (natural order in/out).
+pub(crate) fn forward_fast<F: TwoAdicField>(table: &Arc<TwiddleTable<F>>, values: &mut [F]) {
+    let log_n = table.log_n();
+    if log_n <= DIRECT_MAX_LOG_N {
+        cache::shared_plan::<F>(log_n).forward(values);
+    } else {
+        six_step(table, values, false);
+    }
+}
+
+/// Fast inverse NTT (includes the `1/n` scale).
+pub(crate) fn inverse_fast<F: TwoAdicField>(table: &Arc<TwiddleTable<F>>, values: &mut [F]) {
+    let log_n = table.log_n();
+    if log_n <= DIRECT_MAX_LOG_N {
+        cache::shared_plan::<F>(log_n).inverse(values);
+    } else {
+        six_step(table, values, true);
+    }
+}
+
+/// Row-transform dispatch for six-step sub-problems (recurses back through
+/// the size check, so `log_n > 2·DIRECT_MAX_LOG_N` still works).
+fn rows_fast<F: TwoAdicField>(data: &mut [F], row_log: u32, inverse: bool) {
+    let row_len = 1usize << row_log;
+    if row_log <= DIRECT_MAX_LOG_N {
+        let plan = cache::shared_plan::<F>(row_log);
+        for row in data.chunks_exact_mut(row_len) {
+            if inverse {
+                plan.inverse(row);
+            } else {
+                plan.forward(row);
+            }
+        }
+    } else {
+        let table = cache::shared_table::<F>(row_log);
+        for row in data.chunks_exact_mut(row_len) {
+            if inverse {
+                inverse_fast(&table, row);
+            } else {
+                forward_fast(&table, row);
+            }
+        }
+    }
+}
+
+/// Cache-blocked six-step NTT for `N = N1·N2` (`N1 = 2^⌊log_n/2⌋`).
+///
+/// Forward: transpose → N2 inner NTTs (length N1) fused with step-②
+/// twiddles → transpose → N1 outer NTTs (length N2) → transpose. The
+/// inverse retraces the same structure with inverse roots; the `1/N1` and
+/// `1/N2` scales inside the row inverses compose to the full `1/N`.
+fn six_step<F: TwoAdicField>(table: &Arc<TwiddleTable<F>>, values: &mut [F], inverse: bool) {
+    let log_n = table.log_n();
+    let l1 = log_n / 2;
+    let l2 = log_n - l1;
+    let n1 = 1usize << l1;
+    let n2 = 1usize << l2;
+
+    // Even log_n: the matrix is square, so every transpose runs in place —
+    // no scratch buffer, and the transpose-then-copy tail collapses into a
+    // single pass.
+    if n1 == n2 {
+        if !inverse {
+            transpose_in_place_square(values, n1);
+            for (i2, row) in values.chunks_exact_mut(n1).enumerate() {
+                rows_fast::<F>(row, l1, false);
+                twiddle_row(row, table, i2, false);
+            }
+            transpose_in_place_square(values, n1);
+            rows_fast::<F>(values, l2, false);
+            transpose_in_place_square(values, n1);
+        } else {
+            transpose_in_place_square(values, n1);
+            rows_fast::<F>(values, l2, true);
+            transpose_in_place_square(values, n1);
+            for (i2, row) in values.chunks_exact_mut(n1).enumerate() {
+                twiddle_row(row, table, i2, true);
+                rows_fast::<F>(row, l1, true);
+            }
+            transpose_in_place_square(values, n1);
+        }
+        return;
+    }
+
+    let mut scratch = vec![F::ZERO; values.len()];
+    if !inverse {
+        // values[i1·n2 + i2] → scratch[i2·n1 + i1]: columns become rows.
+        transpose_blocked(values, &mut scratch, n1, n2);
+        for (i2, row) in scratch.chunks_exact_mut(n1).enumerate() {
+            rows_fast::<F>(row, l1, false);
+            twiddle_row(row, table, i2, false);
+        }
+        transpose_blocked(&scratch, values, n2, n1);
+        rows_fast::<F>(values, l2, false);
+        transpose_blocked(values, &mut scratch, n1, n2);
+        values.copy_from_slice(&scratch);
+    } else {
+        // Exact mirror: undo the final transpose, outer inverses, undo the
+        // middle transpose, un-twiddle + inner inverses, undo the first.
+        transpose_blocked(values, &mut scratch, n2, n1);
+        rows_fast::<F>(&mut scratch, l2, true);
+        transpose_blocked(&scratch, values, n1, n2);
+        for (i2, row) in values.chunks_exact_mut(n1).enumerate() {
+            twiddle_row(row, table, i2, true);
+            rows_fast::<F>(row, l1, true);
+        }
+        transpose_blocked(values, &mut scratch, n2, n1);
+        values.copy_from_slice(&scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ntt;
+    use rand::{rngs::StdRng, SeedableRng};
+    use unintt_ff::{BabyBear, Bn254Fr, Field, Goldilocks};
+
+    fn random_vec<F: Field>(log_n: u32, seed: u64) -> Vec<F> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..1usize << log_n).map(|_| F::random(&mut rng)).collect()
+    }
+
+    /// Runs `f` under the legacy kernels, restoring fast mode after.
+    /// Outputs are mode-independent, so concurrent tests observing the
+    /// temporary switch still pass.
+    fn with_legacy<R>(f: impl FnOnce() -> R) -> R {
+        set_kernel_mode(KernelMode::Legacy);
+        let r = f();
+        set_kernel_mode(KernelMode::Fast);
+        r
+    }
+
+    fn fast_matches_legacy_generic<F: TwoAdicField>(max_log: u32) {
+        for log_n in 0..=max_log {
+            let ntt = Ntt::<F>::new(log_n);
+            let input = random_vec::<F>(log_n, 42 + log_n as u64);
+
+            let mut legacy_fwd = input.clone();
+            with_legacy(|| ntt.forward(&mut legacy_fwd));
+            let mut fast_fwd = input.clone();
+            ntt.forward(&mut fast_fwd);
+            assert_eq!(fast_fwd, legacy_fwd, "forward log_n={log_n}");
+
+            let mut legacy_inv = input.clone();
+            with_legacy(|| ntt.inverse(&mut legacy_inv));
+            let mut fast_inv = input.clone();
+            ntt.inverse(&mut fast_inv);
+            assert_eq!(fast_inv, legacy_inv, "inverse log_n={log_n}");
+        }
+    }
+
+    #[test]
+    fn fast_matches_legacy_goldilocks_direct() {
+        fast_matches_legacy_generic::<Goldilocks>(12);
+    }
+
+    #[test]
+    fn fast_matches_legacy_babybear_direct() {
+        fast_matches_legacy_generic::<BabyBear>(12);
+    }
+
+    #[test]
+    fn fast_matches_legacy_bn254_fallback() {
+        fast_matches_legacy_generic::<Bn254Fr>(9);
+    }
+
+    #[test]
+    fn fast_matches_legacy_across_six_step_threshold() {
+        // Straddle DIRECT_MAX_LOG_N so both the direct and the blocked
+        // six-step path are exercised.
+        for log_n in [DIRECT_MAX_LOG_N, DIRECT_MAX_LOG_N + 1, DIRECT_MAX_LOG_N + 2] {
+            let ntt = Ntt::<Goldilocks>::new(log_n);
+            let input = random_vec::<Goldilocks>(log_n, 7 + log_n as u64);
+
+            let mut legacy = input.clone();
+            with_legacy(|| ntt.forward(&mut legacy));
+            let mut fast = input.clone();
+            ntt.forward(&mut fast);
+            assert_eq!(fast, legacy, "forward log_n={log_n}");
+
+            let mut round = fast.clone();
+            ntt.inverse(&mut round);
+            assert_eq!(round, input, "roundtrip log_n={log_n}");
+        }
+    }
+
+    #[test]
+    fn six_step_babybear_roundtrip_and_match() {
+        let log_n = DIRECT_MAX_LOG_N + 1;
+        let ntt = Ntt::<BabyBear>::new(log_n);
+        let input = random_vec::<BabyBear>(log_n, 99);
+        let mut legacy = input.clone();
+        with_legacy(|| ntt.forward(&mut legacy));
+        let mut fast = input.clone();
+        ntt.forward(&mut fast);
+        assert_eq!(fast, legacy);
+        ntt.inverse(&mut fast);
+        assert_eq!(fast, input);
+    }
+
+    #[test]
+    fn transpose_blocked_matches_reference() {
+        for (rows, cols) in [(1usize, 64usize), (64, 1), (8, 8), (33, 70), (128, 32)] {
+            let src: Vec<u32> = (0..rows * cols).map(|x| x as u32).collect();
+            let mut dst = vec![0u32; rows * cols];
+            transpose_blocked(&src, &mut dst, rows, cols);
+            assert_eq!(dst, crate::transpose(&src, rows, cols), "{rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn transpose_in_place_square_matches_reference() {
+        for n in [1usize, 8, 32, 33, 64, 100] {
+            let src: Vec<u32> = (0..n * n).map(|x| x as u32).collect();
+            let mut inplace = src.clone();
+            transpose_in_place_square(&mut inplace, n);
+            assert_eq!(inplace, crate::transpose(&src, n, n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn kernel_mode_switch_roundtrips() {
+        assert_eq!(kernel_mode(), KernelMode::Fast);
+        set_kernel_mode(KernelMode::Legacy);
+        assert_eq!(kernel_mode(), KernelMode::Legacy);
+        set_kernel_mode(KernelMode::Fast);
+        assert_eq!(kernel_mode(), KernelMode::Fast);
+    }
+}

@@ -32,7 +32,9 @@
 
 mod batch;
 mod bitrev;
+mod cache;
 mod coset;
+mod fast;
 mod negacyclic;
 mod parallel;
 mod poly;
@@ -44,7 +46,9 @@ mod twiddle;
 
 pub use batch::{batch_transform, batch_transform_parallel};
 pub use bitrev::{bit_reverse_permute, bit_reversed, reverse_bits};
+pub use cache::shared_table;
 pub use coset::{coset_intt, coset_ntt, low_degree_extension, standard_shift};
+pub use fast::{kernel_mode, set_kernel_mode, KernelMode};
 pub use negacyclic::{negacyclic_mul_naive, NegacyclicNtt};
 pub use parallel::ParallelNtt;
 pub use poly::{cyclic_convolution, poly_mul_naive, poly_mul_ntt};

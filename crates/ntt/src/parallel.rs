@@ -7,6 +7,7 @@
 //! lockstep). This mirrors how a GPU grid covers the butterfly index space
 //! and is the CPU wall-clock baseline for experiment E10.
 
+use unintt_exec::Executor;
 use unintt_ff::TwoAdicField;
 
 use crate::{bit_reverse_permute, Ntt};
@@ -60,7 +61,7 @@ impl<F: TwoAdicField> ParallelNtt<F> {
         self.dit_stages(values, true);
         let n_inv = self.ntt.table().n_inv();
         let chunk = values.len().div_ceil(self.threads).max(1);
-        std::thread::scope(|scope| {
+        Executor::global().scope(|scope| {
             for part in values.chunks_mut(chunk) {
                 scope.spawn(move || {
                     for v in part {
@@ -90,7 +91,7 @@ impl<F: TwoAdicField> ParallelNtt<F> {
             if blocks >= self.threads {
                 // Parallelize across whole blocks.
                 let blocks_per_chunk = blocks.div_ceil(self.threads);
-                std::thread::scope(|scope| {
+                Executor::global().scope(|scope| {
                     for chunk in values.chunks_mut(blocks_per_chunk * m) {
                         scope.spawn(move || {
                             for block in chunk.chunks_mut(m) {
@@ -111,7 +112,7 @@ impl<F: TwoAdicField> ParallelNtt<F> {
                 let chunk_len = half.div_ceil(self.threads).max(1);
                 for block in values.chunks_mut(m) {
                     let (lo, hi) = block.split_at_mut(half);
-                    std::thread::scope(|scope| {
+                    Executor::global().scope(|scope| {
                         for (ci, (lc, hc)) in lo
                             .chunks_mut(chunk_len)
                             .zip(hi.chunks_mut(chunk_len))

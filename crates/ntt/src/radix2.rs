@@ -12,7 +12,8 @@ use std::sync::Arc;
 
 use unintt_ff::{Field, TwoAdicField};
 
-use crate::{bit_reverse_permute, TwiddleTable};
+use crate::fast::{self, kernel_mode, KernelMode};
+use crate::{bit_reverse_permute, cache, TwiddleTable};
 
 /// Direction of a transform.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -42,14 +43,16 @@ pub struct Ntt<F: TwoAdicField> {
 }
 
 impl<F: TwoAdicField> Ntt<F> {
-    /// Creates a context for size `2^log_n`, precomputing twiddles.
+    /// Creates a context for size `2^log_n`. Twiddle tables are shared
+    /// process-wide per `(field, log_n)` — see [`crate::shared_table`] —
+    /// so repeated construction is cheap after the first.
     ///
     /// # Panics
     ///
     /// Panics if `log_n` exceeds the field's two-adicity.
     pub fn new(log_n: u32) -> Self {
         Self {
-            table: Arc::new(TwiddleTable::new(log_n)),
+            table: cache::shared_table(log_n),
         }
     }
 
@@ -84,13 +87,21 @@ impl<F: TwoAdicField> Ntt<F> {
 
     /// Forward NTT, natural order in and out.
     ///
+    /// Dispatches on the process-wide [`crate::kernel_mode`]: the default
+    /// fast path (Shoup/lazy butterflies, six-step blocking at large sizes)
+    /// and the legacy bit-reverse + DIT path produce bit-identical output.
+    ///
     /// # Panics
     ///
     /// Panics if `values.len() != self.n()`.
     pub fn forward(&self, values: &mut [F]) {
         self.check_len(values.len());
-        bit_reverse_permute(values);
-        self.dit_in_place(values);
+        if kernel_mode() == KernelMode::Fast {
+            fast::forward_fast(&self.table, values);
+        } else {
+            bit_reverse_permute(values);
+            self.dit_in_place(values);
+        }
     }
 
     /// Inverse NTT, natural order in and out (includes the `1/n` scale).
@@ -100,11 +111,15 @@ impl<F: TwoAdicField> Ntt<F> {
     /// Panics if `values.len() != self.n()`.
     pub fn inverse(&self, values: &mut [F]) {
         self.check_len(values.len());
-        bit_reverse_permute(values);
-        self.dit_in_place_with(values, self.table.inverse());
-        let n_inv = self.table.n_inv();
-        for v in values.iter_mut() {
-            *v *= n_inv;
+        if kernel_mode() == KernelMode::Fast {
+            fast::inverse_fast(&self.table, values);
+        } else {
+            bit_reverse_permute(values);
+            self.dit_in_place_with(values, self.table.inverse());
+            let n_inv = self.table.n_inv();
+            for v in values.iter_mut() {
+                *v *= n_inv;
+            }
         }
     }
 

@@ -6,7 +6,9 @@
 //! to clone conceptually but large, so the NTT contexts share them by
 //! reference.
 
-use unintt_ff::TwoAdicField;
+use std::sync::OnceLock;
+
+use unintt_ff::{ShoupTwiddle, TwoAdicField};
 
 /// Precomputed twiddle factors for NTTs of size `2^log_n`.
 #[derive(Clone, Debug)]
@@ -16,6 +18,10 @@ pub struct TwiddleTable<F: TwoAdicField> {
     forward: Vec<F>,
     /// `omega^{-j}` for `j` in `0..n/2`.
     inverse: Vec<F>,
+    /// Shoup companions of `forward`, built lazily on first fast-kernel use.
+    forward_shoup: OnceLock<Vec<ShoupTwiddle<F>>>,
+    /// Shoup companions of `inverse`.
+    inverse_shoup: OnceLock<Vec<ShoupTwiddle<F>>>,
     /// `n^{-1}`, the inverse-NTT output scale.
     n_inv: F,
     omega: F,
@@ -51,6 +57,8 @@ impl<F: TwoAdicField> TwiddleTable<F> {
             log_n,
             forward,
             inverse,
+            forward_shoup: OnceLock::new(),
+            inverse_shoup: OnceLock::new(),
             n_inv,
             omega,
             omega_inv,
@@ -92,6 +100,19 @@ impl<F: TwoAdicField> TwiddleTable<F> {
         &self.inverse
     }
 
+    /// Shoup companions of [`Self::forward`], built on first access and
+    /// shared thereafter.
+    pub fn forward_shoup(&self) -> &[ShoupTwiddle<F>] {
+        self.forward_shoup
+            .get_or_init(|| self.forward.iter().map(|&w| F::shoup_prepare(w)).collect())
+    }
+
+    /// Shoup companions of [`Self::inverse`].
+    pub fn inverse_shoup(&self) -> &[ShoupTwiddle<F>] {
+        self.inverse_shoup
+            .get_or_init(|| self.inverse.iter().map(|&w| F::shoup_prepare(w)).collect())
+    }
+
     /// Returns `omega^e` via table lookup (reducing `e` mod `n`), using
     /// `omega^{n/2} = -1` to halve the table.
     pub fn root_pow(&self, e: usize) -> F {
@@ -104,6 +125,21 @@ impl<F: TwoAdicField> TwiddleTable<F> {
             self.forward[e]
         } else {
             -self.forward[e - n / 2]
+        }
+    }
+
+    /// Returns `omega^{-e}` via table lookup (the inverse-direction twin of
+    /// [`Self::root_pow`]).
+    pub fn root_pow_inv(&self, e: usize) -> F {
+        let n = self.n();
+        let e = e & (n - 1);
+        if n == 1 {
+            return F::ONE;
+        }
+        if e < n / 2 {
+            self.inverse[e]
+        } else {
+            -self.inverse[e - n / 2]
         }
     }
 }
@@ -137,6 +173,30 @@ mod tests {
         let w = t.omega();
         for e in 0..32 {
             assert_eq!(t.root_pow(e), w.pow(e as u64), "e={e}");
+        }
+    }
+
+    #[test]
+    fn root_pow_inv_mirrors_root_pow() {
+        let t = TwiddleTable::<Goldilocks>::new(4);
+        for e in 0..40 {
+            assert_eq!(t.root_pow_inv(e) * t.root_pow(e), Goldilocks::ONE, "e={e}");
+        }
+    }
+
+    #[test]
+    fn shoup_lanes_pair_with_plain_twiddles() {
+        use unintt_ff::ShoupField;
+        let t = TwiddleTable::<Goldilocks>::new(5);
+        let fwd = t.forward_shoup();
+        assert_eq!(fwd.len(), t.forward().len());
+        let x = Goldilocks::from(123_456_789u64);
+        for (tw, &plain) in fwd.iter().zip(t.forward()) {
+            assert_eq!(tw.w, plain);
+            assert_eq!(Goldilocks::shoup_mul(x, tw), x * plain);
+        }
+        for (tw, &plain) in t.inverse_shoup().iter().zip(t.inverse()) {
+            assert_eq!(tw.w, plain);
         }
     }
 
