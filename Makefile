@@ -4,9 +4,9 @@
 EXCLUDE_VENDOR := --exclude criterion --exclude proptest --exclude rand \
                   --exclude serde --exclude serde_derive
 
-.PHONY: verify fmt clippy build bench-check test e13
+.PHONY: verify fmt clippy build bench-check test e13 e14 serve-smoke
 
-verify: fmt clippy build bench-check test
+verify: fmt clippy build bench-check test serve-smoke
 
 fmt:
 	cargo fmt --all --check
@@ -26,3 +26,11 @@ test:
 
 e13:
 	cargo run --release -p unintt-bench --bin harness -- --quick e13
+
+e14:
+	cargo run --release -p unintt-bench --bin harness -- --quick e14
+
+# Proving-service smoke: run the example and the E14 quick sweep.
+serve-smoke:
+	cargo run --release --example proof_service
+	cargo run --release -p unintt-bench --bin harness -- --quick e14

@@ -8,7 +8,7 @@ use unintt_bench::Table;
 const USAGE: &str = "\
 usage: harness [--quick] [--legacy-kernels] <experiment>...
   <experiment>      one or more of: e1 e2 e3 e4 e5 e6 e7 e8 e9 e11 e12 e13
-                    bench-host all
+                    e14 bench-host all
   --quick           trimmed sweeps (seconds instead of minutes)
   --legacy-kernels  run all host NTTs on the original radix-2 DIT path
                     instead of the Shoup/six-step fast path (A/B escape
@@ -47,6 +47,7 @@ fn main() -> ExitCode {
             "e11" => experiments::e11_stark_commit::run(quick),
             "e12" => experiments::e12_multi_node::run(quick),
             "e13" => experiments::e13_fault_tolerance::run(quick),
+            "e14" => experiments::e14_serving::run(quick),
             _ => return None,
         };
         Some(table)

@@ -168,6 +168,22 @@ pub struct ClusterRunReport<F> {
     pub lost_nodes: Vec<usize>,
     /// How many nodes the final (successful) plan spanned.
     pub nodes_used: usize,
+    /// Transient-fault retries charged per attempt (one entry per plan
+    /// tried, including the successful final one), summed over every node
+    /// machine. Serving layers surface these in their metrics.
+    pub retries_per_attempt: Vec<u64>,
+}
+
+impl<F> ClusterRunReport<F> {
+    /// Total transient retries over all attempts.
+    pub fn total_retries(&self) -> u64 {
+        self.retries_per_attempt.iter().sum()
+    }
+
+    /// Number of plan attempts (replans + the final successful one).
+    pub fn attempts(&self) -> usize {
+        self.retries_per_attempt.len()
+    }
 }
 
 /// The cluster-scale UniNTT engine.
@@ -364,6 +380,7 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
         let mut survivors = cluster.healthy_nodes();
         let mut replans = 0u32;
         let mut lost_nodes = Vec::new();
+        let mut retries_per_attempt = Vec::new();
         let mut last_err = None;
         loop {
             let mut t = 0usize;
@@ -393,13 +410,17 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
                 ))
             };
             let plan = plan.as_ref().unwrap_or(self);
-            match plan.try_forward_active(cluster, &survivors[..t], input, policy) {
+            let retries_before = Self::cluster_retries(cluster);
+            let attempt = plan.try_forward_active(cluster, &survivors[..t], input, policy);
+            retries_per_attempt.push(Self::cluster_retries(cluster) - retries_before);
+            match attempt {
                 Ok(output) => {
                     return Ok(ClusterRunReport {
                         output,
                         replans,
                         lost_nodes,
                         nodes_used: t,
+                        retries_per_attempt,
                     })
                 }
                 Err((Some(node), e)) => {
@@ -411,6 +432,11 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
                 Err((None, e)) => return Err(e),
             }
         }
+    }
+
+    /// Transient retries charged so far across every node machine.
+    fn cluster_retries(cluster: &Cluster) -> u64 {
+        cluster.nodes.iter().map(|m| m.stats().retries).sum()
     }
 
     /// One attempt of the three cluster phases over the `active` node
@@ -684,6 +710,49 @@ mod tests {
         assert_eq!(report.replans, 0);
         assert!(report.lost_nodes.is_empty());
         assert_eq!(report.nodes_used, 4);
+        assert_eq!(report.retries_per_attempt, vec![0]);
+        assert_eq!(report.total_retries(), 0);
+        assert_eq!(report.attempts(), 1);
+    }
+
+    #[test]
+    fn transient_drops_are_reported_per_attempt() {
+        use unintt_gpu_sim::{FaultEvent, FaultKind, FaultPlan};
+        let fs = FieldSpec::goldilocks();
+        let node_cfg = presets::a100_nvlink(4);
+        let engine = ClusterNttEngine::<Goldilocks>::new(
+            12,
+            2,
+            &node_cfg,
+            UniNttOptions::tuned_for(&fs),
+            fs,
+        );
+        let mut cluster = Cluster::new(2, node_cfg, NetworkConfig::infiniband_400g(), fs);
+        // Two dropped collectives on node 0: absorbed by the policy's
+        // retries within the single attempt, and surfaced in the report.
+        cluster.node_mut(0).set_fault_plan(FaultPlan::scripted(vec![
+            FaultEvent {
+                seq: 0,
+                kind: FaultKind::Drop,
+            },
+            FaultEvent {
+                seq: 2,
+                kind: FaultKind::Drop,
+            },
+        ]));
+        let input = random_vec(1 << 12, 21);
+        let report = engine
+            .forward_with_recovery(&mut cluster, &input, &RecoveryPolicy::default())
+            .unwrap();
+        assert_eq!(report.output, reference(&input));
+        assert_eq!(report.replans, 0, "drops never evict a node");
+        assert_eq!(report.attempts(), 1);
+        assert_eq!(report.retries_per_attempt.len(), 1);
+        assert!(
+            report.total_retries() >= 2,
+            "both injected drops must surface as retries: {:?}",
+            report.retries_per_attempt
+        );
     }
 
     #[test]
@@ -744,6 +813,11 @@ mod tests {
         assert_eq!(report.replans, 1);
         assert_eq!(report.lost_nodes, vec![1]);
         assert_eq!(report.nodes_used, 2);
+        assert_eq!(
+            report.attempts(),
+            2,
+            "one failed attempt plus the successful replay"
+        );
         assert!(!cluster.node(1).is_alive(3));
     }
 

@@ -4,17 +4,29 @@
 //! same `(field, log_n)` pairs over and over (the ZKP backend builds one
 //! per proof, the FRI pipeline two per LDE, the cluster engines one per
 //! shard size…). Tables and kernel plans are immutable once built, so the
-//! whole process shares them: one `HashMap` keyed by `(TypeId, log_n)`
-//! behind a mutex, holding `Arc`s. Both transform directions live in the
-//! same entry (forward and inverse lanes are built together), so the key
-//! `(field, log_n)` covers the `(field, log_n, direction)` plan space.
+//! whole process shares them: one bounded LRU map keyed by
+//! `(TypeId, log_n)` behind a mutex, holding `Arc`s. Both transform
+//! directions live in the same entry (forward and inverse lanes are built
+//! together), so the key `(field, log_n)` covers the
+//! `(field, log_n, direction)` plan space.
+//!
+//! **Boundedness.** A long-lived process (the `unintt-serve` proving
+//! service) must not let a churn of tenant sizes grow these maps without
+//! limit, so both caches are LRU-bounded at [`cache_capacity`] entries
+//! (settable via [`set_cache_capacity`]). Eviction only drops the cache's
+//! own `Arc`; outstanding contexts keep their tables alive, and a
+//! re-request simply rebuilds. The default capacity (64 entries per
+//! cache) is far above any workload in this repository, so eviction is a
+//! safety valve, not a steady-state behaviour.
 //!
 //! The bit-reversal pair tables (see [`crate::bit_reverse_permute`]) are
 //! cached here too, keyed by `log_n` alone — the permutation is
-//! element-type agnostic.
+//! element-type agnostic and its entry count is already bounded by
+//! [`MAX_CACHED_BITREV_BITS`].
 
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use unintt_ff::TwoAdicField;
@@ -24,14 +36,123 @@ use crate::twiddle::TwiddleTable;
 
 type AnyArc = Arc<dyn Any + Send + Sync>;
 
-fn table_cache() -> &'static Mutex<HashMap<(TypeId, u32), AnyArc>> {
-    static CACHE: OnceLock<Mutex<HashMap<(TypeId, u32), AnyArc>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+/// Default per-cache entry limit for the table and plan caches.
+pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// A capacity-bounded LRU map: `get` refreshes recency, `insert` evicts
+/// the least-recently-used entry once the map exceeds its capacity.
+///
+/// Recency is a monotonically increasing tick, so the eviction victim is
+/// always unique and independent of `HashMap` iteration order — a
+/// requirement for the workspace-wide determinism guarantees.
+pub(crate) struct BoundedCache<K, V> {
+    entries: HashMap<K, (V, u64)>,
+    tick: u64,
+    capacity: usize,
 }
 
-fn plan_cache() -> &'static Mutex<HashMap<(TypeId, u32), AnyArc>> {
-    static CACHE: OnceLock<Mutex<HashMap<(TypeId, u32), AnyArc>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+impl<K: Eq + Hash + Clone, V: Clone> BoundedCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries (clamped ≥ 1).
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            tick: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub(crate) fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|(v, last)| {
+            *last = tick;
+            v.clone()
+        })
+    }
+
+    /// Inserts `value` under `key` unless an entry already exists (a
+    /// racing builder keeps the first copy, mirroring the old
+    /// `entry().or_insert_with()` semantics), then evicts down to
+    /// capacity. Returns the resident value.
+    pub(crate) fn insert(&mut self, key: K, value: V) -> V {
+        self.tick += 1;
+        let tick = self.tick;
+        let resident = self
+            .entries
+            .entry(key.clone())
+            .or_insert_with(|| (value, tick));
+        resident.1 = tick;
+        let out = resident.0.clone();
+        self.evict_to_capacity(Some(&key));
+        out
+    }
+
+    /// Changes the capacity, evicting immediately if now over it.
+    pub(crate) fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        self.evict_to_capacity(None);
+    }
+
+    /// Current capacity.
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of cached entries.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if `key` currently resides in the cache (no recency bump).
+    #[cfg(test)]
+    pub(crate) fn contains(&self, key: &K) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    fn evict_to_capacity(&mut self, keep: Option<&K>) {
+        while self.entries.len() > self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, _)| Some(*k) != keep)
+                .min_by_key(|(_, (_, last))| *last)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    self.entries.remove(&k);
+                }
+                None => break, // only the protected key remains
+            }
+        }
+    }
+}
+
+type TypedCache = Mutex<BoundedCache<(TypeId, u32), AnyArc>>;
+
+fn table_cache() -> &'static TypedCache {
+    static CACHE: OnceLock<TypedCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(BoundedCache::new(DEFAULT_CACHE_CAPACITY)))
+}
+
+fn plan_cache() -> &'static TypedCache {
+    static CACHE: OnceLock<TypedCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(BoundedCache::new(DEFAULT_CACHE_CAPACITY)))
+}
+
+/// Sets the entry capacity of the process-wide twiddle-table and
+/// kernel-plan caches (each holds at most this many `(field, log_n)`
+/// entries; least-recently-used entries are evicted first). Values are
+/// clamped to ≥ 1. Long-lived services call this once at startup.
+pub fn set_cache_capacity(capacity: usize) {
+    table_cache().lock().unwrap().set_capacity(capacity);
+    plan_cache().lock().unwrap().set_capacity(capacity);
+}
+
+/// The current per-cache entry capacity (see [`set_cache_capacity`]).
+pub fn cache_capacity() -> usize {
+    table_cache().lock().unwrap().capacity()
 }
 
 /// The shared twiddle table for `(F, log_n)`, built on first request.
@@ -43,30 +164,32 @@ fn plan_cache() -> &'static Mutex<HashMap<(TypeId, u32), AnyArc>> {
 pub fn shared_table<F: TwoAdicField>(log_n: u32) -> Arc<TwiddleTable<F>> {
     let key = (TypeId::of::<F>(), log_n);
     if let Some(hit) = table_cache().lock().unwrap().get(&key) {
-        return Arc::clone(hit).downcast().expect("cache type invariant");
+        return hit.downcast().expect("cache type invariant");
     }
     // Build outside the lock: large tables take real time and other sizes
     // shouldn't stall behind them. A racing builder just loses its copy.
     let built = Arc::new(TwiddleTable::<F>::new(log_n));
-    let mut cache = table_cache().lock().unwrap();
-    let entry = cache
-        .entry(key)
-        .or_insert_with(|| built as Arc<dyn Any + Send + Sync>);
-    Arc::clone(entry).downcast().expect("cache type invariant")
+    table_cache()
+        .lock()
+        .unwrap()
+        .insert(key, built as AnyArc)
+        .downcast()
+        .expect("cache type invariant")
 }
 
 /// The shared direct-kernel plan (per-stage Shoup tables) for `(F, log_n)`.
 pub(crate) fn shared_plan<F: TwoAdicField>(log_n: u32) -> Arc<DirectPlan<F>> {
     let key = (TypeId::of::<F>(), log_n);
     if let Some(hit) = plan_cache().lock().unwrap().get(&key) {
-        return Arc::clone(hit).downcast().expect("cache type invariant");
+        return hit.downcast().expect("cache type invariant");
     }
     let built = Arc::new(DirectPlan::new(&shared_table::<F>(log_n)));
-    let mut cache = plan_cache().lock().unwrap();
-    let entry = cache
-        .entry(key)
-        .or_insert_with(|| built as Arc<dyn Any + Send + Sync>);
-    Arc::clone(entry).downcast().expect("cache type invariant")
+    plan_cache()
+        .lock()
+        .unwrap()
+        .insert(key, built as AnyArc)
+        .downcast()
+        .expect("cache type invariant")
 }
 
 /// Largest `log_n` whose bit-reversal swap pairs are cached (a pair table
@@ -152,5 +275,59 @@ mod tests {
             }
         }
         assert_eq!(via_pairs, naive);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let mut cache: BoundedCache<u32, u32> = BoundedCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        // Touch 1 so that 2 becomes the LRU victim.
+        assert_eq!(cache.get(&1), Some(10));
+        cache.insert(3, 30);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(&1), "recently used entry must survive");
+        assert!(!cache.contains(&2), "LRU entry must be evicted");
+        assert!(cache.contains(&3));
+    }
+
+    #[test]
+    fn bounded_cache_shrinks_on_capacity_change() {
+        let mut cache: BoundedCache<u32, u32> = BoundedCache::new(8);
+        for k in 0..8 {
+            cache.insert(k, k);
+        }
+        // Refresh 6 and 7 so they are the most recent.
+        cache.get(&6);
+        cache.get(&7);
+        cache.set_capacity(2);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(&6) && cache.contains(&7));
+    }
+
+    #[test]
+    fn bounded_cache_insert_keeps_first_copy() {
+        let mut cache: BoundedCache<u32, u32> = BoundedCache::new(4);
+        assert_eq!(cache.insert(1, 10), 10);
+        // A racing builder's duplicate loses: the resident value wins.
+        assert_eq!(cache.insert(1, 99), 10);
+        assert_eq!(cache.get(&1), Some(10));
+    }
+
+    #[test]
+    fn bounded_cache_capacity_clamps_to_one() {
+        let mut cache: BoundedCache<u32, u32> = BoundedCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.contains(&2), "newest insert survives at capacity 1");
+    }
+
+    #[test]
+    fn global_capacity_is_generous_by_default() {
+        // The default must comfortably exceed every size the workspace
+        // uses, so the ptr-sharing tests above stay meaningful.
+        assert!(cache_capacity() >= 32);
     }
 }

@@ -46,7 +46,7 @@ mod twiddle;
 
 pub use batch::{batch_transform, batch_transform_parallel};
 pub use bitrev::{bit_reverse_permute, bit_reversed, reverse_bits};
-pub use cache::shared_table;
+pub use cache::{cache_capacity, set_cache_capacity, shared_table, DEFAULT_CACHE_CAPACITY};
 pub use coset::{coset_intt, coset_ntt, low_degree_extension, standard_shift};
 pub use fast::{kernel_mode, set_kernel_mode, KernelMode};
 pub use negacyclic::{negacyclic_mul_naive, NegacyclicNtt};

@@ -1,0 +1,262 @@
+//! The batch coalescer: groups compatible raw-NTT jobs arriving within a
+//! time window into one batched dispatch.
+//!
+//! Compatibility is exact shape equality — same field, same size, same
+//! direction — because only then can the jobs share a cluster plan and
+//! twiddle set. A batch closes when its window expires, when it reaches
+//! the size cap, or when the service drains. Non-batchable jobs (proofs,
+//! commitments) pass straight through as singleton batches.
+
+use std::collections::BTreeMap;
+
+use crate::job::{JobId, JobSpec, ServiceField};
+
+/// The coalescing key: jobs with equal keys share one dispatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BatchKey {
+    /// Field of the transform.
+    pub field: ServiceField,
+    /// Transform size exponent.
+    pub log_n: u32,
+    /// `true` for forward transforms (`Direction` itself is not `Ord`).
+    pub forward: bool,
+}
+
+/// A job sitting in the service: its id plus the submitted spec.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueuedJob {
+    /// Service-assigned id (also the deterministic tie-breaker).
+    pub id: JobId,
+    /// The submission.
+    pub spec: JobSpec,
+}
+
+/// A closed batch, ready for the dispatcher.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReadyBatch {
+    /// The shared shape, or `None` for a singleton non-batchable job.
+    pub key: Option<BatchKey>,
+    /// Members in admission order.
+    pub jobs: Vec<QueuedJob>,
+    /// When the batch became ready, simulated ns.
+    pub ready_ns: f64,
+}
+
+impl ReadyBatch {
+    /// Number of member jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when the batch has no members (never produced by the
+    /// coalescer; useful for defensive checks).
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Deterministic FIFO tie-breaker: the earliest member id.
+    pub fn first_id(&self) -> JobId {
+        self.jobs.first().map(|j| j.id).unwrap_or(JobId(u64::MAX))
+    }
+}
+
+/// One open (still-collecting) batch.
+#[derive(Debug)]
+struct OpenBatch {
+    jobs: Vec<QueuedJob>,
+    /// When the first member arrived; the window runs from here.
+    opened_ns: f64,
+}
+
+/// Time/size-windowed batch coalescer. All state is keyed through a
+/// `BTreeMap` so close order is deterministic.
+#[derive(Debug)]
+pub struct Coalescer {
+    window_ns: f64,
+    max_batch: usize,
+    open: BTreeMap<BatchKey, OpenBatch>,
+}
+
+impl Coalescer {
+    /// A coalescer with the given window and size cap (`max_batch` is
+    /// clamped to at least 1).
+    pub fn new(window_ns: f64, max_batch: usize) -> Self {
+        Self {
+            window_ns,
+            max_batch: max_batch.max(1),
+            open: BTreeMap::new(),
+        }
+    }
+
+    /// Offers one admitted job at simulated time `now`. Returns any batch
+    /// this job completes immediately: a singleton for non-batchable
+    /// classes or a zero window, or a full batch that hit `max_batch`.
+    pub fn offer(&mut self, job: QueuedJob, now: f64) -> Option<ReadyBatch> {
+        let Some(key) = job.spec.class.batch_key() else {
+            return Some(ReadyBatch {
+                key: None,
+                jobs: vec![job],
+                ready_ns: now,
+            });
+        };
+        if self.window_ns <= 0.0 || self.max_batch == 1 {
+            return Some(ReadyBatch {
+                key: Some(key),
+                jobs: vec![job],
+                ready_ns: now,
+            });
+        }
+        let open = self.open.entry(key).or_insert_with(|| OpenBatch {
+            jobs: Vec::new(),
+            opened_ns: now,
+        });
+        open.jobs.push(job);
+        if open.jobs.len() >= self.max_batch {
+            let open = self.open.remove(&key).expect("batch just filled");
+            return Some(ReadyBatch {
+                key: Some(key),
+                jobs: open.jobs,
+                ready_ns: now,
+            });
+        }
+        None
+    }
+
+    /// The earliest instant an open batch's window expires, if any.
+    pub fn next_close_ns(&self) -> Option<f64> {
+        self.open
+            .values()
+            .map(|b| b.opened_ns + self.window_ns)
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.min(t)))
+            })
+    }
+
+    /// Closes every open batch whose window has expired by `now`, in key
+    /// order.
+    pub fn close_due(&mut self, now: f64) -> Vec<ReadyBatch> {
+        let due: Vec<BatchKey> = self
+            .open
+            .iter()
+            .filter(|(_, b)| b.opened_ns + self.window_ns <= now)
+            .map(|(&k, _)| k)
+            .collect();
+        due.into_iter()
+            .map(|key| {
+                let open = self.open.remove(&key).expect("key collected above");
+                ReadyBatch {
+                    key: Some(key),
+                    jobs: open.jobs,
+                    ready_ns: open.opened_ns + self.window_ns,
+                }
+            })
+            .collect()
+    }
+
+    /// Closes everything regardless of windows (service drain), stamping
+    /// readiness at `now`.
+    pub fn flush(&mut self, now: f64) -> Vec<ReadyBatch> {
+        let open = std::mem::take(&mut self.open);
+        open.into_iter()
+            .map(|(key, b)| ReadyBatch {
+                key: Some(key),
+                jobs: b.jobs,
+                ready_ns: now,
+            })
+            .collect()
+    }
+
+    /// Jobs currently waiting in open batches (the coalescer's share of
+    /// the admission-control queue depth).
+    pub fn queued(&self) -> usize {
+        self.open.values().map(|b| b.jobs.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use unintt_ntt::Direction;
+
+    use super::*;
+    use crate::job::JobClass;
+
+    fn raw(id: u64, log_n: u32, arrival: f64) -> QueuedJob {
+        QueuedJob {
+            id: JobId(id),
+            spec: JobSpec::new(
+                0,
+                JobClass::RawNtt {
+                    field: ServiceField::Goldilocks,
+                    log_n,
+                    direction: Direction::Forward,
+                },
+                arrival,
+            ),
+        }
+    }
+
+    #[test]
+    fn window_groups_compatible_jobs() {
+        let mut c = Coalescer::new(100.0, 16);
+        assert!(c.offer(raw(0, 10, 0.0), 0.0).is_none());
+        assert!(c.offer(raw(1, 10, 40.0), 40.0).is_none());
+        // Different size opens a separate batch.
+        assert!(c.offer(raw(2, 11, 50.0), 50.0).is_none());
+        assert_eq!(c.queued(), 3);
+        assert_eq!(c.next_close_ns(), Some(100.0));
+
+        let closed = c.close_due(100.0);
+        assert_eq!(closed.len(), 1, "only the first window is due");
+        assert_eq!(closed[0].len(), 2);
+        assert_eq!(closed[0].jobs[0].id, JobId(0));
+        assert_eq!(closed[0].jobs[1].id, JobId(1));
+        assert_eq!(c.queued(), 1);
+
+        let rest = c.close_due(150.0);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].jobs[0].id, JobId(2));
+    }
+
+    #[test]
+    fn size_cap_closes_early() {
+        let mut c = Coalescer::new(1e9, 3);
+        assert!(c.offer(raw(0, 10, 0.0), 0.0).is_none());
+        assert!(c.offer(raw(1, 10, 1.0), 1.0).is_none());
+        let full = c.offer(raw(2, 10, 2.0), 2.0).expect("cap reached");
+        assert_eq!(full.len(), 3);
+        assert_eq!(full.ready_ns, 2.0);
+        assert_eq!(c.queued(), 0);
+    }
+
+    #[test]
+    fn zero_window_means_singletons() {
+        let mut c = Coalescer::new(0.0, 16);
+        let b = c.offer(raw(0, 10, 5.0), 5.0).expect("immediate");
+        assert_eq!(b.len(), 1);
+        assert!(b.key.is_some());
+        assert_eq!(c.queued(), 0);
+    }
+
+    #[test]
+    fn proofs_pass_straight_through() {
+        let mut c = Coalescer::new(1e9, 16);
+        let job = QueuedJob {
+            id: JobId(7),
+            spec: JobSpec::new(1, JobClass::PlonkProve { log_gates: 6 }, 3.0),
+        };
+        let b = c.offer(job, 3.0).expect("singleton");
+        assert_eq!(b.key, None);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn flush_drains_all_open_batches() {
+        let mut c = Coalescer::new(1e9, 16);
+        c.offer(raw(0, 10, 0.0), 0.0);
+        c.offer(raw(1, 11, 0.0), 0.0);
+        let drained = c.flush(12.0);
+        assert_eq!(drained.len(), 2);
+        assert!(drained.iter().all(|b| b.ready_ns == 12.0));
+        assert_eq!(c.queued(), 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! GPU leases: fixed slices of the simulated cluster that batches run on.
+//!
+//! Each lease owns a `nodes × gpus_per_node` slice. A dispatch builds a
+//! fresh [`Cluster`] for the batch's field (cost models are per-field),
+//! re-applying any device losses the lease has accumulated — so a lease
+//! degraded by an earlier fault stays degraded until repaired. A lease
+//! whose every node has lost a GPU is taken out of service for
+//! `repair_ns` and comes back whole.
+
+use unintt_core::{Cluster, NetworkConfig};
+use unintt_gpu_sim::{presets, FieldSpec};
+
+use crate::config::LeaseShape;
+
+/// One schedulable slice of the cluster.
+#[derive(Debug)]
+pub struct Lease {
+    /// Stable index, used as the deterministic tie-breaker.
+    pub id: usize,
+    shape: LeaseShape,
+    /// Simulated instant the current (or last) dispatch finishes.
+    pub free_at_ns: f64,
+    /// Total simulated time spent running batches.
+    pub busy_ns: f64,
+    /// Batches dispatched on this lease.
+    pub dispatches: u64,
+    /// Times the lease was swapped for fresh hardware.
+    pub repairs: u32,
+    /// `(node, device)` pairs lost to injected device-loss faults, in
+    /// discovery order.
+    dead: Vec<(usize, usize)>,
+}
+
+impl Lease {
+    fn new(id: usize, shape: LeaseShape) -> Self {
+        Self {
+            id,
+            shape,
+            free_at_ns: 0.0,
+            busy_ns: 0.0,
+            dispatches: 0,
+            repairs: 0,
+            dead: Vec::new(),
+        }
+    }
+
+    /// Builds the simulated cluster slice for one dispatch, with this
+    /// lease's accumulated device losses re-applied.
+    pub fn build_cluster(&self, field: FieldSpec) -> Cluster {
+        let node_cfg = presets::a100_nvlink(self.shape.gpus_per_node);
+        let mut cluster = Cluster::new(
+            self.shape.nodes,
+            node_cfg,
+            NetworkConfig::infiniband_400g(),
+            field,
+        );
+        for &(node, device) in &self.dead {
+            cluster.node_mut(node).fail_device(device);
+        }
+        cluster
+    }
+
+    /// Folds the post-dispatch device state back into the lease: any GPU
+    /// found dead in `cluster` stays dead for future dispatches.
+    pub fn absorb_losses(&mut self, cluster: &Cluster) {
+        for node in 0..self.shape.nodes {
+            let machine = cluster.node(node);
+            for device in 0..machine.num_devices() {
+                if !machine.is_alive(device) && !self.dead.contains(&(node, device)) {
+                    self.dead.push((node, device));
+                }
+            }
+        }
+    }
+
+    /// Nodes with every GPU still alive.
+    pub fn healthy_nodes(&self) -> usize {
+        (0..self.shape.nodes)
+            .filter(|&n| !self.dead.iter().any(|&(dn, _)| dn == n))
+            .count()
+    }
+
+    /// True when no healthy node remains: the cluster engine cannot plan
+    /// even a degraded run, so the lease must be repaired.
+    pub fn is_dead(&self) -> bool {
+        self.healthy_nodes() == 0
+    }
+
+    /// Swaps the lease for fresh hardware: losses clear, and the lease
+    /// rejoins the pool at `now + repair_ns`.
+    pub fn repair(&mut self, now: f64, repair_ns: f64) {
+        self.dead.clear();
+        self.repairs += 1;
+        self.free_at_ns = self.free_at_ns.max(now) + repair_ns;
+    }
+
+    /// GPUs currently lost.
+    pub fn lost_devices(&self) -> usize {
+        self.dead.len()
+    }
+
+    /// The lease shape.
+    pub fn shape(&self) -> LeaseShape {
+        self.shape
+    }
+}
+
+/// The fixed pool of leases the scheduler draws from.
+#[derive(Debug)]
+pub struct LeasePool {
+    leases: Vec<Lease>,
+}
+
+impl LeasePool {
+    /// A pool of `count` identical leases (`count` clamped to ≥ 1).
+    pub fn new(count: usize, shape: LeaseShape) -> Self {
+        Self {
+            leases: (0..count.max(1)).map(|id| Lease::new(id, shape)).collect(),
+        }
+    }
+
+    /// The lease that frees earliest (ties broken by lowest id).
+    pub fn earliest(&mut self) -> &mut Lease {
+        let idx = self
+            .leases
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.free_at_ns
+                    .partial_cmp(&b.free_at_ns)
+                    .expect("lease clocks are finite")
+                    .then(a.id.cmp(&b.id))
+            })
+            .map(|(i, _)| i)
+            .expect("pool is never empty");
+        &mut self.leases[idx]
+    }
+
+    /// The earliest instant any lease is free.
+    pub fn next_free_ns(&self) -> f64 {
+        self.leases
+            .iter()
+            .map(|l| l.free_at_ns)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// True if some lease is free at `now`.
+    pub fn any_free(&self, now: f64) -> bool {
+        self.leases.iter().any(|l| l.free_at_ns <= now)
+    }
+
+    /// Mutable access to one lease by id.
+    pub fn lease_mut(&mut self, id: usize) -> &mut Lease {
+        &mut self.leases[id]
+    }
+
+    /// All leases, for metrics.
+    pub fn leases(&self) -> &[Lease] {
+        &self.leases
+    }
+
+    /// Number of leases.
+    pub fn len(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Never true — pools hold at least one lease.
+    pub fn is_empty(&self) -> bool {
+        self.leases.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earliest_breaks_ties_by_id() {
+        let mut pool = LeasePool::new(3, LeaseShape::default());
+        assert_eq!(pool.earliest().id, 0);
+        pool.leases[0].free_at_ns = 100.0;
+        assert_eq!(pool.earliest().id, 1);
+        pool.leases[1].free_at_ns = 50.0;
+        pool.leases[2].free_at_ns = 50.0;
+        assert_eq!(pool.earliest().id, 1, "equal clocks resolve by id");
+    }
+
+    #[test]
+    fn losses_persist_across_dispatch_clusters() {
+        let mut lease = Lease::new(0, LeaseShape::default());
+        let mut cluster = lease.build_cluster(FieldSpec::goldilocks());
+        cluster.node_mut(1).fail_device(0);
+        lease.absorb_losses(&cluster);
+        assert_eq!(lease.lost_devices(), 1);
+        assert_eq!(lease.healthy_nodes(), 1);
+
+        // The next cluster for this lease comes up with the same GPU dead.
+        let next = lease.build_cluster(FieldSpec::babybear());
+        assert!(!next.node(1).is_alive(0));
+        assert!(next.node(0).is_alive(0));
+    }
+
+    #[test]
+    fn repair_clears_losses_and_charges_time() {
+        let mut lease = Lease::new(0, LeaseShape::default());
+        let mut cluster = lease.build_cluster(FieldSpec::goldilocks());
+        cluster.node_mut(0).fail_device(0);
+        cluster.node_mut(1).fail_device(1);
+        lease.absorb_losses(&cluster);
+        assert!(lease.is_dead());
+
+        lease.repair(1_000.0, 5_000.0);
+        assert!(!lease.is_dead());
+        assert_eq!(lease.lost_devices(), 0);
+        assert_eq!(lease.free_at_ns, 6_000.0);
+        assert_eq!(lease.repairs, 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! `unintt-serve` — a multi-tenant proving service over the simulated
+//! multi-GPU cluster.
+//!
+//! The crates below this one answer "how fast is one transform?"; this
+//! crate answers the operational question a proving *service* faces:
+//! many tenants submit raw NTTs, PLONK proofs and STARK commitments
+//! concurrently — how should the cluster be shared?
+//!
+//! The pieces:
+//!
+//! * [`ProofService`] — the front door: typed [`JobSpec`] submissions
+//!   (directly or drained from an `mpsc` channel), with priorities and
+//!   deadlines.
+//! * Admission control — a bounded queue; jobs beyond
+//!   [`ServiceConfig::queue_capacity`] are shed with a typed
+//!   [`AdmissionError::QueueFull`] instead of queueing unboundedly.
+//! * [`Coalescer`] — groups raw-NTT jobs of identical
+//!   `(field, log_n, direction)` shape arriving within
+//!   [`ServiceConfig::batch_window_ns`] into one batched dispatch,
+//!   amortizing the fixed per-dispatch overhead.
+//! * GPU leases ([`LeasePool`]) — the cluster is partitioned into
+//!   `num_leases` slices of `nodes × gpus_per_node`; each batch occupies
+//!   one lease for exactly the simulated time the cluster charges.
+//!   Device-loss faults degrade a lease (the engine re-plans over
+//!   survivors, per `unintt_core::ClusterNttEngine::forward_with_recovery`);
+//!   a fully dead lease is swapped for fresh hardware and its batch
+//!   requeued — **jobs never fail**.
+//! * [`ServiceMetrics`] — per-class throughput and latency percentiles,
+//!   batch-size histogram, queue depth and lease occupancy.
+//!
+//! Everything is charged to the deterministic simulated clock: the same
+//! submissions and configuration replay bit-identically, including under
+//! seeded fault injection. See `DESIGN.md` ("Serving layer") and
+//! experiment E14 in the bench harness.
+
+#![warn(missing_docs)]
+
+mod coalesce;
+mod config;
+mod job;
+mod lease;
+mod metrics;
+mod service;
+mod workload;
+
+pub use coalesce::{BatchKey, Coalescer, QueuedJob, ReadyBatch};
+pub use config::{LeaseShape, SchedulerPolicy, ServiceConfig};
+pub use job::{
+    AdmissionError, JobClass, JobId, JobOutcome, JobSpec, JobStatus, Priority, ServiceField,
+};
+pub use lease::{Lease, LeasePool};
+pub use metrics::{ClassMetrics, LatencyStats, LeaseMetrics, ServiceMetrics};
+pub use service::{ProofService, ServiceReport};
+pub use workload::{WorkloadMix, WorkloadSpec};

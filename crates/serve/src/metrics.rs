@@ -1,0 +1,275 @@
+//! Service metrics: per-class latency distributions, throughput, batch
+//! shapes and lease occupancy — all on the simulated clock.
+
+use std::collections::BTreeMap;
+
+use crate::job::JobOutcome;
+use crate::lease::LeasePool;
+
+/// Latency distribution summary (nearest-rank percentiles).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Samples summarized.
+    pub count: usize,
+    /// Mean, ns.
+    pub mean_ns: f64,
+    /// Median, ns.
+    pub p50_ns: f64,
+    /// 95th percentile, ns.
+    pub p95_ns: f64,
+    /// 99th percentile, ns.
+    pub p99_ns: f64,
+    /// Maximum, ns.
+    pub max_ns: f64,
+}
+
+impl LatencyStats {
+    /// Summarizes a set of latency samples (order irrelevant).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let pick = |p: f64| {
+            // Nearest-rank: ceil(p·n) as a 1-based rank.
+            let rank = (p * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        Self {
+            count: sorted.len(),
+            mean_ns: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_ns: pick(0.50),
+            p95_ns: pick(0.95),
+            p99_ns: pick(0.99),
+            max_ns: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Per-job-class counters and latency summary.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClassMetrics {
+    /// Jobs submitted (admitted + rejected).
+    pub submitted: usize,
+    /// Jobs that ran to completion.
+    pub completed: usize,
+    /// Jobs shed by admission control.
+    pub rejected: usize,
+    /// Completed jobs that finished after their deadline.
+    pub deadline_misses: usize,
+    /// Transient-fault retries absorbed by this class's dispatches.
+    pub retries: u64,
+    /// Degraded re-plans absorbed by this class's dispatches.
+    pub replans: u64,
+    /// Sojourn-time distribution of completed jobs.
+    pub latency: LatencyStats,
+}
+
+/// Snapshot of one lease's utilization.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LeaseMetrics {
+    /// Lease id.
+    pub id: usize,
+    /// Batches dispatched.
+    pub dispatches: u64,
+    /// Simulated time spent running batches, ns.
+    pub busy_ns: f64,
+    /// Fraction of the service horizon the lease was busy (0–1).
+    pub occupancy: f64,
+    /// Times the lease was swapped for fresh hardware.
+    pub repairs: u32,
+}
+
+/// Everything the service measured over one run, on the simulated clock.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServiceMetrics {
+    /// Simulated makespan: the last completion (or rejection) instant, ns.
+    pub horizon_ns: f64,
+    /// Per-class counters, keyed by [`crate::JobClass::name`].
+    pub classes: BTreeMap<&'static str, ClassMetrics>,
+    /// Dispatched-batch size histogram: `size → batches`.
+    pub batch_histogram: BTreeMap<usize, u64>,
+    /// Total batches dispatched.
+    pub dispatches: u64,
+    /// Peak admission-queue depth observed (coalescing + ready jobs).
+    pub peak_queue_depth: usize,
+    /// Per-lease utilization.
+    pub leases: Vec<LeaseMetrics>,
+}
+
+impl ServiceMetrics {
+    /// Builds the snapshot from run artifacts. `batch_sizes` holds one
+    /// entry per dispatched batch.
+    pub fn build(
+        outcomes: &[JobOutcome],
+        batch_sizes: &[usize],
+        peak_queue_depth: usize,
+        pool: &LeasePool,
+    ) -> Self {
+        let horizon_ns = outcomes
+            .iter()
+            .map(|o| o.completed_ns)
+            .fold(0.0f64, f64::max);
+
+        let mut classes: BTreeMap<&'static str, ClassMetrics> = BTreeMap::new();
+        let mut latencies: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
+        for o in outcomes {
+            let c = classes.entry(o.class_name).or_default();
+            c.submitted += 1;
+            if o.completed() {
+                c.completed += 1;
+                c.retries += o.retries;
+                c.replans += u64::from(o.replans);
+                if o.missed_deadline {
+                    c.deadline_misses += 1;
+                }
+                latencies
+                    .entry(o.class_name)
+                    .or_default()
+                    .push(o.latency_ns());
+            } else {
+                c.rejected += 1;
+            }
+        }
+        for (name, samples) in &latencies {
+            classes.get_mut(name).expect("class recorded above").latency =
+                LatencyStats::from_samples(samples);
+        }
+
+        let mut batch_histogram = BTreeMap::new();
+        for &size in batch_sizes {
+            *batch_histogram.entry(size).or_insert(0u64) += 1;
+        }
+
+        let leases = pool
+            .leases()
+            .iter()
+            .map(|l| LeaseMetrics {
+                id: l.id,
+                dispatches: l.dispatches,
+                busy_ns: l.busy_ns,
+                occupancy: if horizon_ns > 0.0 {
+                    l.busy_ns / horizon_ns
+                } else {
+                    0.0
+                },
+                repairs: l.repairs,
+            })
+            .collect();
+
+        Self {
+            horizon_ns,
+            classes,
+            batch_histogram,
+            dispatches: batch_sizes.len() as u64,
+            peak_queue_depth,
+            leases,
+        }
+    }
+
+    /// Jobs completed across every class.
+    pub fn completed(&self) -> usize {
+        self.classes.values().map(|c| c.completed).sum()
+    }
+
+    /// Jobs rejected across every class.
+    pub fn rejected(&self) -> usize {
+        self.classes.values().map(|c| c.rejected).sum()
+    }
+
+    /// Completed-job throughput over the simulated horizon, jobs/s.
+    pub fn throughput_jobs_per_s(&self) -> f64 {
+        if self.horizon_ns <= 0.0 {
+            return 0.0;
+        }
+        self.completed() as f64 / (self.horizon_ns * 1e-9)
+    }
+
+    /// Mean dispatched-batch size.
+    pub fn mean_batch_size(&self) -> f64 {
+        let jobs: u64 = self
+            .batch_histogram
+            .iter()
+            .map(|(&size, &n)| size as u64 * n)
+            .sum();
+        if self.dispatches == 0 {
+            return 0.0;
+        }
+        jobs as f64 / self.dispatches as f64
+    }
+
+    /// Mean lease occupancy (0–1).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.leases.is_empty() {
+            return 0.0;
+        }
+        self.leases.iter().map(|l| l.occupancy).sum::<f64>() / self.leases.len() as f64
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "horizon {:.3} ms | {} completed, {} rejected | {:.0} jobs/s | \
+             {} batches (mean size {:.2}) | peak queue {} | occupancy {:.0}%",
+            self.horizon_ns * 1e-6,
+            self.completed(),
+            self.rejected(),
+            self.throughput_jobs_per_s(),
+            self.dispatches,
+            self.mean_batch_size(),
+            self.peak_queue_depth,
+            100.0 * self.mean_occupancy(),
+        );
+        for (name, c) in &self.classes {
+            let _ = writeln!(
+                out,
+                "  {name:>12}: {}/{} ok ({} rejected, {} late) | p50 {:.1} µs, \
+                 p95 {:.1} µs, p99 {:.1} µs | {} retries, {} replans",
+                c.completed,
+                c.submitted,
+                c.rejected,
+                c.deadline_misses,
+                c.latency.p50_ns * 1e-3,
+                c.latency.p95_ns * 1e-3,
+                c.latency.p99_ns * 1e-3,
+                c.retries,
+                c.replans,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencyStats::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ns, 50.0);
+        assert_eq!(s.p95_ns, 95.0);
+        assert_eq!(s.p99_ns, 99.0);
+        assert_eq!(s.max_ns, 100.0);
+        assert!((s.mean_ns - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = LatencyStats::from_samples(&[42.0]);
+        assert_eq!(s.p50_ns, 42.0);
+        assert_eq!(s.p99_ns, 42.0);
+        assert_eq!(s.max_ns, 42.0);
+    }
+
+    #[test]
+    fn empty_samples_are_zeroed() {
+        assert_eq!(LatencyStats::from_samples(&[]), LatencyStats::default());
+    }
+}

@@ -1,0 +1,848 @@
+//! The proving service: front door, admission control, the
+//! discrete-event scheduler loop, and dispatch onto GPU leases.
+//!
+//! Everything runs on the **simulated clock**: jobs carry arrival
+//! timestamps, batches occupy leases for exactly the time the cluster
+//! simulation charges, and the coalescing window is simulated time. Two
+//! runs over the same submissions and configuration are therefore
+//! bit-identical — including under fault injection, whose plans are
+//! seeded per dispatch.
+//!
+//! Transforms are *functionally executed* (not just cost-modelled): with
+//! `verify_outputs` on, every raw-NTT result is checked bit-for-bit
+//! against a CPU reference computed through [`unintt_ntt::batch`]'s
+//! batched path, every PLONK proof is verified, and every STARK
+//! commitment is checked.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::Receiver;
+
+use rand::{rngs::StdRng, SeedableRng};
+use unintt_core::{Cluster, ClusterNttEngine, UniNttOptions};
+use unintt_ff::{BabyBear, Field, Goldilocks, TwoAdicField};
+use unintt_fri::{commit_trace, verify_trace, FriConfig, LdeBackend};
+use unintt_gpu_sim::{presets, FaultPlan, FieldSpec, KernelProfile};
+use unintt_ntt::{batch_transform_parallel, Direction, Ntt};
+use unintt_zkp::{
+    prove, random_circuit, setup, verify, Backend, ProvingKey, VerifyingKey, Witness,
+};
+
+use crate::coalesce::{BatchKey, Coalescer, QueuedJob, ReadyBatch};
+use crate::config::{SchedulerPolicy, ServiceConfig};
+use crate::job::{AdmissionError, JobClass, JobId, JobOutcome, JobSpec, JobStatus, ServiceField};
+use crate::lease::LeasePool;
+use crate::metrics::ServiceMetrics;
+
+/// Seed domain for per-job synthetic payloads.
+const PAYLOAD_SEED: u64 = 0x0b5e_55ed_0d15_ea5e;
+/// Seed domain for PLONK/STARK fixtures.
+const FIXTURE_SEED: u64 = 0xf1c5_0123_4567_89ab;
+
+/// Everything one run produced: per-job outcomes plus the metrics
+/// snapshot.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// One entry per submitted job, sorted by job id.
+    pub outcomes: Vec<JobOutcome>,
+    /// Aggregated metrics.
+    pub metrics: ServiceMetrics,
+}
+
+impl ServiceReport {
+    /// True when every submitted job ran to completion.
+    pub fn all_completed(&self) -> bool {
+        self.outcomes.iter().all(JobOutcome::completed)
+    }
+}
+
+/// The multi-tenant proving service front door.
+///
+/// Submissions accumulate (directly via [`submit`](Self::submit) or
+/// drained from a channel via [`ingest`](Self::ingest)); a call to
+/// [`run`](Self::run) then plays the whole stream through the simulated
+/// service and returns the report.
+pub struct ProofService {
+    cfg: ServiceConfig,
+    backlog: Vec<QueuedJob>,
+    next_id: u64,
+}
+
+impl ProofService {
+    /// A service with the given configuration.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        Self {
+            cfg,
+            backlog: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Submits one job, returning its id. Admission control runs at the
+    /// job's simulated arrival instant during [`run`](Self::run), not
+    /// here.
+    pub fn submit(&mut self, spec: JobSpec) -> JobId {
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.backlog.push(QueuedJob { id, spec });
+        id
+    }
+
+    /// Submits a whole stream.
+    pub fn submit_all(&mut self, specs: impl IntoIterator<Item = JobSpec>) -> Vec<JobId> {
+        specs.into_iter().map(|s| self.submit(s)).collect()
+    }
+
+    /// Drains every job currently buffered in `rx` (the channel front
+    /// door for producers on other threads) into the backlog.
+    pub fn ingest(&mut self, rx: &Receiver<JobSpec>) -> Vec<JobId> {
+        let mut ids = Vec::new();
+        while let Ok(spec) = rx.try_recv() {
+            ids.push(self.submit(spec));
+        }
+        ids
+    }
+
+    /// Jobs waiting to be played.
+    pub fn pending(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// Plays every submitted job through the service on the simulated
+    /// clock and returns the report. The backlog is consumed; the service
+    /// can be reused for a fresh stream afterwards.
+    pub fn run(&mut self) -> ServiceReport {
+        let backlog = std::mem::take(&mut self.backlog);
+        Runner::new(self.cfg.clone()).run(backlog)
+    }
+}
+
+/// Result of one raw-NTT batch dispatch.
+struct RawDispatch {
+    /// Simulated time the lease was occupied (cluster delta + overhead).
+    elapsed_ns: f64,
+    /// Jobs not run because the lease ran out of healthy nodes; requeued
+    /// by the caller.
+    leftover: Vec<QueuedJob>,
+}
+
+/// The discrete-event execution engine behind [`ProofService::run`].
+struct Runner {
+    cfg: ServiceConfig,
+    pool: LeasePool,
+    coalescer: Coalescer,
+    ready: Vec<ReadyBatch>,
+    outcomes: Vec<JobOutcome>,
+    batch_sizes: Vec<usize>,
+    peak_queue: usize,
+    dispatch_seq: u64,
+    engines_g: BTreeMap<u32, ClusterNttEngine<Goldilocks>>,
+    engines_b: BTreeMap<u32, ClusterNttEngine<BabyBear>>,
+    plonk_fixtures: BTreeMap<u32, PlonkFixture>,
+    stark_fixtures: BTreeMap<(u32, usize), Vec<Vec<Goldilocks>>>,
+}
+
+/// Canned circuit + keys for PLONK jobs of one size.
+struct PlonkFixture {
+    pk: ProvingKey,
+    vk: VerifyingKey,
+    witness: Witness,
+}
+
+impl Runner {
+    fn new(cfg: ServiceConfig) -> Self {
+        let pool = LeasePool::new(cfg.num_leases, cfg.lease);
+        let coalescer = Coalescer::new(cfg.batch_window_ns, cfg.max_batch);
+        Self {
+            cfg,
+            pool,
+            coalescer,
+            ready: Vec::new(),
+            outcomes: Vec::new(),
+            batch_sizes: Vec::new(),
+            peak_queue: 0,
+            dispatch_seq: 0,
+            engines_g: BTreeMap::new(),
+            engines_b: BTreeMap::new(),
+            plonk_fixtures: BTreeMap::new(),
+            stark_fixtures: BTreeMap::new(),
+        }
+    }
+
+    /// The event loop: advance the simulated clock to the next window
+    /// close, lease release, or arrival; process everything due; repeat
+    /// until the stream is drained.
+    fn run(mut self, mut backlog: Vec<QueuedJob>) -> ServiceReport {
+        backlog.sort_by(|a, b| {
+            a.spec
+                .arrival_ns
+                .partial_cmp(&b.spec.arrival_ns)
+                .expect("arrival times are finite")
+                .then(a.id.cmp(&b.id))
+        });
+        let mut next_arrival = 0usize;
+        let mut now = 0.0f64;
+
+        loop {
+            let t_arrival = backlog.get(next_arrival).map(|j| j.spec.arrival_ns);
+            let t_close = self.coalescer.next_close_ns();
+            let t_lease = if self.ready.is_empty() {
+                None
+            } else {
+                Some(self.pool.next_free_ns())
+            };
+            let Some(t) = [t_arrival, t_close, t_lease]
+                .into_iter()
+                .flatten()
+                .fold(None, |acc: Option<f64>, t| {
+                    Some(acc.map_or(t, |a| a.min(t)))
+                })
+            else {
+                break;
+            };
+            now = now.max(t);
+
+            // 1. Close every coalescing window that has expired.
+            self.ready.extend(self.coalescer.close_due(now));
+
+            // 2. Admit arrivals due by now (in arrival, then id order).
+            while next_arrival < backlog.len() && backlog[next_arrival].spec.arrival_ns <= now {
+                let job = backlog[next_arrival];
+                next_arrival += 1;
+                self.admit(job, now);
+            }
+
+            // 3. Dispatch ready batches onto free leases.
+            while !self.ready.is_empty() && self.pool.any_free(now) {
+                let batch = self.take_next_batch();
+                self.dispatch(batch, now);
+            }
+        }
+
+        self.outcomes.sort_by_key(|o| o.id);
+        debug_assert_eq!(
+            self.outcomes.len(),
+            backlog.len(),
+            "every job is accounted for"
+        );
+        let metrics = ServiceMetrics::build(
+            &self.outcomes,
+            &self.batch_sizes,
+            self.peak_queue,
+            &self.pool,
+        );
+        ServiceReport {
+            outcomes: self.outcomes,
+            metrics,
+        }
+    }
+
+    /// Jobs waiting (coalescing + ready), the admission-control depth.
+    fn queue_depth(&self) -> usize {
+        self.coalescer.queued() + self.ready.iter().map(ReadyBatch::len).sum::<usize>()
+    }
+
+    /// Admission control + coalescer offer for one arrival.
+    fn admit(&mut self, job: QueuedJob, now: f64) {
+        let depth = self.queue_depth();
+        if depth >= self.cfg.queue_capacity {
+            self.outcomes.push(JobOutcome {
+                id: job.id,
+                tenant: job.spec.tenant,
+                class_name: job.spec.class.name(),
+                status: JobStatus::Rejected(AdmissionError::QueueFull {
+                    depth,
+                    capacity: self.cfg.queue_capacity,
+                }),
+                arrival_ns: job.spec.arrival_ns,
+                completed_ns: now,
+                batch_size: 0,
+                retries: 0,
+                replans: 0,
+                missed_deadline: false,
+            });
+            return;
+        }
+        if let Some(batch) = self.coalescer.offer(job, now) {
+            self.ready.push(batch);
+        }
+        self.peak_queue = self.peak_queue.max(self.queue_depth());
+    }
+
+    /// Removes and returns the batch the configured policy runs next.
+    fn take_next_batch(&mut self) -> ReadyBatch {
+        let batch_priority = |b: &ReadyBatch| {
+            b.jobs
+                .iter()
+                .map(|j| j.spec.priority)
+                .max()
+                .unwrap_or_default()
+        };
+        let batch_cost = |b: &ReadyBatch| {
+            b.jobs
+                .iter()
+                .map(|j| j.spec.class.estimated_cost())
+                .sum::<f64>()
+        };
+        let fifo = |a: &ReadyBatch, b: &ReadyBatch| {
+            a.ready_ns
+                .partial_cmp(&b.ready_ns)
+                .expect("ready times are finite")
+                .then(a.first_id().cmp(&b.first_id()))
+        };
+        let idx = match self.cfg.policy {
+            SchedulerPolicy::Fifo => self
+                .ready
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| fifo(a, b)),
+            SchedulerPolicy::Priority => self.ready.iter().enumerate().min_by(|(_, a), (_, b)| {
+                batch_priority(b)
+                    .cmp(&batch_priority(a)) // higher priority first
+                    .then(fifo(a, b))
+            }),
+            SchedulerPolicy::ShortestJobFirst => {
+                self.ready.iter().enumerate().min_by(|(_, a), (_, b)| {
+                    batch_cost(a)
+                        .partial_cmp(&batch_cost(b))
+                        .expect("costs are finite")
+                        .then(fifo(a, b))
+                })
+            }
+        }
+        .map(|(i, _)| i)
+        .expect("take_next_batch called with ready batches");
+        self.ready.swap_remove(idx)
+    }
+
+    /// Runs one batch on the earliest-free lease, charging simulated time
+    /// and recording outcomes.
+    fn dispatch(&mut self, batch: ReadyBatch, now: f64) {
+        debug_assert!(!batch.is_empty());
+        self.batch_sizes.push(batch.len());
+        self.dispatch_seq += 1;
+        let seq = self.dispatch_seq;
+        let lease_id = {
+            let lease = self.pool.earliest();
+            debug_assert!(lease.free_at_ns <= now, "dispatch requires a free lease");
+            lease.id
+        };
+
+        match batch.key {
+            Some(key) => {
+                let field_spec = match key.field {
+                    ServiceField::Goldilocks => FieldSpec::goldilocks(),
+                    ServiceField::BabyBear => FieldSpec::babybear(),
+                };
+                let mut cluster = self.pool.lease_mut(lease_id).build_cluster(field_spec);
+                let result = match key.field {
+                    ServiceField::Goldilocks => Self::run_raw_batch(
+                        &mut self.engines_g,
+                        &self.cfg,
+                        field_spec,
+                        key,
+                        &batch.jobs,
+                        &mut cluster,
+                        seq,
+                        now,
+                        &mut self.outcomes,
+                    ),
+                    ServiceField::BabyBear => Self::run_raw_batch(
+                        &mut self.engines_b,
+                        &self.cfg,
+                        field_spec,
+                        key,
+                        &batch.jobs,
+                        &mut cluster,
+                        seq,
+                        now,
+                        &mut self.outcomes,
+                    ),
+                };
+                let done = now + result.elapsed_ns;
+                let lease = self.pool.lease_mut(lease_id);
+                lease.absorb_losses(&cluster);
+                lease.free_at_ns = done;
+                lease.busy_ns += result.elapsed_ns;
+                lease.dispatches += 1;
+                if !result.leftover.is_empty() {
+                    // The lease ran out of healthy nodes mid-batch: swap
+                    // it for fresh hardware and requeue the unfinished
+                    // tail. No job is ever failed.
+                    lease.repair(done, self.cfg.repair_ns);
+                    self.ready.push(ReadyBatch {
+                        key: Some(key),
+                        jobs: result.leftover,
+                        ready_ns: done,
+                    });
+                } else if lease.is_dead() {
+                    lease.repair(done, self.cfg.repair_ns);
+                }
+            }
+            None => {
+                let job = batch.jobs[0];
+                let elapsed = match job.spec.class {
+                    JobClass::PlonkProve { log_gates } => self.run_plonk(log_gates),
+                    JobClass::StarkCommit { log_trace, columns } => {
+                        self.run_stark(log_trace, columns)
+                    }
+                    JobClass::RawNtt { .. } => unreachable!("raw jobs always carry a batch key"),
+                } + self.cfg.dispatch_overhead_ns;
+                let done = now + elapsed;
+                self.outcomes.push(JobOutcome {
+                    id: job.id,
+                    tenant: job.spec.tenant,
+                    class_name: job.spec.class.name(),
+                    status: JobStatus::Completed,
+                    arrival_ns: job.spec.arrival_ns,
+                    completed_ns: done,
+                    batch_size: 1,
+                    retries: 0,
+                    replans: 0,
+                    missed_deadline: job.spec.deadline_ns.is_some_and(|d| done > d),
+                });
+                let lease = self.pool.lease_mut(lease_id);
+                lease.free_at_ns = done;
+                lease.busy_ns += elapsed;
+                lease.dispatches += 1;
+            }
+        }
+    }
+
+    /// Runs a coalesced raw-NTT batch on `cluster`: every member shares
+    /// the lease, the plan (from the engine cache), and — crucially — one
+    /// fixed dispatch overhead. Member jobs execute back-to-back with
+    /// fault recovery; a job that cannot complete because the lease lost
+    /// its last healthy node lands in `leftover` for requeueing.
+    #[allow(clippy::too_many_arguments)]
+    fn run_raw_batch<F: TwoAdicField>(
+        engines: &mut BTreeMap<u32, ClusterNttEngine<F>>,
+        cfg: &ServiceConfig,
+        field_spec: FieldSpec,
+        key: BatchKey,
+        jobs: &[QueuedJob],
+        cluster: &mut Cluster,
+        dispatch_seq: u64,
+        start_ns: f64,
+        outcomes: &mut Vec<JobOutcome>,
+    ) -> RawDispatch {
+        let engine = engines.entry(key.log_n).or_insert_with(|| {
+            let node_cfg = presets::a100_nvlink(cfg.lease.gpus_per_node);
+            ClusterNttEngine::new(
+                key.log_n,
+                cfg.lease.nodes,
+                &node_cfg,
+                UniNttOptions::tuned_for(&field_spec),
+                field_spec,
+            )
+        });
+        if let Some(rates) = cfg.fault_rates {
+            for node in 0..cluster.num_nodes() {
+                let seed = cfg.fault_seed
+                    ^ dispatch_seq.wrapping_mul(0xa076_1d64_78bd_642f)
+                    ^ (node as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                cluster
+                    .node_mut(node)
+                    .set_fault_plan(FaultPlan::random(seed, rates));
+            }
+        }
+        let n = 1usize << key.log_n;
+        let direction = if key.forward {
+            Direction::Forward
+        } else {
+            Direction::Inverse
+        };
+        let inputs: Vec<Vec<F>> = jobs.iter().map(|j| payload::<F>(j.id, key.log_n)).collect();
+
+        // CPU references for the whole batch in one batched call — the
+        // service's host-side check rides the same `ntt::batch` path and
+        // shared plan/twiddle caches provers use.
+        let references: Option<Vec<F>> = cfg.verify_outputs.then(|| {
+            let ntt = Ntt::<F>::new(key.log_n);
+            let mut flat: Vec<F> = inputs.iter().flatten().copied().collect();
+            batch_transform_parallel(&ntt, &mut flat, direction, jobs.len().min(8));
+            flat
+        });
+
+        let inv_n = F::from_u64(n as u64)
+            .inverse()
+            .expect("domain size is invertible in an NTT-friendly field");
+        let t0 = cluster.total_time_ns();
+        let mut leftover = Vec::new();
+        for (idx, (job, input)) in jobs.iter().zip(&inputs).enumerate() {
+            match engine.forward_with_recovery(cluster, input, &cfg.recovery) {
+                Ok(mut report) => {
+                    let output = if key.forward {
+                        std::mem::take(&mut report.output)
+                    } else {
+                        inverse_from_forward(&report.output, inv_n, cluster)
+                    };
+                    if let Some(flat) = &references {
+                        assert_eq!(
+                            output,
+                            flat[idx * n..(idx + 1) * n],
+                            "cluster output diverged from the CPU reference for {}",
+                            job.id
+                        );
+                    }
+                    let done = start_ns + (cluster.total_time_ns() - t0) + cfg.dispatch_overhead_ns;
+                    outcomes.push(JobOutcome {
+                        id: job.id,
+                        tenant: job.spec.tenant,
+                        class_name: job.spec.class.name(),
+                        status: JobStatus::Completed,
+                        arrival_ns: job.spec.arrival_ns,
+                        completed_ns: done,
+                        batch_size: jobs.len(),
+                        retries: report.total_retries(),
+                        replans: report.replans,
+                        missed_deadline: job.spec.deadline_ns.is_some_and(|d| done > d),
+                    });
+                }
+                Err(_) => {
+                    leftover.extend_from_slice(&jobs[idx..]);
+                    break;
+                }
+            }
+        }
+        RawDispatch {
+            elapsed_ns: cluster.total_time_ns() - t0 + cfg.dispatch_overhead_ns,
+            leftover,
+        }
+    }
+
+    /// A PLONK proof over the canned circuit of the requested size, run
+    /// through the simulated backend. Returns the simulated duration.
+    fn run_plonk(&mut self, log_gates: u32) -> f64 {
+        let fixture = self.plonk_fixtures.entry(log_gates).or_insert_with(|| {
+            let mut rng = StdRng::seed_from_u64(FIXTURE_SEED ^ u64::from(log_gates));
+            let (circuit, witness) = random_circuit(1usize << log_gates, &mut rng);
+            let (pk, vk) = setup(&circuit, &mut rng);
+            PlonkFixture { pk, vk, witness }
+        });
+        let gpus = self.cfg.lease.total_gpus();
+        let mut backend =
+            Backend::simulated(presets::a100_nvlink(gpus), presets::a100_nvlink(gpus));
+        let proof = prove(&fixture.pk, &fixture.witness, &[], &mut backend);
+        if self.cfg.verify_outputs {
+            assert!(
+                verify(&fixture.vk, &proof, &[]),
+                "service-produced proof must verify"
+            );
+        }
+        backend.report().total_ns()
+    }
+
+    /// A STARK trace commitment over a canned trace, run through the
+    /// simulated LDE backend. Returns the simulated duration.
+    fn run_stark(&mut self, log_trace: u32, columns: usize) -> f64 {
+        let trace = self
+            .stark_fixtures
+            .entry((log_trace, columns))
+            .or_insert_with(|| {
+                let mut rng = StdRng::seed_from_u64(
+                    FIXTURE_SEED ^ (u64::from(log_trace) << 32) ^ columns as u64,
+                );
+                (0..columns)
+                    .map(|_| {
+                        (0..1usize << log_trace)
+                            .map(|_| Goldilocks::random(&mut rng))
+                            .collect()
+                    })
+                    .collect()
+            });
+        let gpus = self.cfg.lease.total_gpus();
+        let mut backend = LdeBackend::simulated(presets::a100_nvlink(gpus));
+        let config = FriConfig::standard();
+        let commitment = commit_trace(trace, &config, &mut backend);
+        if self.cfg.verify_outputs {
+            assert!(
+                verify_trace(&commitment, &config),
+                "service-produced commitment must verify"
+            );
+        }
+        backend.sim_time_ns()
+    }
+}
+
+/// Deterministic synthetic payload for one raw job.
+fn payload<F: Field>(id: JobId, log_n: u32) -> Vec<F> {
+    let mut rng = StdRng::seed_from_u64(PAYLOAD_SEED ^ id.0.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    (0..1usize << log_n).map(|_| F::random(&mut rng)).collect()
+}
+
+/// The inverse transform from a forward cluster run:
+/// `INTT(a)[j] = n⁻¹ · NTT(a)[(n−j) mod n]`. The index reversal and scale
+/// are charged as one small fused kernel on the first healthy node.
+fn inverse_from_forward<F: Field>(forward: &[F], inv_n: F, cluster: &mut Cluster) -> Vec<F> {
+    let n = forward.len();
+    let mut out = vec![F::ZERO; n];
+    out[0] = forward[0] * inv_n;
+    for j in 1..n {
+        out[j] = forward[n - j] * inv_n;
+    }
+    if let Some(&node) = cluster.healthy_nodes().first() {
+        let mut profile = KernelProfile::named("serve-inverse-fixup");
+        profile.field_muls = n as u64;
+        profile.blocks = (n as u64 / 256).max(1);
+        let mut unused = ();
+        cluster.node_mut(node).on_device(0, &mut unused, |ctx, _| {
+            ctx.launch(&profile);
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::mpsc;
+
+    use super::*;
+    use crate::job::Priority;
+    use crate::workload::WorkloadSpec;
+
+    fn raw_spec(log_n: u32, direction: Direction, arrival_ns: f64) -> JobSpec {
+        JobSpec::new(
+            0,
+            JobClass::RawNtt {
+                field: ServiceField::Goldilocks,
+                log_n,
+                direction,
+            },
+            arrival_ns,
+        )
+    }
+
+    fn run_stream(cfg: ServiceConfig, stream: &[JobSpec]) -> ServiceReport {
+        let mut service = ProofService::new(cfg);
+        service.submit_all(stream.iter().copied());
+        service.run()
+    }
+
+    #[test]
+    fn identical_runs_are_bit_identical() {
+        let stream = WorkloadSpec::raw_only(42, 24, 50_000.0).generate();
+        let cfg = ServiceConfig::default();
+        let a = run_stream(cfg.clone(), &stream);
+        let b = run_stream(cfg, &stream);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn coalescing_amortizes_dispatch_overhead() {
+        // A burst of identical-shape jobs at high offered load: with a
+        // window they share dispatches (and the fixed overhead); with
+        // window 0 every job pays it alone.
+        let stream: Vec<JobSpec> = (0..24)
+            .map(|i| raw_spec(8, Direction::Forward, i as f64 * 1_000.0))
+            .collect();
+        let coalesced = run_stream(
+            ServiceConfig {
+                batch_window_ns: 50_000.0,
+                ..ServiceConfig::default()
+            },
+            &stream,
+        );
+        let singleton = run_stream(
+            ServiceConfig {
+                batch_window_ns: 0.0,
+                ..ServiceConfig::default()
+            },
+            &stream,
+        );
+        assert!(coalesced.all_completed() && singleton.all_completed());
+        assert!(
+            coalesced.metrics.mean_batch_size() > 1.5,
+            "window should actually group jobs: mean {}",
+            coalesced.metrics.mean_batch_size()
+        );
+        assert!((singleton.metrics.mean_batch_size() - 1.0).abs() < 1e-9);
+        assert!(
+            coalesced.metrics.horizon_ns < singleton.metrics.horizon_ns,
+            "coalescing should shorten the makespan: {} vs {}",
+            coalesced.metrics.horizon_ns,
+            singleton.metrics.horizon_ns
+        );
+    }
+
+    #[test]
+    fn admission_control_sheds_when_full() {
+        // One slow lease and a tiny queue: a dense burst must overflow.
+        let stream: Vec<JobSpec> = (0..16)
+            .map(|i| raw_spec(10, Direction::Forward, i as f64))
+            .collect();
+        let report = run_stream(
+            ServiceConfig {
+                queue_capacity: 4,
+                batch_window_ns: 0.0,
+                max_batch: 1,
+                num_leases: 1,
+                ..ServiceConfig::default()
+            },
+            &stream,
+        );
+        let rejected = report.metrics.rejected();
+        assert!(rejected > 0, "the burst must overflow a 4-deep queue");
+        assert!(report
+            .outcomes
+            .iter()
+            .filter(|o| !o.completed())
+            .all(|o| matches!(
+                o.status,
+                JobStatus::Rejected(AdmissionError::QueueFull { capacity: 4, .. })
+            )));
+        // Completed jobs still verified bit-for-bit (verify_outputs on).
+        assert_eq!(report.metrics.completed() + rejected, stream.len());
+    }
+
+    #[test]
+    fn priority_policy_reorders_ready_batches() {
+        // Lease occupied by job 0; jobs 1 (Low) and 2 (High) are both
+        // ready before it frees. FIFO runs 1 first, Priority runs 2.
+        let mut stream = vec![
+            raw_spec(10, Direction::Forward, 0.0),
+            raw_spec(8, Direction::Forward, 10.0),
+            raw_spec(8, Direction::Inverse, 20.0),
+        ];
+        stream[1].priority = Priority::Low;
+        stream[2].priority = Priority::High;
+        let base = ServiceConfig {
+            batch_window_ns: 0.0,
+            num_leases: 1,
+            ..ServiceConfig::default()
+        };
+
+        let fifo = run_stream(base.clone(), &stream);
+        assert!(fifo.outcomes[1].completed_ns < fifo.outcomes[2].completed_ns);
+
+        let prio = run_stream(
+            ServiceConfig {
+                policy: SchedulerPolicy::Priority,
+                ..base
+            },
+            &stream,
+        );
+        assert!(
+            prio.outcomes[2].completed_ns < prio.outcomes[1].completed_ns,
+            "high priority should overtake: {} vs {}",
+            prio.outcomes[2].completed_ns,
+            prio.outcomes[1].completed_ns
+        );
+    }
+
+    #[test]
+    fn shortest_job_first_runs_cheap_batches_first() {
+        // Lease busy with job 0; a big job (1) then a small job (2)
+        // become ready. SJF runs the small one first despite FIFO order.
+        let stream = vec![
+            raw_spec(10, Direction::Forward, 0.0),
+            raw_spec(12, Direction::Forward, 10.0),
+            raw_spec(8, Direction::Forward, 20.0),
+        ];
+        let report = run_stream(
+            ServiceConfig {
+                policy: SchedulerPolicy::ShortestJobFirst,
+                batch_window_ns: 0.0,
+                num_leases: 1,
+                ..ServiceConfig::default()
+            },
+            &stream,
+        );
+        assert!(
+            report.outcomes[2].completed_ns < report.outcomes[1].completed_ns,
+            "SJF should run the 2^8 job before the 2^12 job"
+        );
+    }
+
+    #[test]
+    fn channel_front_door_feeds_the_service() {
+        let (tx, rx) = mpsc::channel();
+        for i in 0..6 {
+            tx.send(raw_spec(8, Direction::Forward, i as f64 * 5_000.0))
+                .expect("receiver alive");
+        }
+        let mut service = ProofService::new(ServiceConfig::default());
+        let ids = service.ingest(&rx);
+        assert_eq!(ids.len(), 6);
+        assert_eq!(service.pending(), 6);
+        let report = service.run();
+        assert!(report.all_completed());
+        assert_eq!(report.outcomes.len(), 6);
+    }
+
+    #[test]
+    fn deadlines_are_tracked_not_enforced() {
+        let mut hopeless = raw_spec(10, Direction::Forward, 0.0);
+        hopeless.deadline_ns = Some(1.0); // cannot possibly be met
+        let mut easy = raw_spec(10, Direction::Forward, 0.0);
+        easy.deadline_ns = Some(1e12);
+        let report = run_stream(ServiceConfig::default(), &[hopeless, easy]);
+        assert!(report.all_completed(), "late jobs still complete");
+        assert!(report.outcomes[0].missed_deadline);
+        assert!(!report.outcomes[1].missed_deadline);
+    }
+
+    #[test]
+    fn mixed_workload_runs_every_class() {
+        let stream = vec![
+            raw_spec(8, Direction::Forward, 0.0),
+            JobSpec::new(1, JobClass::PlonkProve { log_gates: 5 }, 1_000.0),
+            JobSpec::new(
+                2,
+                JobClass::StarkCommit {
+                    log_trace: 6,
+                    columns: 2,
+                },
+                2_000.0,
+            ),
+            raw_spec(8, Direction::Inverse, 3_000.0),
+        ];
+        let report = run_stream(ServiceConfig::default(), &stream);
+        assert!(report.all_completed());
+        assert_eq!(report.metrics.classes.len(), 3);
+        assert!(report.metrics.classes["plonk-prove"].completed == 1);
+        assert!(report.metrics.classes["stark-commit"].completed == 1);
+        assert!(report.metrics.horizon_ns > 0.0);
+        assert!(!report.metrics.render().is_empty());
+    }
+
+    #[test]
+    fn device_loss_degrades_but_never_fails_jobs() {
+        let stream = WorkloadSpec::raw_only(9, 32, 100_000.0).generate();
+        let report = run_stream(
+            ServiceConfig {
+                fault_rates: Some(unintt_gpu_sim::FaultRates {
+                    drop_p: 0.01,
+                    device_loss_p: 0.004,
+                    ..Default::default()
+                }),
+                ..ServiceConfig::default()
+            },
+            &stream,
+        );
+        assert!(
+            report.all_completed(),
+            "faults must degrade, never fail: {:?}",
+            report
+                .outcomes
+                .iter()
+                .filter(|o| !o.completed())
+                .collect::<Vec<_>>()
+        );
+        let absorbed: u64 = report
+            .metrics
+            .classes
+            .values()
+            .map(|c| c.retries + c.replans)
+            .sum();
+        assert!(
+            absorbed > 0,
+            "at these rates some fault should actually fire"
+        );
+    }
+}

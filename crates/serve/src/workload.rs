@@ -1,0 +1,213 @@
+//! Seeded synthetic workloads: multi-tenant job streams with Poisson
+//! arrivals, for experiments and tests.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use unintt_ntt::Direction;
+
+use crate::job::{JobClass, JobSpec, Priority, ServiceField};
+
+/// Relative class frequencies in a generated stream (need not sum to 1;
+/// only ratios matter; all-zero means raw-only).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadMix {
+    /// Weight of raw NTT jobs.
+    pub raw: f64,
+    /// Weight of PLONK proof jobs.
+    pub plonk: f64,
+    /// Weight of STARK commitment jobs.
+    pub stark: f64,
+}
+
+impl WorkloadMix {
+    /// Raw NTT jobs only — the coalescing-sensitive workload.
+    pub fn raw_only() -> Self {
+        Self {
+            raw: 1.0,
+            plonk: 0.0,
+            stark: 0.0,
+        }
+    }
+
+    /// A mostly-raw mix with some full proofs and commitments.
+    pub fn mixed() -> Self {
+        Self {
+            raw: 0.8,
+            plonk: 0.1,
+            stark: 0.1,
+        }
+    }
+}
+
+/// Parameters of a synthetic job stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Seed for everything: arrivals, classes, shapes, priorities.
+    pub seed: u64,
+    /// Number of jobs to generate.
+    pub jobs: usize,
+    /// Mean arrival rate (Poisson), jobs per simulated second.
+    pub offered_load_jobs_per_s: f64,
+    /// Class mix.
+    pub mix: WorkloadMix,
+    /// Raw-NTT sizes are drawn uniformly from `log_n_min..=log_n_max`.
+    pub log_n_min: u32,
+    /// See `log_n_min`.
+    pub log_n_max: u32,
+    /// Tenant ids are drawn from `0..tenants`.
+    pub tenants: u32,
+    /// When set, each job gets `deadline = arrival + slack`.
+    pub deadline_slack_ns: Option<f64>,
+}
+
+impl WorkloadSpec {
+    /// A raw-NTT-only stream at `offered_load_jobs_per_s`, sizes 2^8–2^10,
+    /// four tenants.
+    pub fn raw_only(seed: u64, jobs: usize, offered_load_jobs_per_s: f64) -> Self {
+        Self {
+            seed,
+            jobs,
+            offered_load_jobs_per_s,
+            mix: WorkloadMix::raw_only(),
+            log_n_min: 8,
+            log_n_max: 10,
+            tenants: 4,
+            deadline_slack_ns: None,
+        }
+    }
+
+    /// Generates the stream: jobs sorted by arrival time, with
+    /// exponential interarrival gaps of mean `1/offered_load`.
+    pub fn generate(&self) -> Vec<JobSpec> {
+        assert!(
+            self.offered_load_jobs_per_s > 0.0,
+            "offered load must be positive"
+        );
+        assert!(self.log_n_min <= self.log_n_max, "empty log_n range");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mean_gap_ns = 1e9 / self.offered_load_jobs_per_s;
+        let total_weight = (self.mix.raw + self.mix.plonk + self.mix.stark).max(f64::MIN_POSITIVE);
+
+        let mut specs = Vec::with_capacity(self.jobs);
+        let mut now = 0.0f64;
+        for _ in 0..self.jobs {
+            // Inverse-CDF exponential gap; 1−u keeps the argument in (0,1].
+            let u: f64 = rng.gen();
+            now += -(1.0 - u).max(f64::MIN_POSITIVE).ln() * mean_gap_ns;
+
+            let class = {
+                let pick: f64 = rng.gen::<f64>() * total_weight;
+                if pick < self.mix.raw || total_weight <= f64::MIN_POSITIVE {
+                    let field = if rng.gen::<bool>() {
+                        ServiceField::Goldilocks
+                    } else {
+                        ServiceField::BabyBear
+                    };
+                    let log_n = self.log_n_min
+                        + rng.gen_range(0..u64::from(self.log_n_max - self.log_n_min + 1)) as u32;
+                    let direction = if rng.gen::<bool>() {
+                        Direction::Forward
+                    } else {
+                        Direction::Inverse
+                    };
+                    JobClass::RawNtt {
+                        field,
+                        log_n,
+                        direction,
+                    }
+                } else if pick < self.mix.raw + self.mix.plonk {
+                    JobClass::PlonkProve { log_gates: 6 }
+                } else {
+                    JobClass::StarkCommit {
+                        log_trace: 8,
+                        columns: 4,
+                    }
+                }
+            };
+
+            let priority = match rng.gen_range(0..10) {
+                0..=1 => Priority::Low,
+                2..=7 => Priority::Normal,
+                _ => Priority::High,
+            };
+            let tenant = rng.gen_range(0..u64::from(self.tenants.max(1))) as u32;
+
+            specs.push(JobSpec {
+                tenant,
+                class,
+                priority,
+                deadline_ns: self.deadline_slack_ns.map(|slack| now + slack),
+                arrival_ns: now,
+            });
+        }
+        specs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::raw_only(7, 64, 20_000.0);
+        assert_eq!(spec.generate(), spec.generate());
+    }
+
+    #[test]
+    fn seeds_change_the_stream() {
+        let a = WorkloadSpec::raw_only(1, 32, 20_000.0).generate();
+        let b = WorkloadSpec::raw_only(2, 32, 20_000.0).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_rate_is_roughly_right() {
+        let rate = 10_000.0;
+        let jobs = 500;
+        let stream = WorkloadSpec::raw_only(3, jobs, rate).generate();
+        assert_eq!(stream.len(), jobs);
+        assert!(stream
+            .windows(2)
+            .all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+        let span_s = stream.last().expect("non-empty").arrival_ns * 1e-9;
+        let empirical = jobs as f64 / span_s;
+        assert!(
+            (empirical / rate - 1.0).abs() < 0.25,
+            "empirical rate {empirical:.0} too far from {rate:.0}"
+        );
+    }
+
+    #[test]
+    fn mixed_streams_contain_every_class() {
+        let spec = WorkloadSpec {
+            mix: WorkloadMix::mixed(),
+            ..WorkloadSpec::raw_only(11, 200, 5_000.0)
+        };
+        let stream = spec.generate();
+        let raw = stream
+            .iter()
+            .filter(|j| matches!(j.class, JobClass::RawNtt { .. }))
+            .count();
+        let plonk = stream
+            .iter()
+            .filter(|j| matches!(j.class, JobClass::PlonkProve { .. }))
+            .count();
+        let stark = stream
+            .iter()
+            .filter(|j| matches!(j.class, JobClass::StarkCommit { .. }))
+            .count();
+        assert!(raw > plonk && raw > stark);
+        assert!(plonk > 0 && stark > 0);
+    }
+
+    #[test]
+    fn deadlines_track_arrivals() {
+        let spec = WorkloadSpec {
+            deadline_slack_ns: Some(1_000.0),
+            ..WorkloadSpec::raw_only(5, 16, 1_000.0)
+        };
+        for job in spec.generate() {
+            assert_eq!(job.deadline_ns, Some(job.arrival_ns + 1_000.0));
+        }
+    }
+}
