@@ -4,9 +4,9 @@
 EXCLUDE_VENDOR := --exclude criterion --exclude proptest --exclude rand \
                   --exclude serde --exclude serde_derive
 
-.PHONY: verify fmt clippy build bench-check test e13 e14 serve-smoke
+.PHONY: verify fmt clippy build bench-check test e13 e14 e15 serve-smoke
 
-verify: fmt clippy build bench-check test serve-smoke
+verify: fmt clippy build bench-check test serve-smoke e15
 
 fmt:
 	cargo fmt --all --check
@@ -29,6 +29,12 @@ e13:
 
 e14:
 	cargo run --release -p unintt-bench --bin harness -- --quick e14
+
+# Communication-overlap smoke: the chunked pipeline and its blocking
+# escape hatch must both run end to end.
+e15:
+	cargo run --release -p unintt-bench --bin harness -- --quick e15
+	cargo run --release -p unintt-bench --bin harness -- --quick --blocking-comm e15
 
 # Proving-service smoke: run the example and the E14 quick sweep.
 serve-smoke:

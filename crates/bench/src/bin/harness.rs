@@ -6,13 +6,17 @@ use unintt_bench::experiments;
 use unintt_bench::Table;
 
 const USAGE: &str = "\
-usage: harness [--quick] [--legacy-kernels] <experiment>...
+usage: harness [--quick] [--legacy-kernels] [--blocking-comm] <experiment>...
   <experiment>      one or more of: e1 e2 e3 e4 e5 e6 e7 e8 e9 e11 e12 e13
-                    e14 bench-host all
+                    e14 e15 bench-host all
   --quick           trimmed sweeps (seconds instead of minutes)
   --legacy-kernels  run all host NTTs on the original radix-2 DIT path
                     instead of the Shoup/six-step fast path (A/B escape
                     hatch; outputs are bit-identical either way)
+  --blocking-comm   pin every simulated engine to the legacy blocking
+                    exchange schedule instead of the chunked overlapped
+                    pipeline (A/B escape hatch; outputs are bit-identical
+                    either way)
 ";
 
 fn main() -> ExitCode {
@@ -20,6 +24,9 @@ fn main() -> ExitCode {
     let quick = args.iter().any(|a| a == "--quick");
     if args.iter().any(|a| a == "--legacy-kernels") {
         unintt_ntt::set_kernel_mode(unintt_ntt::KernelMode::Legacy);
+    }
+    if args.iter().any(|a| a == "--blocking-comm") {
+        unintt_core::set_comm_mode_override(Some(unintt_core::CommMode::Blocking));
     }
     let selected: Vec<&str> = args
         .iter()
@@ -48,6 +55,7 @@ fn main() -> ExitCode {
             "e12" => experiments::e12_multi_node::run(quick),
             "e13" => experiments::e13_fault_tolerance::run(quick),
             "e14" => experiments::e14_serving::run(quick),
+            "e15" => experiments::e15_comm_overlap::run(quick),
             _ => return None,
         };
         Some(table)

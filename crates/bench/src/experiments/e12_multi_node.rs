@@ -3,6 +3,12 @@
 //! outermost exchange medium. The question the paper leaves open: does the
 //! decomposition keep paying when the next fabric down is 10–50× slower
 //! than NVLink?
+//!
+//! Under the default overlapped schedule the staged cross-node exchange
+//! pipelines against the outer column NTTs, so only the un-hidden wire
+//! remainder lands on the cluster makespan (compare with
+//! `--blocking-comm`); the network cost itself comes from the same α–β
+//! formula the intra-node fabric charges with.
 
 use unintt_core::{Cluster, ClusterNttEngine, NetworkConfig, UniNttOptions};
 use unintt_ff::Bn254Fr;

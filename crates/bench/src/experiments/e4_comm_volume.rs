@@ -1,6 +1,11 @@
 //! **E4 — communication volume**: bytes injected into the inter-GPU
 //! fabric per transform. UniNTT's single fused all-to-all moves `(G−1)/G`
 //! of the data once; the four-step baseline moves it three times.
+//!
+//! Bytes are counted at link injection, so the totals are identical
+//! under the blocking and overlapped exchange schedules — the pipeline
+//! (E15) changes *when* chunks cross the fabric, never how many bytes
+//! do. `harness --blocking-comm e4` reproduces exactly this table.
 
 use unintt_core::UniNttOptions;
 use unintt_ff::Bn254Fr;
@@ -47,6 +52,9 @@ pub fn run(quick: bool) -> Table {
         ]);
     }
     table.note("bytes summed over all devices; UniNTT sends (G-1)/G of the data exactly once");
+    table.note(
+        "volumes are schedule-invariant: blocking and overlapped modes inject the same bytes",
+    );
     table
 }
 

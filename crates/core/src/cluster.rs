@@ -20,10 +20,12 @@
 
 use serde::{Deserialize, Serialize};
 use unintt_ff::TwoAdicField;
-use unintt_gpu_sim::{FabricError, FieldSpec, KernelProfile, Machine, MachineConfig};
+use unintt_gpu_sim::{
+    alpha_beta_all_to_all_ns, FabricError, FieldSpec, KernelProfile, Machine, MachineConfig,
+};
 use unintt_ntt::Ntt;
 
-use crate::{RecoveryPolicy, ShardLayout, Sharded, UniNttEngine, UniNttOptions};
+use crate::{CommMode, RecoveryPolicy, ShardLayout, Sharded, UniNttEngine, UniNttOptions};
 
 /// Datacenter network datasheet (node-to-node fabric).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -56,12 +58,19 @@ impl NetworkConfig {
     }
 
     /// α–β time for a cross-node all-to-all of `bytes_per_node`.
+    ///
+    /// Routed through [`unintt_gpu_sim::alpha_beta_all_to_all_ns`], the
+    /// exact function the GPU fabric's crossbar arm charges with — one
+    /// shared cost formula, so the two layers cannot drift apart in units
+    /// (a regression test pins the charged nanoseconds).
     pub fn all_to_all_ns(&self, nodes: usize, bytes_per_node: u64) -> f64 {
-        if nodes <= 1 {
-            return 0.0;
-        }
-        let egress = bytes_per_node as f64 * (nodes as f64 - 1.0) / nodes as f64;
-        self.latency_ns + egress / (self.per_node_bandwidth_gbps * 1e9 * self.efficiency) * 1e9
+        alpha_beta_all_to_all_ns(
+            nodes,
+            bytes_per_node,
+            self.per_node_bandwidth_gbps,
+            self.latency_ns,
+            self.efficiency,
+        )
     }
 }
 
@@ -71,6 +80,9 @@ pub struct Cluster {
     network: NetworkConfig,
     /// Time spent in cross-node communication (on top of node clocks).
     network_ns: f64,
+    /// Cross-node wire time hidden behind the outer column NTTs by the
+    /// overlapped schedule (already excluded from `network_ns`).
+    network_hidden_ns: f64,
     /// Bytes injected into the node-to-node network, all nodes summed.
     network_bytes: u64,
 }
@@ -98,6 +110,7 @@ impl Cluster {
                 .collect(),
             network,
             network_ns: 0.0,
+            network_hidden_ns: 0.0,
             network_bytes: 0,
         }
     }
@@ -122,6 +135,12 @@ impl Cluster {
         self.network_bytes
     }
 
+    /// Cross-node wire time hidden behind compute by the overlapped
+    /// schedule. Zero under [`CommMode::Blocking`].
+    pub fn network_hidden_ns(&self) -> f64 {
+        self.network_hidden_ns
+    }
+
     /// Access to one node's machine.
     pub fn node(&self, i: usize) -> &Machine {
         &self.nodes[i]
@@ -140,11 +159,6 @@ impl Cluster {
             .collect()
     }
 
-    fn charge_network_all_to_all(&mut self, bytes_per_node: u64) {
-        let t = self.nodes.len();
-        self.charge_network_all_to_all_among(t, bytes_per_node);
-    }
-
     /// Charges a cross-node all-to-all among `nodes` participants (the
     /// degraded path exchanges among survivors only).
     fn charge_network_all_to_all_among(&mut self, nodes: usize, bytes_per_node: u64) {
@@ -152,7 +166,33 @@ impl Cluster {
             return;
         }
         self.network_ns += self.network.all_to_all_ns(nodes, bytes_per_node);
-        self.network_bytes += (bytes_per_node * (nodes as u64 - 1) / nodes as u64) * nodes as u64;
+        self.network_bytes += Self::all_to_all_volume(nodes, bytes_per_node);
+    }
+
+    /// Charges a cross-node all-to-all whose wire time is pipelined
+    /// against up to `hide_ns` of per-node compute: only the exposed
+    /// remainder (latency plus un-hidden wire time) advances the cluster
+    /// clock. The latency term is never hidable — the first chunk must
+    /// arrive before any dependent compute can start.
+    fn charge_network_all_to_all_overlapped(
+        &mut self,
+        nodes: usize,
+        bytes_per_node: u64,
+        hide_ns: f64,
+    ) {
+        if nodes <= 1 {
+            return;
+        }
+        let total = self.network.all_to_all_ns(nodes, bytes_per_node);
+        let wire = (total - self.network.latency_ns).max(0.0);
+        let hidden = wire.min(hide_ns.max(0.0));
+        self.network_ns += total - hidden;
+        self.network_hidden_ns += hidden;
+        self.network_bytes += Self::all_to_all_volume(nodes, bytes_per_node);
+    }
+
+    fn all_to_all_volume(nodes: usize, bytes_per_node: u64) -> u64 {
+        (bytes_per_node * (nodes as u64 - 1) / nodes as u64) * nodes as u64
     }
 }
 
@@ -172,6 +212,17 @@ pub struct ClusterRunReport<F> {
     /// tried, including the successful final one), summed over every node
     /// machine. Serving layers surface these in their metrics.
     pub retries_per_attempt: Vec<u64>,
+    /// GPU-fabric collective operations executed, summed over every node
+    /// machine (all attempts included).
+    pub collectives: u64,
+    /// Communication bytes moved end to end: intra-node GPU-fabric
+    /// injections on every node plus cross-node network traffic.
+    pub comm_bytes: u64,
+    /// Communication nanoseconds hidden behind compute by the overlapped
+    /// schedule — GPU-fabric overlap inside the nodes plus network wire
+    /// time pipelined against the outer column NTTs. Zero under
+    /// [`CommMode::Blocking`].
+    pub comm_hidden_ns: f64,
 }
 
 impl<F> ClusterRunReport<F> {
@@ -249,6 +300,53 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
         1 << self.log_t
     }
 
+    /// `(per-node transform size, GPUs per node)` for the current plan.
+    fn node_shape(&self) -> (usize, usize) {
+        (
+            self.n() / self.num_nodes(),
+            self.node_engine.plan().num_gpus(),
+        )
+    }
+
+    /// The fused node-boundary twiddle kernel (tail of the node phase).
+    fn node_twiddle_profile(&self) -> KernelProfile {
+        let (r, gpus) = self.node_shape();
+        let mut profile = KernelProfile::named("node-boundary-twiddle");
+        profile.field_muls = r as u64 / gpus as u64;
+        profile.blocks = (r as u64 / 256).max(1);
+        profile
+    }
+
+    /// The outer size-T column-NTT kernel (phase 3).
+    fn cluster_outer_profile(&self) -> KernelProfile {
+        let (r, gpus) = self.node_shape();
+        let mut profile = KernelProfile::named("cluster-outer-ntt");
+        profile.field_muls = (r as u64 / 2) * self.log_t as u64 / gpus as u64;
+        profile.global_bytes_read = (r * self.field_spec.elem_bytes) as u64;
+        profile.global_bytes_written = (r * self.field_spec.elem_bytes) as u64;
+        profile.blocks = (r as u64 / 256).max(1);
+        profile
+    }
+
+    /// Charges the cross-node all-to-all. Under [`CommMode::Overlapped`]
+    /// the chunked transfer is pipelined against the outer column NTTs,
+    /// so only the un-hidden remainder lands on the cluster clock; both
+    /// the functional and cost-only paths route through here so they
+    /// charge identically.
+    fn charge_cluster_exchange(&self, cluster: &mut Cluster) {
+        let t = self.num_nodes();
+        let bytes = ((self.n() / t) * self.field_spec.elem_bytes) as u64;
+        if self.opts.effective_comm_mode() == CommMode::Overlapped {
+            let hide = cluster.nodes[0]
+                .model()
+                .kernel_cost(&self.cluster_outer_profile())
+                .total_ns;
+            cluster.charge_network_all_to_all_overlapped(t, bytes, hide);
+        } else {
+            cluster.charge_network_all_to_all_among(t, bytes);
+        }
+    }
+
     /// Forward NTT across the cluster.
     ///
     /// Input: `node_shards[t]` holds the node-cyclic sub-sequence
@@ -293,9 +391,7 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
                 *v *= cur;
                 cur *= step;
             }
-            let mut profile = KernelProfile::named("node-boundary-twiddle");
-            profile.field_muls = r as u64 / gpus as u64;
-            profile.blocks = (r as u64 / 256).max(1);
+            let profile = self.node_twiddle_profile();
             let mut unused = ();
             machine.on_device(0, &mut unused, |ctx, _| {
                 ctx.launch(&profile);
@@ -311,7 +407,7 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
                     .copy_from_slice(&old_shard[dst * chunk..(dst + 1) * chunk]);
             }
         }
-        cluster.charge_network_all_to_all((r * self.field_spec.elem_bytes) as u64);
+        self.charge_cluster_exchange(cluster);
 
         // Phase 3: size-T NTTs down the received columns, on each node.
         for (machine, shard) in cluster.nodes.iter_mut().zip(node_shards.iter_mut()) {
@@ -325,11 +421,7 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
                     shard[k1 * chunk + j] = v;
                 }
             }
-            let mut profile = KernelProfile::named("cluster-outer-ntt");
-            profile.field_muls = (r as u64 / 2) * self.log_t as u64 / gpus as u64;
-            profile.global_bytes_read = (r * self.field_spec.elem_bytes) as u64;
-            profile.global_bytes_written = (r * self.field_spec.elem_bytes) as u64;
-            profile.blocks = (r as u64 / 256).max(1);
+            let profile = self.cluster_outer_profile();
             let mut unused = ();
             machine.on_device(0, &mut unused, |ctx, _| {
                 ctx.launch(&profile);
@@ -415,13 +507,25 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
             retries_per_attempt.push(Self::cluster_retries(cluster) - retries_before);
             match attempt {
                 Ok(output) => {
+                    let mut collectives = 0u64;
+                    let mut comm_bytes = cluster.network_bytes;
+                    let mut comm_hidden_ns = cluster.network_hidden_ns;
+                    for machine in &cluster.nodes {
+                        let stats = machine.stats();
+                        collectives += stats.collectives;
+                        comm_bytes += stats.interconnect_bytes_sent;
+                        comm_hidden_ns += stats.comm_hidden_ns;
+                    }
                     return Ok(ClusterRunReport {
                         output,
                         replans,
                         lost_nodes,
                         nodes_used: t,
                         retries_per_attempt,
-                    })
+                        collectives,
+                        comm_bytes,
+                        comm_hidden_ns,
+                    });
                 }
                 Err((Some(node), e)) => {
                     lost_nodes.push(node);
@@ -476,16 +580,16 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
                 *v *= cur;
                 cur *= step;
             }
-            let mut profile = KernelProfile::named("node-boundary-twiddle");
-            profile.field_muls = r as u64 / gpus as u64;
-            profile.blocks = (r as u64 / 256).max(1);
+            let profile = self.node_twiddle_profile();
             let mut unused = ();
             machine.on_device(0, &mut unused, |ctx, _| {
                 ctx.launch(&profile);
             });
         }
 
-        // Level 1 → 2: cross-node all-to-all among the survivors only.
+        // Level 1 → 2: cross-node all-to-all among the survivors only
+        // (`self` is the survivor-subset plan here, so the exchange helper
+        // charges among exactly `t` participants).
         let chunk = r / t;
         let old: Vec<Vec<F>> = shards.to_vec();
         for (dst, shard) in shards.iter_mut().enumerate() {
@@ -494,7 +598,7 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
                     .copy_from_slice(&old_shard[dst * chunk..(dst + 1) * chunk]);
             }
         }
-        cluster.charge_network_all_to_all_among(t, (r * self.field_spec.elem_bytes) as u64);
+        self.charge_cluster_exchange(cluster);
 
         // Level 2 → 3: size-T outer NTTs on each surviving node.
         for (&node, shard) in active.iter().zip(shards.iter_mut()) {
@@ -509,11 +613,7 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
                     shard[k1 * chunk + j] = v;
                 }
             }
-            let mut profile = KernelProfile::named("cluster-outer-ntt");
-            profile.field_muls = (r as u64 / 2) * self.log_t as u64 / gpus as u64;
-            profile.global_bytes_read = (r * self.field_spec.elem_bytes) as u64;
-            profile.global_bytes_written = (r * self.field_spec.elem_bytes) as u64;
-            profile.blocks = (r as u64 / 256).max(1);
+            let profile = self.cluster_outer_profile();
             let mut unused = ();
             machine.on_device(0, &mut unused, |ctx, _| {
                 ctx.launch(&profile);
@@ -551,26 +651,17 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
 
     /// Cost-only forward transform for large-size sweeps.
     pub fn simulate_forward(&self, cluster: &mut Cluster) {
-        let t = self.num_nodes();
-        let r = self.n() / t;
-        let gpus = self.node_engine.plan().num_gpus();
+        let twiddle = self.node_twiddle_profile();
+        let outer = self.cluster_outer_profile();
         for machine in cluster.nodes.iter_mut() {
             self.node_engine.simulate_forward(machine, 1);
-            let mut twiddle = KernelProfile::named("node-boundary-twiddle");
-            twiddle.field_muls = r as u64 / gpus as u64;
-            twiddle.blocks = (r as u64 / 256).max(1);
-            let mut outer = KernelProfile::named("cluster-outer-ntt");
-            outer.field_muls = (r as u64 / 2) * self.log_t as u64 / gpus as u64;
-            outer.global_bytes_read = (r * self.field_spec.elem_bytes) as u64;
-            outer.global_bytes_written = (r * self.field_spec.elem_bytes) as u64;
-            outer.blocks = (r as u64 / 256).max(1);
             let mut unused = ();
             machine.on_device(0, &mut unused, |ctx, _| {
                 ctx.launch(&twiddle);
                 ctx.launch(&outer);
             });
         }
-        cluster.charge_network_all_to_all((r * self.field_spec.elem_bytes) as u64);
+        self.charge_cluster_exchange(cluster);
     }
 }
 
@@ -691,6 +782,50 @@ mod tests {
     }
 
     #[test]
+    fn network_cost_is_pinned_to_shared_alpha_beta() {
+        // The network charge must equal the shared α–β formula in
+        // unintt-gpu-sim, and its absolute value is pinned so neither
+        // layer can drift in units without this test noticing.
+        let net = NetworkConfig::infiniband_400g();
+        let got = net.all_to_all_ns(4, 1 << 30);
+        assert_eq!(
+            got,
+            alpha_beta_all_to_all_ns(4, 1 << 30, 50.0, 5_000.0, 0.85)
+        );
+        // 4 nodes × 1 GiB: egress 3/4 GiB per node at 50 GB/s × 0.85
+        // = 805306368 B / 42.5 B/ns + 5 µs latency.
+        let expected = 5_000.0 + (1u64 << 30) as f64 * 0.75 / 42.5;
+        assert_eq!(got, expected);
+        assert!((got - 18_953_385.129).abs() < 0.01, "charged {got} ns");
+    }
+
+    #[test]
+    fn overlapped_cluster_hides_network_time() {
+        let fs = FieldSpec::goldilocks();
+        let node_cfg = presets::a100_nvlink(4);
+        let log_n = 22u32;
+        let mut opts = UniNttOptions::tuned_for(&fs);
+        let over_engine = ClusterNttEngine::<Goldilocks>::new(log_n, 4, &node_cfg, opts, fs);
+        opts.comm_mode = CommMode::Blocking;
+        let block_engine = ClusterNttEngine::<Goldilocks>::new(log_n, 4, &node_cfg, opts, fs);
+
+        let mut over = Cluster::new(4, node_cfg.clone(), NetworkConfig::infiniband_400g(), fs);
+        over_engine.simulate_forward(&mut over);
+        let mut block = Cluster::new(4, node_cfg, NetworkConfig::infiniband_400g(), fs);
+        block_engine.simulate_forward(&mut block);
+
+        assert!(over.network_hidden_ns() > 0.0, "wire time must be hidden");
+        assert_eq!(block.network_hidden_ns(), 0.0);
+        assert!(
+            over.total_time_ns() < block.total_time_ns(),
+            "overlap must shorten the makespan: over={} block={}",
+            over.total_time_ns(),
+            block.total_time_ns()
+        );
+        assert_eq!(over.network_bytes(), block.network_bytes());
+    }
+
+    #[test]
     fn recovery_without_faults_matches_reference() {
         let fs = FieldSpec::goldilocks();
         let node_cfg = presets::a100_nvlink(4);
@@ -713,6 +848,19 @@ mod tests {
         assert_eq!(report.retries_per_attempt, vec![0]);
         assert_eq!(report.total_retries(), 0);
         assert_eq!(report.attempts(), 1);
+        // Communication totals (satellite observability): GPU-fabric
+        // collectives ran on every node, bytes cover fabric + network, and
+        // the default overlapped schedule hid some network wire time.
+        assert!(report.collectives > 0);
+        assert!(report.comm_bytes > cluster.network_bytes());
+        assert!(report.comm_hidden_ns > 0.0);
+        assert_eq!(
+            report.comm_hidden_ns,
+            cluster.network_hidden_ns()
+                + (0..4)
+                    .map(|i| cluster.node(i).stats().comm_hidden_ns)
+                    .sum::<f64>()
+        );
     }
 
     #[test]

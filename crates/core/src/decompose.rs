@@ -122,6 +122,26 @@ impl DecompositionPlan {
     pub fn n(&self) -> usize {
         1 << self.log_n
     }
+
+    /// Default pipeline depth for the overlapped multi-GPU exchange.
+    ///
+    /// Sized from the per-pair chunk (`2^(log_m - log_g)` elements): one
+    /// pipeline chunk per ~1024 elements, clamped to `[2, 8]`. The floor
+    /// of 2 keeps the pipeline engaged even for small exchanges — chunk
+    /// transfers cost no extra launches or latency serialization in the
+    /// model, and a depth-1 "pipeline" would silently degenerate to the
+    /// blocking schedule, making simulated time step discontinuously at
+    /// the size where the depth first exceeds 1. Large exchanges saturate
+    /// around 8 chunks, where the unhidden head/tail slices are already
+    /// under an eighth of the blocking wire time. A per-pair chunk of a
+    /// single element cannot be sliced, so it stays whole.
+    pub fn default_comm_chunks(&self) -> u32 {
+        let c_len = 1u64 << self.log_m.saturating_sub(self.log_g);
+        if c_len < 2 {
+            return 1;
+        }
+        (c_len / 1024).clamp(2, 8) as u32
+    }
 }
 
 /// Splits `total` into the fewest parts each ≤ `max_part`, as evenly as
@@ -192,6 +212,34 @@ mod tests {
         assert_eq!(plan.log_m, 0);
         assert_eq!(plan.shard_len(), 1);
         assert_eq!(plan.device_passes.iter().sum::<u32>(), 0);
+    }
+
+    #[test]
+    fn default_comm_chunks_scales_with_exchange_size() {
+        let machine = presets::a100_nvlink(8);
+        // 2^24 over 8 GPUs: per-pair chunks of 2^18 elements — saturated.
+        assert_eq!(
+            DecompositionPlan::plan(24, &machine, 8).default_comm_chunks(),
+            8
+        );
+        // 2^14 over 8 GPUs: 2^8-element chunks — small, but the pipeline
+        // stays engaged at the floor depth so the schedule (and hence the
+        // simulated clock) varies smoothly with size.
+        assert_eq!(
+            DecompositionPlan::plan(14, &machine, 8).default_comm_chunks(),
+            2
+        );
+        // In between: 2^21 → per-pair 2^15 = 32 Ki elements → clamped to 8;
+        // 2^17 → per-pair 2^11 = 2 Ki elements → 2 chunks.
+        assert_eq!(
+            DecompositionPlan::plan(17, &machine, 8).default_comm_chunks(),
+            2
+        );
+        let single = presets::a100_nvlink(1);
+        assert_eq!(
+            DecompositionPlan::plan(20, &single, 8).default_comm_chunks(),
+            8
+        );
     }
 
     #[test]

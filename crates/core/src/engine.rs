@@ -28,17 +28,32 @@
 //! all-to-all that restores natural blocks. The inverse transform retraces
 //! the same three phases backwards, so `inverse(forward(x)) == x` exactly.
 //!
+//! ## Communication–compute overlap
+//!
+//! Under [`CommMode::Overlapped`] (the default) the exchange is charged as
+//! a software pipeline instead of a blocking transfer: the exchange-
+//! adjacent kernels — the final (twiddle-fused) local pass on one side and
+//! the outer stage on the other — are sliced across
+//! [`UniNttOptions::comm_chunks`] pipeline chunks and interleaved with the
+//! chunked all-to-all, so wire time hides behind butterfly work. The data
+//! movement, fault injection points, and checksum-repair semantics are
+//! bit-identical to [`CommMode::Blocking`]; only the charged schedule
+//! changes. The `natural_output` reordering exchange stays blocking in
+//! both modes (it has no adjacent compute to hide behind).
+//!
 //! Functional correctness is independent of every optimization switch:
 //! options change only the charged [`unintt_gpu_sim::KernelProfile`]s.
 
 use std::sync::OnceLock;
 
 use unintt_ff::TwoAdicField;
-use unintt_gpu_sim::{FabricError, FieldSpec, Machine, MachineConfig};
+use unintt_gpu_sim::{
+    FabricError, FieldSpec, KernelProfile, Machine, MachineConfig, OverlapCompute,
+};
 use unintt_ntt::{Direction, Ntt};
 
 use crate::profiles;
-use crate::{DecompositionPlan, RecoveryPolicy, ShardLayout, Sharded, UniNttOptions};
+use crate::{CommMode, DecompositionPlan, RecoveryPolicy, ShardLayout, Sharded, UniNttOptions};
 
 /// The UniNTT multi-GPU NTT engine.
 #[derive(Clone, Debug)]
@@ -96,6 +111,65 @@ impl<F: TwoAdicField> UniNttEngine<F> {
     /// Transform size.
     pub fn n(&self) -> usize {
         self.plan.n()
+    }
+
+    /// Whether the multi-GPU exchange runs as a software pipeline (the
+    /// resolved communication mode, honoring the process-wide override).
+    fn overlapped(&self) -> bool {
+        self.plan.num_gpus() > 1 && self.opts.effective_comm_mode() == CommMode::Overlapped
+    }
+
+    /// Pipeline depth for the overlapped exchange: the explicit
+    /// [`UniNttOptions::comm_chunks`] if set, else the planner's choice.
+    fn comm_chunks(&self) -> u32 {
+        if self.opts.comm_chunks > 0 {
+            self.opts.comm_chunks
+        } else {
+            self.plan.default_comm_chunks()
+        }
+    }
+
+    /// The kernels the overlapped exchange interleaves with. The local
+    /// side is the exchange-adjacent tail of the local phase (final
+    /// twiddle-fused pass, plus the standalone twiddle/pack kernels when
+    /// O1/O4 are off); the outer side is the whole outer phase. Forward
+    /// streams local → fabric → outer; inverse streams outer → fabric →
+    /// local. [`Self::charge_local`] skips exactly this local-side set
+    /// when overlap is on, so the totals never double-charge.
+    fn exchange_compute_profiles(
+        &self,
+        direction: Direction,
+        per_launch: u64,
+    ) -> (Vec<KernelProfile>, Vec<KernelProfile>) {
+        let (plan, opts, fs) = (&self.plan, &self.opts, self.field_spec);
+        debug_assert!(plan.num_gpus() > 1);
+        let radix = *plan
+            .device_passes
+            .last()
+            .expect("plans always have at least one device pass");
+        let mut local_side = vec![profiles::local_pass_profile(
+            plan,
+            opts,
+            fs,
+            radix,
+            per_launch,
+            opts.fuse_twiddle,
+        )];
+        if !opts.fuse_twiddle {
+            local_side.push(profiles::twiddle_kernel_profile(plan, opts, fs, per_launch));
+        }
+        if !opts.fuse_exchange {
+            local_side.push(profiles::pack_kernel_profile(plan, fs, per_launch));
+        }
+        let mut outer_side = Vec::new();
+        if !opts.fuse_exchange {
+            outer_side.push(profiles::pack_kernel_profile(plan, fs, per_launch));
+        }
+        outer_side.push(profiles::outer_stage_profile(plan, opts, fs, per_launch));
+        match direction {
+            Direction::Forward => (local_side, outer_side),
+            Direction::Inverse => (outer_side, local_side),
+        }
     }
 
     /// The lazily-built local (size-M) NTT context.
@@ -188,8 +262,10 @@ impl<F: TwoAdicField> UniNttEngine<F> {
         self.local_phase(machine, batch, Direction::Forward);
 
         if g > 1 {
-            // Phase 2: the single all-to-all.
-            self.exchange(machine, batch, policy)?;
+            // Phase 2: the single all-to-all (pipelined against the
+            // adjacent passes when overlap is on).
+            let overlap = self.overlapped().then_some(Direction::Forward);
+            self.exchange(machine, batch, policy, overlap)?;
             // Phase 3: outer size-G NTTs.
             self.outer_phase(machine, batch, Direction::Forward);
         }
@@ -199,7 +275,7 @@ impl<F: TwoAdicField> UniNttEngine<F> {
 
         if self.opts.natural_output {
             if g > 1 {
-                self.exchange(machine, batch, policy)?;
+                self.exchange(machine, batch, policy, None)?;
             }
             // For g == 1 the block-cyclic and natural layouts coincide, so
             // only the stamp changes.
@@ -239,7 +315,7 @@ impl<F: TwoAdicField> UniNttEngine<F> {
         if self.opts.natural_output {
             // The chunk transpose is an involution: natural → block-cyclic.
             if g > 1 {
-                self.exchange(machine, batch, policy)?;
+                self.exchange(machine, batch, policy, None)?;
             }
             for item in batch.iter_mut() {
                 item.set_layout(ShardLayout::BlockCyclic);
@@ -247,9 +323,11 @@ impl<F: TwoAdicField> UniNttEngine<F> {
         }
 
         if g > 1 {
-            // Undo phase 3, then undo the exchange.
+            // Undo phase 3, then undo the exchange (pipelined against the
+            // outer producers and local consumers when overlap is on).
             self.outer_phase(machine, batch, Direction::Inverse);
-            self.exchange(machine, batch, policy)?;
+            let overlap = self.overlapped().then_some(Direction::Inverse);
+            self.exchange(machine, batch, policy, overlap)?;
         }
         // Undo phase 1 (boundary twiddle then local inverse NTT).
         self.local_phase(machine, batch, Direction::Inverse);
@@ -331,6 +409,9 @@ impl<F: TwoAdicField> UniNttEngine<F> {
         let b = batch.len() as u64;
         let local = self.local();
         let engine = self;
+        // Under overlap the exchange-adjacent kernels are charged inside
+        // the exchange pipeline, not here.
+        let skip_exchange_adjacent = self.overlapped();
 
         // Regroup: one Vec of per-device mutable shard refs per phase call.
         let mut per_device: Vec<Vec<&mut Vec<F>>> = (0..g).map(|_| Vec::new()).collect();
@@ -370,12 +451,23 @@ impl<F: TwoAdicField> UniNttEngine<F> {
             }
 
             // Cost charges.
-            engine.charge_local(ctx, b, direction);
+            engine.charge_local(ctx, b, direction, skip_exchange_adjacent);
         });
     }
 
     /// Charges the cost of one local phase for a batch of `b` vectors.
-    fn charge_local(&self, ctx: &mut unintt_gpu_sim::DeviceCtx<'_>, b: u64, direction: Direction) {
+    ///
+    /// With `skip_exchange_adjacent` the exchange-adjacent kernels (final
+    /// twiddle-fused pass, standalone twiddle, pack) are left out: the
+    /// overlapped exchange charges them inside its pipeline instead, via
+    /// [`Self::exchange_compute_profiles`].
+    fn charge_local(
+        &self,
+        ctx: &mut unintt_gpu_sim::DeviceCtx<'_>,
+        b: u64,
+        direction: Direction,
+        skip_exchange_adjacent: bool,
+    ) {
         let g = self.plan.num_gpus();
         let (plan, opts, fs) = (&self.plan, &self.opts, self.field_spec);
         let launches = if opts.batching { 1 } else { b };
@@ -383,16 +475,20 @@ impl<F: TwoAdicField> UniNttEngine<F> {
         for _ in 0..launches {
             let passes = plan.num_device_passes();
             for (i, &radix) in plan.device_passes.iter().enumerate() {
-                let fuse_here = opts.fuse_twiddle && g > 1 && i + 1 == passes;
+                let last = i + 1 == passes;
+                if skip_exchange_adjacent && last {
+                    continue;
+                }
+                let fuse_here = opts.fuse_twiddle && g > 1 && last;
                 let p = profiles::local_pass_profile(plan, opts, fs, radix, per_launch, fuse_here);
                 ctx.launch(&p);
             }
-            if !opts.fuse_twiddle && g > 1 {
+            if !opts.fuse_twiddle && g > 1 && !skip_exchange_adjacent {
                 ctx.launch(&profiles::twiddle_kernel_profile(
                     plan, opts, fs, per_launch,
                 ));
             }
-            if !opts.fuse_exchange && g > 1 {
+            if !opts.fuse_exchange && g > 1 && !skip_exchange_adjacent {
                 // Standalone pack (forward) / unpack (inverse) pass.
                 ctx.launch(&profiles::pack_kernel_profile(plan, fs, per_launch));
             }
@@ -418,7 +514,7 @@ impl<F: TwoAdicField> UniNttEngine<F> {
     }
 
     /// Charges the cost of the multi-GPU exchange(s) for a batch of `b`
-    /// vectors without moving data.
+    /// vectors without moving data (blocking schedule).
     fn charge_exchange(&self, machine: &mut Machine, b: u64) {
         let shard_bytes = (self.plan.shard_len() * self.field_spec.elem_bytes) as u64;
         if self.opts.batching {
@@ -426,6 +522,28 @@ impl<F: TwoAdicField> UniNttEngine<F> {
         } else {
             for _ in 0..b {
                 machine.charge_all_to_all(shard_bytes);
+            }
+        }
+    }
+
+    /// Charges the overlapped exchange(s) for a batch of `b` vectors
+    /// without moving data: the cost-only twin of the pipelined exchange,
+    /// including the interleaved producer/consumer kernels whose charges
+    /// moved out of [`Self::charge_local`] / [`Self::charge_outer`].
+    fn charge_exchange_overlapped(&self, machine: &mut Machine, b: u64, direction: Direction) {
+        let shard_bytes = (self.plan.shard_len() * self.field_spec.elem_bytes) as u64;
+        let per_launch = if self.opts.batching { b } else { 1 };
+        let (producers, consumers) = self.exchange_compute_profiles(direction, per_launch);
+        let compute = OverlapCompute {
+            producers: &producers,
+            consumers: &consumers,
+            chunks: self.comm_chunks(),
+        };
+        if self.opts.batching {
+            machine.charge_all_to_all_overlapped(b * shard_bytes, &compute);
+        } else {
+            for _ in 0..b {
+                machine.charge_all_to_all_overlapped(shard_bytes, &compute);
             }
         }
     }
@@ -567,14 +685,21 @@ impl<F: TwoAdicField> UniNttEngine<F> {
     pub fn simulate_forward(&self, machine: &mut Machine, batch: u64) {
         assert!(batch > 0, "batch must be positive");
         let g = self.plan.num_gpus();
+        let overlapped = self.overlapped();
         let mut dummy: Vec<()> = vec![(); g];
         machine.parallel_phase(&mut dummy, |ctx, _, _| {
-            self.charge_local(ctx, batch, Direction::Forward);
+            self.charge_local(ctx, batch, Direction::Forward, overlapped);
         });
         if g > 1 {
-            self.charge_exchange(machine, batch);
+            if overlapped {
+                self.charge_exchange_overlapped(machine, batch, Direction::Forward);
+            } else {
+                self.charge_exchange(machine, batch);
+            }
             machine.parallel_phase(&mut dummy, |ctx, _, _| {
-                self.charge_outer(ctx, batch);
+                if !overlapped {
+                    self.charge_outer(ctx, batch);
+                }
             });
             if self.opts.natural_output {
                 self.charge_exchange(machine, batch);
@@ -586,18 +711,25 @@ impl<F: TwoAdicField> UniNttEngine<F> {
     pub fn simulate_inverse(&self, machine: &mut Machine, batch: u64) {
         assert!(batch > 0, "batch must be positive");
         let g = self.plan.num_gpus();
+        let overlapped = self.overlapped();
         let mut dummy: Vec<()> = vec![(); g];
         if g > 1 {
             if self.opts.natural_output {
                 self.charge_exchange(machine, batch);
             }
             machine.parallel_phase(&mut dummy, |ctx, _, _| {
-                self.charge_outer(ctx, batch);
+                if !overlapped {
+                    self.charge_outer(ctx, batch);
+                }
             });
-            self.charge_exchange(machine, batch);
+            if overlapped {
+                self.charge_exchange_overlapped(machine, batch, Direction::Inverse);
+            } else {
+                self.charge_exchange(machine, batch);
+            }
         }
         machine.parallel_phase(&mut dummy, |ctx, _, _| {
-            self.charge_local(ctx, batch, Direction::Inverse);
+            self.charge_local(ctx, batch, Direction::Inverse, overlapped);
         });
     }
 
@@ -618,6 +750,9 @@ impl<F: TwoAdicField> UniNttEngine<F> {
             }
         }
 
+        // Under overlap the outer kernels are charged inside the exchange
+        // pipeline; this phase then runs functionally for free.
+        let charge = !self.overlapped();
         machine.parallel_phase(&mut per_device, |ctx, _dev, shards| {
             let mut col = vec![F::ZERO; g];
             for shard in shards.iter_mut() {
@@ -635,7 +770,9 @@ impl<F: TwoAdicField> UniNttEngine<F> {
                 }
             }
 
-            engine.charge_outer(ctx, b);
+            if charge {
+                engine.charge_outer(ctx, b);
+            }
         });
     }
 
@@ -643,23 +780,36 @@ impl<F: TwoAdicField> UniNttEngine<F> {
     /// retried with exponential backoff (charged as simulated fault
     /// time); with checksums on, corrupted chunks are repaired inside the
     /// collective. Drops are atomic — no data moves on a failed attempt —
-    /// so retrying the same buffers is always safe.
+    /// so retrying the same buffers is always safe; under overlap a retry
+    /// re-runs the whole pipeline (the blocking attempt only charged the
+    /// detection timeout).
     fn exchange_step(
         &self,
         machine: &mut Machine,
         shards: &mut [Vec<F>],
         policy: &RecoveryPolicy,
+        compute: Option<&OverlapCompute<'_>>,
     ) -> Result<(), FabricError> {
         let elem_bytes = self.field_spec.elem_bytes;
         let mut attempt = 0;
         loop {
-            let res = if policy.verify_checksums {
-                machine.all_to_all_checked(shards, elem_bytes)
-            } else {
-                machine.all_to_all(shards, elem_bytes)
+            let res = match compute {
+                Some(c) => machine
+                    .all_to_all_overlapped(
+                        shards,
+                        elem_bytes,
+                        c,
+                        policy.verify_checksums,
+                        |_, _, _| {},
+                    )
+                    .map(|_| ()),
+                None if policy.verify_checksums => {
+                    machine.all_to_all_checked(shards, elem_bytes).map(|_| ())
+                }
+                None => machine.all_to_all(shards, elem_bytes).map(|_| ()),
             };
             match res {
-                Ok(_) => return Ok(()),
+                Ok(()) => return Ok(()),
                 Err(e) if e.is_transient() && attempt < policy.max_retries => {
                     machine.charge_fault_ns("retry-backoff", policy.backoff_ns(attempt));
                     machine.count_retry();
@@ -671,15 +821,33 @@ impl<F: TwoAdicField> UniNttEngine<F> {
     }
 
     /// The multi-GPU exchange: one all-to-all carrying the whole batch
-    /// (batching on) or one per vector (batching off).
+    /// (batching on) or one per vector (batching off). With
+    /// `overlap = Some(direction)` the exchange is charged as a software
+    /// pipeline interleaved with the exchange-adjacent kernels of that
+    /// direction; with `None` it blocks (used by the `natural_output`
+    /// reordering, which has no compute to hide behind).
     fn exchange(
         &self,
         machine: &mut Machine,
         batch: &mut [Sharded<F>],
         policy: &RecoveryPolicy,
+        overlap: Option<Direction>,
     ) -> Result<(), FabricError> {
         let g = self.plan.num_gpus();
         let m = self.plan.shard_len();
+        let per_launch = if self.opts.batching {
+            batch.len() as u64
+        } else {
+            1
+        };
+        let profile_lists =
+            overlap.map(|direction| self.exchange_compute_profiles(direction, per_launch));
+        let compute = profile_lists.as_ref().map(|(prod, cons)| OverlapCompute {
+            producers: prod,
+            consumers: cons,
+            chunks: self.comm_chunks(),
+        });
+        let compute = compute.as_ref();
 
         if self.opts.batching && batch.len() > 1 {
             // Pack chunk-major so one all-to-all carries every vector:
@@ -697,7 +865,7 @@ impl<F: TwoAdicField> UniNttEngine<F> {
                     buf
                 })
                 .collect();
-            self.exchange_step(machine, &mut combined, policy)?;
+            self.exchange_step(machine, &mut combined, policy, compute)?;
             for (dev, buf) in combined.into_iter().enumerate() {
                 // Received layout: for src in 0..g, for item, chunk data.
                 let mut offset = 0;
@@ -711,7 +879,7 @@ impl<F: TwoAdicField> UniNttEngine<F> {
             }
         } else {
             for item in batch.iter_mut() {
-                self.exchange_step(machine, item.shards_mut(), policy)?;
+                self.exchange_step(machine, item.shards_mut(), policy, compute)?;
             }
         }
         Ok(())
@@ -980,6 +1148,143 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn overlapped_and_blocking_outputs_bit_identical() {
+        let log_n = 12u32;
+        let gpus = 8usize;
+        let input = random_vec::<Goldilocks>(1 << log_n, 31);
+        let mut blocking = UniNttOptions::full();
+        blocking.comm_mode = CommMode::Blocking;
+        let (b_out, b_machine) =
+            run_forward(log_n, gpus, blocking, FieldSpec::goldilocks(), &input);
+        let (o_out, o_machine) = run_forward(
+            log_n,
+            gpus,
+            UniNttOptions::full(),
+            FieldSpec::goldilocks(),
+            &input,
+        );
+        assert_eq!(o_out, b_out, "overlap must not change any output bit");
+        // Overlap reschedules work, it never adds or removes any: same
+        // kernels, same bytes on the wire.
+        assert_eq!(
+            b_machine.stats().kernels_launched,
+            o_machine.stats().kernels_launched
+        );
+        assert_eq!(
+            b_machine.stats().interconnect_bytes_sent,
+            o_machine.stats().interconnect_bytes_sent
+        );
+    }
+
+    #[test]
+    fn overlapped_roundtrip_exact() {
+        let log_n = 11u32;
+        let input = random_vec::<Goldilocks>(1 << log_n, 33);
+        let cfg = presets::a100_nvlink(8);
+        let fs = FieldSpec::goldilocks();
+        let engine = UniNttEngine::<Goldilocks>::new(log_n, &cfg, UniNttOptions::full(), fs);
+        assert!(engine.overlapped(), "full() must default to overlap");
+        let mut machine = Machine::new(cfg, fs);
+        let mut data = Sharded::distribute(&input, 8, ShardLayout::Cyclic);
+        engine.forward(&mut machine, &mut data);
+        engine.inverse(&mut machine, &mut data);
+        assert_eq!(data.collect(), input);
+        assert!(machine.stats().comm_hidden_ns >= 0.0);
+    }
+
+    #[test]
+    fn overlap_hides_exchange_time_at_scale() {
+        let log_n = 24u32;
+        let gpus = 8;
+        let cfg = presets::a100_nvlink(gpus);
+        let fs = FieldSpec::goldilocks();
+        let mut blocking_opts = UniNttOptions::full();
+        blocking_opts.comm_mode = CommMode::Blocking;
+        let eb = UniNttEngine::<Goldilocks>::new(log_n, &cfg, blocking_opts, fs);
+        let mut mb = Machine::new(cfg.clone(), fs);
+        eb.simulate_forward(&mut mb, 1);
+        let eo = UniNttEngine::<Goldilocks>::new(log_n, &cfg, UniNttOptions::full(), fs);
+        let mut mo = Machine::new(cfg, fs);
+        eo.simulate_forward(&mut mo, 1);
+        assert!(
+            mo.max_clock_ns() < mb.max_clock_ns(),
+            "overlap must beat blocking at 2^24: {} vs {}",
+            mo.max_clock_ns(),
+            mb.max_clock_ns()
+        );
+        assert!(mo.stats().comm_hidden_ns > 0.0);
+        // The raw (overlap-blind) interconnect charge is unchanged — only
+        // the exposed time shrinks.
+        assert!(
+            (mb.stats().raw_time_ns.interconnect - mo.stats().raw_time_ns.interconnect).abs()
+                < 1e-6
+        );
+        assert_eq!(mb.stats().kernels_launched, mo.stats().kernels_launched);
+    }
+
+    #[test]
+    fn single_chunk_overlap_matches_blocking_clock() {
+        // chunks = 1 degenerates to the blocking schedule exactly, so the
+        // two modes must charge the same makespan.
+        let log_n = 20u32;
+        let cfg = presets::a100_nvlink(8);
+        let fs = FieldSpec::goldilocks();
+        let mut blocking_opts = UniNttOptions::full();
+        blocking_opts.comm_mode = CommMode::Blocking;
+        let mut one_chunk = UniNttOptions::full();
+        one_chunk.comm_chunks = 1;
+        let eb = UniNttEngine::<Goldilocks>::new(log_n, &cfg, blocking_opts, fs);
+        let eo = UniNttEngine::<Goldilocks>::new(log_n, &cfg, one_chunk, fs);
+        let mut mb = Machine::new(cfg.clone(), fs);
+        eb.simulate_forward(&mut mb, 1);
+        eb.simulate_inverse(&mut mb, 1);
+        let mut mo = Machine::new(cfg, fs);
+        eo.simulate_forward(&mut mo, 1);
+        eo.simulate_inverse(&mut mo, 1);
+        let (b, o) = (mb.max_clock_ns(), mo.max_clock_ns());
+        assert!((b - o).abs() < 1e-6 * b, "blocking {b} vs one-chunk {o}");
+    }
+
+    #[test]
+    fn overlapped_recovery_matches_clean_run() {
+        use unintt_gpu_sim::{FaultEvent, FaultKind, FaultPlan};
+        let log_n = 10u32;
+        let gpus = 4usize;
+        let cfg = presets::a100_nvlink(gpus);
+        let fs = FieldSpec::goldilocks();
+        let engine = UniNttEngine::<Goldilocks>::new(log_n, &cfg, UniNttOptions::full(), fs);
+        let input = random_vec::<Goldilocks>(1 << log_n, 37);
+
+        let mut clean = Machine::new(cfg.clone(), fs);
+        let mut expected = Sharded::distribute(&input, gpus, ShardLayout::Cyclic);
+        engine.forward(&mut clean, &mut expected);
+
+        // A dropped then a corrupted exchange, both under overlap: the
+        // retry and the checksum repair must compose with the pipeline.
+        let mut m = Machine::new(cfg, fs);
+        m.set_fault_plan(FaultPlan::scripted(vec![
+            FaultEvent {
+                seq: 0,
+                kind: FaultKind::Drop,
+            },
+            FaultEvent {
+                seq: 1,
+                kind: FaultKind::Corrupt { src: 2, dst: 1 },
+            },
+        ]));
+        let mut data = Sharded::distribute(&input, gpus, ShardLayout::Cyclic);
+        engine
+            .try_forward(&mut m, &mut data, &RecoveryPolicy::default())
+            .unwrap();
+        assert_eq!(data.collect(), expected.collect());
+        assert!(m.stats().retries > 0, "the drop must have been retried");
+        assert!(
+            m.stats().interconnect_bytes_retransmitted > 0,
+            "the corruption must have been repaired by retransmission"
+        );
     }
 
     #[test]

@@ -6,7 +6,50 @@
 //! building kernel profiles, so an ablation run (experiment E6) is just a
 //! different `UniNttOptions` value — the functional result never changes.
 
+use std::sync::atomic::{AtomicU8, Ordering};
+
 use serde::{Deserialize, Serialize};
+
+/// How the engine schedules the multi-GPU exchange relative to compute.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommMode {
+    /// Legacy schedule: finish the local passes, run the all-to-all as
+    /// one blocking transfer, then start the outer transform.
+    Blocking,
+    /// Software-pipelined schedule (the default): the exchange is split
+    /// into chunks and chunk transfers run concurrently with the
+    /// producing and consuming passes, hiding communication behind
+    /// compute. Bit-identical outputs; only the timing changes.
+    #[default]
+    Overlapped,
+}
+
+/// Process-wide [`CommMode`] override, encoded as
+/// 0 = none, 1 = Blocking, 2 = Overlapped. Set by the bench harness's
+/// `--blocking-comm` flag (mirroring `--legacy-kernels`) so every engine
+/// in the process can be pinned without threading a flag through every
+/// constructor.
+static COMM_MODE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Installs (or with `None` clears) a process-wide [`CommMode`] override
+/// consulted by [`UniNttOptions::effective_comm_mode`].
+pub fn set_comm_mode_override(mode: Option<CommMode>) {
+    let v = match mode {
+        None => 0,
+        Some(CommMode::Blocking) => 1,
+        Some(CommMode::Overlapped) => 2,
+    };
+    COMM_MODE_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// The current process-wide [`CommMode`] override, if any.
+pub fn comm_mode_override() -> Option<CommMode> {
+    match COMM_MODE_OVERRIDE.load(Ordering::Relaxed) {
+        1 => Some(CommMode::Blocking),
+        2 => Some(CommMode::Overlapped),
+        _ => None,
+    }
+}
 
 /// Optimization switches for the UniNTT engine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -37,10 +80,21 @@ pub struct UniNttOptions {
     /// block-cyclic permuted order, which evaluation-domain consumers
     /// (pointwise products, quotient computations) accept directly.
     pub natural_output: bool,
+    /// Scheduling of the multi-GPU exchange relative to compute. Not an
+    /// O-flag (it changes *when* work happens, not what work exists), so
+    /// [`UniNttOptions::ablate`] leaves it alone.
+    #[serde(default)]
+    pub comm_mode: CommMode,
+    /// Pipeline depth for [`CommMode::Overlapped`]: how many chunks the
+    /// exchange is split into. `0` (default) lets the engine pick from
+    /// the plan via `DecompositionPlan::default_comm_chunks`.
+    #[serde(default)]
+    pub comm_chunks: u32,
 }
 
 impl UniNttOptions {
-    /// All optimizations on, permuted output (the paper's configuration).
+    /// All optimizations on, permuted output, overlapped communication
+    /// (the paper's configuration).
     pub const fn full() -> Self {
         Self {
             fuse_twiddle: true,
@@ -49,6 +103,8 @@ impl UniNttOptions {
             fuse_exchange: true,
             batching: true,
             natural_output: false,
+            comm_mode: CommMode::Overlapped,
+            comm_chunks: 0,
         }
     }
 
@@ -65,7 +121,8 @@ impl UniNttOptions {
         o
     }
 
-    /// Every optimization off — the naive hierarchical implementation.
+    /// Every optimization off — the naive hierarchical implementation
+    /// with blocking communication.
     pub const fn none() -> Self {
         Self {
             fuse_twiddle: false,
@@ -74,7 +131,16 @@ impl UniNttOptions {
             fuse_exchange: false,
             batching: false,
             natural_output: false,
+            comm_mode: CommMode::Blocking,
+            comm_chunks: 0,
         }
+    }
+
+    /// The communication mode this options value resolves to: the
+    /// process-wide override (see [`set_comm_mode_override`]) if one is
+    /// installed, else the per-options [`UniNttOptions::comm_mode`].
+    pub fn effective_comm_mode(&self) -> CommMode {
+        comm_mode_override().unwrap_or(self.comm_mode)
     }
 
     /// `full()` with exactly one optimization disabled, by index O1..=O5.
@@ -152,6 +218,24 @@ mod tests {
     #[test]
     fn default_is_full() {
         assert_eq!(UniNttOptions::default(), UniNttOptions::full());
+    }
+
+    #[test]
+    fn comm_mode_defaults() {
+        // No test may *install* the process-wide override (tests in this
+        // binary run concurrently); only the unset default is asserted.
+        assert_eq!(comm_mode_override(), None);
+        assert_eq!(UniNttOptions::full().comm_mode, CommMode::Overlapped);
+        assert_eq!(UniNttOptions::none().comm_mode, CommMode::Blocking);
+        assert_eq!(
+            UniNttOptions::full().effective_comm_mode(),
+            CommMode::Overlapped
+        );
+        assert_eq!(UniNttOptions::full().comm_chunks, 0, "0 = planner auto");
+        // The comm schedule is not an O-flag: every ablation keeps overlap.
+        for which in 1..=5u32 {
+            assert_eq!(UniNttOptions::ablate(which).comm_mode, CommMode::Overlapped);
+        }
     }
 
     #[test]

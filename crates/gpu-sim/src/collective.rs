@@ -31,10 +31,11 @@
 
 use std::hash::{Hash, Hasher};
 
+use crate::device::KernelProfile;
 use crate::fault::{CollectiveReport, FabricError, FaultKind};
 use crate::machine::Machine;
 use crate::timeline::TraceEvent;
-use crate::trace::Category;
+use crate::trace::{Category, CollectiveEvent};
 
 /// Order-sensitive checksum of one chunk (std SipHash with fixed keys:
 /// deterministic across runs and platforms for `Hash`-stable types).
@@ -46,11 +47,50 @@ fn chunk_checksum<T: Hash>(chunk: &[T]) -> u64 {
     h.finish()
 }
 
+/// Caller-supplied compute to interleave with an overlapped collective.
+///
+/// `producers` are the kernels that *generate* the outgoing data (e.g.
+/// the final local butterfly pass of a distributed NTT): their work time
+/// is sliced evenly across the chunks and each chunk is injected into
+/// the fabric as soon as its slice completes. `consumers` are the
+/// kernels that *use* the received data (e.g. the outer NTT): each
+/// consumer slice starts as soon as its chunk has landed. Launch
+/// overheads are charged once per kernel, not once per chunk — the
+/// pipeline models a captured graph replayed per chunk, not `chunks`
+/// separate host launches.
+#[derive(Clone, Copy, Debug)]
+pub struct OverlapCompute<'a> {
+    /// Kernels producing the outgoing chunks (sliced before injection).
+    pub producers: &'a [KernelProfile],
+    /// Kernels consuming the arriving chunks (sliced after arrival).
+    pub consumers: &'a [KernelProfile],
+    /// Number of pipeline chunks (clamped to ≥ 1; `1` degenerates to the
+    /// blocking order compute → transfer → compute).
+    pub chunks: u32,
+}
+
+/// Timing outcome of one overlapped collective.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OverlapReport {
+    /// Fault/repair outcome of the underlying exchange.
+    pub collective: CollectiveReport,
+    /// End-to-end pipeline time: producers, transfer, and consumers with
+    /// all overlap applied (what the makespan advanced by).
+    pub elapsed_ns: f64,
+    /// The full (blocking-equivalent) communication charge the pipeline
+    /// was working to hide.
+    pub comm_ns: f64,
+    /// Communication nanoseconds actually hidden behind compute.
+    pub hidden_comm_ns: f64,
+}
+
 impl Machine {
     /// Synchronizes clocks and charges `ns` of interconnect time plus
-    /// `egress_bytes` to every alive device.
-    fn charge_collective(&mut self, ns: f64, egress_bytes: u64) {
+    /// `egress_bytes` to every alive device, then logs one
+    /// [`CollectiveEvent`] for the operation.
+    fn charge_collective(&mut self, op: &'static str, ns: f64, egress_bytes: u64, links_used: u32) {
         self.barrier();
+        let mut participants = 0u64;
         for d in self.devices_mut().iter_mut().filter(|d| d.alive) {
             d.timeline.push(TraceEvent {
                 name: "collective",
@@ -63,7 +103,15 @@ impl Machine {
             *d.stats.raw_time_ns.get_mut(Category::Interconnect) += ns;
             d.stats.interconnect_bytes_sent += egress_bytes;
             d.stats.collectives += 1;
+            participants += 1;
         }
+        self.record_collective_event(CollectiveEvent {
+            op,
+            bytes: egress_bytes * participants,
+            links_used,
+            time_ns: ns,
+            hidden_ns: 0.0,
+        });
     }
 
     /// Fails fast if a device has already died.
@@ -279,9 +327,324 @@ impl Machine {
         if d <= 1 {
             return;
         }
-        let ns = self.model().all_to_all_ns(bytes_per_device);
+        let (lat, wire) = self.fabric_mut().record_all_to_all(bytes_per_device);
+        let links = self.fabric().links_used_all_to_all();
         let egress = bytes_per_device * (d as u64 - 1) / d as u64;
-        self.charge_collective(ns, egress);
+        self.charge_collective("all-to-all", lat + wire, egress, links);
+    }
+
+    /// Shared engine of the overlapped all-to-all: records the transfer
+    /// on the fabric graph, software-pipelines producer slices → chunk
+    /// transfers → consumer slices, and charges every alive device the
+    /// resulting schedule. Communication is charged in full to
+    /// `raw_time_ns.interconnect`; only the *exposed* part (what the
+    /// pipeline failed to hide) lands on `time_ns.interconnect`, and the
+    /// difference accumulates in [`crate::Stats::comm_hidden_ns`].
+    ///
+    /// Returns `(elapsed_ns, comm_ns, hidden_ns)`, maxed over devices.
+    fn run_overlap_pipeline(
+        &mut self,
+        op: &'static str,
+        bytes_per_device: u64,
+        compute: &OverlapCompute<'_>,
+    ) -> (f64, f64, f64) {
+        let d = self.num_devices();
+        let chunks = compute.chunks.max(1) as usize;
+        self.barrier();
+
+        let prod_costs: Vec<crate::cost::KernelCost> = compute
+            .producers
+            .iter()
+            .map(|p| self.model().kernel_cost(p))
+            .collect();
+        let cons_costs: Vec<crate::cost::KernelCost> = compute
+            .consumers
+            .iter()
+            .map(|p| self.model().kernel_cost(p))
+            .collect();
+
+        let (lat, wire) = self.fabric_mut().record_all_to_all(bytes_per_device);
+        let links = self.fabric().links_used_all_to_all();
+        let comm_ns = lat + wire;
+        let egress = bytes_per_device * (d as u64 - 1) / d as u64;
+
+        // Work/launch split of a kernel list at straggler factor `s`.
+        // Launch overhead is paid once per kernel; only the work part is
+        // sliced across chunks (graph replay, not per-chunk launches).
+        let split = |costs: &[crate::cost::KernelCost], s: f64| -> (f64, f64) {
+            let mut work = 0.0;
+            let mut launch = 0.0;
+            for c in costs {
+                work += (c.total_ns - c.launch_ns) * s;
+                launch += c.launch_ns * s;
+            }
+            (work, launch)
+        };
+
+        // Chunk k of the send buffer is ready once the *slowest* alive
+        // device has produced slices 0..=k (the fabric is shared).
+        let dev_info: Vec<(bool, f64)> = self
+            .devices_mut()
+            .iter()
+            .map(|dev| (dev.alive, dev.speed_factor))
+            .collect();
+        let mut avail = vec![0.0f64; chunks];
+        for &(alive, s) in &dev_info {
+            if !alive {
+                continue;
+            }
+            let (work, launch) = split(&prod_costs, s);
+            for (k, a) in avail.iter_mut().enumerate() {
+                let t = launch + work * (k as f64 + 1.0) / chunks as f64;
+                if t > *a {
+                    *a = t;
+                }
+            }
+        }
+
+        // Chunk transfers serialize on the shared fabric; each arrives
+        // one fabric latency after its wire slice completes.
+        let wire_chunk = wire / chunks as f64;
+        let mut arrivals = vec![0.0f64; chunks];
+        let mut x = 0.0f64;
+        for (k, arr) in arrivals.iter_mut().enumerate() {
+            x = x.max(avail[k]) + wire_chunk;
+            *arr = x + lat;
+        }
+
+        let mut elapsed_max = 0.0f64;
+        let mut hidden_max = 0.0f64;
+        for dev in self.devices_mut().iter_mut().filter(|dev| dev.alive) {
+            let s = dev.speed_factor;
+            let (cons_work, cons_launch) = split(&cons_costs, s);
+            let elapsed = if cons_work + cons_launch > 0.0 {
+                let slice = cons_work / chunks as f64;
+                let mut done = 0.0f64;
+                for &arr in &arrivals {
+                    done = done.max(arr) + slice;
+                }
+                done + cons_launch
+            } else {
+                arrivals.last().copied().unwrap_or(0.0)
+            };
+
+            // Charge the interleaved kernels exactly as a plain launch
+            // would: same counters, same bottleneck/raw accounting.
+            let mut compute_total = 0.0;
+            for (profile, cost) in compute
+                .producers
+                .iter()
+                .zip(&prod_costs)
+                .chain(compute.consumers.iter().zip(&cons_costs))
+            {
+                let st = &mut dev.stats;
+                st.kernels_launched += 1;
+                st.field_muls += profile.field_muls;
+                st.field_adds += profile.field_adds;
+                st.global_bytes_read += profile.global_bytes_read;
+                st.global_bytes_written += profile.global_bytes_written;
+                st.shuffle_ops += profile.shuffle_ops;
+                st.shared_accesses += profile.shared_accesses;
+                *st.time_ns.get_mut(cost.bottleneck) += (cost.total_ns - cost.launch_ns) * s;
+                *st.time_ns.get_mut(Category::Launch) += cost.launch_ns * s;
+                st.raw_time_ns.compute += cost.compute_ns * s;
+                st.raw_time_ns.global_mem += cost.global_mem_ns * s;
+                st.raw_time_ns.shared_mem += cost.shared_mem_ns * s;
+                st.raw_time_ns.shuffle += cost.shuffle_ns * s;
+                st.raw_time_ns.launch += cost.launch_ns * s;
+                compute_total += cost.total_ns * s;
+            }
+
+            let exposed = (elapsed - compute_total).max(0.0);
+            let hidden = (comm_ns - exposed).clamp(0.0, comm_ns);
+            let st = &mut dev.stats;
+            *st.time_ns.get_mut(Category::Interconnect) += exposed;
+            *st.raw_time_ns.get_mut(Category::Interconnect) += comm_ns;
+            st.comm_hidden_ns += hidden;
+            st.interconnect_bytes_sent += egress;
+            st.collectives += 1;
+            dev.timeline.push(TraceEvent {
+                name: "overlapped-collective",
+                start_ns: dev.clock_ns,
+                duration_ns: elapsed,
+                category: Category::Interconnect,
+            });
+            dev.clock_ns += elapsed;
+            elapsed_max = elapsed_max.max(elapsed);
+            hidden_max = hidden_max.max(hidden);
+        }
+        let alive = self.alive_devices() as u64;
+        self.record_collective_event(CollectiveEvent {
+            op,
+            bytes: egress * alive,
+            links_used: links,
+            time_ns: elapsed_max,
+            hidden_ns: hidden_max,
+        });
+        (elapsed_max, comm_ns, hidden_max)
+    }
+
+    /// Charges `compute`'s kernels at their ordinary (non-pipelined)
+    /// cost on every alive device — the degenerate path when there is no
+    /// fabric to overlap against.
+    fn charge_overlap_compute_flat(&mut self, compute: &OverlapCompute<'_>) {
+        let profiles: Vec<KernelProfile> = compute
+            .producers
+            .iter()
+            .chain(compute.consumers.iter())
+            .copied()
+            .collect();
+        for dev in 0..self.num_devices() {
+            if !self.is_alive(dev) {
+                continue;
+            }
+            self.on_device(dev, &mut (), |ctx, _| {
+                for p in &profiles {
+                    ctx.launch(p);
+                }
+            });
+        }
+    }
+
+    /// Charges the time of an overlapped all-to-all of `bytes_per_device`
+    /// plus its interleaved compute, without moving any data. The
+    /// cost-only twin of [`Machine::all_to_all_overlapped`], exactly as
+    /// [`Machine::charge_all_to_all`] is the twin of
+    /// [`Machine::all_to_all`]; fault-blind, consumes no sequence number.
+    ///
+    /// With `chunks == 1` the schedule degenerates to the blocking order
+    /// (produce, transfer, consume) and charges identical time to
+    /// launching the kernels normally around a blocking all-to-all.
+    pub fn charge_all_to_all_overlapped(
+        &mut self,
+        bytes_per_device: u64,
+        compute: &OverlapCompute<'_>,
+    ) -> OverlapReport {
+        if self.num_devices() <= 1 {
+            self.charge_overlap_compute_flat(compute);
+            return OverlapReport::default();
+        }
+        let (elapsed, comm, hidden) =
+            self.run_overlap_pipeline("all-to-all-overlapped", bytes_per_device, compute);
+        OverlapReport {
+            collective: CollectiveReport::default(),
+            elapsed_ns: elapsed,
+            comm_ns: comm,
+            hidden_comm_ns: hidden,
+        }
+    }
+
+    /// All-to-all with communication–compute overlap: functionally
+    /// identical to [`Machine::all_to_all_checked`] (same chunk
+    /// transpose, same deterministic corruption position, same
+    /// checksum-repair semantics when `verify_checksums` is set), but
+    /// charged as a software pipeline that interleaves chunk transfers
+    /// with the caller's producer/consumer kernels. After the exchange
+    /// completes — and any repairs have landed — `consume_chunk(device,
+    /// k, shard)` runs for every pipeline chunk `k` on every device, so
+    /// the caller can apply the consumer transformation whose cost the
+    /// pipeline already charged.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::all_to_all`]. Drops are atomic: no data moves, no
+    /// pipeline time is charged beyond the detection timeout, and no
+    /// consumer closure runs, so retrying is always safe.
+    pub fn all_to_all_overlapped<T, C>(
+        &mut self,
+        shards: &mut [Vec<T>],
+        elem_bytes: usize,
+        compute: &OverlapCompute<'_>,
+        verify_checksums: bool,
+        mut consume_chunk: C,
+    ) -> Result<OverlapReport, FabricError>
+    where
+        T: Copy + Send + Hash,
+        C: FnMut(usize, usize, &mut Vec<T>),
+    {
+        let d = self.num_devices();
+        let len = self.validate_equal_shards(shards)?;
+        let pipeline_chunks = compute.chunks.max(1) as usize;
+        if d <= 1 {
+            self.charge_overlap_compute_flat(compute);
+            for (dev, shard) in shards.iter_mut().enumerate() {
+                for k in 0..pipeline_chunks {
+                    consume_chunk(dev, k, shard);
+                }
+            }
+            return Ok(OverlapReport::default());
+        }
+        if len % d != 0 {
+            return Err(FabricError::IndivisibleShard { len, devices: d });
+        }
+        self.ensure_all_alive()?;
+        let chunk = len / d;
+        let bytes_per_device = (len * elem_bytes) as u64;
+        let base_ns = self.model().all_to_all_ns(bytes_per_device);
+
+        let (seq, fault) = self.take_fault_decision();
+        let fault = self.apply_pre_fault(seq, fault, base_ns)?;
+
+        // Functional exchange + in-flight corruption, byte-identical to
+        // the blocking path: overlap changes *when* things happen, never
+        // *what* data lands where.
+        let old: Vec<Vec<T>> = shards.to_vec();
+        for (dst_dev, shard) in shards.iter_mut().enumerate() {
+            for src_dev in 0..d {
+                shard[src_dev * chunk..(src_dev + 1) * chunk]
+                    .copy_from_slice(&old[src_dev][dst_dev * chunk..(dst_dev + 1) * chunk]);
+            }
+        }
+        if let Some(FaultKind::Corrupt { src, dst }) = fault {
+            let off = (crate::fault::splitmix64(seq ^ 0xc0ff_ee00) % chunk as u64) as usize;
+            let pos = src * chunk + off;
+            let other = (pos + chunk) % len;
+            shards[dst][pos] = shards[dst][other];
+        }
+
+        // Timing: the pipelined schedule instead of a blocking charge.
+        let (elapsed, comm, hidden) =
+            self.run_overlap_pipeline("all-to-all-overlapped", bytes_per_device, compute);
+        let mut report = CollectiveReport {
+            seq,
+            injected: fault,
+            ..CollectiveReport::default()
+        };
+
+        // Checksum verification + repair run before any consumer slice
+        // touches the data, exactly as in the blocking checked variant.
+        if verify_checksums {
+            let chunk_bytes = (chunk * elem_bytes) as u64;
+            for dst in 0..d {
+                for src in 0..d {
+                    let received = &shards[dst][src * chunk..(src + 1) * chunk];
+                    let sent = &old[src][dst * chunk..(dst + 1) * chunk];
+                    if chunk_checksum(received) != chunk_checksum(sent) {
+                        shards[dst][src * chunk..(src + 1) * chunk].copy_from_slice(sent);
+                        let ns = self.model().p2p_ns(chunk_bytes);
+                        self.charge_fault_ns("chunk-retransmit", ns);
+                        self.devices_mut()[src]
+                            .stats
+                            .interconnect_bytes_retransmitted += chunk_bytes;
+                        report.retransmitted_chunks += 1;
+                        report.retransmitted_bytes += chunk_bytes;
+                    }
+                }
+            }
+        }
+        self.apply_delay_fault(fault, base_ns);
+
+        for (dev, shard) in shards.iter_mut().enumerate() {
+            for k in 0..pipeline_chunks {
+                consume_chunk(dev, k, shard);
+            }
+        }
+        Ok(OverlapReport {
+            collective: report,
+            elapsed_ns: elapsed,
+            comm_ns: comm,
+            hidden_comm_ns: hidden,
+        })
     }
 
     /// All-gather: every device ends with the concatenation of all shards
@@ -326,10 +689,59 @@ impl Machine {
                 }
             }
             let egress = bytes_per_device * (d as u64 - 1);
-            self.charge_collective(base_ns, egress);
+            self.charge_collective("all-gather", base_ns, egress, d as u32);
             self.apply_delay_fault(fault, base_ns);
         }
         Ok(out)
+    }
+
+    /// [`Machine::all_gather`] plus per-source checksum verification:
+    /// every gathered segment is checked against the shard its source
+    /// dispatched, and damaged segments are re-requested point-to-point
+    /// (charged as fault time and counted as retransmitted bytes). The
+    /// returned report says what was injected and how much was repaired.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::all_gather`].
+    pub fn all_gather_checked<T: Copy + Send + Hash>(
+        &mut self,
+        shards: &[Vec<T>],
+        elem_bytes: usize,
+    ) -> Result<(Vec<Vec<T>>, CollectiveReport), FabricError> {
+        let seq = self.collective_seq();
+        let mut out = self.all_gather(shards, elem_bytes)?;
+        let d = self.num_devices();
+        let mut report = CollectiveReport::default();
+        if d <= 1 {
+            return Ok((out, report));
+        }
+        report.seq = seq;
+        report.injected = self
+            .fault_log()
+            .iter()
+            .rev()
+            .find(|e| e.seq == seq)
+            .map(|e| e.kind);
+        let len = shards[0].len();
+        let seg_bytes = (len * elem_bytes) as u64;
+        let sums: Vec<u64> = shards.iter().map(|s| chunk_checksum(s)).collect();
+        for row in out.iter_mut() {
+            for src in 0..d {
+                let seg = &row[src * len..(src + 1) * len];
+                if chunk_checksum(seg) != sums[src] {
+                    row[src * len..(src + 1) * len].copy_from_slice(&shards[src]);
+                    let ns = self.model().p2p_ns(seg_bytes);
+                    self.charge_fault_ns("chunk-retransmit", ns);
+                    self.devices_mut()[src]
+                        .stats
+                        .interconnect_bytes_retransmitted += seg_bytes;
+                    report.retransmitted_chunks += 1;
+                    report.retransmitted_bytes += seg_bytes;
+                }
+            }
+        }
+        Ok((out, report))
     }
 
     /// Legacy panicking shim over [`Machine::all_gather`].
@@ -385,10 +797,51 @@ impl Machine {
             let base_ns = rounds * self.model().p2p_ns(elem_bytes as u64);
             let (seq, fault) = self.take_fault_decision();
             let fault = self.apply_pre_fault(seq, fault, base_ns)?;
-            self.charge_collective(base_ns, elem_bytes as u64);
+            self.charge_collective("reduce-to-root", base_ns, elem_bytes as u64, d as u32 - 1);
             self.apply_delay_fault(fault, base_ns);
         }
         Ok(acc)
+    }
+
+    /// [`Machine::reduce_to_root`] with checksummed contributions: a
+    /// corrupted transfer is detected at the combining end by checksum
+    /// and the damaged contribution is re-requested (charged as fault
+    /// time plus retransmitted bytes), so the reduced value is always
+    /// computed from pristine inputs.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::reduce_to_root`].
+    pub fn reduce_to_root_checked<T: Clone + Send>(
+        &mut self,
+        values: &[T],
+        elem_bytes: usize,
+        combine: impl Fn(&T, &T) -> T,
+    ) -> Result<(T, CollectiveReport), FabricError> {
+        let seq = self.collective_seq();
+        let acc = self.reduce_to_root(values, elem_bytes, combine)?;
+        let mut report = CollectiveReport::default();
+        if self.num_devices() <= 1 {
+            return Ok((acc, report));
+        }
+        report.seq = seq;
+        report.injected = self
+            .fault_log()
+            .iter()
+            .rev()
+            .find(|e| e.seq == seq)
+            .map(|e| e.kind);
+        if let Some(FaultKind::Corrupt { src, .. }) = report.injected {
+            let bytes = elem_bytes as u64;
+            let ns = self.model().p2p_ns(bytes);
+            self.charge_fault_ns("chunk-retransmit", ns);
+            self.devices_mut()[src]
+                .stats
+                .interconnect_bytes_retransmitted += bytes;
+            report.retransmitted_chunks += 1;
+            report.retransmitted_bytes += bytes;
+        }
+        Ok((acc, report))
     }
 
     /// Legacy panicking shim over [`Machine::reduce_to_root`].
@@ -430,7 +883,7 @@ impl Machine {
             let base_ns = rounds * self.model().p2p_ns(elem_bytes as u64);
             let (seq, fault) = self.take_fault_decision();
             let fault = self.apply_pre_fault(seq, fault, base_ns)?;
-            self.charge_collective(base_ns, elem_bytes as u64);
+            self.charge_collective("broadcast", base_ns, elem_bytes as u64, d as u32 - 1);
             self.apply_delay_fault(fault, base_ns);
         }
         Ok(vec![value.clone(); d])
@@ -462,7 +915,9 @@ impl Machine {
 
 #[cfg(test)]
 mod tests {
+    use super::{OverlapCompute, OverlapReport};
     use crate::config::FieldSpec;
+    use crate::device::KernelProfile;
     use crate::fault::{FabricError, FaultEvent, FaultKind, FaultPlan, FaultRates};
     use crate::machine::Machine;
     use crate::presets;
@@ -721,6 +1176,180 @@ mod tests {
             m.max_clock_ns()
         };
         assert!(run(true) > run(false));
+    }
+
+    fn overlap_profiles() -> (KernelProfile, KernelProfile) {
+        let mut prod = KernelProfile::named("producer");
+        prod.blocks = 4096;
+        prod.global_bytes_read = 1 << 26;
+        prod.global_bytes_written = 1 << 26;
+        let mut cons = KernelProfile::named("consumer");
+        cons.blocks = 4096;
+        cons.global_bytes_read = 1 << 26;
+        cons.global_bytes_written = 1 << 26;
+        cons.field_muls = 1 << 20;
+        (prod, cons)
+    }
+
+    #[test]
+    fn blocking_collectives_record_events() {
+        let mut m = machine(4);
+        let mut shards: Vec<Vec<u64>> = (0..4).map(|_| vec![0u64; 16]).collect();
+        m.all_to_all(&mut shards, 8).unwrap();
+        let _ = m.all_gather(&shards, 8).unwrap();
+        let ev = m.collective_events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].op, "all-to-all");
+        assert_eq!(ev[1].op, "all-gather");
+        assert!(ev[0].links_used > 0);
+        assert!(ev[0].bytes > 0);
+        assert_eq!(ev[0].hidden_ns, 0.0);
+    }
+
+    #[test]
+    fn overlapped_single_chunk_matches_blocking_schedule() {
+        let (prod, cons) = overlap_profiles();
+        let bytes = ((1 << 16) * 8) as u64;
+
+        let blocking = {
+            let mut m = machine(4);
+            let mut shards: Vec<Vec<u64>> = (0..4).map(|_| vec![0u64; 2]).collect();
+            m.parallel_phase(&mut shards, |ctx, _, _| {
+                ctx.launch(&prod);
+            });
+            m.charge_all_to_all(bytes);
+            m.parallel_phase(&mut shards, |ctx, _, _| {
+                ctx.launch(&cons);
+            });
+            m
+        };
+        let overlapped = {
+            let mut m = machine(4);
+            let compute = OverlapCompute {
+                producers: &[prod],
+                consumers: &[cons],
+                chunks: 1,
+            };
+            m.charge_all_to_all_overlapped(bytes, &compute);
+            m
+        };
+
+        let (b, o) = (blocking.max_clock_ns(), overlapped.max_clock_ns());
+        assert!((b - o).abs() < 1e-6 * b, "blocking {b} vs overlapped-1 {o}");
+        assert_eq!(
+            blocking.stats().kernels_launched,
+            overlapped.stats().kernels_launched
+        );
+        assert_eq!(
+            blocking.stats().interconnect_bytes_sent,
+            overlapped.stats().interconnect_bytes_sent
+        );
+        assert!(overlapped.stats().comm_hidden_ns < 1e-6);
+    }
+
+    #[test]
+    fn overlap_hides_communication_with_many_chunks() {
+        let (prod, cons) = overlap_profiles();
+        let bytes = (1 << 24) as u64;
+        let run = |chunks: u32| -> (Machine, OverlapReport) {
+            let mut m = machine(8);
+            let compute = OverlapCompute {
+                producers: &[prod],
+                consumers: &[cons],
+                chunks,
+            };
+            let rep = m.charge_all_to_all_overlapped(bytes, &compute);
+            (m, rep)
+        };
+        let (m1, r1) = run(1);
+        let (m8, r8) = run(8);
+        assert!(m8.max_clock_ns() < m1.max_clock_ns());
+        assert!(r8.hidden_comm_ns > 0.0);
+        assert!(r1.hidden_comm_ns.abs() < 1e-6);
+        // The raw (overlap-blind) interconnect charge is identical: overlap
+        // changes the exposed time, not the work done.
+        let (s1, s8) = (m1.stats(), m8.stats());
+        assert!((s1.raw_time_ns.interconnect - s8.raw_time_ns.interconnect).abs() < 1e-9);
+        // Hidden time is exactly what left the bottleneck account.
+        assert!(
+            (s8.raw_time_ns.interconnect - s8.time_ns.interconnect - s8.comm_hidden_ns).abs()
+                < 1e-6
+        );
+        assert_eq!(m8.collective_events().len(), 1);
+        assert_eq!(m8.collective_events()[0].op, "all-to-all-overlapped");
+        assert!(m8.collective_events()[0].hidden_ns > 0.0);
+    }
+
+    #[test]
+    fn overlapped_exchange_is_bit_identical_to_blocking() {
+        let d = 4;
+        let make = || -> Vec<Vec<u64>> {
+            (0..d)
+                .map(|dev| (0..16).map(|j| (dev * 1000 + j) as u64).collect())
+                .collect()
+        };
+        let mut blocking = make();
+        machine(d).all_to_all(&mut blocking, 8).unwrap();
+
+        let (prod, cons) = overlap_profiles();
+        let compute = OverlapCompute {
+            producers: &[prod],
+            consumers: &[cons],
+            chunks: 4,
+        };
+        let mut m = machine(d);
+        let mut shards = make();
+        let mut calls = Vec::new();
+        m.all_to_all_overlapped(&mut shards, 8, &compute, true, |dev, k, _| {
+            calls.push((dev, k));
+        })
+        .unwrap();
+        assert_eq!(shards, blocking);
+        assert_eq!(calls.len(), d * 4);
+        assert_eq!(calls[0], (0, 0));
+    }
+
+    #[test]
+    fn overlapped_corruption_repaired_and_drop_atomic() {
+        let (prod, cons) = overlap_profiles();
+        let compute = OverlapCompute {
+            producers: &[prod],
+            consumers: &[cons],
+            chunks: 4,
+        };
+        let make = || -> Vec<Vec<u64>> {
+            (0..4)
+                .map(|dev| (0..16).map(|j| (dev * 1000 + j) as u64).collect())
+                .collect()
+        };
+        let mut clean = make();
+        machine(4).all_to_all(&mut clean, 8).unwrap();
+
+        let mut m = machine(4);
+        scripted(&mut m, 0, FaultKind::Corrupt { src: 2, dst: 1 });
+        let mut shards = make();
+        let rep = m
+            .all_to_all_overlapped(&mut shards, 8, &compute, true, |_, _, _| {})
+            .unwrap();
+        assert_eq!(shards, clean, "checksum repair must restore the data");
+        assert_eq!(rep.collective.retransmitted_chunks, 1);
+        assert!(m.stats().interconnect_bytes_retransmitted > 0);
+
+        let mut m = machine(4);
+        scripted(&mut m, 0, FaultKind::Drop);
+        let mut shards = make();
+        let before = shards.clone();
+        let mut calls = 0;
+        let err = m
+            .all_to_all_overlapped(&mut shards, 8, &compute, true, |_, _, _| calls += 1)
+            .unwrap_err();
+        assert_eq!(err, FabricError::CollectiveDropped { seq: 0 });
+        assert_eq!(shards, before, "drop must be atomic");
+        assert_eq!(calls, 0, "no consumer closure may run on a drop");
+        // The retry (seq 1) is clean and completes.
+        m.all_to_all_overlapped(&mut shards, 8, &compute, true, |_, _, _| {})
+            .unwrap();
+        assert_eq!(shards, clean);
     }
 
     #[test]

@@ -51,6 +51,11 @@ pub enum Topology {
     /// No peer-to-peer links: all traffic bounces through host memory over
     /// PCIe and contends for the host's aggregate bandwidth.
     HostBounce,
+    /// Two-level hierarchy: nodes of NVLink-connected GPUs joined by a
+    /// shared inter-node fabric (InfiniBand / RoCE). Collectives run as a
+    /// staged gather → exchange → scatter: intra-node reshuffle at NVLink
+    /// rate, one uplink transfer per node, intra-node scatter.
+    Hierarchical,
 }
 
 /// Interconnect datasheet.
@@ -69,6 +74,18 @@ pub struct InterconnectConfig {
     /// Achievable fraction of peak bandwidth for large transfers (NCCL bus
     /// efficiency, typically 0.7–0.9).
     pub efficiency: f64,
+    /// For [`Topology::Hierarchical`]: GPUs per node (must divide
+    /// `num_gpus`). `0` means "all GPUs in one node" and is the default so
+    /// single-node configs serialize unchanged.
+    #[serde(default)]
+    pub gpus_per_node: usize,
+    /// For [`Topology::Hierarchical`]: per-node uplink bandwidth into the
+    /// inter-node fabric, GB/s (e.g. 50 for 400G InfiniBand).
+    #[serde(default)]
+    pub inter_node_bandwidth_gbps: f64,
+    /// For [`Topology::Hierarchical`]: one-way inter-node latency in ns.
+    #[serde(default)]
+    pub inter_node_latency_ns: f64,
 }
 
 /// A complete multi-GPU machine.
@@ -120,6 +137,22 @@ impl MachineConfig {
         }
         if self.interconnect.efficiency > 1.0 {
             return Err("interconnect efficiency cannot exceed 1.0".into());
+        }
+        if self.interconnect.topology == Topology::Hierarchical {
+            let g = self.interconnect.gpus_per_node;
+            if g > 0 && !self.num_gpus.is_multiple_of(g) {
+                return Err(format!(
+                    "gpus_per_node ({g}) must divide num_gpus ({})",
+                    self.num_gpus
+                ));
+            }
+            let multi_node = g > 0 && g < self.num_gpus;
+            let bw = self.interconnect.inter_node_bandwidth_gbps;
+            if multi_node && (bw <= 0.0 || !bw.is_finite()) {
+                return Err(format!(
+                    "hierarchical topology needs a positive inter_node_bandwidth_gbps, got {bw}"
+                ));
+            }
         }
         Ok(())
     }
@@ -185,10 +218,22 @@ mod tests {
             presets::a100_nvlink(1),
             presets::v100_nvlink_ring(4),
             presets::rtx4090_pcie(2),
+            presets::a100_superpod(2, 4),
         ] {
             cfg.validate()
                 .expect("preset must be internally consistent");
         }
+    }
+
+    #[test]
+    fn hierarchical_validation() {
+        let mut cfg = presets::a100_superpod(2, 4);
+        cfg.validate().expect("superpod preset must validate");
+        cfg.interconnect.gpus_per_node = 3; // does not divide 8
+        assert!(cfg.validate().is_err());
+        cfg.interconnect.gpus_per_node = 4;
+        cfg.interconnect.inter_node_bandwidth_gbps = 0.0;
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

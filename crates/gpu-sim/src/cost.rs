@@ -149,35 +149,15 @@ impl CostModel {
     /// Time for an all-to-all where every device exchanges its share of
     /// `bytes_per_device` (the full resident shard size) with every other
     /// device. Each device keeps `1/D` locally and sends `(D-1)/D`.
+    ///
+    /// The per-topology schedule lives in [`crate::fabric`]: this is the
+    /// latency + bottleneck-link wire time of the link-level graph, and on
+    /// the full-crossbar topology it equals the shared
+    /// [`crate::fabric::alpha_beta_all_to_all_ns`] charge.
     pub fn all_to_all_ns(&self, bytes_per_device: u64) -> f64 {
-        let d = self.num_gpus;
-        if d <= 1 {
-            return 0.0;
-        }
-        let ic = &self.interconnect;
-        let egress = bytes_per_device as f64 * (d as f64 - 1.0) / d as f64;
-        match ic.topology {
-            Topology::AllToAll => {
-                // Full-bisection switch: each device injects at link rate.
-                ic.latency_ns + egress / (ic.per_gpu_bandwidth_gbps * 1e9 * ic.efficiency) * 1e9
-            }
-            Topology::Ring => {
-                // D-1 pipelined steps; each step moves one chunk per link.
-                let chunk = bytes_per_device as f64 / d as f64;
-                let step =
-                    ic.latency_ns + chunk / (ic.per_gpu_bandwidth_gbps * 1e9 * ic.efficiency) * 1e9;
-                step * (d as f64 - 1.0)
-            }
-            Topology::HostBounce => {
-                // Device→host→device: 2× traffic, host aggregate cap shared.
-                let per_dev =
-                    2.0 * egress / (ic.per_gpu_bandwidth_gbps * 1e9 * ic.efficiency) * 1e9;
-                let host_total = 2.0 * egress * d as f64
-                    / (ic.host_aggregate_bandwidth_gbps * 1e9 * ic.efficiency)
-                    * 1e9;
-                ic.latency_ns + per_dev.max(host_total)
-            }
-        }
+        let (lat, wire) =
+            crate::fabric::all_to_all_split(&self.interconnect, self.num_gpus, bytes_per_device);
+        lat + wire
     }
 
     /// Time for an all-gather: every device ends with all `D` shards of
@@ -207,16 +187,41 @@ impl CostModel {
                     * 1e9;
                 ic.latency_ns + per_dev.max(host_total)
             }
+            Topology::Hierarchical => {
+                // Staged gather: intra-node gather, node-level exchange over
+                // the uplinks, intra-node broadcast of the remote shards.
+                let g = ic.gpus_per_node.max(1).min(d);
+                let nodes = d / g;
+                let link_bw = ic.per_gpu_bandwidth_gbps * 1e9 * ic.efficiency;
+                if nodes <= 1 {
+                    return ic.latency_ns + ingress / link_bw * 1e9;
+                }
+                let intra_in = bytes_per_device as f64 * (g as f64 - 1.0) / link_bw * 1e9;
+                let node_bytes = bytes_per_device as f64 * g as f64 * (nodes as f64 - 1.0);
+                let inter = node_bytes / (ic.inter_node_bandwidth_gbps * 1e9 * ic.efficiency) * 1e9;
+                let remote_in = node_bytes / link_bw * 1e9;
+                2.0 * ic.latency_ns + ic.inter_node_latency_ns + intra_in + inter + remote_in
+            }
         }
     }
 
-    /// Time for a point-to-point transfer of `bytes`.
+    /// Time for a point-to-point transfer of `bytes` (worst-case pair:
+    /// cross-node on hierarchical fabrics).
     pub fn p2p_ns(&self, bytes: u64) -> f64 {
         let ic = &self.interconnect;
         let wire = bytes as f64 / (ic.per_gpu_bandwidth_gbps * 1e9 * ic.efficiency) * 1e9;
         match ic.topology {
             Topology::AllToAll | Topology::Ring => ic.latency_ns + wire,
             Topology::HostBounce => ic.latency_ns + 2.0 * wire,
+            Topology::Hierarchical => {
+                let g = ic.gpus_per_node.max(1).min(self.num_gpus);
+                if g >= self.num_gpus {
+                    return ic.latency_ns + wire;
+                }
+                let inter_wire =
+                    bytes as f64 / (ic.inter_node_bandwidth_gbps * 1e9 * ic.efficiency) * 1e9;
+                ic.latency_ns + ic.inter_node_latency_ns + wire + inter_wire
+            }
         }
     }
 }
@@ -309,6 +314,34 @@ mod tests {
         let nvlink = CostModel::new(&presets::a100_nvlink(4), FieldSpec::goldilocks());
         let pcie = CostModel::new(&presets::rtx4090_pcie(4), FieldSpec::goldilocks());
         assert!(pcie.all_to_all_ns(bytes) > 10.0 * nvlink.all_to_all_ns(bytes));
+    }
+
+    #[test]
+    fn all_to_all_charge_pinned_to_shared_alpha_beta() {
+        // Regression pin for the shared cost function: a100_nvlink(8) with
+        // 2^27-byte shards charges 9 µs latency plus
+        // (2^27 · 7/8) B / (600 GB/s · 0.8) = 244 667.733… ns of wire.
+        let m = model(8);
+        let ns = m.all_to_all_ns(1 << 27);
+        let expected = 9000.0 + 117_440_512.0 / 480.0;
+        assert!((ns - expected).abs() < 1e-6, "{ns} vs {expected}");
+        let shared = crate::fabric::alpha_beta_all_to_all_ns(8, 1 << 27, 600.0, 9000.0, 0.8);
+        assert!(
+            (ns - shared).abs() < 1e-9,
+            "cost model must route through the shared α–β function"
+        );
+    }
+
+    #[test]
+    fn hierarchical_between_switch_and_pcie() {
+        let bytes = 1u64 << 28;
+        let switch = model(8);
+        let pod = CostModel::new(&presets::a100_superpod(2, 4), FieldSpec::goldilocks());
+        let pcie = CostModel::new(&presets::rtx4090_pcie(8), FieldSpec::goldilocks());
+        assert!(pod.all_to_all_ns(bytes) > switch.all_to_all_ns(bytes));
+        assert!(pcie.all_to_all_ns(bytes) > pod.all_to_all_ns(bytes));
+        assert!(pod.all_gather_ns(bytes) > switch.all_gather_ns(bytes));
+        assert!(pod.p2p_ns(bytes) > switch.p2p_ns(bytes));
     }
 
     #[test]

@@ -44,6 +44,7 @@ mod collective;
 mod config;
 mod cost;
 mod device;
+mod fabric;
 mod fault;
 mod machine;
 mod patterns;
@@ -51,13 +52,15 @@ pub mod presets;
 mod timeline;
 mod trace;
 
+pub use collective::{OverlapCompute, OverlapReport};
 pub use config::{FieldSpec, GpuConfig, InterconnectConfig, MachineConfig, Topology};
 pub use cost::{CostModel, KernelCost};
 pub use device::{DeviceCtx, DeviceState, KernelProfile};
+pub use fabric::{alpha_beta_all_to_all_ns, FabricGraph, Link};
 pub use fault::{CollectiveReport, FabricError, FaultEvent, FaultKind, FaultPlan, FaultRates};
 pub use machine::Machine;
 pub use patterns::{
     bank_conflict_degree, coalescing_efficiency, ntt_butterflies, warp_ntt_shuffles, SHARED_BANKS,
 };
 pub use timeline::{Timeline, TraceEvent, MAX_EVENTS};
-pub use trace::{Category, Level, Stats, TimeByCategory};
+pub use trace::{Category, CollectiveEvent, Level, Stats, TimeByCategory};

@@ -17,9 +17,10 @@
 use crate::config::{FieldSpec, MachineConfig};
 use crate::cost::CostModel;
 use crate::device::{DeviceCtx, DeviceState};
+use crate::fabric::FabricGraph;
 use crate::fault::{FaultEvent, FaultPlan};
 use crate::timeline::TraceEvent;
-use crate::trace::{Category, Stats};
+use crate::trace::{Category, CollectiveEvent, Stats};
 
 /// A simulated multi-GPU machine.
 #[derive(Debug)]
@@ -27,9 +28,11 @@ pub struct Machine {
     cfg: MachineConfig,
     model: CostModel,
     devices: Vec<DeviceState>,
+    fabric: FabricGraph,
     fault_plan: Option<FaultPlan>,
     collective_seq: u64,
     fault_log: Vec<FaultEvent>,
+    collective_events: Vec<CollectiveEvent>,
 }
 
 impl Machine {
@@ -42,13 +45,16 @@ impl Machine {
         cfg.validate().expect("invalid machine config");
         let model = CostModel::new(&cfg, field);
         let devices = (0..cfg.num_gpus).map(|_| DeviceState::default()).collect();
+        let fabric = FabricGraph::new(&cfg.interconnect, cfg.num_gpus);
         Self {
             cfg,
             model,
             devices,
+            fabric,
             fault_plan: None,
             collective_seq: 0,
             fault_log: Vec::new(),
+            collective_events: Vec::new(),
         }
     }
 
@@ -170,6 +176,19 @@ impl Machine {
         }
         self.collective_seq = 0;
         self.fault_log.clear();
+        self.fabric.reset();
+        self.collective_events.clear();
+    }
+
+    /// The link-level fabric graph with per-link occupancy totals.
+    pub fn fabric(&self) -> &FabricGraph {
+        &self.fabric
+    }
+
+    /// Every collective executed so far, with bytes, links used, and
+    /// overlap-hidden nanoseconds.
+    pub fn collective_events(&self) -> &[CollectiveEvent] {
+        &self.collective_events
     }
 
     /// Installs a fault plan; subsequent collectives consult it.
@@ -265,6 +284,14 @@ impl Machine {
 
     pub(crate) fn devices_mut(&mut self) -> &mut [DeviceState] {
         &mut self.devices
+    }
+
+    pub(crate) fn fabric_mut(&mut self) -> &mut FabricGraph {
+        &mut self.fabric
+    }
+
+    pub(crate) fn record_collective_event(&mut self, event: CollectiveEvent) {
+        self.collective_events.push(event);
     }
 }
 

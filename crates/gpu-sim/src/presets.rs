@@ -35,8 +35,25 @@ pub fn a100_nvlink(num_gpus: usize) -> MachineConfig {
             latency_ns: 9000.0,
             host_aggregate_bandwidth_gbps: 0.0,
             efficiency: 0.8,
+            gpus_per_node: 0,
+            inter_node_bandwidth_gbps: 0.0,
+            inter_node_latency_ns: 0.0,
         },
     }
+}
+
+/// A100 nodes (NVSwitch inside each node) joined by 400G InfiniBand
+/// uplinks — a DGX-SuperPOD-style two-level hierarchy. The per-node
+/// uplink matches the `infiniband_400g` network preset in `unintt-core`
+/// (50 GB/s effective, ~5 µs one-way) so single-machine hierarchical runs
+/// and the cluster engine charge the same inter-node fabric.
+pub fn a100_superpod(nodes: usize, gpus_per_node: usize) -> MachineConfig {
+    let mut cfg = a100_nvlink(nodes * gpus_per_node);
+    cfg.interconnect.topology = Topology::Hierarchical;
+    cfg.interconnect.gpus_per_node = gpus_per_node;
+    cfg.interconnect.inter_node_bandwidth_gbps = 50.0;
+    cfg.interconnect.inter_node_latency_ns = 5000.0;
+    cfg
 }
 
 /// V100 GPUs connected by NVLink bridges in a ring (DGX-1 style without
@@ -65,6 +82,9 @@ pub fn v100_nvlink_ring(num_gpus: usize) -> MachineConfig {
             latency_ns: 10000.0,
             host_aggregate_bandwidth_gbps: 0.0,
             efficiency: 0.75,
+            gpus_per_node: 0,
+            inter_node_bandwidth_gbps: 0.0,
+            inter_node_latency_ns: 0.0,
         },
     }
 }
@@ -95,6 +115,9 @@ pub fn rtx4090_pcie(num_gpus: usize) -> MachineConfig {
             latency_ns: 15000.0,
             host_aggregate_bandwidth_gbps: 64.0,
             efficiency: 0.85,
+            gpus_per_node: 0,
+            inter_node_bandwidth_gbps: 0.0,
+            inter_node_latency_ns: 0.0,
         },
     }
 }
@@ -108,6 +131,10 @@ mod tests {
         assert_eq!(a100_nvlink(8).interconnect.topology, Topology::AllToAll);
         assert_eq!(v100_nvlink_ring(4).interconnect.topology, Topology::Ring);
         assert_eq!(rtx4090_pcie(2).interconnect.topology, Topology::HostBounce);
+        let pod = a100_superpod(2, 4);
+        assert_eq!(pod.interconnect.topology, Topology::Hierarchical);
+        assert_eq!(pod.num_gpus, 8);
+        assert_eq!(pod.interconnect.gpus_per_node, 4);
     }
 
     #[test]

@@ -91,6 +91,24 @@ impl core::fmt::Display for Level {
     }
 }
 
+/// One collective operation as seen by the machine: what ran, how many
+/// bytes crossed the fabric, over how many links, and how much of the
+/// communication time an overlapped schedule hid behind compute.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct CollectiveEvent {
+    /// Operation name (`"all-to-all"`, `"all-to-all-overlapped"`, …).
+    pub op: &'static str,
+    /// Total bytes moved across the fabric by all participants.
+    pub bytes: u64,
+    /// Number of fabric links the schedule occupied.
+    pub links_used: u32,
+    /// Wall (simulated) time charged for the operation, ns.
+    pub time_ns: f64,
+    /// Communication nanoseconds hidden behind caller-supplied compute
+    /// (0 for blocking collectives).
+    pub hidden_ns: f64,
+}
+
 /// Accumulated simulation statistics (per device, mergeable).
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Stats {
@@ -110,6 +128,11 @@ pub struct Stats {
     pub interconnect_bytes_sent: u64,
     /// Bytes re-sent after checksum-detected corruption.
     pub interconnect_bytes_retransmitted: u64,
+    /// Interconnect nanoseconds hidden behind compute by overlapped
+    /// collectives (already *excluded* from `time_ns.interconnect`; the
+    /// raw, overlap-blind charge is in `raw_time_ns.interconnect`).
+    #[serde(default)]
+    pub comm_hidden_ns: f64,
     /// Kernel launches.
     pub kernels_launched: u64,
     /// Collective operations participated in.
@@ -225,6 +248,7 @@ impl Stats {
         self.global_bytes_written += other.global_bytes_written;
         self.interconnect_bytes_sent += other.interconnect_bytes_sent;
         self.interconnect_bytes_retransmitted += other.interconnect_bytes_retransmitted;
+        self.comm_hidden_ns = self.comm_hidden_ns.max(other.comm_hidden_ns);
         self.kernels_launched += other.kernels_launched;
         self.collectives += other.collectives;
         self.faults_injected += other.faults_injected;

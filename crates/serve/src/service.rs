@@ -432,13 +432,9 @@ impl Runner {
     ) -> RawDispatch {
         let engine = engines.entry(key.log_n).or_insert_with(|| {
             let node_cfg = presets::a100_nvlink(cfg.lease.gpus_per_node);
-            ClusterNttEngine::new(
-                key.log_n,
-                cfg.lease.nodes,
-                &node_cfg,
-                UniNttOptions::tuned_for(&field_spec),
-                field_spec,
-            )
+            let mut opts = UniNttOptions::tuned_for(&field_spec);
+            opts.comm_mode = cfg.comm_mode;
+            ClusterNttEngine::new(key.log_n, cfg.lease.nodes, &node_cfg, opts, field_spec)
         });
         if let Some(rates) = cfg.fault_rates {
             for node in 0..cluster.num_nodes() {
@@ -621,6 +617,33 @@ mod tests {
         let mut service = ProofService::new(cfg);
         service.submit_all(stream.iter().copied());
         service.run()
+    }
+
+    #[test]
+    fn overlapped_comm_is_reachable_from_dispatch_and_faster() {
+        use unintt_core::CommMode;
+        // The same raw-NTT stream under both exchange schedules: every
+        // job still completes (verify_outputs bit-checks each against the
+        // CPU reference), and the overlapped default finishes the horizon
+        // sooner because exchange wire time hides behind compute.
+        let stream: Vec<JobSpec> = (0..6)
+            .map(|i| raw_spec(14, Direction::Forward, i as f64 * 1_000.0))
+            .collect();
+        let overlapped = run_stream(ServiceConfig::default(), &stream);
+        let blocking = run_stream(
+            ServiceConfig {
+                comm_mode: CommMode::Blocking,
+                ..ServiceConfig::default()
+            },
+            &stream,
+        );
+        assert!(overlapped.all_completed() && blocking.all_completed());
+        assert!(
+            overlapped.metrics.horizon_ns < blocking.metrics.horizon_ns,
+            "overlap must shorten the service horizon: {} vs {}",
+            overlapped.metrics.horizon_ns,
+            blocking.metrics.horizon_ns
+        );
     }
 
     #[test]
