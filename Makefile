@@ -4,9 +4,9 @@
 EXCLUDE_VENDOR := --exclude criterion --exclude proptest --exclude rand \
                   --exclude serde --exclude serde_derive
 
-.PHONY: verify fmt clippy build bench-check test e13 e14 e15 serve-smoke
+.PHONY: verify fmt clippy build bench-check test e13 e14 e15 serve-smoke trace-smoke
 
-verify: fmt clippy build bench-check test serve-smoke e15
+verify: fmt clippy build bench-check test serve-smoke e15 trace-smoke
 
 fmt:
 	cargo fmt --all --check
@@ -40,3 +40,10 @@ e15:
 serve-smoke:
 	cargo run --release --example proof_service
 	cargo run --release -p unintt-bench --bin harness -- --quick e14
+
+# Telemetry smoke: E16 writes trace.json/trace.folded/BENCH_obs.json and
+# validates the Chrome/Perfetto JSON before writing; the trace subcommand
+# exercises the generic per-experiment capture path.
+trace-smoke:
+	cargo run --release -p unintt-bench --bin harness -- --quick e16
+	cargo run --release -p unintt-bench --bin harness -- --quick trace e12

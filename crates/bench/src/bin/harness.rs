@@ -7,8 +7,13 @@ use unintt_bench::Table;
 
 const USAGE: &str = "\
 usage: harness [--quick] [--legacy-kernels] [--blocking-comm] <experiment>...
+       harness [--quick] trace <experiment>...
   <experiment>      one or more of: e1 e2 e3 e4 e5 e6 e7 e8 e9 e11 e12 e13
-                    e14 e15 bench-host all
+                    e14 e15 e16 bench-host all
+  trace             run the named experiments with telemetry enabled and
+                    write a Chrome/Perfetto trace_<experiment>.json next
+                    to the process (e16 manages its own session and
+                    always writes trace.json)
   --quick           trimmed sweeps (seconds instead of minutes)
   --legacy-kernels  run all host NTTs on the original radix-2 DIT path
                     instead of the Shoup/six-step fast path (A/B escape
@@ -38,6 +43,17 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     }
+    let trace_mode = selected.first() == Some(&"trace");
+    let selected: Vec<&str> = if trace_mode {
+        let rest = selected[1..].to_vec();
+        if rest.is_empty() {
+            eprintln!("trace mode needs at least one experiment\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        rest
+    } else {
+        selected
+    };
 
     let run_one = |name: &str| -> Option<Table> {
         let table = match name {
@@ -56,13 +72,37 @@ fn main() -> ExitCode {
             "e13" => experiments::e13_fault_tolerance::run(quick),
             "e14" => experiments::e14_serving::run(quick),
             "e15" => experiments::e15_comm_overlap::run(quick),
+            "e16" => experiments::e16_observability::run(quick),
             _ => return None,
         };
         Some(table)
     };
 
     for name in &selected {
-        if *name == "all" {
+        if trace_mode && *name != "all" && *name != "e16" {
+            // E16 drives its own telemetry session (nesting would
+            // deadlock on the session lock) and always writes trace.json.
+            let guard = unintt_telemetry::start_session();
+            let Some(table) = run_one(name) else {
+                eprintln!("unknown experiment '{name}'\n{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            let session = unintt_telemetry::take_session();
+            drop(guard);
+            println!("{table}");
+            let path = format!("trace_{name}.json");
+            match std::fs::write(&path, unintt_telemetry::chrome_trace_json(&session)) {
+                Ok(()) => println!(
+                    "trace with {} spans / {} instants written to {path}",
+                    session.spans.len(),
+                    session.instants.len()
+                ),
+                Err(e) => {
+                    eprintln!("could not write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if *name == "all" {
             for table in experiments::run_all(quick) {
                 println!("{table}");
             }

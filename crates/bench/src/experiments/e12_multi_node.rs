@@ -25,7 +25,15 @@ pub fn run(quick: bool) -> Table {
 
     let mut table = Table::new(
         format!("E12: multi-node UniNTT (2^{log_n} BN254-Fr, {gpus_per_node}×A100 per node)"),
-        &["nodes", "network", "time", "vs 1 node", "network bytes"],
+        &[
+            "nodes",
+            "network",
+            "time",
+            "vs 1 node",
+            "network bytes",
+            "comm hidden",
+            "collectives",
+        ],
     );
 
     let node_cfg = presets::a100_nvlink(gpus_per_node);
@@ -51,6 +59,15 @@ pub fn run(quick: bool) -> Table {
             if nodes == 1 {
                 baseline_ns = t;
             }
+            // Hidden communication = network wire time buried under the
+            // outer column NTTs plus each node's intra-fabric overlap.
+            let hidden_ns = cluster.network_hidden_ns()
+                + (0..nodes)
+                    .map(|n| cluster.node(n).stats().comm_hidden_ns)
+                    .sum::<f64>();
+            let collectives: u64 = (0..nodes)
+                .map(|n| cluster.node(n).stats().collectives)
+                .sum();
             table.row(vec![
                 nodes.to_string(),
                 if nodes == 1 {
@@ -61,6 +78,8 @@ pub fn run(quick: bool) -> Table {
                 fmt_ns(t),
                 format!("{:.2}x", baseline_ns / t),
                 crate::report::fmt_bytes(cluster.network_bytes()),
+                fmt_ns(hidden_ns),
+                collectives.to_string(),
             ]);
         }
     }

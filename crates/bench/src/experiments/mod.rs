@@ -12,6 +12,7 @@ pub mod e12_multi_node;
 pub mod e13_fault_tolerance;
 pub mod e14_serving;
 pub mod e15_comm_overlap;
+pub mod e16_observability;
 pub mod e1_headline;
 pub mod e2_scaling;
 pub mod e3_vs_baseline;
@@ -88,6 +89,7 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e13_fault_tolerance::run(quick),
         e14_serving::run(quick),
         e15_comm_overlap::run(quick),
+        e16_observability::run(quick),
     ]
 }
 

@@ -106,7 +106,13 @@ impl Cluster {
         );
         Self {
             nodes: (0..num_nodes)
-                .map(|_| Machine::new(node_cfg.clone(), field))
+                .map(|i| {
+                    let mut node = Machine::new(node_cfg.clone(), field);
+                    // Distinct telemetry tracks per node: concurrent node
+                    // spans must not share a track.
+                    node.set_label(format!("node{i}"));
+                    node
+                })
                 .collect(),
             network,
             network_ns: 0.0,
@@ -234,6 +240,37 @@ impl<F> ClusterRunReport<F> {
     /// Number of plan attempts (replans + the final successful one).
     pub fn attempts(&self) -> usize {
         self.retries_per_attempt.len()
+    }
+}
+
+/// Records one cluster-level span on the shared `"cluster"` track. The
+/// cluster clock is [`Cluster::total_time_ns`] (slowest node plus
+/// network time); `root` is `None` exactly when telemetry is disabled.
+fn obs_cluster_span(
+    root: Option<u64>,
+    cluster: &Cluster,
+    name: &'static str,
+    category: &'static str,
+    parent_is_self: bool,
+    t_start_ns: f64,
+    attrs: impl FnOnce() -> Vec<(&'static str, unintt_telemetry::AttrValue)>,
+) {
+    if let Some(id) = root {
+        unintt_telemetry::record_span(|| unintt_telemetry::Span {
+            id: if parent_is_self {
+                id
+            } else {
+                unintt_telemetry::fresh_id()
+            },
+            parent: if parent_is_self { None } else { Some(id) },
+            name: name.to_string(),
+            level: unintt_telemetry::SpanLevel::Cluster,
+            category,
+            track: String::from("cluster"),
+            t_start_ns,
+            t_end_ns: cluster.total_time_ns(),
+            attrs: attrs(),
+        });
     }
 }
 
@@ -369,6 +406,9 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
             self.log_n - self.log_t
         );
 
+        let root = unintt_telemetry::reserve_span_id();
+        let t_begin = cluster.total_time_ns();
+
         // Phase 1 (parallel across nodes): each node runs the full
         // single-node UniNTT on its sub-sequence, then applies the fused
         // node-boundary twiddle ω_N^{t·k2}.
@@ -398,6 +438,16 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
             });
         }
 
+        obs_cluster_span(
+            root,
+            cluster,
+            "node-phase",
+            "phase",
+            false,
+            t_begin,
+            Vec::new,
+        );
+
         // Phase 2: one cross-node all-to-all (chunk transpose).
         let chunk = r / t;
         let old: Vec<Vec<F>> = node_shards.to_vec();
@@ -407,9 +457,31 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
                     .copy_from_slice(&old_shard[dst * chunk..(dst + 1) * chunk]);
             }
         }
+        let t0 = cluster.total_time_ns();
+        let pre = root.map(|_| (cluster.network_bytes, cluster.network_hidden_ns));
         self.charge_cluster_exchange(cluster);
+        if let Some((pre_bytes, pre_hidden)) = pre {
+            obs_cluster_span(
+                root,
+                cluster,
+                "cluster-exchange",
+                "interconnect",
+                false,
+                t0,
+                || {
+                    vec![
+                        ("bytes", (cluster.network_bytes - pre_bytes).into()),
+                        (
+                            "hidden_comm_ns",
+                            (cluster.network_hidden_ns - pre_hidden).into(),
+                        ),
+                    ]
+                },
+            );
+        }
 
         // Phase 3: size-T NTTs down the received columns, on each node.
+        let t0 = cluster.total_time_ns();
         for (machine, shard) in cluster.nodes.iter_mut().zip(node_shards.iter_mut()) {
             let mut col = vec![F::ZERO; t];
             for j in 0..chunk {
@@ -427,6 +499,17 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
                 ctx.launch(&profile);
             });
         }
+        obs_cluster_span(root, cluster, "outer-phase", "phase", false, t0, Vec::new);
+        let nodes = t;
+        obs_cluster_span(
+            root,
+            cluster,
+            "cluster-forward",
+            "transform",
+            true,
+            t_begin,
+            || vec![("nodes", nodes.into())],
+        );
     }
 
     /// Fault-tolerant forward NTT with degraded re-planning.
@@ -559,6 +642,8 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
         debug_assert_eq!(active.len(), t);
         let r = self.n() / t;
         let mut shards = self.distribute(input);
+        let root = unintt_telemetry::reserve_span_id();
+        let t_begin = cluster.total_time_ns();
 
         // Level 0 → 1: per-node UniNTT + fused boundary twiddle.
         let omega = F::two_adic_generator(self.log_n);
@@ -587,6 +672,16 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
             });
         }
 
+        obs_cluster_span(
+            root,
+            cluster,
+            "node-phase",
+            "phase",
+            false,
+            t_begin,
+            Vec::new,
+        );
+
         // Level 1 → 2: cross-node all-to-all among the survivors only
         // (`self` is the survivor-subset plan here, so the exchange helper
         // charges among exactly `t` participants).
@@ -598,9 +693,31 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
                     .copy_from_slice(&old_shard[dst * chunk..(dst + 1) * chunk]);
             }
         }
+        let t0 = cluster.total_time_ns();
+        let pre = root.map(|_| (cluster.network_bytes, cluster.network_hidden_ns));
         self.charge_cluster_exchange(cluster);
+        if let Some((pre_bytes, pre_hidden)) = pre {
+            obs_cluster_span(
+                root,
+                cluster,
+                "cluster-exchange",
+                "interconnect",
+                false,
+                t0,
+                || {
+                    vec![
+                        ("bytes", (cluster.network_bytes - pre_bytes).into()),
+                        (
+                            "hidden_comm_ns",
+                            (cluster.network_hidden_ns - pre_hidden).into(),
+                        ),
+                    ]
+                },
+            );
+        }
 
         // Level 2 → 3: size-T outer NTTs on each surviving node.
+        let t0 = cluster.total_time_ns();
         for (&node, shard) in active.iter().zip(shards.iter_mut()) {
             let machine = &mut cluster.nodes[node];
             let mut col = vec![F::ZERO; t];
@@ -619,6 +736,16 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
                 ctx.launch(&profile);
             });
         }
+        obs_cluster_span(root, cluster, "outer-phase", "phase", false, t0, Vec::new);
+        obs_cluster_span(
+            root,
+            cluster,
+            "cluster-attempt",
+            "transform",
+            true,
+            t_begin,
+            || vec![("nodes", active.len().into())],
+        );
         Ok(self.collect(&shards))
     }
 
@@ -651,6 +778,8 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
 
     /// Cost-only forward transform for large-size sweeps.
     pub fn simulate_forward(&self, cluster: &mut Cluster) {
+        let root = unintt_telemetry::reserve_span_id();
+        let t_begin = cluster.total_time_ns();
         let twiddle = self.node_twiddle_profile();
         let outer = self.cluster_outer_profile();
         for machine in cluster.nodes.iter_mut() {
@@ -661,7 +790,47 @@ impl<F: TwoAdicField> ClusterNttEngine<F> {
                 ctx.launch(&outer);
             });
         }
+        obs_cluster_span(
+            root,
+            cluster,
+            "node-phase",
+            "phase",
+            false,
+            t_begin,
+            Vec::new,
+        );
+        let t0 = cluster.total_time_ns();
+        let pre = root.map(|_| (cluster.network_bytes, cluster.network_hidden_ns));
         self.charge_cluster_exchange(cluster);
+        if let Some((pre_bytes, pre_hidden)) = pre {
+            obs_cluster_span(
+                root,
+                cluster,
+                "cluster-exchange",
+                "interconnect",
+                false,
+                t0,
+                || {
+                    vec![
+                        ("bytes", (cluster.network_bytes - pre_bytes).into()),
+                        (
+                            "hidden_comm_ns",
+                            (cluster.network_hidden_ns - pre_hidden).into(),
+                        ),
+                    ]
+                },
+            );
+        }
+        let nodes = cluster.num_nodes();
+        obs_cluster_span(
+            root,
+            cluster,
+            "cluster-forward",
+            "transform",
+            true,
+            t_begin,
+            || vec![("nodes", nodes.into())],
+        );
     }
 }
 

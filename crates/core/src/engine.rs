@@ -55,6 +55,83 @@ use unintt_ntt::{Direction, Ntt};
 use crate::profiles;
 use crate::{CommMode, DecompositionPlan, RecoveryPolicy, ShardLayout, Sharded, UniNttOptions};
 
+/// Records one engine phase span on the machine's track, parented to the
+/// reserved transform root. `root` is `None` exactly when telemetry is
+/// disabled, so the disabled path never evaluates `attrs`.
+fn obs_phase(
+    root: Option<u64>,
+    machine: &Machine,
+    name: &'static str,
+    category: &'static str,
+    t_start_ns: f64,
+    attrs: impl FnOnce() -> Vec<(&'static str, unintt_telemetry::AttrValue)>,
+) {
+    if let Some(parent) = root {
+        unintt_telemetry::record_span(|| unintt_telemetry::Span {
+            id: unintt_telemetry::fresh_id(),
+            parent: Some(parent),
+            name: name.to_string(),
+            level: unintt_telemetry::SpanLevel::Fabric,
+            category,
+            track: machine.label().to_string(),
+            t_start_ns,
+            t_end_ns: machine.max_clock_ns(),
+            attrs: attrs(),
+        });
+    }
+}
+
+/// Records the transform's root span (recorded last, after its phases,
+/// under the id reserved up front).
+fn obs_root(
+    root: Option<u64>,
+    machine: &Machine,
+    name: &'static str,
+    t_start_ns: f64,
+    attrs: impl FnOnce() -> Vec<(&'static str, unintt_telemetry::AttrValue)>,
+) {
+    if let Some(id) = root {
+        unintt_telemetry::record_span(|| unintt_telemetry::Span {
+            id,
+            parent: None,
+            name: name.to_string(),
+            level: unintt_telemetry::SpanLevel::Fabric,
+            category: "transform",
+            track: machine.label().to_string(),
+            t_start_ns,
+            t_end_ns: machine.max_clock_ns(),
+            attrs: attrs(),
+        });
+    }
+}
+
+/// Raw-vs-exposed-vs-hidden interconnect annotations for an exchange
+/// span, from the stats delta across the exchange.
+fn exchange_attrs(
+    pre: &unintt_gpu_sim::Stats,
+    post: &unintt_gpu_sim::Stats,
+    overlapped: bool,
+) -> Vec<(&'static str, unintt_telemetry::AttrValue)> {
+    vec![
+        (
+            "mode",
+            if overlapped { "overlapped" } else { "blocking" }.into(),
+        ),
+        (
+            "raw_comm_ns",
+            (post.raw_time_ns.interconnect - pre.raw_time_ns.interconnect).into(),
+        ),
+        (
+            "exposed_comm_ns",
+            (post.time_ns.interconnect - pre.time_ns.interconnect).into(),
+        ),
+        (
+            "hidden_comm_ns",
+            (post.comm_hidden_ns - pre.comm_hidden_ns).into(),
+        ),
+    ]
+}
+
 /// The UniNTT multi-GPU NTT engine.
 #[derive(Clone, Debug)]
 pub struct UniNttEngine<F: TwoAdicField> {
@@ -257,17 +334,30 @@ impl<F: TwoAdicField> UniNttEngine<F> {
     ) -> Result<(), FabricError> {
         self.check_batch(machine, batch, ShardLayout::Cyclic);
         let g = self.plan.num_gpus();
+        let root = unintt_telemetry::reserve_span_id();
+        let t_begin = machine.max_clock_ns();
 
         // Phase 1: local hierarchical NTT + fused boundary twiddle.
         self.local_phase(machine, batch, Direction::Forward);
+        obs_phase(root, machine, "local-phase", "phase", t_begin, Vec::new);
 
         if g > 1 {
             // Phase 2: the single all-to-all (pipelined against the
             // adjacent passes when overlap is on).
             let overlap = self.overlapped().then_some(Direction::Forward);
+            let t0 = machine.max_clock_ns();
+            let pre = root.map(|_| machine.stats());
             self.exchange(machine, batch, policy, overlap)?;
+            if let Some(pre) = pre {
+                let post = machine.stats();
+                obs_phase(root, machine, "exchange", "interconnect", t0, || {
+                    exchange_attrs(&pre, &post, overlap.is_some())
+                });
+            }
             // Phase 3: outer size-G NTTs.
+            let t0 = machine.max_clock_ns();
             self.outer_phase(machine, batch, Direction::Forward);
+            obs_phase(root, machine, "outer-phase", "phase", t0, Vec::new);
         }
         for item in batch.iter_mut() {
             item.set_layout(ShardLayout::BlockCyclic);
@@ -275,7 +365,15 @@ impl<F: TwoAdicField> UniNttEngine<F> {
 
         if self.opts.natural_output {
             if g > 1 {
+                let t0 = machine.max_clock_ns();
+                let pre = root.map(|_| machine.stats());
                 self.exchange(machine, batch, policy, None)?;
+                if let Some(pre) = pre {
+                    let post = machine.stats();
+                    obs_phase(root, machine, "natural-reorder", "interconnect", t0, || {
+                        exchange_attrs(&pre, &post, false)
+                    });
+                }
             }
             // For g == 1 the block-cyclic and natural layouts coincide, so
             // only the stamp changes.
@@ -283,6 +381,10 @@ impl<F: TwoAdicField> UniNttEngine<F> {
                 item.set_layout(ShardLayout::NaturalBlocks);
             }
         }
+        let b = batch.len();
+        obs_root(root, machine, "unintt-forward", t_begin, || {
+            vec![("batch", b.into()), ("path", "functional".into())]
+        });
         Ok(())
     }
 
@@ -311,11 +413,21 @@ impl<F: TwoAdicField> UniNttEngine<F> {
             ShardLayout::BlockCyclic
         };
         self.check_batch(machine, batch, expected);
+        let root = unintt_telemetry::reserve_span_id();
+        let t_begin = machine.max_clock_ns();
 
         if self.opts.natural_output {
             // The chunk transpose is an involution: natural → block-cyclic.
             if g > 1 {
+                let t0 = machine.max_clock_ns();
+                let pre = root.map(|_| machine.stats());
                 self.exchange(machine, batch, policy, None)?;
+                if let Some(pre) = pre {
+                    let post = machine.stats();
+                    obs_phase(root, machine, "natural-reorder", "interconnect", t0, || {
+                        exchange_attrs(&pre, &post, false)
+                    });
+                }
             }
             for item in batch.iter_mut() {
                 item.set_layout(ShardLayout::BlockCyclic);
@@ -325,15 +437,31 @@ impl<F: TwoAdicField> UniNttEngine<F> {
         if g > 1 {
             // Undo phase 3, then undo the exchange (pipelined against the
             // outer producers and local consumers when overlap is on).
+            let t0 = machine.max_clock_ns();
             self.outer_phase(machine, batch, Direction::Inverse);
+            obs_phase(root, machine, "outer-phase", "phase", t0, Vec::new);
             let overlap = self.overlapped().then_some(Direction::Inverse);
+            let t0 = machine.max_clock_ns();
+            let pre = root.map(|_| machine.stats());
             self.exchange(machine, batch, policy, overlap)?;
+            if let Some(pre) = pre {
+                let post = machine.stats();
+                obs_phase(root, machine, "exchange", "interconnect", t0, || {
+                    exchange_attrs(&pre, &post, overlap.is_some())
+                });
+            }
         }
         // Undo phase 1 (boundary twiddle then local inverse NTT).
+        let t0 = machine.max_clock_ns();
         self.local_phase(machine, batch, Direction::Inverse);
+        obs_phase(root, machine, "local-phase", "phase", t0, Vec::new);
         for item in batch.iter_mut() {
             item.set_layout(ShardLayout::Cyclic);
         }
+        let b = batch.len();
+        obs_root(root, machine, "unintt-inverse", t_begin, || {
+            vec![("batch", b.into()), ("path", "functional".into())]
+        });
         Ok(())
     }
 
@@ -686,25 +814,49 @@ impl<F: TwoAdicField> UniNttEngine<F> {
         assert!(batch > 0, "batch must be positive");
         let g = self.plan.num_gpus();
         let overlapped = self.overlapped();
+        let root = unintt_telemetry::reserve_span_id();
+        let t_begin = machine.max_clock_ns();
         let mut dummy: Vec<()> = vec![(); g];
         machine.parallel_phase(&mut dummy, |ctx, _, _| {
             self.charge_local(ctx, batch, Direction::Forward, overlapped);
         });
+        obs_phase(root, machine, "local-phase", "phase", t_begin, Vec::new);
         if g > 1 {
+            let t0 = machine.max_clock_ns();
+            let pre = root.map(|_| machine.stats());
             if overlapped {
                 self.charge_exchange_overlapped(machine, batch, Direction::Forward);
             } else {
                 self.charge_exchange(machine, batch);
             }
+            if let Some(pre) = pre {
+                let post = machine.stats();
+                obs_phase(root, machine, "exchange", "interconnect", t0, || {
+                    exchange_attrs(&pre, &post, overlapped)
+                });
+            }
+            let t0 = machine.max_clock_ns();
             machine.parallel_phase(&mut dummy, |ctx, _, _| {
                 if !overlapped {
                     self.charge_outer(ctx, batch);
                 }
             });
+            obs_phase(root, machine, "outer-phase", "phase", t0, Vec::new);
             if self.opts.natural_output {
+                let t0 = machine.max_clock_ns();
+                let pre = root.map(|_| machine.stats());
                 self.charge_exchange(machine, batch);
+                if let Some(pre) = pre {
+                    let post = machine.stats();
+                    obs_phase(root, machine, "natural-reorder", "interconnect", t0, || {
+                        exchange_attrs(&pre, &post, false)
+                    });
+                }
             }
         }
+        obs_root(root, machine, "unintt-forward", t_begin, || {
+            vec![("batch", batch.into()), ("path", "simulate".into())]
+        });
     }
 
     /// Cost-only inverse transform, mirroring [`Self::inverse_batch`].
@@ -712,24 +864,49 @@ impl<F: TwoAdicField> UniNttEngine<F> {
         assert!(batch > 0, "batch must be positive");
         let g = self.plan.num_gpus();
         let overlapped = self.overlapped();
+        let root = unintt_telemetry::reserve_span_id();
+        let t_begin = machine.max_clock_ns();
         let mut dummy: Vec<()> = vec![(); g];
         if g > 1 {
             if self.opts.natural_output {
+                let t0 = machine.max_clock_ns();
+                let pre = root.map(|_| machine.stats());
                 self.charge_exchange(machine, batch);
+                if let Some(pre) = pre {
+                    let post = machine.stats();
+                    obs_phase(root, machine, "natural-reorder", "interconnect", t0, || {
+                        exchange_attrs(&pre, &post, false)
+                    });
+                }
             }
+            let t0 = machine.max_clock_ns();
             machine.parallel_phase(&mut dummy, |ctx, _, _| {
                 if !overlapped {
                     self.charge_outer(ctx, batch);
                 }
             });
+            obs_phase(root, machine, "outer-phase", "phase", t0, Vec::new);
+            let t0 = machine.max_clock_ns();
+            let pre = root.map(|_| machine.stats());
             if overlapped {
                 self.charge_exchange_overlapped(machine, batch, Direction::Inverse);
             } else {
                 self.charge_exchange(machine, batch);
             }
+            if let Some(pre) = pre {
+                let post = machine.stats();
+                obs_phase(root, machine, "exchange", "interconnect", t0, || {
+                    exchange_attrs(&pre, &post, overlapped)
+                });
+            }
         }
+        let t0 = machine.max_clock_ns();
         machine.parallel_phase(&mut dummy, |ctx, _, _| {
             self.charge_local(ctx, batch, Direction::Inverse, overlapped);
+        });
+        obs_phase(root, machine, "local-phase", "phase", t0, Vec::new);
+        obs_root(root, machine, "unintt-inverse", t_begin, || {
+            vec![("batch", batch.into()), ("path", "simulate".into())]
         });
     }
 

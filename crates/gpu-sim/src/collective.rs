@@ -235,6 +235,7 @@ impl Machine {
                     shards[dst][src * chunk..(src + 1) * chunk].copy_from_slice(sent);
                     let ns = self.model().p2p_ns(chunk_bytes);
                     self.charge_fault_ns("chunk-retransmit", ns);
+                    self.record_retransmission(src, chunk_bytes);
                     self.devices_mut()[src]
                         .stats
                         .interconnect_bytes_retransmitted += chunk_bytes;
@@ -623,6 +624,7 @@ impl Machine {
                         shards[dst][src * chunk..(src + 1) * chunk].copy_from_slice(sent);
                         let ns = self.model().p2p_ns(chunk_bytes);
                         self.charge_fault_ns("chunk-retransmit", ns);
+                        self.record_retransmission(src, chunk_bytes);
                         self.devices_mut()[src]
                             .stats
                             .interconnect_bytes_retransmitted += chunk_bytes;
@@ -733,6 +735,7 @@ impl Machine {
                     row[src * len..(src + 1) * len].copy_from_slice(&shards[src]);
                     let ns = self.model().p2p_ns(seg_bytes);
                     self.charge_fault_ns("chunk-retransmit", ns);
+                    self.record_retransmission(src, seg_bytes);
                     self.devices_mut()[src]
                         .stats
                         .interconnect_bytes_retransmitted += seg_bytes;
@@ -835,6 +838,7 @@ impl Machine {
             let bytes = elem_bytes as u64;
             let ns = self.model().p2p_ns(bytes);
             self.charge_fault_ns("chunk-retransmit", ns);
+            self.record_retransmission(src, bytes);
             self.devices_mut()[src]
                 .stats
                 .interconnect_bytes_retransmitted += bytes;

@@ -59,6 +59,19 @@ pub enum FaultKind {
     },
 }
 
+impl FaultKind {
+    /// Stable lowercase name, used for telemetry instant events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Drop => "fault-drop",
+            FaultKind::Corrupt { .. } => "fault-corrupt",
+            FaultKind::Delay { .. } => "fault-delay",
+            FaultKind::Straggler { .. } => "fault-straggler",
+            FaultKind::DeviceLoss { .. } => "fault-device-loss",
+        }
+    }
+}
+
 /// A fault that was actually injected, in execution order.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FaultEvent {

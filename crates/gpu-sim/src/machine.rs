@@ -33,6 +33,8 @@ pub struct Machine {
     collective_seq: u64,
     fault_log: Vec<FaultEvent>,
     collective_events: Vec<CollectiveEvent>,
+    /// Telemetry track label; also prefixes per-device track names.
+    label: String,
 }
 
 impl Machine {
@@ -55,7 +57,24 @@ impl Machine {
             collective_seq: 0,
             fault_log: Vec::new(),
             collective_events: Vec::new(),
+            label: String::from("machine"),
         }
+    }
+
+    /// Names this machine's telemetry tracks (e.g. `"node3"`). Distinct
+    /// labels keep concurrent machines on distinct trace tracks.
+    pub fn set_label(&mut self, label: impl Into<String>) {
+        self.label = label.into();
+    }
+
+    /// The telemetry track label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The telemetry track name for one device, `"{label}/gpu{d}"`.
+    pub fn device_track(&self, device: usize) -> String {
+        format!("{}/gpu{device}", self.label)
     }
 
     /// Number of GPUs.
@@ -278,8 +297,56 @@ impl Machine {
             for d in self.devices.iter_mut().filter(|d| d.alive) {
                 d.stats.faults_injected += 1;
             }
+            unintt_telemetry::record_instant(|| unintt_telemetry::Instant {
+                name: kind.name().to_string(),
+                kind: unintt_telemetry::InstantKind::Fault,
+                track: self.label.clone(),
+                t_ns: self.max_clock_ns(),
+                attrs: vec![("seq", seq.into())],
+            });
+            unintt_telemetry::counter_add("sim_faults_injected", 1);
         }
         (seq, kind)
+    }
+
+    /// Marks one checksum-failed chunk retransmission for telemetry. The
+    /// time and byte charges stay where they are (the collective charges
+    /// them); this only emits the instant marker and counter.
+    pub(crate) fn record_retransmission(&mut self, src: usize, bytes: u64) {
+        unintt_telemetry::record_instant(|| unintt_telemetry::Instant {
+            name: String::from("chunk-retransmit"),
+            kind: unintt_telemetry::InstantKind::Retransmission,
+            track: self.device_track(src),
+            t_ns: self.max_clock_ns(),
+            attrs: vec![("bytes", bytes.into())],
+        });
+        unintt_telemetry::counter_add("sim_chunk_retransmissions", 1);
+    }
+
+    /// Exports every retained per-device timeline event as a
+    /// [`unintt_telemetry::SpanLevel::Device`] span on that device's
+    /// track. Call once at the end of a run, while a telemetry session
+    /// is active; a no-op when telemetry is disabled.
+    pub fn export_telemetry_spans(&self) {
+        if !unintt_telemetry::recording() {
+            return;
+        }
+        for d in 0..self.num_devices() {
+            let track = self.device_track(d);
+            for e in self.devices[d].timeline.events() {
+                unintt_telemetry::record_span(|| unintt_telemetry::Span {
+                    id: unintt_telemetry::fresh_id(),
+                    parent: None,
+                    name: e.name.to_string(),
+                    level: unintt_telemetry::SpanLevel::Device,
+                    category: e.category.as_str(),
+                    track: track.clone(),
+                    t_start_ns: e.start_ns,
+                    t_end_ns: e.start_ns + e.duration_ns,
+                    attrs: Vec::new(),
+                });
+            }
+        }
     }
 
     pub(crate) fn devices_mut(&mut self) -> &mut [DeviceState] {
@@ -291,6 +358,19 @@ impl Machine {
     }
 
     pub(crate) fn record_collective_event(&mut self, event: CollectiveEvent) {
+        unintt_telemetry::record_instant(|| unintt_telemetry::Instant {
+            name: event.op.to_string(),
+            kind: unintt_telemetry::InstantKind::Collective,
+            track: self.label.clone(),
+            t_ns: self.max_clock_ns(),
+            attrs: vec![
+                ("bytes", event.bytes.into()),
+                ("links_used", event.links_used.into()),
+                ("time_ns", event.time_ns.into()),
+                ("hidden_ns", event.hidden_ns.into()),
+            ],
+        });
+        unintt_telemetry::counter_add("sim_collectives", 1);
         self.collective_events.push(event);
     }
 }

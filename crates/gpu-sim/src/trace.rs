@@ -44,11 +44,11 @@ impl Category {
             Category::Interconnect | Category::Fault => Level::MultiGpu,
         }
     }
-}
 
-impl core::fmt::Display for Category {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        let s = match self {
+    /// Stable lowercase name (also what [`core::fmt::Display`] prints);
+    /// `&'static` so telemetry can attach it without allocating.
+    pub fn as_str(self) -> &'static str {
+        match self {
             Category::Compute => "compute",
             Category::GlobalMem => "global-mem",
             Category::SharedMem => "shared-mem",
@@ -56,8 +56,13 @@ impl core::fmt::Display for Category {
             Category::Launch => "launch",
             Category::Interconnect => "interconnect",
             Category::Fault => "fault",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl core::fmt::Display for Category {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 

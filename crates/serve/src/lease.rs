@@ -54,6 +54,13 @@ impl Lease {
             NetworkConfig::infiniband_400g(),
             field,
         );
+        if unintt_telemetry::recording() {
+            for node in 0..self.shape.nodes {
+                cluster
+                    .node_mut(node)
+                    .set_label(format!("lease{}-node{node}", self.id));
+            }
+        }
         for &(node, device) in &self.dead {
             cluster.node_mut(node).fail_device(device);
         }

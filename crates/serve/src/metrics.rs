@@ -6,46 +6,9 @@ use std::collections::BTreeMap;
 use crate::job::JobOutcome;
 use crate::lease::LeasePool;
 
-/// Latency distribution summary (nearest-rank percentiles).
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
-pub struct LatencyStats {
-    /// Samples summarized.
-    pub count: usize,
-    /// Mean, ns.
-    pub mean_ns: f64,
-    /// Median, ns.
-    pub p50_ns: f64,
-    /// 95th percentile, ns.
-    pub p95_ns: f64,
-    /// 99th percentile, ns.
-    pub p99_ns: f64,
-    /// Maximum, ns.
-    pub max_ns: f64,
-}
-
-impl LatencyStats {
-    /// Summarizes a set of latency samples (order irrelevant).
-    pub fn from_samples(samples: &[f64]) -> Self {
-        if samples.is_empty() {
-            return Self::default();
-        }
-        let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let pick = |p: f64| {
-            // Nearest-rank: ceil(p·n) as a 1-based rank.
-            let rank = (p * sorted.len() as f64).ceil() as usize;
-            sorted[rank.clamp(1, sorted.len()) - 1]
-        };
-        Self {
-            count: sorted.len(),
-            mean_ns: sorted.iter().sum::<f64>() / sorted.len() as f64,
-            p50_ns: pick(0.50),
-            p95_ns: pick(0.95),
-            p99_ns: pick(0.99),
-            max_ns: *sorted.last().expect("non-empty"),
-        }
-    }
-}
+/// Latency distribution summary, shared with the telemetry crate so
+/// every consumer uses the same nearest-rank percentile math.
+pub use unintt_telemetry::LatencyStats;
 
 /// Per-job-class counters and latency summary.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -241,35 +204,5 @@ impl ServiceMetrics {
             );
         }
         out
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn nearest_rank_percentiles() {
-        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        let s = LatencyStats::from_samples(&samples);
-        assert_eq!(s.count, 100);
-        assert_eq!(s.p50_ns, 50.0);
-        assert_eq!(s.p95_ns, 95.0);
-        assert_eq!(s.p99_ns, 99.0);
-        assert_eq!(s.max_ns, 100.0);
-        assert!((s.mean_ns - 50.5).abs() < 1e-9);
-    }
-
-    #[test]
-    fn single_sample_is_every_percentile() {
-        let s = LatencyStats::from_samples(&[42.0]);
-        assert_eq!(s.p50_ns, 42.0);
-        assert_eq!(s.p99_ns, 42.0);
-        assert_eq!(s.max_ns, 42.0);
-    }
-
-    #[test]
-    fn empty_samples_are_zeroed() {
-        assert_eq!(LatencyStats::from_samples(&[]), LatencyStats::default());
     }
 }

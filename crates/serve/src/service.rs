@@ -207,7 +207,17 @@ impl Runner {
             now = now.max(t);
 
             // 1. Close every coalescing window that has expired.
-            self.ready.extend(self.coalescer.close_due(now));
+            let closed = self.coalescer.close_due(now);
+            for batch in &closed {
+                unintt_telemetry::record_instant(|| unintt_telemetry::Instant {
+                    name: "window-flush".into(),
+                    kind: unintt_telemetry::InstantKind::CoalescerFlush,
+                    track: "coalescer".into(),
+                    t_ns: now,
+                    attrs: vec![("jobs", batch.len().into())],
+                });
+            }
+            self.ready.extend(closed);
 
             // 2. Admit arrivals due by now (in arrival, then id order).
             while next_arrival < backlog.len() && backlog[next_arrival].spec.arrival_ns <= now {
@@ -265,12 +275,25 @@ impl Runner {
                 replans: 0,
                 missed_deadline: false,
             });
+            unintt_telemetry::counter_add("serve_jobs_rejected", 1);
             return;
         }
         if let Some(batch) = self.coalescer.offer(job, now) {
+            unintt_telemetry::record_instant(|| unintt_telemetry::Instant {
+                name: "batch-full".into(),
+                kind: unintt_telemetry::InstantKind::CoalescerFlush,
+                track: "coalescer".into(),
+                t_ns: now,
+                attrs: vec![("jobs", batch.len().into())],
+            });
             self.ready.push(batch);
         }
         self.peak_queue = self.peak_queue.max(self.queue_depth());
+        if unintt_telemetry::recording() {
+            unintt_telemetry::counter_add("serve_jobs_admitted", 1);
+            unintt_telemetry::gauge_set("serve_queue_depth", self.queue_depth() as f64);
+            unintt_telemetry::gauge_max("serve_queue_depth_peak", self.peak_queue as f64);
+        }
     }
 
     /// Removes and returns the batch the configured policy runs next.
@@ -323,7 +346,8 @@ impl Runner {
     /// and recording outcomes.
     fn dispatch(&mut self, batch: ReadyBatch, now: f64) {
         debug_assert!(!batch.is_empty());
-        self.batch_sizes.push(batch.len());
+        let batch_len = batch.len();
+        self.batch_sizes.push(batch_len);
         self.dispatch_seq += 1;
         let seq = self.dispatch_seq;
         let lease_id = {
@@ -364,6 +388,21 @@ impl Runner {
                     ),
                 };
                 let done = now + result.elapsed_ns;
+                unintt_telemetry::record_span(|| unintt_telemetry::Span {
+                    id: unintt_telemetry::fresh_id(),
+                    parent: None,
+                    name: "dispatch".into(),
+                    level: unintt_telemetry::SpanLevel::Serve,
+                    category: "dispatch",
+                    track: format!("lease{lease_id}"),
+                    t_start_ns: now,
+                    t_end_ns: done,
+                    attrs: vec![
+                        ("jobs", batch_len.into()),
+                        ("seq", seq.into()),
+                        ("class", "raw-ntt".into()),
+                    ],
+                });
                 let lease = self.pool.lease_mut(lease_id);
                 lease.absorb_losses(&cluster);
                 lease.free_at_ns = done;
@@ -374,6 +413,13 @@ impl Runner {
                     // it for fresh hardware and requeue the unfinished
                     // tail. No job is ever failed.
                     lease.repair(done, self.cfg.repair_ns);
+                    unintt_telemetry::record_instant(|| unintt_telemetry::Instant {
+                        name: "lease-repair".into(),
+                        kind: unintt_telemetry::InstantKind::LeaseRepair,
+                        track: format!("lease{lease_id}"),
+                        t_ns: done,
+                        attrs: vec![("requeued", result.leftover.len().into())],
+                    });
                     self.ready.push(ReadyBatch {
                         key: Some(key),
                         jobs: result.leftover,
@@ -381,6 +427,13 @@ impl Runner {
                     });
                 } else if lease.is_dead() {
                     lease.repair(done, self.cfg.repair_ns);
+                    unintt_telemetry::record_instant(|| unintt_telemetry::Instant {
+                        name: "lease-repair".into(),
+                        kind: unintt_telemetry::InstantKind::LeaseRepair,
+                        track: format!("lease{lease_id}"),
+                        t_ns: done,
+                        attrs: vec![],
+                    });
                 }
             }
             None => {
@@ -393,6 +446,29 @@ impl Runner {
                     JobClass::RawNtt { .. } => unreachable!("raw jobs always carry a batch key"),
                 } + self.cfg.dispatch_overhead_ns;
                 let done = now + elapsed;
+                record_job_spans(
+                    job.id,
+                    job.spec.class.name(),
+                    job.spec.arrival_ns,
+                    now,
+                    done,
+                    1,
+                );
+                unintt_telemetry::record_span(|| unintt_telemetry::Span {
+                    id: unintt_telemetry::fresh_id(),
+                    parent: None,
+                    name: "dispatch".into(),
+                    level: unintt_telemetry::SpanLevel::Serve,
+                    category: "dispatch",
+                    track: format!("lease{lease_id}"),
+                    t_start_ns: now,
+                    t_end_ns: done,
+                    attrs: vec![
+                        ("jobs", 1u64.into()),
+                        ("seq", seq.into()),
+                        ("class", job.spec.class.name().into()),
+                    ],
+                });
                 self.outcomes.push(JobOutcome {
                     id: job.id,
                     tenant: job.spec.tenant,
@@ -470,6 +546,7 @@ impl Runner {
         let t0 = cluster.total_time_ns();
         let mut leftover = Vec::new();
         for (idx, (job, input)) in jobs.iter().zip(&inputs).enumerate() {
+            let exec_start_ns = start_ns + (cluster.total_time_ns() - t0);
             match engine.forward_with_recovery(cluster, input, &cfg.recovery) {
                 Ok(mut report) => {
                     let output = if key.forward {
@@ -486,6 +563,14 @@ impl Runner {
                         );
                     }
                     let done = start_ns + (cluster.total_time_ns() - t0) + cfg.dispatch_overhead_ns;
+                    record_job_spans(
+                        job.id,
+                        job.spec.class.name(),
+                        job.spec.arrival_ns,
+                        exec_start_ns,
+                        done,
+                        jobs.len(),
+                    );
                     outcomes.push(JobOutcome {
                         id: job.id,
                         tenant: job.spec.tenant,
@@ -563,6 +648,59 @@ impl Runner {
         }
         backend.sim_time_ns()
     }
+}
+
+/// Records the lifecycle spans for one completed job on its own track:
+/// a `job` root covering arrival → completion, with `queued` and
+/// `execute` children splitting the interval at dispatch time. No-op
+/// when telemetry is disabled.
+fn record_job_spans(
+    id: JobId,
+    class: &'static str,
+    arrival_ns: f64,
+    exec_start_ns: f64,
+    done_ns: f64,
+    batch_size: usize,
+) {
+    let Some(root) = unintt_telemetry::reserve_span_id() else {
+        return;
+    };
+    use unintt_telemetry::{fresh_id, record_span, Span, SpanLevel};
+    let track = id.to_string();
+    record_span(|| Span {
+        id: fresh_id(),
+        parent: Some(root),
+        name: "queued".into(),
+        level: SpanLevel::Serve,
+        category: "queue",
+        track: track.clone(),
+        t_start_ns: arrival_ns,
+        t_end_ns: exec_start_ns,
+        attrs: vec![],
+    });
+    record_span(|| Span {
+        id: fresh_id(),
+        parent: Some(root),
+        name: "execute".into(),
+        level: SpanLevel::Serve,
+        category: "execute",
+        track: track.clone(),
+        t_start_ns: exec_start_ns,
+        t_end_ns: done_ns,
+        attrs: vec![("class", class.into())],
+    });
+    record_span(|| Span {
+        id: root,
+        parent: None,
+        name: "job".into(),
+        level: SpanLevel::Serve,
+        category: "job",
+        track,
+        t_start_ns: arrival_ns,
+        t_end_ns: done_ns,
+        attrs: vec![("class", class.into()), ("batch", batch_size.into())],
+    });
+    unintt_telemetry::counter_add("serve_jobs_completed", 1);
 }
 
 /// Deterministic synthetic payload for one raw job.

@@ -1,0 +1,176 @@
+//! Process-wide metrics registry: counters, gauges, and fixed-bucket
+//! histograms, with a Prometheus-style text exposition writer.
+//!
+//! Keys are `&'static str` so the enabled hot path never allocates for a
+//! metric name, and storage is `BTreeMap` so exposition order (and thus
+//! the rendered text) is deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default histogram bucket upper bounds, in simulated nanoseconds:
+/// decades from 1 µs to 1000 s. Everything above falls in `+Inf`.
+pub const DEFAULT_NS_BUCKETS: [f64; 10] = [1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12];
+
+/// A fixed-bucket histogram (Prometheus `histogram` semantics:
+/// cumulative buckets plus `sum` and `count`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Inclusive upper bounds, ascending; an implicit `+Inf` follows.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (`len == bounds.len() + 1`).
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl Histogram {
+    /// A histogram over the default nanosecond decades.
+    pub fn default_ns() -> Self {
+        Histogram {
+            bounds: DEFAULT_NS_BUCKETS.to_vec(),
+            counts: vec![0; DEFAULT_NS_BUCKETS.len() + 1],
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// The registry itself: three deterministic maps.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    /// Monotonic counters.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<&'static str, f64>,
+    /// Fixed-bucket histograms.
+    pub histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry (const so the global can be a static).
+    pub const fn empty() -> Self {
+        Registry {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        }
+    }
+
+    /// Adds to a counter, creating it at zero.
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Raises a gauge to `value` if it is higher than the current one.
+    pub fn gauge_max(&mut self, name: &'static str, value: f64) {
+        let g = self.gauges.entry(name).or_insert(f64::NEG_INFINITY);
+        if value > *g {
+            *g = value;
+        }
+    }
+
+    /// Observes into a histogram, creating it with the default
+    /// nanosecond buckets.
+    pub fn histogram_observe(&mut self, name: &'static str, value: f64) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(Histogram::default_ns)
+            .observe(value);
+    }
+
+    /// Clears every metric.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+
+    /// Renders the Prometheus text exposition format. Deterministic:
+    /// metrics appear in name order.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (i, b) in h.bounds.iter().enumerate() {
+                cumulative += h.counts[i];
+                let _ = writeln!(out, "{name}_bucket{{le=\"{b}\"}} {cumulative}");
+            }
+            cumulative += h.counts[h.bounds.len()];
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render_in_order() {
+        let mut r = Registry::empty();
+        r.counter_add("zeta", 1);
+        r.counter_add("alpha", 2);
+        r.counter_add("alpha", 3);
+        let text = r.render_prometheus();
+        assert!(text.contains("alpha 5\n"));
+        let a = text.find("alpha").unwrap();
+        let z = text.find("zeta").unwrap();
+        assert!(a < z, "exposition must be name-ordered");
+    }
+
+    #[test]
+    fn gauge_max_only_raises() {
+        let mut r = Registry::empty();
+        r.gauge_max("depth", 3.0);
+        r.gauge_max("depth", 1.0);
+        assert_eq!(r.gauges["depth"], 3.0);
+        r.gauge_set("depth", 0.5);
+        assert_eq!(r.gauges["depth"], 0.5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_exposition() {
+        let mut r = Registry::empty();
+        r.histogram_observe("lat_ns", 5e2); // <= 1e3
+        r.histogram_observe("lat_ns", 5e3); // <= 1e4
+        r.histogram_observe("lat_ns", 1e13); // +Inf
+        let text = r.render_prometheus();
+        assert!(text.contains("lat_ns_bucket{le=\"1000\"} 1"));
+        assert!(text.contains("lat_ns_bucket{le=\"10000\"} 2"));
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_ns_count 3"));
+    }
+}

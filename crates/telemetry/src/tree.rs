@@ -1,0 +1,274 @@
+//! Hierarchical view over a flat list of recorded spans.
+//!
+//! Spans carry an optional explicit parent id; spans recorded without one
+//! (e.g. per-kernel device spans exported from a machine timeline) are
+//! attached by *interval containment*: the candidate parent must sit at a
+//! strictly higher [`SpanLevel`] and fully contain the child's interval,
+//! and among candidates the smallest (tightest) interval wins.
+
+use crate::span::Span;
+
+/// Relative slack allowed when comparing simulated timestamps. The cost
+/// model sums many f64 charges, so exact endpoint equality is one ulp
+/// away from false; everything structural stays well above this.
+const REL_EPS: f64 = 1e-9;
+
+fn eps_for(span: &Span) -> f64 {
+    REL_EPS * (span.t_end_ns.abs().max(span.t_start_ns.abs()).max(1.0))
+}
+
+fn contains(parent: &Span, child: &Span) -> bool {
+    let eps = eps_for(parent).max(eps_for(child));
+    parent.t_start_ns <= child.t_start_ns + eps && child.t_end_ns <= parent.t_end_ns + eps
+}
+
+/// A parent/child index over a span slice.
+pub struct SpanTree<'a> {
+    spans: &'a [Span],
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+    roots: Vec<usize>,
+}
+
+impl<'a> SpanTree<'a> {
+    /// Builds the tree: explicit parent ids are honoured; parentless
+    /// spans get the tightest containing span of a strictly higher level
+    /// (ties broken by lowest id); everything else becomes a root.
+    pub fn build(spans: &'a [Span]) -> Self {
+        let n = spans.len();
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+
+        for (i, s) in spans.iter().enumerate() {
+            if let Some(pid) = s.parent {
+                parent[i] = spans.iter().position(|p| p.id == pid);
+            } else {
+                let mut best: Option<usize> = None;
+                for (j, p) in spans.iter().enumerate() {
+                    if j == i || p.level <= s.level || !contains(p, s) {
+                        continue;
+                    }
+                    best = match best {
+                        None => Some(j),
+                        Some(b) => {
+                            let (bd, pd) = (spans[b].duration_ns(), p.duration_ns());
+                            if pd < bd || (pd == bd && p.id < spans[b].id) {
+                                Some(j)
+                            } else {
+                                Some(b)
+                            }
+                        }
+                    };
+                }
+                parent[i] = best;
+            }
+        }
+
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut roots = Vec::new();
+        for (i, p) in parent.iter().enumerate() {
+            match p {
+                Some(j) => children[*j].push(i),
+                None => roots.push(i),
+            }
+        }
+        SpanTree {
+            spans,
+            parent,
+            children,
+            roots,
+        }
+    }
+
+    /// Indices of spans with no parent.
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// Child indices of span `i`.
+    pub fn children(&self, i: usize) -> &[usize] {
+        &self.children[i]
+    }
+
+    /// Parent index of span `i`, if any.
+    pub fn parent_of(&self, i: usize) -> Option<usize> {
+        self.parent[i]
+    }
+
+    /// Root-to-`i` chain of span names (used for folded-stack export).
+    pub fn path(&self, i: usize) -> Vec<&str> {
+        let mut rev = vec![self.spans[i].name.as_str()];
+        let mut cur = i;
+        while let Some(p) = self.parent[cur] {
+            rev.push(self.spans[p].name.as_str());
+            cur = p;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Span duration minus the summed duration of its direct children —
+    /// the "self time" a flamegraph attributes to the frame itself.
+    pub fn self_time_ns(&self, i: usize) -> f64 {
+        let kids: f64 = self.children[i]
+            .iter()
+            .map(|&c| self.spans[c].duration_ns())
+            .sum();
+        (self.spans[i].duration_ns() - kids).max(0.0)
+    }
+
+    /// Checks the structural invariants the exporters rely on:
+    ///
+    /// 1. every span has `t_start <= t_end`;
+    /// 2. every child's interval is contained in its parent's;
+    /// 3. spans sharing a parent (or both roots) *and* a track do not
+    ///    overlap — they render on one Perfetto line.
+    ///
+    /// Returns the first violation as a human-readable message.
+    pub fn validate(&self) -> Result<(), String> {
+        for s in self.spans {
+            if s.t_end_ns < s.t_start_ns - eps_for(s) {
+                return Err(format!(
+                    "span {} '{}' ends before it starts ({} > {})",
+                    s.id, s.name, s.t_start_ns, s.t_end_ns
+                ));
+            }
+        }
+        for (i, p) in self.parent.iter().enumerate() {
+            if let Some(j) = p {
+                let (child, parent) = (&self.spans[i], &self.spans[*j]);
+                if !contains(parent, child) {
+                    return Err(format!(
+                        "span {} '{}' [{}, {}] escapes parent {} '{}' [{}, {}]",
+                        child.id,
+                        child.name,
+                        child.t_start_ns,
+                        child.t_end_ns,
+                        parent.id,
+                        parent.name,
+                        parent.t_start_ns,
+                        parent.t_end_ns
+                    ));
+                }
+            }
+        }
+        // Sibling groups: same parent slot (None == virtual root).
+        let n = self.spans.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            self.spans[a]
+                .t_start_ns
+                .partial_cmp(&self.spans[b].t_start_ns)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for (oi, &a) in order.iter().enumerate() {
+            for &b in order.iter().skip(oi + 1) {
+                if self.parent[a] != self.parent[b] || self.spans[a].track != self.spans[b].track {
+                    continue;
+                }
+                let (first, second) = (&self.spans[a], &self.spans[b]);
+                let eps = eps_for(first).max(eps_for(second));
+                if second.t_start_ns < first.t_end_ns - eps {
+                    return Err(format!(
+                        "siblings overlap on track '{}': {} '{}' [{}, {}] vs {} '{}' [{}, {}]",
+                        first.track,
+                        first.id,
+                        first.name,
+                        first.t_start_ns,
+                        first.t_end_ns,
+                        second.id,
+                        second.name,
+                        second.t_start_ns,
+                        second.t_end_ns
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sum of root-span durations — the tree's total covered time.
+    pub fn total_root_ns(&self) -> f64 {
+        self.roots
+            .iter()
+            .map(|&r| self.spans[r].duration_ns())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanLevel;
+
+    fn span(id: u64, parent: Option<u64>, level: SpanLevel, track: &str, t0: f64, t1: f64) -> Span {
+        Span {
+            id,
+            parent,
+            name: format!("s{id}"),
+            level,
+            category: "test",
+            track: track.to_string(),
+            t_start_ns: t0,
+            t_end_ns: t1,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn derives_tightest_containing_parent() {
+        let spans = vec![
+            span(1, None, SpanLevel::Fabric, "m", 0.0, 100.0),
+            span(2, Some(1), SpanLevel::Fabric, "m", 0.0, 60.0),
+            span(3, None, SpanLevel::Device, "m/gpu0", 10.0, 20.0),
+        ];
+        let tree = SpanTree::build(&spans);
+        // The device span nests under the tighter phase span, not the root.
+        assert_eq!(tree.parent_of(2), Some(1));
+        assert_eq!(tree.roots(), &[0]);
+        tree.validate().expect("valid tree");
+    }
+
+    #[test]
+    fn rejects_child_escaping_parent() {
+        let spans = vec![
+            span(1, None, SpanLevel::Fabric, "m", 0.0, 50.0),
+            span(2, Some(1), SpanLevel::Device, "m/gpu0", 40.0, 80.0),
+        ];
+        let tree = SpanTree::build(&spans);
+        assert!(tree.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_overlapping_siblings_on_one_track() {
+        let spans = vec![
+            span(1, None, SpanLevel::Fabric, "m", 0.0, 100.0),
+            span(2, Some(1), SpanLevel::Fabric, "m", 0.0, 60.0),
+            span(3, Some(1), SpanLevel::Fabric, "m", 50.0, 90.0),
+        ];
+        let tree = SpanTree::build(&spans);
+        assert!(tree.validate().is_err());
+    }
+
+    #[test]
+    fn siblings_on_distinct_tracks_may_overlap() {
+        let spans = vec![
+            span(1, None, SpanLevel::Device, "m/gpu0", 0.0, 60.0),
+            span(2, None, SpanLevel::Device, "m/gpu1", 0.0, 60.0),
+        ];
+        let tree = SpanTree::build(&spans);
+        tree.validate().expect("parallel devices are fine");
+        assert_eq!(tree.total_root_ns(), 120.0);
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let spans = vec![
+            span(1, None, SpanLevel::Fabric, "m", 0.0, 100.0),
+            span(2, Some(1), SpanLevel::Fabric, "m", 0.0, 30.0),
+            span(3, Some(1), SpanLevel::Fabric, "m", 40.0, 80.0),
+        ];
+        let tree = SpanTree::build(&spans);
+        assert_eq!(tree.self_time_ns(0), 30.0);
+        assert_eq!(tree.path(2), vec!["s1", "s3"]);
+    }
+}
