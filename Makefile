@@ -4,9 +4,9 @@
 EXCLUDE_VENDOR := --exclude criterion --exclude proptest --exclude rand \
                   --exclude serde --exclude serde_derive
 
-.PHONY: verify fmt clippy build bench-check test e13 e14 e15 serve-smoke trace-smoke
+.PHONY: verify fmt clippy build bench-check test e13 e14 e15 serve-smoke trace-smoke chaos-smoke
 
-verify: fmt clippy build bench-check test serve-smoke e15 trace-smoke
+verify: fmt clippy build bench-check test serve-smoke e15 trace-smoke chaos-smoke
 
 fmt:
 	cargo fmt --all --check
@@ -47,3 +47,10 @@ serve-smoke:
 trace-smoke:
 	cargo run --release -p unintt-bench --bin harness -- --quick e16
 	cargo run --release -p unintt-bench --bin harness -- --quick trace e12
+
+# Chaos smoke: the fleet example plus the E17 quick sweep. E17 asserts
+# zero accepted-job failures and bit-identical outputs vs the fault-free
+# baseline in every cell, so this target fails if resilience regresses.
+chaos-smoke:
+	cargo run --release --example fleet_chaos
+	cargo run --release -p unintt-bench --bin harness -- --quick e17

@@ -13,6 +13,7 @@ pub mod e13_fault_tolerance;
 pub mod e14_serving;
 pub mod e15_comm_overlap;
 pub mod e16_observability;
+pub mod e17_resilience;
 pub mod e1_headline;
 pub mod e2_scaling;
 pub mod e3_vs_baseline;
@@ -90,6 +91,7 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e14_serving::run(quick),
         e15_comm_overlap::run(quick),
         e16_observability::run(quick),
+        e17_resilience::run(quick),
     ]
 }
 

@@ -146,6 +146,16 @@ impl Machine {
                 self.fail_device(device);
                 Err(FabricError::DeviceLost { device, seq })
             }
+            Some(FaultKind::ClusterLoss) => {
+                // The whole machine drops out at once; detection costs the
+                // same window as a single loss, but afterwards no healthy
+                // device remains, so no local re-plan can succeed.
+                self.charge_fault_ns("cluster-loss-detect", base_ns);
+                for device in 0..self.num_devices() {
+                    self.fail_device(device);
+                }
+                Err(FabricError::DeviceLost { device: 0, seq })
+            }
             Some(FaultKind::Straggler { device, factor }) => {
                 self.degrade_device(device, factor);
                 Ok(None)
@@ -1110,6 +1120,22 @@ mod tests {
         assert!(report.retransmitted_bytes > 0);
         assert!(m.stats().interconnect_bytes_retransmitted > 0);
         assert!(m.stats().time_ns.get(Category::Fault) > 0.0);
+    }
+
+    #[test]
+    fn cluster_loss_kills_every_device_at_once() {
+        let mut m = machine(4);
+        scripted(&mut m, 1, FaultKind::ClusterLoss);
+        let mut shards: Vec<Vec<u64>> = (0..4).map(|_| vec![7u64; 8]).collect();
+        m.all_to_all(&mut shards, 8).unwrap();
+        let err = m.all_to_all(&mut shards, 8).unwrap_err();
+        assert!(matches!(err, FabricError::DeviceLost { .. }));
+        assert_eq!(m.alive_devices(), 0, "the whole machine must be dead");
+        // No local re-plan can succeed: every later collective fails too.
+        assert!(matches!(
+            m.all_to_all(&mut shards, 8),
+            Err(FabricError::DeviceLost { .. })
+        ));
     }
 
     #[test]

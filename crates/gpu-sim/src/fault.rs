@@ -57,6 +57,12 @@ pub enum FaultKind {
         /// The lost device.
         device: usize,
     },
+    /// Every device on the machine dies at once (rack power loss, fabric
+    /// partition): the whole node drops out of the cluster. The
+    /// collective fails with [`FabricError::DeviceLost`] for device 0 and
+    /// no re-plan over this machine can succeed — recovery must route
+    /// around the node (or, in the serving fleet, around the cluster).
+    ClusterLoss,
 }
 
 impl FaultKind {
@@ -68,6 +74,7 @@ impl FaultKind {
             FaultKind::Delay { .. } => "fault-delay",
             FaultKind::Straggler { .. } => "fault-straggler",
             FaultKind::DeviceLoss { .. } => "fault-device-loss",
+            FaultKind::ClusterLoss => "fault-cluster-loss",
         }
     }
 }
@@ -98,10 +105,16 @@ pub struct FaultRates {
     pub straggler_p: f64,
     /// P(a device dies at this collective).
     pub device_loss_p: f64,
+    /// P(the whole machine dies at this collective). Zero in every stock
+    /// profile — whole-node loss is catastrophic enough that callers opt
+    /// in explicitly (the serving fleet's chaos harness does).
+    pub cluster_loss_p: f64,
 }
 
 impl FaultRates {
-    /// A rate profile where every fault kind fires with probability `p`.
+    /// A rate profile where every per-device fault kind fires with
+    /// probability `p` (whole-machine loss stays at zero; see
+    /// [`FaultRates::cluster_loss_p`]).
     pub fn uniform(p: f64) -> Self {
         Self {
             drop_p: p,
@@ -109,6 +122,7 @@ impl FaultRates {
             delay_p: p,
             straggler_p: p,
             device_loss_p: p,
+            cluster_loss_p: 0.0,
         }
     }
 
@@ -123,7 +137,12 @@ impl FaultRates {
     }
 
     fn total(&self) -> f64 {
-        self.drop_p + self.corrupt_p + self.delay_p + self.straggler_p + self.device_loss_p
+        self.drop_p
+            + self.corrupt_p
+            + self.delay_p
+            + self.straggler_p
+            + self.device_loss_p
+            + self.cluster_loss_p
     }
 }
 
@@ -222,6 +241,8 @@ impl FaultPlan {
                     Some(FaultKind::DeviceLoss {
                         device: (p1 % d as u64) as usize,
                     })
+                } else if hit(rates.cluster_loss_p) {
+                    Some(FaultKind::ClusterLoss)
                 } else {
                     None
                 }

@@ -1,0 +1,357 @@
+//! Per-cluster health tracking: a four-state machine driven by dispatch
+//! results and probe jobs, with consecutive-failure circuit breaking and
+//! exponential-backoff half-open recovery on the simulated clock.
+//!
+//! ```text
+//!            failures < threshold          lost nodes
+//!   Healthy ──────────────────────▶ Degraded
+//!      ▲  ◀────────────────────────   │
+//!      │      success resets          │ breaker trips
+//!      │                              ▼
+//!   Repairing ◀── probe succeeds ── Quarantined ──▶ (probe fails:
+//!      │        (half-open)            ▲                backoff × 2)
+//!      └── warmup elapses ─────────────┘
+//! ```
+//!
+//! Backoff between probes grows exponentially per consecutive trip and
+//! carries deterministic seeded jitter (a `splitmix64` draw over the
+//! `(seed, cluster, trip)` triple) so co-quarantined clusters don't
+//! probe in lockstep — yet two runs of the same fleet are bit-identical.
+
+/// Tunables for the per-cluster [`HealthMachine`].
+#[derive(Clone, Copy, Debug)]
+pub struct HealthConfig {
+    /// Consecutive dispatch failures that trip the circuit breaker.
+    pub failure_threshold: u32,
+    /// First-trip backoff before the half-open probe, simulated ns.
+    pub backoff_base_ns: f64,
+    /// Backoff ceiling, simulated ns.
+    pub backoff_max_ns: f64,
+    /// Fractional jitter applied to each backoff (0.1 = ±10%).
+    pub jitter_frac: f64,
+    /// Simulated duration of one half-open probe job.
+    pub probe_ns: f64,
+    /// Warmup after a successful probe before the cluster re-admits
+    /// production traffic (Repairing → Healthy), simulated ns.
+    pub repair_warmup_ns: f64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            backoff_base_ns: 2.0e6,
+            backoff_max_ns: 1.0e9,
+            jitter_frac: 0.1,
+            probe_ns: 100_000.0,
+            repair_warmup_ns: 500_000.0,
+            seed: 0x48ea_1742_5eed_0001,
+        }
+    }
+}
+
+/// Where a cluster sits in its health lifecycle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// Serving normally.
+    #[default]
+    Healthy,
+    /// Serving, but impaired (lost nodes or absorbed failures); the
+    /// router prefers Healthy clusters and uses Degraded ones as
+    /// fallback.
+    Degraded,
+    /// Circuit breaker open: no production traffic; a half-open probe is
+    /// scheduled after the current backoff.
+    Quarantined,
+    /// Probe succeeded; warming back up before re-admission.
+    Repairing,
+}
+
+impl HealthState {
+    /// Short name for reports and telemetry labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Quarantined => "quarantined",
+            HealthState::Repairing => "repairing",
+        }
+    }
+}
+
+/// The health state machine for one cluster.
+#[derive(Clone, Debug)]
+pub struct HealthMachine {
+    cfg: HealthConfig,
+    cluster: usize,
+    state: HealthState,
+    consecutive_failures: u32,
+    /// Consecutive breaker trips without an intervening recovery —
+    /// drives the exponential backoff.
+    trips: u32,
+    /// When Quarantined: the earliest instant the half-open probe may
+    /// launch. When Repairing: when warmup completes.
+    next_transition_ns: f64,
+    /// Lifetime count of breaker trips (metrics).
+    pub total_quarantines: u64,
+    /// Lifetime count of probes launched (metrics).
+    pub total_probes: u64,
+}
+
+impl HealthMachine {
+    /// A Healthy machine for cluster `cluster`.
+    pub fn new(cfg: HealthConfig, cluster: usize) -> Self {
+        Self {
+            cfg,
+            cluster,
+            state: HealthState::Healthy,
+            consecutive_failures: 0,
+            trips: 0,
+            next_transition_ns: f64::INFINITY,
+            total_quarantines: 0,
+            total_probes: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// True when the router may send production traffic here.
+    pub fn routable(&self) -> bool {
+        matches!(self.state, HealthState::Healthy | HealthState::Degraded)
+    }
+
+    /// Consecutive failures recorded since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// The next instant this machine wants the event loop's attention
+    /// (probe launch or warmup completion), or `None` when idle.
+    pub fn next_event_ns(&self) -> Option<f64> {
+        match self.state {
+            HealthState::Quarantined | HealthState::Repairing => Some(self.next_transition_ns),
+            _ => None,
+        }
+    }
+
+    /// A dispatch on this cluster succeeded: reset the failure streak;
+    /// a Degraded cluster that strings together successes is re-promoted.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.trips = 0;
+        if self.state == HealthState::Degraded {
+            self.state = HealthState::Healthy;
+        }
+    }
+
+    /// A dispatch on this cluster failed (lease died mid-batch, probe
+    /// timeout, …). Returns `true` if this failure tripped the breaker
+    /// into Quarantined.
+    pub fn record_failure(&mut self, now: f64) -> bool {
+        self.consecutive_failures += 1;
+        if self.state == HealthState::Healthy {
+            self.state = HealthState::Degraded;
+        }
+        if self.routable() && self.consecutive_failures >= self.cfg.failure_threshold {
+            self.quarantine(now);
+            return true;
+        }
+        false
+    }
+
+    /// Force the breaker open (chaos kill, whole-cluster loss): no
+    /// production traffic until a probe succeeds.
+    pub fn quarantine(&mut self, now: f64) {
+        self.state = HealthState::Quarantined;
+        self.total_quarantines += 1;
+        self.trips += 1;
+        self.next_transition_ns = now + self.backoff_ns();
+    }
+
+    /// True when the half-open probe is due.
+    pub fn probe_due(&self, now: f64) -> bool {
+        self.state == HealthState::Quarantined && now >= self.next_transition_ns
+    }
+
+    /// Resolve a half-open probe launched at `now`. On success the
+    /// machine enters Repairing (warmup ends `probe_ns + repair_warmup_ns`
+    /// later); on failure the backoff doubles and a new probe is
+    /// scheduled. Returns the instant of the next transition.
+    pub fn probe_result(&mut self, now: f64, ok: bool) -> f64 {
+        debug_assert_eq!(self.state, HealthState::Quarantined, "probes are half-open");
+        self.total_probes += 1;
+        if ok {
+            self.state = HealthState::Repairing;
+            self.next_transition_ns = now + self.cfg.probe_ns + self.cfg.repair_warmup_ns;
+        } else {
+            self.trips += 1;
+            self.next_transition_ns = now + self.cfg.probe_ns + self.backoff_ns();
+        }
+        self.next_transition_ns
+    }
+
+    /// Complete the Repairing warmup if due: the cluster returns to
+    /// Healthy with a clean slate. Returns `true` on re-admission.
+    pub fn try_readmit(&mut self, now: f64) -> bool {
+        if self.state == HealthState::Repairing && now >= self.next_transition_ns {
+            self.state = HealthState::Healthy;
+            self.consecutive_failures = 0;
+            self.trips = 0;
+            self.next_transition_ns = f64::INFINITY;
+            return true;
+        }
+        false
+    }
+
+    /// The current backoff: `base · 2^(trips−1)` capped at the ceiling,
+    /// with deterministic ±`jitter_frac` seeded jitter.
+    fn backoff_ns(&self) -> f64 {
+        let exp = self.trips.saturating_sub(1).min(32);
+        let raw = (self.cfg.backoff_base_ns * f64::from(1u32 << exp.min(30)))
+            .min(self.cfg.backoff_max_ns);
+        let draw = splitmix64(
+            self.cfg
+                .seed
+                .wrapping_add((self.cluster as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                .wrapping_add(u64::from(self.trips).wrapping_mul(0xa076_1d64_78bd_642f)),
+        );
+        // Map the draw to [−jitter, +jitter].
+        let unit = (draw >> 11) as f64 / (1u64 << 53) as f64;
+        raw * (1.0 + self.cfg.jitter_frac * (2.0 * unit - 1.0))
+    }
+}
+
+/// The `splitmix64` mixer — one deterministic 64-bit draw per key.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HealthConfig {
+        HealthConfig {
+            failure_threshold: 3,
+            backoff_base_ns: 1_000.0,
+            backoff_max_ns: 16_000.0,
+            jitter_frac: 0.1,
+            probe_ns: 100.0,
+            repair_warmup_ns: 500.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_failures() {
+        let mut m = HealthMachine::new(cfg(), 0);
+        assert_eq!(m.state(), HealthState::Healthy);
+        assert!(!m.record_failure(10.0));
+        assert_eq!(m.state(), HealthState::Degraded);
+        assert!(!m.record_failure(20.0));
+        assert!(m.record_failure(30.0), "third consecutive failure trips");
+        assert_eq!(m.state(), HealthState::Quarantined);
+        assert!(!m.routable());
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut m = HealthMachine::new(cfg(), 0);
+        m.record_failure(10.0);
+        m.record_failure(20.0);
+        m.record_success();
+        assert_eq!(m.state(), HealthState::Healthy, "degraded recovers");
+        assert!(!m.record_failure(30.0));
+        assert!(!m.record_failure(40.0));
+        assert!(m.record_failure(50.0), "streak restarted after success");
+    }
+
+    #[test]
+    fn half_open_recovery_walks_quarantine_to_healthy() {
+        let mut m = HealthMachine::new(cfg(), 0);
+        m.quarantine(1_000.0);
+        assert!(!m.probe_due(1_000.0), "backoff holds the probe");
+        let probe_at = m.next_event_ns().expect("probe scheduled");
+        assert!(m.probe_due(probe_at));
+        let warm_done = m.probe_result(probe_at, true);
+        assert_eq!(m.state(), HealthState::Repairing);
+        assert!(!m.try_readmit(warm_done - 1.0));
+        assert!(m.try_readmit(warm_done));
+        assert_eq!(m.state(), HealthState::Healthy);
+        assert!(m.routable());
+    }
+
+    #[test]
+    fn failed_probes_back_off_exponentially_with_jitter() {
+        let mut m = HealthMachine::new(cfg(), 0);
+        m.quarantine(0.0);
+        let first = m.next_event_ns().expect("scheduled") - 0.0;
+        let mut gaps = vec![first];
+        let mut t = first;
+        for _ in 0..4 {
+            let next = m.probe_result(t, false);
+            gaps.push(next - t - m.cfg.probe_ns);
+            t = next;
+        }
+        for w in gaps.windows(2).take(3) {
+            assert!(
+                w[1] > w[0] * 1.5,
+                "backoff must grow roughly geometrically: {gaps:?}"
+            );
+        }
+        let cap = cfg().backoff_max_ns * (1.0 + cfg().jitter_frac);
+        assert!(
+            gaps.iter().all(|&g| g <= cap),
+            "backoff respects the ceiling: {gaps:?}"
+        );
+        // Jitter keeps the gap off the exact power-of-two grid.
+        assert!((gaps[0] - 1_000.0).abs() > 1e-6, "jitter applied: {gaps:?}");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_but_varies_per_cluster() {
+        let mut a1 = HealthMachine::new(cfg(), 0);
+        let mut a2 = HealthMachine::new(cfg(), 0);
+        let mut b = HealthMachine::new(cfg(), 1);
+        a1.quarantine(0.0);
+        a2.quarantine(0.0);
+        b.quarantine(0.0);
+        assert_eq!(
+            a1.next_event_ns(),
+            a2.next_event_ns(),
+            "same seed+cluster → same jitter"
+        );
+        assert_ne!(
+            a1.next_event_ns(),
+            b.next_event_ns(),
+            "different clusters desynchronize"
+        );
+    }
+
+    #[test]
+    fn readmission_resets_the_backoff_ladder() {
+        let mut m = HealthMachine::new(cfg(), 0);
+        m.quarantine(0.0);
+        let first_gap = m.next_event_ns().expect("scheduled");
+        let t = m.probe_result(first_gap, false); // trips ×2
+        let t2 = m.probe_result(t, true);
+        assert!(m.try_readmit(t2));
+        m.quarantine(t2);
+        let fresh_gap = m.next_event_ns().expect("scheduled") - t2;
+        assert!(
+            (fresh_gap - first_gap).abs() / first_gap < 0.25,
+            "post-recovery backoff restarts near the base: {fresh_gap} vs {first_gap}"
+        );
+        assert_eq!(m.total_quarantines, 2);
+        assert!(m.total_probes >= 2);
+    }
+}

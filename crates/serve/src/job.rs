@@ -175,6 +175,18 @@ pub enum AdmissionError {
         /// The configured queue capacity.
         capacity: usize,
     },
+    /// The fleet was saturated and graceful degradation shed this job:
+    /// Bulk (low-priority) traffic is shed at the soft capacity,
+    /// latency-sensitive traffic only at the hard cap. Counted
+    /// separately from hard [`AdmissionError::QueueFull`] rejections.
+    Overloaded {
+        /// Jobs queued fleet-wide at the shed instant.
+        depth: usize,
+        /// The soft capacity the depth exceeded.
+        soft_capacity: usize,
+        /// Priority of the shed job (Low sheds first).
+        priority: Priority,
+    },
 }
 
 impl std::fmt::Display for AdmissionError {
@@ -182,6 +194,17 @@ impl std::fmt::Display for AdmissionError {
         match self {
             AdmissionError::QueueFull { depth, capacity } => {
                 write!(f, "queue full: {depth} jobs queued, capacity {capacity}")
+            }
+            AdmissionError::Overloaded {
+                depth,
+                soft_capacity,
+                priority,
+            } => {
+                write!(
+                    f,
+                    "overloaded: {depth} jobs queued over soft capacity {soft_capacity}, \
+                     shed {priority:?}-priority job"
+                )
             }
         }
     }
@@ -197,6 +220,13 @@ pub enum JobStatus {
     Completed,
     /// Turned away by admission control; never ran.
     Rejected(AdmissionError),
+    /// Accepted, but cancelled at dequeue because its deadline had
+    /// already passed while it sat queued — the service refuses to burn
+    /// GPU time on a result nobody can use.
+    DeadlineExceeded {
+        /// The deadline the job could no longer meet, simulated ns.
+        deadline_ns: f64,
+    },
 }
 
 /// What the service reports back for one job.
@@ -223,6 +253,11 @@ pub struct JobOutcome {
     pub replans: u32,
     /// True if the job completed after its deadline.
     pub missed_deadline: bool,
+    /// FNV-1a digest of the raw-NTT output (0 for proofs, commitments
+    /// and jobs that never ran). Lets chaos experiments assert that a
+    /// job re-dispatched after a failover produced the bit-identical
+    /// result a fault-free run would have.
+    pub output_digest: u64,
 }
 
 impl JobOutcome {
@@ -234,6 +269,17 @@ impl JobOutcome {
     /// True if the job ran to completion.
     pub fn completed(&self) -> bool {
         self.status == JobStatus::Completed
+    }
+
+    /// True if admission control accepted the job (it may still have
+    /// been cancelled later for a hopeless deadline).
+    pub fn accepted(&self) -> bool {
+        !matches!(self.status, JobStatus::Rejected(_))
+    }
+
+    /// True if the job was cancelled at dequeue for a hopeless deadline.
+    pub fn deadline_exceeded(&self) -> bool {
+        matches!(self.status, JobStatus::DeadlineExceeded { .. })
     }
 }
 

@@ -37,18 +37,28 @@
 
 mod coalesce;
 mod config;
+mod dispatch;
+mod fleet;
+mod health;
 mod job;
 mod lease;
 mod metrics;
+mod router;
 mod service;
 mod workload;
 
 pub use coalesce::{BatchKey, Coalescer, QueuedJob, ReadyBatch};
 pub use config::{LeaseShape, SchedulerPolicy, ServiceConfig};
+pub use fleet::{
+    ChaosEvent, ChaosKind, ChaosPlan, FleetConfig, FleetReport, FleetService, FleetStats,
+    HedgeConfig,
+};
+pub use health::{HealthConfig, HealthMachine, HealthState};
 pub use job::{
     AdmissionError, JobClass, JobId, JobOutcome, JobSpec, JobStatus, Priority, ServiceField,
 };
 pub use lease::{Lease, LeasePool};
 pub use metrics::{ClassMetrics, LatencyStats, LeaseMetrics, ServiceMetrics};
+pub use router::ShardRouter;
 pub use service::{ProofService, ServiceReport};
 pub use workload::{WorkloadMix, WorkloadSpec};

@@ -3,8 +3,8 @@
 
 use std::collections::BTreeMap;
 
-use crate::job::JobOutcome;
-use crate::lease::LeasePool;
+use crate::job::{AdmissionError, JobOutcome, JobStatus};
+use crate::lease::{Lease, LeasePool};
 
 /// Latency distribution summary, shared with the telemetry crate so
 /// every consumer uses the same nearest-rank percentile math.
@@ -17,8 +17,14 @@ pub struct ClassMetrics {
     pub submitted: usize,
     /// Jobs that ran to completion.
     pub completed: usize,
-    /// Jobs shed by admission control.
+    /// Jobs hard-rejected by admission control (queue full at arrival).
     pub rejected: usize,
+    /// Jobs shed by overload backpressure (graceful degradation), kept
+    /// separate from hard rejections and deadline cancellations.
+    pub shed: usize,
+    /// Accepted jobs cancelled at dequeue because their deadline had
+    /// already passed — they never occupied a lease.
+    pub deadline_exceeded: usize,
     /// Completed jobs that finished after their deadline.
     pub deadline_misses: usize,
     /// Transient-fault retries absorbed by this class's dispatches.
@@ -42,6 +48,24 @@ pub struct LeaseMetrics {
     pub occupancy: f64,
     /// Times the lease was swapped for fresh hardware.
     pub repairs: u32,
+}
+
+impl LeaseMetrics {
+    /// Snapshot of one lease over a run of `horizon_ns`, reporting it
+    /// under `id` (fleet runs renumber leases globally across clusters).
+    pub fn from_lease(lease: &Lease, id: usize, horizon_ns: f64) -> Self {
+        LeaseMetrics {
+            id,
+            dispatches: lease.dispatches,
+            busy_ns: lease.busy_ns,
+            occupancy: if horizon_ns > 0.0 {
+                lease.busy_ns / horizon_ns
+            } else {
+                0.0
+            },
+            repairs: lease.repairs,
+        }
+    }
 }
 
 /// Everything the service measured over one run, on the simulated clock.
@@ -70,29 +94,54 @@ impl ServiceMetrics {
         peak_queue_depth: usize,
         pool: &LeasePool,
     ) -> Self {
-        let horizon_ns = outcomes
+        let horizon_ns = Self::horizon(outcomes);
+        let leases = pool
+            .leases()
+            .iter()
+            .map(|l| LeaseMetrics::from_lease(l, l.id, horizon_ns))
+            .collect();
+        Self::build_parts(outcomes, batch_sizes, peak_queue_depth, leases)
+    }
+
+    /// The last completion (or rejection) instant across outcomes, ns.
+    pub fn horizon(outcomes: &[JobOutcome]) -> f64 {
+        outcomes
             .iter()
             .map(|o| o.completed_ns)
-            .fold(0.0f64, f64::max);
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Builds the snapshot from pre-assembled lease metrics — the fleet
+    /// path, where leases come from several per-cluster pools.
+    pub fn build_parts(
+        outcomes: &[JobOutcome],
+        batch_sizes: &[usize],
+        peak_queue_depth: usize,
+        leases: Vec<LeaseMetrics>,
+    ) -> Self {
+        let horizon_ns = Self::horizon(outcomes);
 
         let mut classes: BTreeMap<&'static str, ClassMetrics> = BTreeMap::new();
         let mut latencies: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
         for o in outcomes {
             let c = classes.entry(o.class_name).or_default();
             c.submitted += 1;
-            if o.completed() {
-                c.completed += 1;
-                c.retries += o.retries;
-                c.replans += u64::from(o.replans);
-                if o.missed_deadline {
-                    c.deadline_misses += 1;
+            match o.status {
+                JobStatus::Completed => {
+                    c.completed += 1;
+                    c.retries += o.retries;
+                    c.replans += u64::from(o.replans);
+                    if o.missed_deadline {
+                        c.deadline_misses += 1;
+                    }
+                    latencies
+                        .entry(o.class_name)
+                        .or_default()
+                        .push(o.latency_ns());
                 }
-                latencies
-                    .entry(o.class_name)
-                    .or_default()
-                    .push(o.latency_ns());
-            } else {
-                c.rejected += 1;
+                JobStatus::Rejected(AdmissionError::QueueFull { .. }) => c.rejected += 1,
+                JobStatus::Rejected(AdmissionError::Overloaded { .. }) => c.shed += 1,
+                JobStatus::DeadlineExceeded { .. } => c.deadline_exceeded += 1,
             }
         }
         for (name, samples) in &latencies {
@@ -104,22 +153,6 @@ impl ServiceMetrics {
         for &size in batch_sizes {
             *batch_histogram.entry(size).or_insert(0u64) += 1;
         }
-
-        let leases = pool
-            .leases()
-            .iter()
-            .map(|l| LeaseMetrics {
-                id: l.id,
-                dispatches: l.dispatches,
-                busy_ns: l.busy_ns,
-                occupancy: if horizon_ns > 0.0 {
-                    l.busy_ns / horizon_ns
-                } else {
-                    0.0
-                },
-                repairs: l.repairs,
-            })
-            .collect();
 
         Self {
             horizon_ns,
@@ -136,9 +169,19 @@ impl ServiceMetrics {
         self.classes.values().map(|c| c.completed).sum()
     }
 
-    /// Jobs rejected across every class.
+    /// Jobs hard-rejected across every class.
     pub fn rejected(&self) -> usize {
         self.classes.values().map(|c| c.rejected).sum()
+    }
+
+    /// Jobs shed by overload backpressure across every class.
+    pub fn shed(&self) -> usize {
+        self.classes.values().map(|c| c.shed).sum()
+    }
+
+    /// Accepted jobs cancelled for hopeless deadlines across every class.
+    pub fn deadline_exceeded(&self) -> usize {
+        self.classes.values().map(|c| c.deadline_exceeded).sum()
     }
 
     /// Completed-job throughput over the simulated horizon, jobs/s.
@@ -176,11 +219,13 @@ impl ServiceMetrics {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "horizon {:.3} ms | {} completed, {} rejected | {:.0} jobs/s | \
-             {} batches (mean size {:.2}) | peak queue {} | occupancy {:.0}%",
+            "horizon {:.3} ms | {} completed, {} rejected, {} shed, {} expired | \
+             {:.0} jobs/s | {} batches (mean size {:.2}) | peak queue {} | occupancy {:.0}%",
             self.horizon_ns * 1e-6,
             self.completed(),
             self.rejected(),
+            self.shed(),
+            self.deadline_exceeded(),
             self.throughput_jobs_per_s(),
             self.dispatches,
             self.mean_batch_size(),
@@ -190,11 +235,13 @@ impl ServiceMetrics {
         for (name, c) in &self.classes {
             let _ = writeln!(
                 out,
-                "  {name:>12}: {}/{} ok ({} rejected, {} late) | p50 {:.1} µs, \
-                 p95 {:.1} µs, p99 {:.1} µs | {} retries, {} replans",
+                "  {name:>12}: {}/{} ok ({} rejected, {} shed, {} expired, {} late) | \
+                 p50 {:.1} µs, p95 {:.1} µs, p99 {:.1} µs | {} retries, {} replans",
                 c.completed,
                 c.submitted,
                 c.rejected,
+                c.shed,
+                c.deadline_exceeded,
                 c.deadline_misses,
                 c.latency.p50_ns * 1e-3,
                 c.latency.p95_ns * 1e-3,

@@ -1,0 +1,142 @@
+//! The shard router: picks which cluster a job lands on.
+//!
+//! Routing is **rendezvous (highest-random-weight) hashing** over the
+//! `(tenant, shape)` key: every candidate cluster gets a deterministic
+//! weight and the maximum wins. Same-shaped jobs from the same tenant
+//! therefore land on the same cluster — maximizing the coalescer's
+//! chances of batching them — while distinct keys spread across the
+//! fleet. When a cluster drops out of the candidate set (quarantine,
+//! chaos kill) only the keys it owned move; every other key keeps its
+//! home, which keeps failovers from scrambling warm batches fleet-wide.
+
+use crate::job::JobClass;
+
+/// Deterministic rendezvous router over cluster indices.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardRouter {
+    seed: u64,
+}
+
+impl ShardRouter {
+    /// A router whose placement is a pure function of `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The routing key for one job: tenant plus the job's coalescable
+    /// shape. Raw NTTs key on `(field, log_n)` — direction is excluded
+    /// deliberately, so a tenant's forward/inverse pairs share a home
+    /// and its batches alternate on one warm cluster.
+    pub fn shard_key(&self, tenant: u32, class: &JobClass) -> u64 {
+        let shape = match *class {
+            JobClass::RawNtt { field, log_n, .. } => {
+                0x10_0000 | (u64::from(log_n) << 4) | field as u64
+            }
+            JobClass::PlonkProve { log_gates } => 0x20_0000 | u64::from(log_gates),
+            JobClass::StarkCommit { log_trace, columns } => {
+                0x30_0000 | (u64::from(log_trace) << 16) | columns as u64
+            }
+        };
+        mix(self.seed ^ (u64::from(tenant) << 40) ^ shape)
+    }
+
+    /// The winning cluster for `(tenant, class)` among `candidates`, or
+    /// `None` when no cluster is routable. Ties (astronomically rare)
+    /// break toward the lower cluster index for determinism.
+    pub fn route(&self, tenant: u32, class: &JobClass, candidates: &[usize]) -> Option<usize> {
+        let key = self.shard_key(tenant, class);
+        candidates
+            .iter()
+            .map(|&c| (mix(key ^ (c as u64).wrapping_mul(0xd6e8_feb8_6659_fd93)), c))
+            .max_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)))
+            .map(|(_, c)| c)
+    }
+}
+
+/// `splitmix64` finalizer.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use unintt_ntt::Direction;
+
+    use super::*;
+    use crate::job::ServiceField;
+
+    fn raw(log_n: u32, direction: Direction) -> JobClass {
+        JobClass::RawNtt {
+            field: ServiceField::Goldilocks,
+            log_n,
+            direction,
+        }
+    }
+
+    #[test]
+    fn same_key_same_home() {
+        let r = ShardRouter::new(42);
+        let all = [0, 1, 2, 3];
+        let a = r.route(7, &raw(12, Direction::Forward), &all);
+        let b = r.route(7, &raw(12, Direction::Forward), &all);
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            r.route(7, &raw(12, Direction::Inverse), &all),
+            "direction does not split the home"
+        );
+    }
+
+    #[test]
+    fn keys_spread_across_the_fleet() {
+        let r = ShardRouter::new(42);
+        let all = [0, 1, 2, 3];
+        let mut homes = std::collections::BTreeSet::new();
+        for tenant in 0..16 {
+            for log_n in 8..16 {
+                homes.insert(r.route(tenant, &raw(log_n, Direction::Forward), &all));
+            }
+        }
+        assert_eq!(homes.len(), 4, "128 keys must reach every cluster");
+    }
+
+    #[test]
+    fn removing_a_cluster_only_moves_its_keys() {
+        let r = ShardRouter::new(42);
+        let all = [0, 1, 2, 3];
+        let survivors = [0, 1, 3];
+        for tenant in 0..32 {
+            let class = raw(10 + tenant % 6, Direction::Forward);
+            let before = r.route(tenant, &class, &all).expect("candidates");
+            let after = r.route(tenant, &class, &survivors).expect("candidates");
+            if before != 2 {
+                assert_eq!(before, after, "unaffected keys keep their home");
+            } else {
+                assert_ne!(after, 2, "orphaned keys re-home to a survivor");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_candidate_set_routes_nowhere() {
+        let r = ShardRouter::new(42);
+        assert_eq!(r.route(0, &raw(10, Direction::Forward), &[]), None);
+    }
+
+    #[test]
+    fn seed_changes_the_placement() {
+        let all = [0, 1, 2, 3];
+        let a = ShardRouter::new(1);
+        let b = ShardRouter::new(2);
+        let moved = (0..64)
+            .filter(|&t| {
+                a.route(t, &raw(12, Direction::Forward), &all)
+                    != b.route(t, &raw(12, Direction::Forward), &all)
+            })
+            .count();
+        assert!(moved > 16, "different seeds shuffle placements: {moved}");
+    }
+}

@@ -12,31 +12,19 @@
 //! `verify_outputs` on, every raw-NTT result is checked bit-for-bit
 //! against a CPU reference computed through [`unintt_ntt::batch`]'s
 //! batched path, every PLONK proof is verified, and every STARK
-//! commitment is checked.
+//! commitment is checked. The execution machinery itself lives in
+//! [`crate::dispatch`], shared with the multi-cluster fleet runner.
 
-use std::collections::BTreeMap;
 use std::sync::mpsc::Receiver;
 
-use rand::{rngs::StdRng, SeedableRng};
-use unintt_core::{Cluster, ClusterNttEngine, UniNttOptions};
-use unintt_ff::{BabyBear, Field, Goldilocks, TwoAdicField};
-use unintt_fri::{commit_trace, verify_trace, FriConfig, LdeBackend};
-use unintt_gpu_sim::{presets, FaultPlan, FieldSpec, KernelProfile};
-use unintt_ntt::{batch_transform_parallel, Direction, Ntt};
-use unintt_zkp::{
-    prove, random_circuit, setup, verify, Backend, ProvingKey, VerifyingKey, Witness,
-};
+use unintt_gpu_sim::FieldSpec;
 
-use crate::coalesce::{BatchKey, Coalescer, QueuedJob, ReadyBatch};
-use crate::config::{SchedulerPolicy, ServiceConfig};
+use crate::coalesce::{Coalescer, QueuedJob, ReadyBatch};
+use crate::config::ServiceConfig;
+use crate::dispatch::{self, EngineCaches};
 use crate::job::{AdmissionError, JobClass, JobId, JobOutcome, JobSpec, JobStatus, ServiceField};
 use crate::lease::LeasePool;
 use crate::metrics::ServiceMetrics;
-
-/// Seed domain for per-job synthetic payloads.
-const PAYLOAD_SEED: u64 = 0x0b5e_55ed_0d15_ea5e;
-/// Seed domain for PLONK/STARK fixtures.
-const FIXTURE_SEED: u64 = 0xf1c5_0123_4567_89ab;
 
 /// Everything one run produced: per-job outcomes plus the metrics
 /// snapshot.
@@ -121,15 +109,6 @@ impl ProofService {
     }
 }
 
-/// Result of one raw-NTT batch dispatch.
-struct RawDispatch {
-    /// Simulated time the lease was occupied (cluster delta + overhead).
-    elapsed_ns: f64,
-    /// Jobs not run because the lease ran out of healthy nodes; requeued
-    /// by the caller.
-    leftover: Vec<QueuedJob>,
-}
-
 /// The discrete-event execution engine behind [`ProofService::run`].
 struct Runner {
     cfg: ServiceConfig,
@@ -140,17 +119,7 @@ struct Runner {
     batch_sizes: Vec<usize>,
     peak_queue: usize,
     dispatch_seq: u64,
-    engines_g: BTreeMap<u32, ClusterNttEngine<Goldilocks>>,
-    engines_b: BTreeMap<u32, ClusterNttEngine<BabyBear>>,
-    plonk_fixtures: BTreeMap<u32, PlonkFixture>,
-    stark_fixtures: BTreeMap<(u32, usize), Vec<Vec<Goldilocks>>>,
-}
-
-/// Canned circuit + keys for PLONK jobs of one size.
-struct PlonkFixture {
-    pk: ProvingKey,
-    vk: VerifyingKey,
-    witness: Witness,
+    caches: EngineCaches,
 }
 
 impl Runner {
@@ -166,10 +135,7 @@ impl Runner {
             batch_sizes: Vec::new(),
             peak_queue: 0,
             dispatch_seq: 0,
-            engines_g: BTreeMap::new(),
-            engines_b: BTreeMap::new(),
-            plonk_fixtures: BTreeMap::new(),
-            stark_fixtures: BTreeMap::new(),
+            caches: EngineCaches::new(),
         }
     }
 
@@ -228,7 +194,7 @@ impl Runner {
 
             // 3. Dispatch ready batches onto free leases.
             while !self.ready.is_empty() && self.pool.any_free(now) {
-                let batch = self.take_next_batch();
+                let batch = dispatch::take_next_batch(&mut self.ready, self.cfg.policy);
                 self.dispatch(batch, now);
             }
         }
@@ -274,6 +240,7 @@ impl Runner {
                 retries: 0,
                 replans: 0,
                 missed_deadline: false,
+                output_digest: 0,
             });
             unintt_telemetry::counter_add("serve_jobs_rejected", 1);
             return;
@@ -296,57 +263,27 @@ impl Runner {
         }
     }
 
-    /// Removes and returns the batch the configured policy runs next.
-    fn take_next_batch(&mut self) -> ReadyBatch {
-        let batch_priority = |b: &ReadyBatch| {
-            b.jobs
-                .iter()
-                .map(|j| j.spec.priority)
-                .max()
-                .unwrap_or_default()
-        };
-        let batch_cost = |b: &ReadyBatch| {
-            b.jobs
-                .iter()
-                .map(|j| j.spec.class.estimated_cost())
-                .sum::<f64>()
-        };
-        let fifo = |a: &ReadyBatch, b: &ReadyBatch| {
-            a.ready_ns
-                .partial_cmp(&b.ready_ns)
-                .expect("ready times are finite")
-                .then(a.first_id().cmp(&b.first_id()))
-        };
-        let idx = match self.cfg.policy {
-            SchedulerPolicy::Fifo => self
-                .ready
-                .iter()
-                .enumerate()
-                .min_by(|(_, a), (_, b)| fifo(a, b)),
-            SchedulerPolicy::Priority => self.ready.iter().enumerate().min_by(|(_, a), (_, b)| {
-                batch_priority(b)
-                    .cmp(&batch_priority(a)) // higher priority first
-                    .then(fifo(a, b))
-            }),
-            SchedulerPolicy::ShortestJobFirst => {
-                self.ready.iter().enumerate().min_by(|(_, a), (_, b)| {
-                    batch_cost(a)
-                        .partial_cmp(&batch_cost(b))
-                        .expect("costs are finite")
-                        .then(fifo(a, b))
-                })
-            }
-        }
-        .map(|(i, _)| i)
-        .expect("take_next_batch called with ready batches");
-        self.ready.swap_remove(idx)
-    }
-
     /// Runs one batch on the earliest-free lease, charging simulated time
-    /// and recording outcomes.
+    /// and recording outcomes. Members whose deadline already passed are
+    /// cancelled here, at dequeue, before the lease is touched.
     fn dispatch(&mut self, batch: ReadyBatch, now: f64) {
         debug_assert!(!batch.is_empty());
-        let batch_len = batch.len();
+        let (jobs, expired) = dispatch::split_expired(batch.jobs, now);
+        if !expired.is_empty() {
+            unintt_telemetry::record_instant(|| unintt_telemetry::Instant {
+                name: "deadline-cancel".into(),
+                kind: unintt_telemetry::InstantKind::Shed,
+                track: "admission".into(),
+                t_ns: now,
+                attrs: vec![("jobs", expired.len().into())],
+            });
+            unintt_telemetry::counter_add("serve_deadline_cancelled", expired.len() as u64);
+            self.outcomes.extend(expired);
+        }
+        if jobs.is_empty() {
+            return;
+        }
+        let batch_len = jobs.len();
         self.batch_sizes.push(batch_len);
         self.dispatch_seq += 1;
         let seq = self.dispatch_seq;
@@ -363,30 +300,18 @@ impl Runner {
                     ServiceField::BabyBear => FieldSpec::babybear(),
                 };
                 let mut cluster = self.pool.lease_mut(lease_id).build_cluster(field_spec);
-                let result = match key.field {
-                    ServiceField::Goldilocks => Self::run_raw_batch(
-                        &mut self.engines_g,
-                        &self.cfg,
-                        field_spec,
-                        key,
-                        &batch.jobs,
-                        &mut cluster,
-                        seq,
-                        now,
-                        &mut self.outcomes,
-                    ),
-                    ServiceField::BabyBear => Self::run_raw_batch(
-                        &mut self.engines_b,
-                        &self.cfg,
-                        field_spec,
-                        key,
-                        &batch.jobs,
-                        &mut cluster,
-                        seq,
-                        now,
-                        &mut self.outcomes,
-                    ),
-                };
+                let result = dispatch::run_raw_batch(
+                    &mut self.caches,
+                    &self.cfg,
+                    key,
+                    &jobs,
+                    &mut cluster,
+                    seq,
+                    now,
+                );
+                for c in &result.completions {
+                    self.outcomes.push(dispatch::commit_completion(c));
+                }
                 let done = now + result.elapsed_ns;
                 unintt_telemetry::record_span(|| unintt_telemetry::Span {
                     id: unintt_telemetry::fresh_id(),
@@ -437,16 +362,18 @@ impl Runner {
                 }
             }
             None => {
-                let job = batch.jobs[0];
+                let job = jobs[0];
                 let elapsed = match job.spec.class {
-                    JobClass::PlonkProve { log_gates } => self.run_plonk(log_gates),
+                    JobClass::PlonkProve { log_gates } => {
+                        dispatch::run_plonk(&mut self.caches, &self.cfg, log_gates)
+                    }
                     JobClass::StarkCommit { log_trace, columns } => {
-                        self.run_stark(log_trace, columns)
+                        dispatch::run_stark(&mut self.caches, &self.cfg, log_trace, columns)
                     }
                     JobClass::RawNtt { .. } => unreachable!("raw jobs always carry a batch key"),
                 } + self.cfg.dispatch_overhead_ns;
                 let done = now + elapsed;
-                record_job_spans(
+                dispatch::record_job_spans(
                     job.id,
                     job.spec.class.name(),
                     job.spec.arrival_ns,
@@ -480,6 +407,7 @@ impl Runner {
                     retries: 0,
                     replans: 0,
                     missed_deadline: job.spec.deadline_ns.is_some_and(|d| done > d),
+                    output_digest: 0,
                 });
                 let lease = self.pool.lease_mut(lease_id);
                 lease.free_at_ns = done;
@@ -488,254 +416,16 @@ impl Runner {
             }
         }
     }
-
-    /// Runs a coalesced raw-NTT batch on `cluster`: every member shares
-    /// the lease, the plan (from the engine cache), and — crucially — one
-    /// fixed dispatch overhead. Member jobs execute back-to-back with
-    /// fault recovery; a job that cannot complete because the lease lost
-    /// its last healthy node lands in `leftover` for requeueing.
-    #[allow(clippy::too_many_arguments)]
-    fn run_raw_batch<F: TwoAdicField>(
-        engines: &mut BTreeMap<u32, ClusterNttEngine<F>>,
-        cfg: &ServiceConfig,
-        field_spec: FieldSpec,
-        key: BatchKey,
-        jobs: &[QueuedJob],
-        cluster: &mut Cluster,
-        dispatch_seq: u64,
-        start_ns: f64,
-        outcomes: &mut Vec<JobOutcome>,
-    ) -> RawDispatch {
-        let engine = engines.entry(key.log_n).or_insert_with(|| {
-            let node_cfg = presets::a100_nvlink(cfg.lease.gpus_per_node);
-            let mut opts = UniNttOptions::tuned_for(&field_spec);
-            opts.comm_mode = cfg.comm_mode;
-            ClusterNttEngine::new(key.log_n, cfg.lease.nodes, &node_cfg, opts, field_spec)
-        });
-        if let Some(rates) = cfg.fault_rates {
-            for node in 0..cluster.num_nodes() {
-                let seed = cfg.fault_seed
-                    ^ dispatch_seq.wrapping_mul(0xa076_1d64_78bd_642f)
-                    ^ (node as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-                cluster
-                    .node_mut(node)
-                    .set_fault_plan(FaultPlan::random(seed, rates));
-            }
-        }
-        let n = 1usize << key.log_n;
-        let direction = if key.forward {
-            Direction::Forward
-        } else {
-            Direction::Inverse
-        };
-        let inputs: Vec<Vec<F>> = jobs.iter().map(|j| payload::<F>(j.id, key.log_n)).collect();
-
-        // CPU references for the whole batch in one batched call — the
-        // service's host-side check rides the same `ntt::batch` path and
-        // shared plan/twiddle caches provers use.
-        let references: Option<Vec<F>> = cfg.verify_outputs.then(|| {
-            let ntt = Ntt::<F>::new(key.log_n);
-            let mut flat: Vec<F> = inputs.iter().flatten().copied().collect();
-            batch_transform_parallel(&ntt, &mut flat, direction, jobs.len().min(8));
-            flat
-        });
-
-        let inv_n = F::from_u64(n as u64)
-            .inverse()
-            .expect("domain size is invertible in an NTT-friendly field");
-        let t0 = cluster.total_time_ns();
-        let mut leftover = Vec::new();
-        for (idx, (job, input)) in jobs.iter().zip(&inputs).enumerate() {
-            let exec_start_ns = start_ns + (cluster.total_time_ns() - t0);
-            match engine.forward_with_recovery(cluster, input, &cfg.recovery) {
-                Ok(mut report) => {
-                    let output = if key.forward {
-                        std::mem::take(&mut report.output)
-                    } else {
-                        inverse_from_forward(&report.output, inv_n, cluster)
-                    };
-                    if let Some(flat) = &references {
-                        assert_eq!(
-                            output,
-                            flat[idx * n..(idx + 1) * n],
-                            "cluster output diverged from the CPU reference for {}",
-                            job.id
-                        );
-                    }
-                    let done = start_ns + (cluster.total_time_ns() - t0) + cfg.dispatch_overhead_ns;
-                    record_job_spans(
-                        job.id,
-                        job.spec.class.name(),
-                        job.spec.arrival_ns,
-                        exec_start_ns,
-                        done,
-                        jobs.len(),
-                    );
-                    outcomes.push(JobOutcome {
-                        id: job.id,
-                        tenant: job.spec.tenant,
-                        class_name: job.spec.class.name(),
-                        status: JobStatus::Completed,
-                        arrival_ns: job.spec.arrival_ns,
-                        completed_ns: done,
-                        batch_size: jobs.len(),
-                        retries: report.total_retries(),
-                        replans: report.replans,
-                        missed_deadline: job.spec.deadline_ns.is_some_and(|d| done > d),
-                    });
-                }
-                Err(_) => {
-                    leftover.extend_from_slice(&jobs[idx..]);
-                    break;
-                }
-            }
-        }
-        RawDispatch {
-            elapsed_ns: cluster.total_time_ns() - t0 + cfg.dispatch_overhead_ns,
-            leftover,
-        }
-    }
-
-    /// A PLONK proof over the canned circuit of the requested size, run
-    /// through the simulated backend. Returns the simulated duration.
-    fn run_plonk(&mut self, log_gates: u32) -> f64 {
-        let fixture = self.plonk_fixtures.entry(log_gates).or_insert_with(|| {
-            let mut rng = StdRng::seed_from_u64(FIXTURE_SEED ^ u64::from(log_gates));
-            let (circuit, witness) = random_circuit(1usize << log_gates, &mut rng);
-            let (pk, vk) = setup(&circuit, &mut rng);
-            PlonkFixture { pk, vk, witness }
-        });
-        let gpus = self.cfg.lease.total_gpus();
-        let mut backend =
-            Backend::simulated(presets::a100_nvlink(gpus), presets::a100_nvlink(gpus));
-        let proof = prove(&fixture.pk, &fixture.witness, &[], &mut backend);
-        if self.cfg.verify_outputs {
-            assert!(
-                verify(&fixture.vk, &proof, &[]),
-                "service-produced proof must verify"
-            );
-        }
-        backend.report().total_ns()
-    }
-
-    /// A STARK trace commitment over a canned trace, run through the
-    /// simulated LDE backend. Returns the simulated duration.
-    fn run_stark(&mut self, log_trace: u32, columns: usize) -> f64 {
-        let trace = self
-            .stark_fixtures
-            .entry((log_trace, columns))
-            .or_insert_with(|| {
-                let mut rng = StdRng::seed_from_u64(
-                    FIXTURE_SEED ^ (u64::from(log_trace) << 32) ^ columns as u64,
-                );
-                (0..columns)
-                    .map(|_| {
-                        (0..1usize << log_trace)
-                            .map(|_| Goldilocks::random(&mut rng))
-                            .collect()
-                    })
-                    .collect()
-            });
-        let gpus = self.cfg.lease.total_gpus();
-        let mut backend = LdeBackend::simulated(presets::a100_nvlink(gpus));
-        let config = FriConfig::standard();
-        let commitment = commit_trace(trace, &config, &mut backend);
-        if self.cfg.verify_outputs {
-            assert!(
-                verify_trace(&commitment, &config),
-                "service-produced commitment must verify"
-            );
-        }
-        backend.sim_time_ns()
-    }
-}
-
-/// Records the lifecycle spans for one completed job on its own track:
-/// a `job` root covering arrival → completion, with `queued` and
-/// `execute` children splitting the interval at dispatch time. No-op
-/// when telemetry is disabled.
-fn record_job_spans(
-    id: JobId,
-    class: &'static str,
-    arrival_ns: f64,
-    exec_start_ns: f64,
-    done_ns: f64,
-    batch_size: usize,
-) {
-    let Some(root) = unintt_telemetry::reserve_span_id() else {
-        return;
-    };
-    use unintt_telemetry::{fresh_id, record_span, Span, SpanLevel};
-    let track = id.to_string();
-    record_span(|| Span {
-        id: fresh_id(),
-        parent: Some(root),
-        name: "queued".into(),
-        level: SpanLevel::Serve,
-        category: "queue",
-        track: track.clone(),
-        t_start_ns: arrival_ns,
-        t_end_ns: exec_start_ns,
-        attrs: vec![],
-    });
-    record_span(|| Span {
-        id: fresh_id(),
-        parent: Some(root),
-        name: "execute".into(),
-        level: SpanLevel::Serve,
-        category: "execute",
-        track: track.clone(),
-        t_start_ns: exec_start_ns,
-        t_end_ns: done_ns,
-        attrs: vec![("class", class.into())],
-    });
-    record_span(|| Span {
-        id: root,
-        parent: None,
-        name: "job".into(),
-        level: SpanLevel::Serve,
-        category: "job",
-        track,
-        t_start_ns: arrival_ns,
-        t_end_ns: done_ns,
-        attrs: vec![("class", class.into()), ("batch", batch_size.into())],
-    });
-    unintt_telemetry::counter_add("serve_jobs_completed", 1);
-}
-
-/// Deterministic synthetic payload for one raw job.
-fn payload<F: Field>(id: JobId, log_n: u32) -> Vec<F> {
-    let mut rng = StdRng::seed_from_u64(PAYLOAD_SEED ^ id.0.wrapping_mul(0x9e37_79b9_7f4a_7c15));
-    (0..1usize << log_n).map(|_| F::random(&mut rng)).collect()
-}
-
-/// The inverse transform from a forward cluster run:
-/// `INTT(a)[j] = n⁻¹ · NTT(a)[(n−j) mod n]`. The index reversal and scale
-/// are charged as one small fused kernel on the first healthy node.
-fn inverse_from_forward<F: Field>(forward: &[F], inv_n: F, cluster: &mut Cluster) -> Vec<F> {
-    let n = forward.len();
-    let mut out = vec![F::ZERO; n];
-    out[0] = forward[0] * inv_n;
-    for j in 1..n {
-        out[j] = forward[n - j] * inv_n;
-    }
-    if let Some(&node) = cluster.healthy_nodes().first() {
-        let mut profile = KernelProfile::named("serve-inverse-fixup");
-        profile.field_muls = n as u64;
-        profile.blocks = (n as u64 / 256).max(1);
-        let mut unused = ();
-        cluster.node_mut(node).on_device(0, &mut unused, |ctx, _| {
-            ctx.launch(&profile);
-        });
-    }
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use std::sync::mpsc;
 
+    use unintt_ntt::Direction;
+
     use super::*;
+    use crate::config::SchedulerPolicy;
     use crate::job::Priority;
     use crate::workload::WorkloadSpec;
 
@@ -937,15 +627,50 @@ mod tests {
     }
 
     #[test]
-    fn deadlines_are_tracked_not_enforced() {
+    fn hopeless_deadlines_cancel_at_dequeue() {
+        // Job 0's deadline passes while it sits in the coalescing window
+        // (default 25 µs): it is cancelled at dequeue with a typed
+        // status, never occupying a lease. Job 1 shares the batch and
+        // still runs.
         let mut hopeless = raw_spec(10, Direction::Forward, 0.0);
-        hopeless.deadline_ns = Some(1.0); // cannot possibly be met
+        hopeless.deadline_ns = Some(1.0);
         let mut easy = raw_spec(10, Direction::Forward, 0.0);
         easy.deadline_ns = Some(1e12);
         let report = run_stream(ServiceConfig::default(), &[hopeless, easy]);
-        assert!(report.all_completed(), "late jobs still complete");
-        assert!(report.outcomes[0].missed_deadline);
+        assert!(report.outcomes[0].deadline_exceeded());
+        assert!(
+            matches!(
+                report.outcomes[0].status,
+                JobStatus::DeadlineExceeded { deadline_ns } if deadline_ns == 1.0
+            ),
+            "the typed status carries the missed deadline"
+        );
+        assert!(report.outcomes[0].accepted(), "cancelled ≠ rejected");
+        assert_eq!(report.outcomes[0].batch_size, 0, "never dispatched");
+        assert!(report.outcomes[1].completed());
         assert!(!report.outcomes[1].missed_deadline);
+        assert_eq!(report.metrics.deadline_exceeded(), 1);
+        assert_eq!(report.metrics.shed(), 0, "expiry is not overload shed");
+        assert_eq!(report.metrics.completed(), 1);
+    }
+
+    #[test]
+    fn achievable_deadlines_run_and_late_finishes_are_flagged() {
+        // With coalescing off the job dequeues at arrival, before its
+        // deadline passes — so it runs, finishes late, and is flagged as
+        // a miss rather than cancelled.
+        let mut tight = raw_spec(10, Direction::Forward, 0.0);
+        tight.deadline_ns = Some(1.0);
+        let report = run_stream(
+            ServiceConfig {
+                batch_window_ns: 0.0,
+                ..ServiceConfig::default()
+            },
+            &[tight],
+        );
+        assert!(report.all_completed(), "in-flight jobs are never killed");
+        assert!(report.outcomes[0].missed_deadline);
+        assert_eq!(report.metrics.deadline_exceeded(), 0);
     }
 
     #[test]
@@ -970,6 +695,34 @@ mod tests {
         assert!(report.metrics.classes["stark-commit"].completed == 1);
         assert!(report.metrics.horizon_ns > 0.0);
         assert!(!report.metrics.render().is_empty());
+    }
+
+    #[test]
+    fn raw_outcomes_carry_stable_output_digests() {
+        let stream = vec![
+            raw_spec(8, Direction::Forward, 0.0),
+            raw_spec(8, Direction::Forward, 10.0),
+        ];
+        let a = run_stream(ServiceConfig::default(), &stream);
+        let b = run_stream(
+            ServiceConfig {
+                batch_window_ns: 0.0, // different batching, same outputs
+                ..ServiceConfig::default()
+            },
+            &stream,
+        );
+        assert!(a.all_completed() && b.all_completed());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_ne!(x.output_digest, 0, "raw outputs are fingerprinted");
+            assert_eq!(
+                x.output_digest, y.output_digest,
+                "digests depend on the payload, not the batching"
+            );
+        }
+        assert_ne!(
+            a.outcomes[0].output_digest, a.outcomes[1].output_digest,
+            "distinct payloads produce distinct digests"
+        );
     }
 
     #[test]

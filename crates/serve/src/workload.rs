@@ -57,6 +57,12 @@ pub struct WorkloadSpec {
     pub tenants: u32,
     /// When set, each job gets `deadline = arrival + slack`.
     pub deadline_slack_ns: Option<f64>,
+    /// Burstiness in `[0, 1)`: `0.0` is a plain Poisson stream; higher
+    /// values drive a two-state (on/off) modulated process where bursts
+    /// arrive `1/(1−burstiness)` times faster than the mean and the gaps
+    /// between bursts stretch to compensate, keeping the overall offered
+    /// load unchanged.
+    pub burstiness: f64,
 }
 
 impl WorkloadSpec {
@@ -72,6 +78,19 @@ impl WorkloadSpec {
             log_n_max: 10,
             tenants: 4,
             deadline_slack_ns: None,
+            burstiness: 0.0,
+        }
+    }
+
+    /// A bursty multi-tenant stream: the chaos harness's default shape.
+    /// On/off arrival modulation (see [`burstiness`](Self::burstiness))
+    /// concentrates jobs into bursts while the long-run rate stays at
+    /// `offered_load_jobs_per_s`.
+    pub fn bursty(seed: u64, jobs: usize, offered_load_jobs_per_s: f64) -> Self {
+        Self {
+            burstiness: 0.7,
+            tenants: 6,
+            ..Self::raw_only(seed, jobs, offered_load_jobs_per_s)
         }
     }
 
@@ -83,16 +102,41 @@ impl WorkloadSpec {
             "offered load must be positive"
         );
         assert!(self.log_n_min <= self.log_n_max, "empty log_n range");
+        assert!(
+            (0.0..1.0).contains(&self.burstiness),
+            "burstiness must be in [0, 1)"
+        );
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mean_gap_ns = 1e9 / self.offered_load_jobs_per_s;
         let total_weight = (self.mix.raw + self.mix.plonk + self.mix.stark).max(f64::MIN_POSITIVE);
+
+        // On/off modulation: inside a burst gaps shrink by (1−b); the
+        // single off-gap after each burst stretches so the long-run rate
+        // is still `offered_load`. Mean burst length is fixed at 8 jobs.
+        const MEAN_BURST_JOBS: f64 = 8.0;
+        let on_gap_ns = mean_gap_ns * (1.0 - self.burstiness);
+        let off_gap_ns = mean_gap_ns * (1.0 + (MEAN_BURST_JOBS - 1.0) * self.burstiness);
+        let mut burst_left = 0usize;
 
         let mut specs = Vec::with_capacity(self.jobs);
         let mut now = 0.0f64;
         for _ in 0..self.jobs {
             // Inverse-CDF exponential gap; 1−u keeps the argument in (0,1].
             let u: f64 = rng.gen();
-            now += -(1.0 - u).max(f64::MIN_POSITIVE).ln() * mean_gap_ns;
+            let exp = -(1.0 - u).max(f64::MIN_POSITIVE).ln();
+            if self.burstiness <= 0.0 {
+                now += exp * mean_gap_ns;
+            } else if burst_left == 0 {
+                now += exp * off_gap_ns;
+                // Geometric burst length with the configured mean.
+                let v: f64 = rng.gen();
+                burst_left = 1
+                    + (-(1.0 - v).max(f64::MIN_POSITIVE).ln() * (MEAN_BURST_JOBS - 1.0)).round()
+                        as usize;
+            } else {
+                now += exp * on_gap_ns;
+                burst_left -= 1;
+            }
 
             let class = {
                 let pick: f64 = rng.gen::<f64>() * total_weight;
@@ -198,6 +242,40 @@ mod tests {
             .count();
         assert!(raw > plonk && raw > stark);
         assert!(plonk > 0 && stark > 0);
+    }
+
+    #[test]
+    fn bursty_streams_keep_the_rate_but_clump() {
+        let rate = 10_000.0;
+        let jobs = 2_000;
+        let smooth = WorkloadSpec::raw_only(9, jobs, rate).generate();
+        let bursty = WorkloadSpec::bursty(9, jobs, rate).generate();
+        assert_eq!(bursty, WorkloadSpec::bursty(9, jobs, rate).generate());
+
+        let span = |s: &[JobSpec]| s.last().expect("non-empty").arrival_ns * 1e-9;
+        let bursty_rate = jobs as f64 / span(&bursty);
+        assert!(
+            (bursty_rate / rate - 1.0).abs() < 0.3,
+            "long-run rate preserved: {bursty_rate:.0} vs {rate:.0}"
+        );
+
+        // Burstiness shows up as a higher coefficient of variation of
+        // interarrival gaps than the Poisson baseline (CV ≈ 1).
+        let cv = |s: &[JobSpec]| {
+            let gaps: Vec<f64> = s
+                .windows(2)
+                .map(|w| w[1].arrival_ns - w[0].arrival_ns)
+                .collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            var.sqrt() / mean
+        };
+        assert!(
+            cv(&bursty) > cv(&smooth) * 1.2,
+            "bursty CV {:.2} must exceed smooth CV {:.2}",
+            cv(&bursty),
+            cv(&smooth)
+        );
     }
 
     #[test]

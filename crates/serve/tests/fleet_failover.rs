@@ -1,0 +1,124 @@
+//! Integration tests for fleet failover: a cluster killed mid-burst
+//! under every scheduling policy must fail zero accepted jobs and
+//! reproduce the fault-free output bits; the whole run must be
+//! deterministic; and enabling telemetry must not move the simulated
+//! clock by a nanosecond.
+
+use std::collections::BTreeMap;
+
+use unintt_serve::{
+    ChaosPlan, FleetConfig, FleetReport, FleetService, JobId, SchedulerPolicy, ServiceConfig,
+    WorkloadSpec,
+};
+
+/// A bursty multi-tenant stream long enough that the kill lands while
+/// work is genuinely in flight.
+fn stream() -> WorkloadSpec {
+    WorkloadSpec::bursty(0xfa11_0e75, 96, 50_000.0)
+}
+
+fn fleet(policy: SchedulerPolicy, chaos: ChaosPlan) -> FleetService {
+    FleetService::new(FleetConfig {
+        clusters: 3,
+        base: ServiceConfig {
+            policy,
+            ..ServiceConfig::default()
+        },
+        chaos,
+        ..FleetConfig::default()
+    })
+}
+
+fn run(policy: SchedulerPolicy, chaos: ChaosPlan) -> FleetReport {
+    let mut service = fleet(policy, chaos);
+    service.submit_all(stream().generate());
+    service.run()
+}
+
+/// The kill plan every test reuses: cluster 0 dies a quarter of the way
+/// into the fault-free horizon and comes back at 70%.
+fn kill_plan(horizon_ns: f64) -> ChaosPlan {
+    ChaosPlan::kill_revive(0, horizon_ns * 0.25, horizon_ns * 0.7)
+}
+
+#[test]
+fn kill_mid_burst_fails_no_accepted_jobs_under_any_policy() {
+    for policy in [
+        SchedulerPolicy::Fifo,
+        SchedulerPolicy::Priority,
+        SchedulerPolicy::ShortestJobFirst,
+    ] {
+        let baseline = run(policy, ChaosPlan::none());
+        assert!(baseline.zero_accepted_failures(), "{policy:?} baseline");
+
+        let chaos = run(policy, kill_plan(baseline.metrics.horizon_ns));
+        assert!(
+            chaos.zero_accepted_failures(),
+            "{policy:?}: a kill must never fail an accepted job"
+        );
+        assert!(
+            chaos.fleet.quarantines >= 1,
+            "{policy:?}: the kill must trip a breaker"
+        );
+        // Failover must not change a single output bit: every job
+        // completed in both runs produced the same digest.
+        let base: BTreeMap<JobId, u64> = baseline.digests();
+        let with_chaos = chaos.digests();
+        for (id, digest) in &base {
+            if let Some(d) = with_chaos.get(id) {
+                assert_eq!(d, digest, "{policy:?}: job {id:?} changed bits");
+            }
+        }
+        // The kill only removes capacity; nothing new may be shed.
+        assert_eq!(
+            chaos.metrics.completed() + chaos.metrics.deadline_exceeded(),
+            baseline.metrics.completed() + baseline.metrics.deadline_exceeded(),
+            "{policy:?}: accepted work is conserved across the kill"
+        );
+    }
+}
+
+#[test]
+fn chaos_runs_are_deterministic() {
+    let first = run(
+        SchedulerPolicy::Fifo,
+        ChaosPlan::rolling(2, 400_000.0, 300_000.0, 250_000.0),
+    );
+    let second = run(
+        SchedulerPolicy::Fifo,
+        ChaosPlan::rolling(2, 400_000.0, 300_000.0, 250_000.0),
+    );
+    assert_eq!(first.fleet, second.fleet);
+    assert_eq!(first.metrics.horizon_ns, second.metrics.horizon_ns);
+    assert_eq!(first.metrics.classes, second.metrics.classes);
+    assert_eq!(first.digests(), second.digests());
+    assert_eq!(first.outcomes.len(), second.outcomes.len());
+    for (a, b) in first.outcomes.iter().zip(&second.outcomes) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.output_digest, b.output_digest);
+    }
+}
+
+#[test]
+fn telemetry_session_does_not_move_the_simulated_clock() {
+    let silent = run(SchedulerPolicy::Fifo, ChaosPlan::none());
+    let kill = kill_plan(silent.metrics.horizon_ns);
+
+    let silent_chaos = run(SchedulerPolicy::Fifo, kill.clone());
+
+    let guard = unintt_telemetry::start_session();
+    let recorded_chaos = run(SchedulerPolicy::Fifo, kill);
+    let session = unintt_telemetry::take_session();
+    drop(guard);
+
+    assert_eq!(
+        silent_chaos.metrics.horizon_ns, recorded_chaos.metrics.horizon_ns,
+        "recording telemetry must not change the simulated clock"
+    );
+    assert_eq!(silent_chaos.digests(), recorded_chaos.digests());
+    assert_eq!(silent_chaos.fleet, recorded_chaos.fleet);
+    assert!(
+        !session.instants.is_empty(),
+        "the recorded run must actually emit fleet instants"
+    );
+}

@@ -138,6 +138,17 @@ pub fn counter_add(name: &'static str, delta: u64) {
     lock(&REGISTRY).counter_add(name, delta);
 }
 
+/// Adds to a labeled counter when enabled (one numeric label per
+/// series, e.g. `serve_shed_jobs{tenant="3"}`). Same cost contract as
+/// [`counter_add`]: fully static keys, no allocation on the hot path.
+#[inline]
+pub fn counter_add_labeled(name: &'static str, label: &'static str, value: u64, delta: u64) {
+    if !recording() {
+        return;
+    }
+    lock(&REGISTRY).counter_add_labeled(name, label, value, delta);
+}
+
 /// Sets a gauge when enabled.
 #[inline]
 pub fn gauge_set(name: &'static str, value: f64) {

@@ -51,11 +51,15 @@ impl Histogram {
     }
 }
 
-/// The registry itself: three deterministic maps.
+/// The registry itself: deterministic maps throughout.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Registry {
     /// Monotonic counters.
     pub counters: BTreeMap<&'static str, u64>,
+    /// Monotonic counters with one numeric label (e.g. per-tenant sheds),
+    /// keyed `(name, label key, label value)`. Fully static keys keep the
+    /// enabled hot path allocation-free.
+    pub labeled_counters: BTreeMap<(&'static str, &'static str, u64), u64>,
     /// Last-write-wins gauges.
     pub gauges: BTreeMap<&'static str, f64>,
     /// Fixed-bucket histograms.
@@ -67,6 +71,7 @@ impl Registry {
     pub const fn empty() -> Self {
         Registry {
             counters: BTreeMap::new(),
+            labeled_counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
             histograms: BTreeMap::new(),
         }
@@ -75,6 +80,21 @@ impl Registry {
     /// Adds to a counter, creating it at zero.
     pub fn counter_add(&mut self, name: &'static str, delta: u64) {
         *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Adds to a labeled counter (one numeric label per series),
+    /// creating the series at zero.
+    pub fn counter_add_labeled(
+        &mut self,
+        name: &'static str,
+        label: &'static str,
+        value: u64,
+        delta: u64,
+    ) {
+        *self
+            .labeled_counters
+            .entry((name, label, value))
+            .or_insert(0) += delta;
     }
 
     /// Sets a gauge.
@@ -102,17 +122,26 @@ impl Registry {
     /// Clears every metric.
     pub fn clear(&mut self) {
         self.counters.clear();
+        self.labeled_counters.clear();
         self.gauges.clear();
         self.histograms.clear();
     }
 
     /// Renders the Prometheus text exposition format. Deterministic:
-    /// metrics appear in name order.
+    /// metrics appear in name order, labeled series in label order.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, v) in &self.counters {
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {v}");
+        }
+        let mut last_labeled: Option<&'static str> = None;
+        for (&(name, label, value), v) in &self.labeled_counters {
+            if last_labeled != Some(name) {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                last_labeled = Some(name);
+            }
+            let _ = writeln!(out, "{name}{{{label}=\"{value}\"}} {v}");
         }
         for (name, v) in &self.gauges {
             let _ = writeln!(out, "# TYPE {name} gauge");
@@ -149,6 +178,25 @@ mod tests {
         let a = text.find("alpha").unwrap();
         let z = text.find("zeta").unwrap();
         assert!(a < z, "exposition must be name-ordered");
+    }
+
+    #[test]
+    fn labeled_counters_render_per_series_with_one_type_line() {
+        let mut r = Registry::empty();
+        r.counter_add_labeled("serve_shed_jobs", "tenant", 3, 2);
+        r.counter_add_labeled("serve_shed_jobs", "tenant", 0, 1);
+        r.counter_add_labeled("serve_shed_jobs", "tenant", 3, 1);
+        let text = r.render_prometheus();
+        assert!(text.contains("serve_shed_jobs{tenant=\"0\"} 1\n"));
+        assert!(text.contains("serve_shed_jobs{tenant=\"3\"} 3\n"));
+        assert_eq!(
+            text.matches("# TYPE serve_shed_jobs counter").count(),
+            1,
+            "one TYPE line per metric family"
+        );
+        let t0 = text.find("tenant=\"0\"").unwrap();
+        let t3 = text.find("tenant=\"3\"").unwrap();
+        assert!(t0 < t3, "series must render in label order");
     }
 
     #[test]

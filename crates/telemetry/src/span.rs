@@ -131,6 +131,14 @@ pub enum InstantKind {
     CoalescerFlush,
     /// A collective finished (op, bytes, hidden time in attrs).
     Collective,
+    /// A cluster's work was re-sharded onto survivors after a failure.
+    Failover,
+    /// A straggling dispatch was speculatively re-dispatched elsewhere.
+    Hedge,
+    /// A job was shed by backpressure or cancelled past its deadline.
+    Shed,
+    /// A cluster health-state transition (quarantine, probe, recovery).
+    Quarantine,
 }
 
 impl InstantKind {
@@ -142,6 +150,10 @@ impl InstantKind {
             InstantKind::LeaseRepair => "lease-repair",
             InstantKind::CoalescerFlush => "coalescer-flush",
             InstantKind::Collective => "collective",
+            InstantKind::Failover => "failover",
+            InstantKind::Hedge => "hedge",
+            InstantKind::Shed => "shed",
+            InstantKind::Quarantine => "quarantine",
         }
     }
 }
