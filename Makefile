@@ -4,9 +4,9 @@
 EXCLUDE_VENDOR := --exclude criterion --exclude proptest --exclude rand \
                   --exclude serde --exclude serde_derive
 
-.PHONY: verify fmt clippy build bench-check test e13 e14 e15 serve-smoke trace-smoke chaos-smoke
+.PHONY: verify fmt clippy build bench-check test e13 e14 e15 serve-smoke trace-smoke chaos-smoke kernel-smoke
 
-verify: fmt clippy build bench-check test serve-smoke e15 trace-smoke chaos-smoke
+verify: fmt clippy build bench-check test kernel-smoke serve-smoke e15 trace-smoke chaos-smoke
 
 fmt:
 	cargo fmt --all --check
@@ -18,8 +18,11 @@ clippy:
 build:
 	cargo build --release --workspace
 
+# Also compile the benches with the host's full ISA so the explicit
+# AVX2/AVX-512 kernel paths stay buildable under -Ctarget-cpu=native.
 bench-check:
 	cargo bench --no-run
+	RUSTFLAGS="-Ctarget-cpu=native" cargo bench --no-run
 
 test:
 	cargo test -q --release --workspace
@@ -47,6 +50,15 @@ serve-smoke:
 trace-smoke:
 	cargo run --release -p unintt-bench --bin harness -- --quick e16
 	cargo run --release -p unintt-bench --bin harness -- --quick trace e12
+
+# Kernel smoke: the bit-identity property suite (vector vs scalar vs
+# legacy, portable vs native, both fields, both directions), then the
+# quick vector-kernel sweep on the detected backend and again pinned to
+# portable lanes. Fails if any kernel family's output moves by one bit.
+kernel-smoke:
+	cargo test --release -p unintt-ntt --test shoup_properties
+	cargo run --release -p unintt-bench --bin harness -- --quick e18
+	cargo run --release -p unintt-bench --bin harness -- --quick --portable-lanes e18
 
 # Chaos smoke: the fleet example plus the E17 quick sweep. E17 asserts
 # zero accepted-job failures and bit-identical outputs vs the fault-free

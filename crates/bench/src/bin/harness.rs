@@ -6,18 +6,24 @@ use unintt_bench::experiments;
 use unintt_bench::Table;
 
 const USAGE: &str = "\
-usage: harness [--quick] [--legacy-kernels] [--blocking-comm] <experiment>...
+usage: harness [--quick] [--legacy-kernels] [--scalar-kernels] [--portable-lanes] [--blocking-comm] <experiment>...
        harness [--quick] trace <experiment>...
   <experiment>      one or more of: e1 e2 e3 e4 e5 e6 e7 e8 e9 e11 e12 e13
-                    e14 e15 e16 e17 bench-host all
+                    e14 e15 e16 e17 e18 bench-host all
   trace             run the named experiments with telemetry enabled and
                     write a Chrome/Perfetto trace_<experiment>.json next
                     to the process (e16 manages its own session and
                     always writes trace.json)
   --quick           trimmed sweeps (seconds instead of minutes)
   --legacy-kernels  run all host NTTs on the original radix-2 DIT path
-                    instead of the Shoup/six-step fast path (A/B escape
+                    instead of the vectorized default (A/B escape hatch;
+                    outputs are bit-identical either way)
+  --scalar-kernels  run all host NTTs on the scalar Shoup/six-step fast
+                    path instead of the vectorized default (A/B escape
                     hatch; outputs are bit-identical either way)
+  --portable-lanes  keep the vectorized kernels but pin them to the
+                    portable lane path — no AVX2/AVX-512 intrinsics even
+                    where detected (outputs are bit-identical either way)
   --blocking-comm   pin every simulated engine to the legacy blocking
                     exchange schedule instead of the chunked overlapped
                     pipeline (A/B escape hatch; outputs are bit-identical
@@ -29,6 +35,14 @@ fn main() -> ExitCode {
     let quick = args.iter().any(|a| a == "--quick");
     if args.iter().any(|a| a == "--legacy-kernels") {
         unintt_ntt::set_kernel_mode(unintt_ntt::KernelMode::Legacy);
+        unintt_core::set_kernel_mode_override(Some(unintt_ntt::KernelMode::Legacy));
+    }
+    if args.iter().any(|a| a == "--scalar-kernels") {
+        unintt_ntt::set_kernel_mode(unintt_ntt::KernelMode::Fast);
+        unintt_core::set_kernel_mode_override(Some(unintt_ntt::KernelMode::Fast));
+    }
+    if args.iter().any(|a| a == "--portable-lanes") {
+        unintt_ntt::set_vector_backend_override(Some(unintt_ntt::VectorBackend::Portable));
     }
     if args.iter().any(|a| a == "--blocking-comm") {
         unintt_core::set_comm_mode_override(Some(unintt_core::CommMode::Blocking));
@@ -74,6 +88,7 @@ fn main() -> ExitCode {
             "e15" => experiments::e15_comm_overlap::run(quick),
             "e16" => experiments::e16_observability::run(quick),
             "e17" => experiments::e17_resilience::run(quick),
+            "e18" => experiments::e18_vector_kernels::run(quick),
             _ => return None,
         };
         Some(table)

@@ -14,6 +14,7 @@ pub mod e14_serving;
 pub mod e15_comm_overlap;
 pub mod e16_observability;
 pub mod e17_resilience;
+pub mod e18_vector_kernels;
 pub mod e1_headline;
 pub mod e2_scaling;
 pub mod e3_vs_baseline;

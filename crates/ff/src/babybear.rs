@@ -53,7 +53,12 @@ const MONT_R: u32 = {
 };
 
 /// An element of the BabyBear field (Montgomery form internally).
+///
+/// `#[repr(transparent)]` is a guarantee, not an accident: the packed
+/// SIMD kernels (see [`crate::packed`]) reinterpret `&mut [BabyBear]`
+/// as `&mut [u32]` lane buffers, which is only sound with a pinned layout.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct BabyBear(u32);
 
 impl BabyBear {
@@ -78,6 +83,13 @@ impl BabyBear {
     #[inline]
     pub fn value(&self) -> u32 {
         Self::mont_reduce(self.0 as u64)
+    }
+
+    /// The raw Montgomery lane word (no conversion). Used by the packed
+    /// kernels, which operate on Montgomery words directly.
+    #[inline]
+    pub(crate) const fn raw(self) -> u32 {
+        self.0
     }
 }
 
@@ -240,6 +252,8 @@ const TWO_P: u64 = 2 * BABYBEAR_MODULUS as u64;
 /// compatible with the internal representation.
 impl ShoupField for BabyBear {
     const SHOUP_ACCELERATED: bool = true;
+    /// Eight 32-bit lanes fill a 256-bit vector register.
+    const LANES: usize = 8;
 
     #[inline]
     fn shoup_prepare(w: Self) -> ShoupTwiddle<Self> {

@@ -30,7 +30,12 @@ pub const GOLDILOCKS_MODULUS: u64 = 0xffff_ffff_0000_0001;
 const EPSILON: u64 = 0xffff_ffff;
 
 /// An element of the Goldilocks field, stored canonically in `[0, p)`.
+///
+/// `#[repr(transparent)]` is a guarantee, not an accident: the packed
+/// SIMD kernels (see [`crate::packed`]) reinterpret `&mut [Goldilocks]`
+/// as `&mut [u64]` lane buffers, which is only sound with a pinned layout.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct Goldilocks(u64);
 
 impl Goldilocks {
@@ -73,6 +78,14 @@ impl Goldilocks {
     /// The canonical `u64` value in `[0, p)`.
     #[inline]
     pub const fn value(&self) -> u64 {
+        self.0
+    }
+
+    /// The raw lane word. For Goldilocks lanes are always canonical, so
+    /// this coincides with [`Self::value`]; it exists so the packed
+    /// kernels can speak about lane words uniformly across fields.
+    #[inline]
+    pub(crate) const fn raw(self) -> u64 {
         self.0
     }
 }
@@ -218,6 +231,8 @@ impl TwoAdicField for Goldilocks {
 
 impl ShoupField for Goldilocks {
     const SHOUP_ACCELERATED: bool = true;
+    /// Four 64-bit lanes fill a 256-bit vector register.
+    const LANES: usize = 4;
 
     #[inline]
     fn shoup_prepare(w: Self) -> ShoupTwiddle<Self> {

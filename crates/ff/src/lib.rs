@@ -35,6 +35,7 @@ mod bigint;
 mod extension;
 mod goldilocks;
 mod mont;
+pub mod packed;
 mod shoup;
 mod traits;
 

@@ -1,0 +1,549 @@
+//! Lane-packed field kernels: word views over element slices and the
+//! explicit AVX2 (`std::arch`) butterfly primitives.
+//!
+//! The portable packed layer lives on [`crate::ShoupField`] as
+//! const-generic `[F; LANES]` operations; this module supplies what that
+//! layer cannot express generically:
+//!
+//! * **word views** — `#[repr(transparent)]` lets a `&mut [Goldilocks]`
+//!   be reinterpreted as `&mut [u64]` (and `&mut [BabyBear]` as
+//!   `&mut [u32]`) so vector kernels can load whole registers straight
+//!   from the transform buffer;
+//! * **AVX2 primitives** (x86_64 only) — 4×`u64` Goldilocks and 8×`u32`
+//!   BabyBear modular add/sub/mul on `__m256i`, written as
+//!   `#[inline(always)]` helpers that specialize correctly when inlined
+//!   into a `#[target_feature(enable = "avx2")]` kernel loop. Callers
+//!   perform runtime detection (`is_x86_feature_detected!("avx2")`); the
+//!   portable lane layer is the bit-identical fallback.
+//!
+//! Every primitive computes the exact residue and returns **canonical**
+//! lanes, so outputs agree bit-for-bit with the scalar kernels once those
+//! canonicalize (canonical representations are unique).
+
+use crate::{BabyBear, Goldilocks};
+
+/// Reinterprets a Goldilocks slice as its raw canonical `u64` words.
+///
+/// Sound because `Goldilocks` is `#[repr(transparent)]` over `u64`.
+/// Writing a non-canonical word (≥ p) through the view is a logic error
+/// (later arithmetic would be wrong) but not UB.
+#[inline]
+pub fn gl_words_mut(values: &mut [Goldilocks]) -> &mut [u64] {
+    // SAFETY: Goldilocks is repr(transparent) over u64.
+    unsafe { core::slice::from_raw_parts_mut(values.as_mut_ptr().cast::<u64>(), values.len()) }
+}
+
+/// Reinterprets a Goldilocks slice as its raw canonical `u64` words.
+#[inline]
+pub fn gl_words(values: &[Goldilocks]) -> &[u64] {
+    // SAFETY: Goldilocks is repr(transparent) over u64.
+    unsafe { core::slice::from_raw_parts(values.as_ptr().cast::<u64>(), values.len()) }
+}
+
+/// Reinterprets a BabyBear slice as its raw Montgomery `u32` words.
+///
+/// Sound because `BabyBear` is `#[repr(transparent)]` over `u32`. The
+/// words are Montgomery-form lanes, not canonical values.
+#[inline]
+pub fn bb_words_mut(values: &mut [BabyBear]) -> &mut [u32] {
+    // SAFETY: BabyBear is repr(transparent) over u32.
+    unsafe { core::slice::from_raw_parts_mut(values.as_mut_ptr().cast::<u32>(), values.len()) }
+}
+
+/// Reinterprets a BabyBear slice as its raw Montgomery `u32` words.
+#[inline]
+pub fn bb_words(values: &[BabyBear]) -> &[u32] {
+    // SAFETY: BabyBear is repr(transparent) over u32.
+    unsafe { core::slice::from_raw_parts(values.as_ptr().cast::<u32>(), values.len()) }
+}
+
+/// The raw word of one Goldilocks element (canonical).
+#[inline]
+pub fn gl_word(x: Goldilocks) -> u64 {
+    x.raw()
+}
+
+/// The raw Montgomery word of one BabyBear element.
+#[inline]
+pub fn bb_word(x: BabyBear) -> u32 {
+    x.raw()
+}
+
+/// AVX2 lane primitives. All functions are `#[inline(always)]` and must
+/// be called (transitively) from a `#[target_feature(enable = "avx2")]`
+/// context on a CPU with AVX2 — they inline into the caller and inherit
+/// its feature set, which is what makes the runtime-dispatch pattern
+/// work without per-butterfly call overhead.
+#[cfg(target_arch = "x86_64")]
+pub mod avx2 {
+    use core::arch::x86_64::*;
+
+    use crate::{BABYBEAR_MODULUS, GOLDILOCKS_MODULUS};
+
+    /// `2^32 − 1`: the Goldilocks reduction constant (`2^64 ≡ ε mod p`).
+    const EPSILON: i64 = 0xffff_ffff;
+
+    /// Unsigned 64-bit per-lane `a > b` mask (AVX2 only has the signed
+    /// compare, so both operands get their sign bits flipped first).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 in the (inlined-into) calling context.
+    #[inline(always)]
+    pub unsafe fn cmpgt_epu64(a: __m256i, b: __m256i) -> __m256i {
+        let sign = _mm256_set1_epi64x(i64::MIN);
+        _mm256_cmpgt_epi64(_mm256_xor_si256(a, sign), _mm256_xor_si256(b, sign))
+    }
+
+    /// Goldilocks lane add: canonical in, canonical out, 4×`u64`.
+    ///
+    /// A 64-bit wrap contributes `2^64 ≡ ε`, after which one conditional
+    /// subtraction of `p` restores the canonical range (the wrap-adjusted
+    /// sum is provably `< p` already, so the two fixups never stack).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 in the (inlined-into) calling context.
+    #[inline(always)]
+    pub unsafe fn gl_add(a: __m256i, b: __m256i) -> __m256i {
+        let p = _mm256_set1_epi64x(GOLDILOCKS_MODULUS as i64);
+        let eps = _mm256_set1_epi64x(EPSILON);
+        let s = _mm256_add_epi64(a, b);
+        let wrapped = cmpgt_epu64(a, s); // s < a ⟺ the add wrapped
+        let s = _mm256_add_epi64(s, _mm256_and_si256(wrapped, eps));
+        let lt_p = cmpgt_epu64(p, s);
+        _mm256_sub_epi64(s, _mm256_andnot_si256(lt_p, p))
+    }
+
+    /// Goldilocks lane sub: canonical in, canonical out, 4×`u64`.
+    ///
+    /// A borrow contributes `−2^64 ≡ −ε`; the corrected difference is
+    /// already canonical in both cases.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 in the (inlined-into) calling context.
+    #[inline(always)]
+    pub unsafe fn gl_sub(a: __m256i, b: __m256i) -> __m256i {
+        let eps = _mm256_set1_epi64x(EPSILON);
+        let d = _mm256_sub_epi64(a, b);
+        let borrow = cmpgt_epu64(b, a);
+        _mm256_sub_epi64(d, _mm256_and_si256(borrow, eps))
+    }
+
+    /// Goldilocks lane product `a·b mod p`: canonical in, canonical out.
+    ///
+    /// Full 64×64→128 product from four `vpmuludq` partials, then the
+    /// special-form reduction `lo − hi_hi + hi_lo·ε` (`ε·x` is a
+    /// shift-and-subtract, not a multiply), mirroring the scalar
+    /// `reduce128` — so lanes land on the exact same canonical residues.
+    /// On AVX2 this beats a vectorized Shoup product: Shoup needs a
+    /// 64-bit `mulhi` (four partials) *plus* a 64-bit `mullo` (three
+    /// partials), and its `[0, 2p)` result overflows a `u64` lane for
+    /// this field.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 in the (inlined-into) calling context.
+    #[inline(always)]
+    pub unsafe fn gl_mul(a: __m256i, b: __m256i) -> __m256i {
+        let p = _mm256_set1_epi64x(GOLDILOCKS_MODULUS as i64);
+        let eps = _mm256_set1_epi64x(EPSILON);
+        let mask32 = _mm256_set1_epi64x(EPSILON);
+
+        // 64×64→128: schoolbook over 32-bit halves.
+        let a_hi = _mm256_srli_epi64::<32>(a);
+        let b_hi = _mm256_srli_epi64::<32>(b);
+        let ll = _mm256_mul_epu32(a, b);
+        let lh = _mm256_mul_epu32(a, b_hi);
+        let hl = _mm256_mul_epu32(a_hi, b);
+        let hh = _mm256_mul_epu32(a_hi, b_hi);
+        // t = hl + (ll >> 32) ≤ (2^32−1)² + (2^32−1) < 2^64: no wrap.
+        let t = _mm256_add_epi64(hl, _mm256_srli_epi64::<32>(ll));
+        let t_lo = _mm256_and_si256(t, mask32);
+        let t_hi = _mm256_srli_epi64::<32>(t);
+        // u = lh + t_lo < 2^64: no wrap.
+        let u = _mm256_add_epi64(lh, t_lo);
+        let lo = _mm256_or_si256(_mm256_slli_epi64::<32>(u), _mm256_and_si256(ll, mask32));
+        let hi = _mm256_add_epi64(hh, _mm256_add_epi64(t_hi, _mm256_srli_epi64::<32>(u)));
+
+        // reduce128: x = lo + 2^64·hi ≡ lo − hi_hi + hi_lo·ε (mod p).
+        let hi_hi = _mm256_srli_epi64::<32>(hi);
+        let hi_lo = _mm256_and_si256(hi, mask32);
+        let t0 = _mm256_sub_epi64(lo, hi_hi);
+        let borrow = cmpgt_epu64(hi_hi, lo);
+        let t0 = _mm256_sub_epi64(t0, _mm256_and_si256(borrow, eps));
+        let t1 = _mm256_sub_epi64(_mm256_slli_epi64::<32>(hi_lo), hi_lo); // hi_lo·ε
+        let res = _mm256_add_epi64(t0, t1);
+        let carry = cmpgt_epu64(t0, res); // res < t0 ⟺ the add wrapped
+        let res = _mm256_add_epi64(res, _mm256_and_si256(carry, eps));
+        let lt_p = cmpgt_epu64(p, res);
+        _mm256_sub_epi64(res, _mm256_andnot_si256(lt_p, p))
+    }
+
+    /// BabyBear lane add: canonical in, canonical out, 8×`u32`.
+    ///
+    /// `min(a+b, a+b−p)` — the subtraction wraps to a huge value exactly
+    /// when `a+b < p`, so the unsigned min picks the reduced branch.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 in the (inlined-into) calling context.
+    #[inline(always)]
+    pub unsafe fn bb_add(a: __m256i, b: __m256i) -> __m256i {
+        let p = _mm256_set1_epi32(BABYBEAR_MODULUS as i32);
+        let s = _mm256_add_epi32(a, b);
+        _mm256_min_epu32(s, _mm256_sub_epi32(s, p))
+    }
+
+    /// BabyBear lane sub: canonical in, canonical out, 8×`u32`.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 in the (inlined-into) calling context.
+    #[inline(always)]
+    pub unsafe fn bb_sub(a: __m256i, b: __m256i) -> __m256i {
+        let p = _mm256_set1_epi32(BABYBEAR_MODULUS as i32);
+        let d = _mm256_sub_epi32(a, b);
+        _mm256_min_epu32(d, _mm256_add_epi32(d, p))
+    }
+
+    /// BabyBear lane Shoup product by a prepared twiddle, 8×`u32`.
+    ///
+    /// `plain` holds the twiddle in plain (non-Montgomery) form and
+    /// `quot` its Shoup quotient `⌊w·2^32/p⌋`, each broadcast one lane
+    /// per element (the vector plan stores twiddle banks in exactly this
+    /// split layout). Input lanes are canonical Montgomery words; the
+    /// result `a·plain − q·p ∈ [0, 2p)` is folded to canonical with one
+    /// unsigned min.
+    ///
+    /// The 32-bit `mulhi` has no AVX2 instruction, so even/odd lanes run
+    /// through two `vpmuludq` and a blend.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 in the (inlined-into) calling context.
+    #[inline(always)]
+    pub unsafe fn bb_shoup_mul(a: __m256i, plain: __m256i, quot: __m256i) -> __m256i {
+        let p = _mm256_set1_epi32(BABYBEAR_MODULUS as i32);
+        let prod_even = _mm256_mul_epu32(a, quot);
+        let prod_odd = _mm256_mul_epu32(_mm256_srli_epi64::<32>(a), _mm256_srli_epi64::<32>(quot));
+        // Even result lanes carry hi(prod_even); odd lanes sit in the
+        // upper halves of prod_odd already.
+        let q = _mm256_blend_epi32::<0b10101010>(_mm256_srli_epi64::<32>(prod_even), prod_odd);
+        let r = _mm256_sub_epi32(_mm256_mullo_epi32(a, plain), _mm256_mullo_epi32(q, p));
+        _mm256_min_epu32(r, _mm256_sub_epi32(r, p))
+    }
+}
+
+/// Explicit AVX-512 lane primitives (8×`u64` Goldilocks). Same contracts
+/// as the [`avx2`] versions at double width: canonical lanes in and out,
+/// bit-identical residues to the scalar ops. The conditional fixups that
+/// AVX2 phrases as compare-and-mask run on AVX-512 mask registers
+/// (`_mm512_mask_*`), and the 64-bit low product comes from AVX-512DQ's
+/// `vpmullq` instead of a recombination chain.
+///
+/// Every function must only be called when `avx512f` **and** `avx512dq`
+/// are available (callers are `#[target_feature]` stage drivers that are
+/// themselves gated on runtime detection).
+#[cfg(target_arch = "x86_64")]
+pub mod avx512 {
+    use core::arch::x86_64::*;
+
+    use crate::GOLDILOCKS_MODULUS;
+
+    /// `2^32 − 1`: the Goldilocks reduction constant (`2^64 ≡ ε mod p`).
+    const EPSILON: i64 = 0xffff_ffff;
+
+    /// Goldilocks lane add: canonical in, canonical out, 8×`u64`.
+    ///
+    /// Same algebra as [`super::avx2::gl_add`]: a 64-bit wrap contributes
+    /// `2^64 ≡ ε`, then one conditional subtraction of `p` restores the
+    /// canonical range.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX-512F in the (inlined-into) calling context.
+    #[inline(always)]
+    pub unsafe fn gl_add(a: __m512i, b: __m512i) -> __m512i {
+        let p = _mm512_set1_epi64(GOLDILOCKS_MODULUS as i64);
+        let eps = _mm512_set1_epi64(EPSILON);
+        let s = _mm512_add_epi64(a, b);
+        let wrapped = _mm512_cmplt_epu64_mask(s, a); // s < a ⟺ the add wrapped
+        let s = _mm512_mask_add_epi64(s, wrapped, s, eps);
+        let ge_p = _mm512_cmpge_epu64_mask(s, p);
+        _mm512_mask_sub_epi64(s, ge_p, s, p)
+    }
+
+    /// Goldilocks lane sub: canonical in, canonical out, 8×`u64`.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX-512F in the (inlined-into) calling context.
+    #[inline(always)]
+    pub unsafe fn gl_sub(a: __m512i, b: __m512i) -> __m512i {
+        let eps = _mm512_set1_epi64(EPSILON);
+        let d = _mm512_sub_epi64(a, b);
+        let borrow = _mm512_cmplt_epu64_mask(a, b);
+        _mm512_mask_sub_epi64(d, borrow, d, eps)
+    }
+
+    /// Goldilocks lane product `a·b mod p`: canonical in, canonical out,
+    /// 8×`u64`.
+    ///
+    /// The low 64 product bits come straight from `vpmullq` (AVX-512DQ);
+    /// the high bits still need the `vpmuludq` schoolbook (there is no
+    /// 64-bit `mulhi` instruction), after which the special-form
+    /// reduction `lo − hi_hi + hi_lo·ε` mirrors the scalar `reduce128`
+    /// exactly — lanes land on the same canonical residues.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX-512F **and** AVX-512DQ in the (inlined-into) calling
+    /// context.
+    #[inline(always)]
+    pub unsafe fn gl_mul(a: __m512i, b: __m512i) -> __m512i {
+        let p = _mm512_set1_epi64(GOLDILOCKS_MODULUS as i64);
+        let eps = _mm512_set1_epi64(EPSILON);
+        let mask32 = _mm512_set1_epi64(EPSILON);
+
+        let lo = _mm512_mullo_epi64(a, b);
+        // High 64 bits: schoolbook over 32-bit halves.
+        let a_hi = _mm512_srli_epi64::<32>(a);
+        let b_hi = _mm512_srli_epi64::<32>(b);
+        let ll = _mm512_mul_epu32(a, b);
+        let lh = _mm512_mul_epu32(a, b_hi);
+        let hl = _mm512_mul_epu32(a_hi, b);
+        let hh = _mm512_mul_epu32(a_hi, b_hi);
+        // t = hl + (ll >> 32) ≤ (2^32−1)² + (2^32−1) < 2^64: no wrap.
+        let t = _mm512_add_epi64(hl, _mm512_srli_epi64::<32>(ll));
+        // u = lh + t_lo < 2^64: no wrap.
+        let u = _mm512_add_epi64(lh, _mm512_and_si512(t, mask32));
+        let hi = _mm512_add_epi64(
+            hh,
+            _mm512_add_epi64(_mm512_srli_epi64::<32>(t), _mm512_srli_epi64::<32>(u)),
+        );
+
+        // reduce128: x = lo + 2^64·hi ≡ lo − hi_hi + hi_lo·ε (mod p).
+        let hi_hi = _mm512_srli_epi64::<32>(hi);
+        let hi_lo = _mm512_and_si512(hi, mask32);
+        let borrow = _mm512_cmplt_epu64_mask(lo, hi_hi);
+        let t0 = _mm512_sub_epi64(lo, hi_hi);
+        let t0 = _mm512_mask_sub_epi64(t0, borrow, t0, eps);
+        let t1 = _mm512_sub_epi64(_mm512_slli_epi64::<32>(hi_lo), hi_lo); // hi_lo·ε
+        let res = _mm512_add_epi64(t0, t1);
+        let carry = _mm512_cmplt_epu64_mask(res, t0); // res < t0 ⟺ the add wrapped
+        let res = _mm512_mask_add_epi64(res, carry, res, eps);
+        let ge_p = _mm512_cmpge_epu64_mask(res, p);
+        _mm512_mask_sub_epi64(res, ge_p, res, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Field, PrimeField, ShoupField, ShoupTwiddle};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn word_views_roundtrip() {
+        let mut gl: Vec<Goldilocks> = (0..9u64).map(Goldilocks::from_u64).collect();
+        let words = gl_words_mut(&mut gl);
+        words[3] = 77;
+        assert_eq!(gl_words(&gl), &[0, 1, 2, 77, 4, 5, 6, 7, 8]);
+        assert_eq!(gl[3], Goldilocks::from_u64(77));
+
+        let mut bb: Vec<BabyBear> = (0..5u64).map(BabyBear::from_u64).collect();
+        let raw2 = bb_words(&bb)[2];
+        bb_words_mut(&mut bb)[4] = raw2;
+        assert_eq!(bb[4], BabyBear::from_u64(2));
+        assert_eq!(bb_word(bb[4]), raw2);
+        assert_eq!(gl_word(gl[3]), 77);
+    }
+
+    #[test]
+    fn lane_defaults_match_scalar_ops() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..200 {
+            let mut u: [Goldilocks; 4] = core::array::from_fn(|_| Goldilocks::random(&mut rng));
+            let mut v: [Goldilocks; 4] = core::array::from_fn(|_| Goldilocks::random(&mut rng));
+            let tw: Vec<ShoupTwiddle<Goldilocks>> = (0..4)
+                .map(|_| Goldilocks::shoup_prepare(Goldilocks::random(&mut rng)))
+                .collect();
+            let (su, sv) = (u, v);
+            Goldilocks::dif_butterfly_lanes(&mut u, &mut v, &tw);
+            for i in 0..4 {
+                let (a, b) = Goldilocks::dif_butterfly(su[i], sv[i], &tw[i]);
+                assert_eq!((u[i], v[i]), (a, b));
+            }
+            let mut m = su;
+            Goldilocks::shoup_mul_lanes(&mut m, &tw);
+            Goldilocks::reduce_lanes(&mut m);
+            for i in 0..4 {
+                assert_eq!(m[i], su[i] * tw[i].w);
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    mod avx2_vs_scalar {
+        use super::super::avx2;
+        use crate::{
+            BabyBear, Field, Goldilocks, PrimeField, ShoupField, BABYBEAR_MODULUS,
+            GOLDILOCKS_MODULUS,
+        };
+        use core::arch::x86_64::*;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+
+        /// One AVX2 round over four Goldilocks lanes, returning
+        /// (add, sub, mul) lane words.
+        #[target_feature(enable = "avx2")]
+        unsafe fn gl_round(a: [u64; 4], b: [u64; 4]) -> ([u64; 4], [u64; 4], [u64; 4]) {
+            let va = _mm256_loadu_si256(a.as_ptr().cast());
+            let vb = _mm256_loadu_si256(b.as_ptr().cast());
+            let mut add = [0u64; 4];
+            let mut sub = [0u64; 4];
+            let mut mul = [0u64; 4];
+            _mm256_storeu_si256(add.as_mut_ptr().cast(), avx2::gl_add(va, vb));
+            _mm256_storeu_si256(sub.as_mut_ptr().cast(), avx2::gl_sub(va, vb));
+            _mm256_storeu_si256(mul.as_mut_ptr().cast(), avx2::gl_mul(va, vb));
+            (add, sub, mul)
+        }
+
+        #[target_feature(enable = "avx2")]
+        unsafe fn bb_round(
+            a: [u32; 8],
+            b: [u32; 8],
+            plain: [u32; 8],
+            quot: [u32; 8],
+        ) -> ([u32; 8], [u32; 8], [u32; 8]) {
+            let va = _mm256_loadu_si256(a.as_ptr().cast());
+            let vb = _mm256_loadu_si256(b.as_ptr().cast());
+            let vp = _mm256_loadu_si256(plain.as_ptr().cast());
+            let vq = _mm256_loadu_si256(quot.as_ptr().cast());
+            let mut add = [0u32; 8];
+            let mut sub = [0u32; 8];
+            let mut mul = [0u32; 8];
+            _mm256_storeu_si256(add.as_mut_ptr().cast(), avx2::bb_add(va, vb));
+            _mm256_storeu_si256(sub.as_mut_ptr().cast(), avx2::bb_sub(va, vb));
+            _mm256_storeu_si256(mul.as_mut_ptr().cast(), avx2::bb_shoup_mul(va, vp, vq));
+            (add, sub, mul)
+        }
+
+        #[test]
+        fn goldilocks_lanes_match_scalar() {
+            if !is_x86_feature_detected!("avx2") {
+                return;
+            }
+            let mut rng = StdRng::seed_from_u64(31);
+            let p = GOLDILOCKS_MODULUS;
+            let edges = [0u64, 1, 0xffff_ffff, 0x1_0000_0000, p - 2, p - 1];
+            for round in 0..500 {
+                let pick = |rng: &mut StdRng| -> u64 {
+                    if rng.gen_range(0..4) == 0 {
+                        edges[rng.gen_range(0..edges.len() as u64) as usize]
+                    } else {
+                        Goldilocks::random(rng).value()
+                    }
+                };
+                let a: [u64; 4] = core::array::from_fn(|_| pick(&mut rng));
+                let b: [u64; 4] = core::array::from_fn(|_| pick(&mut rng));
+                let (add, sub, mul) = unsafe { gl_round(a, b) };
+                for i in 0..4 {
+                    let (ga, gb) = (Goldilocks::from_u64(a[i]), Goldilocks::from_u64(b[i]));
+                    assert_eq!(add[i], (ga + gb).value(), "add round={round} i={i}");
+                    assert_eq!(sub[i], (ga - gb).value(), "sub round={round} i={i}");
+                    assert_eq!(mul[i], (ga * gb).value(), "mul round={round} i={i}");
+                }
+            }
+        }
+
+        #[test]
+        fn babybear_lanes_match_scalar() {
+            if !is_x86_feature_detected!("avx2") {
+                return;
+            }
+            let mut rng = StdRng::seed_from_u64(32);
+            let edges = [0u32, 1, 2, BABYBEAR_MODULUS - 2, BABYBEAR_MODULUS - 1];
+            for round in 0..500 {
+                let pick = |rng: &mut StdRng| -> BabyBear {
+                    if rng.gen_range(0..4) == 0 {
+                        BabyBear::from_u64(u64::from(
+                            edges[rng.gen_range(0..edges.len() as u64) as usize],
+                        ))
+                    } else {
+                        BabyBear::random(rng)
+                    }
+                };
+                let fa: [BabyBear; 8] = core::array::from_fn(|_| pick(&mut rng));
+                let fb: [BabyBear; 8] = core::array::from_fn(|_| pick(&mut rng));
+                let tw: [_; 8] = core::array::from_fn(|i| BabyBear::shoup_prepare(fb[i]));
+                let raw = |x: &[BabyBear; 8]| -> [u32; 8] {
+                    core::array::from_fn(|i| super::super::bb_word(x[i]))
+                };
+                let plain: [u32; 8] = core::array::from_fn(|i| (tw[i].aux & 0xffff_ffff) as u32);
+                let quot: [u32; 8] = core::array::from_fn(|i| (tw[i].aux >> 32) as u32);
+                let (add, sub, mul) = unsafe { bb_round(raw(&fa), raw(&fb), plain, quot) };
+                for i in 0..8 {
+                    let s = fa[i] + fb[i];
+                    let d = fa[i] - fb[i];
+                    let m = fa[i] * fb[i];
+                    assert_eq!(add[i], super::super::bb_word(s), "add round={round} i={i}");
+                    assert_eq!(sub[i], super::super::bb_word(d), "sub round={round} i={i}");
+                    assert_eq!(mul[i], super::super::bb_word(m), "mul round={round} i={i}");
+                }
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    mod avx512_vs_scalar {
+        use super::super::avx512;
+        use crate::{Field, Goldilocks, PrimeField, GOLDILOCKS_MODULUS};
+        use core::arch::x86_64::*;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+
+        /// One AVX-512 round over eight Goldilocks lanes, returning
+        /// (add, sub, mul) lane words.
+        #[target_feature(enable = "avx512f,avx512dq")]
+        unsafe fn gl_round(a: [u64; 8], b: [u64; 8]) -> ([u64; 8], [u64; 8], [u64; 8]) {
+            let va = _mm512_loadu_si512(a.as_ptr().cast());
+            let vb = _mm512_loadu_si512(b.as_ptr().cast());
+            let mut add = [0u64; 8];
+            let mut sub = [0u64; 8];
+            let mut mul = [0u64; 8];
+            _mm512_storeu_si512(add.as_mut_ptr().cast(), avx512::gl_add(va, vb));
+            _mm512_storeu_si512(sub.as_mut_ptr().cast(), avx512::gl_sub(va, vb));
+            _mm512_storeu_si512(mul.as_mut_ptr().cast(), avx512::gl_mul(va, vb));
+            (add, sub, mul)
+        }
+
+        #[test]
+        fn goldilocks_lanes_match_scalar() {
+            if !is_x86_feature_detected!("avx512f") || !is_x86_feature_detected!("avx512dq") {
+                return;
+            }
+            let mut rng = StdRng::seed_from_u64(33);
+            let p = GOLDILOCKS_MODULUS;
+            let edges = [0u64, 1, 0xffff_ffff, 0x1_0000_0000, p - 2, p - 1];
+            for round in 0..500 {
+                let pick = |rng: &mut StdRng| -> u64 {
+                    if rng.gen_range(0..4) == 0 {
+                        edges[rng.gen_range(0..edges.len() as u64) as usize]
+                    } else {
+                        Goldilocks::random(rng).value()
+                    }
+                };
+                let a: [u64; 8] = core::array::from_fn(|_| pick(&mut rng));
+                let b: [u64; 8] = core::array::from_fn(|_| pick(&mut rng));
+                let (add, sub, mul) = unsafe { gl_round(a, b) };
+                for i in 0..8 {
+                    let (ga, gb) = (Goldilocks::from_u64(a[i]), Goldilocks::from_u64(b[i]));
+                    assert_eq!(add[i], (ga + gb).value(), "add round={round} i={i}");
+                    assert_eq!(sub[i], (ga - gb).value(), "sub round={round} i={i}");
+                    assert_eq!(mul[i], (ga * gb).value(), "mul round={round} i={i}");
+                }
+            }
+        }
+    }
+}

@@ -33,7 +33,11 @@ use crate::Field;
 ///   high 32 bits hold `⌊w_plain·2^32/p⌋` — multiplying a Montgomery lane
 ///   by a plain constant keeps the lane in Montgomery form;
 /// * fallback fields: `aux = 0` (unused).
+///
+/// Layout is pinned (`repr(C)`) so specialized kernels may store twiddle
+/// banks as raw words and reinterpret them; see [`crate::packed`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(C)]
 pub struct ShoupTwiddle<F> {
     /// The twiddle factor itself.
     pub w: F,
@@ -83,6 +87,63 @@ pub trait ShoupField: Field {
     #[inline]
     fn reduce_lane(x: Self) -> Self {
         x
+    }
+
+    /// Preferred SIMD lane count for the packed butterfly layer: the
+    /// number of elements a 256-bit vector register holds (4 for a
+    /// 64-bit field, 8 for a 32-bit field, 1 for fallback fields, which
+    /// keeps the vector kernels off their hot path entirely).
+    const LANES: usize = 1;
+
+    /// Packed Shoup product: `out[i] = a[i]·tw[i].w` on lanes.
+    ///
+    /// The default is a plain fixed-trip-count loop over
+    /// [`ShoupField::shoup_mul`]; with branch-free scalar kernels the
+    /// autovectorizer unrolls it into full-width SIMD where profitable.
+    /// `tw` must hold at least `L` entries.
+    #[inline]
+    fn shoup_mul_lanes<const L: usize>(a: &mut [Self; L], tw: &[ShoupTwiddle<Self>]) {
+        for (x, t) in a.iter_mut().zip(tw) {
+            *x = Self::shoup_mul(*x, t);
+        }
+    }
+
+    /// Packed DIF butterfly: `(u[i], v[i]) ← (u[i]+v[i], (u[i]−v[i])·tw[i].w)`
+    /// on lanes. `tw` must hold at least `L` entries.
+    #[inline]
+    fn dif_butterfly_lanes<const L: usize>(
+        u: &mut [Self; L],
+        v: &mut [Self; L],
+        tw: &[ShoupTwiddle<Self>],
+    ) {
+        for ((x, y), t) in u.iter_mut().zip(v.iter_mut()).zip(tw) {
+            let (a, b) = Self::dif_butterfly(*x, *y, t);
+            *x = a;
+            *y = b;
+        }
+    }
+
+    /// Packed DIT butterfly: `(u[i], v[i]) ← (u[i]+v[i]·w, u[i]−v[i]·w)`
+    /// on lanes. `tw` must hold at least `L` entries.
+    #[inline]
+    fn dit_butterfly_lanes<const L: usize>(
+        u: &mut [Self; L],
+        v: &mut [Self; L],
+        tw: &[ShoupTwiddle<Self>],
+    ) {
+        for ((x, y), t) in u.iter_mut().zip(v.iter_mut()).zip(tw) {
+            let (a, b) = Self::dit_butterfly(*x, *y, t);
+            *x = a;
+            *y = b;
+        }
+    }
+
+    /// Packed lane canonicalization.
+    #[inline]
+    fn reduce_lanes<const L: usize>(a: &mut [Self; L]) {
+        for x in a.iter_mut() {
+            *x = Self::reduce_lane(*x);
+        }
     }
 }
 

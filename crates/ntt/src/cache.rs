@@ -33,6 +33,7 @@ use unintt_ff::TwoAdicField;
 
 use crate::fast::DirectPlan;
 use crate::twiddle::TwiddleTable;
+use crate::vector::VectorPlan;
 
 type AnyArc = Arc<dyn Any + Send + Sync>;
 
@@ -141,6 +142,11 @@ fn plan_cache() -> &'static TypedCache {
     CACHE.get_or_init(|| Mutex::new(BoundedCache::new(DEFAULT_CACHE_CAPACITY)))
 }
 
+fn vector_plan_cache() -> &'static TypedCache {
+    static CACHE: OnceLock<TypedCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(BoundedCache::new(DEFAULT_CACHE_CAPACITY)))
+}
+
 /// Sets the entry capacity of the process-wide twiddle-table and
 /// kernel-plan caches (each holds at most this many `(field, log_n)`
 /// entries; least-recently-used entries are evicted first). Values are
@@ -148,6 +154,7 @@ fn plan_cache() -> &'static TypedCache {
 pub fn set_cache_capacity(capacity: usize) {
     table_cache().lock().unwrap().set_capacity(capacity);
     plan_cache().lock().unwrap().set_capacity(capacity);
+    vector_plan_cache().lock().unwrap().set_capacity(capacity);
 }
 
 /// The current per-cache entry capacity (see [`set_cache_capacity`]).
@@ -192,6 +199,25 @@ pub(crate) fn shared_plan<F: TwoAdicField>(log_n: u32) -> Arc<DirectPlan<F>> {
         .expect("cache type invariant")
 }
 
+/// The shared vectorized-kernel plan (lane-packed per-stage tables plus
+/// the pre-interleaved native-lane banks) for `(F, log_n)`. One memoized,
+/// monomorphized instance per `(field, log_n)` pair; both directions live
+/// in the entry, so dispatch from [`crate::Ntt`] is a single cache probe
+/// followed by an indirect call into the specialized kernel.
+pub(crate) fn shared_vector_plan<F: TwoAdicField>(log_n: u32) -> Arc<VectorPlan<F>> {
+    let key = (TypeId::of::<F>(), log_n);
+    if let Some(hit) = vector_plan_cache().lock().unwrap().get(&key) {
+        return hit.downcast().expect("cache type invariant");
+    }
+    let built = Arc::new(VectorPlan::new(&shared_table::<F>(log_n)));
+    vector_plan_cache()
+        .lock()
+        .unwrap()
+        .insert(key, built as AnyArc)
+        .downcast()
+        .expect("cache type invariant")
+}
+
 /// Largest `log_n` whose bit-reversal swap pairs are cached (a pair table
 /// at `2^20` is 4 MiB; larger permutations fall back to on-the-fly index
 /// computation — the fast NTT path never bit-reverses at those sizes
@@ -226,7 +252,7 @@ pub(crate) fn bitrev_pairs(bits: u32) -> BitrevPairs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use unintt_ff::{BabyBear, Goldilocks};
+    use unintt_ff::{BabyBear, Goldilocks, PrimeField};
 
     #[test]
     fn tables_are_shared_per_field_and_size() {
@@ -322,6 +348,43 @@ mod tests {
         cache.insert(2, 20);
         assert_eq!(cache.len(), 1);
         assert!(cache.contains(&2), "newest insert survives at capacity 1");
+    }
+
+    #[test]
+    fn vector_plans_are_shared() {
+        let a = shared_vector_plan::<Goldilocks>(5);
+        let b = shared_vector_plan::<Goldilocks>(5);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = shared_vector_plan::<BabyBear>(5);
+        assert_eq!(c.log_n(), 5);
+    }
+
+    #[test]
+    fn evicted_vector_plan_keeps_working() {
+        // Eviction safety: a plan Arc held by a live Ntt context must keep
+        // its pinned bit-reversal pair table (and twiddle banks) usable
+        // after the cache drops its own reference.
+        let held = shared_vector_plan::<Goldilocks>(9);
+        let pairs_before = held.bitrev_pairs().expect("log_n=9 pairs are cached");
+        {
+            let mut guard = vector_plan_cache().lock().unwrap();
+            let snapshot = guard.capacity();
+            guard.set_capacity(1);
+            guard.set_capacity(snapshot);
+        }
+        // Force churn so the held entry is no longer guaranteed resident.
+        for log_n in 0..4 {
+            let _ = shared_vector_plan::<BabyBear>(log_n);
+        }
+        let pairs_after = held.bitrev_pairs().expect("pinned pairs survive eviction");
+        assert!(Arc::ptr_eq(pairs_before, pairs_after));
+        // And the plan still transforms correctly end-to-end.
+        let input: Vec<Goldilocks> = (0..512u64).map(Goldilocks::from_u64).collect();
+        let mut via_held = input.clone();
+        held.forward(&mut via_held);
+        let mut via_fresh = input;
+        shared_vector_plan::<Goldilocks>(9).forward(&mut via_fresh);
+        assert_eq!(via_held, via_fresh);
     }
 
     #[test]

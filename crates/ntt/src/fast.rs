@@ -1,10 +1,12 @@
 //! The fast host-side NTT path: Shoup/lazy butterflies, per-stage packed
 //! twiddle tables, and a cache-blocked six-step decomposition.
 //!
-//! [`crate::Ntt::forward`]/[`crate::Ntt::inverse`] dispatch here by
-//! default ([`KernelMode::Fast`]); the pre-existing radix-2 DIT kernels
-//! remain available as [`KernelMode::Legacy`] for A/B comparison (the
-//! harness exposes `--legacy-kernels`). **Both paths produce bit-identical
+//! [`crate::Ntt::forward`]/[`crate::Ntt::inverse`] dispatch to the
+//! vectorized kernels ([`KernelMode::Vector`], the default — see
+//! [`crate::vector`]), to this module ([`KernelMode::Fast`]), or to the
+//! pre-existing radix-2 DIT kernels ([`KernelMode::Legacy`]) for A/B
+//! comparison (the harness exposes `--scalar-kernels` and
+//! `--legacy-kernels`). **All paths produce bit-identical
 //! outputs**: every kernel computes the exact DFT over the field and
 //! canonicalizes its lanes before returning, and canonical representations
 //! are unique.
@@ -23,38 +25,72 @@
 //!   while each row is still hot. The bit-reversal of an 8 MiB array —
 //!   pure random access in the legacy path — never happens.
 
+use std::any::TypeId;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
-use unintt_ff::{ShoupTwiddle, TwoAdicField};
+use serde::{Deserialize, Serialize};
+use unintt_ff::{Goldilocks, ShoupTwiddle, TwoAdicField};
 
 use crate::twiddle::TwiddleTable;
-use crate::{bit_reverse_permute, cache};
+use crate::{bit_reverse_permute, cache, vector};
 
 /// Which kernel family [`crate::Ntt`] dispatches to.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// All three families compute the exact DFT and canonicalize their
+/// output lanes, so they are bit-identical; the mode is a performance
+/// A/B switch, not a semantic one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum KernelMode {
-    /// Shoup/lazy butterflies + six-step blocking (default).
+    /// Lane-packed (SIMD) Shoup butterflies with radix-4/8 stage fusion
+    /// and per-`(field, log_n)` specialized plans (default); see
+    /// [`crate::vector`]-level docs.
+    #[default]
+    Vector,
+    /// Scalar Shoup/lazy butterflies + six-step blocking.
     Fast,
     /// The original radix-2 bit-reverse + DIT path.
     Legacy,
 }
 
+impl KernelMode {
+    fn encode(self) -> u8 {
+        match self {
+            KernelMode::Vector => 0,
+            KernelMode::Fast => 1,
+            KernelMode::Legacy => 2,
+        }
+    }
+
+    fn decode(v: u8) -> Self {
+        match v {
+            0 => KernelMode::Vector,
+            1 => KernelMode::Fast,
+            _ => KernelMode::Legacy,
+        }
+    }
+
+    /// Stable lowercase name (telemetry gauges, bench reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelMode::Vector => "vector",
+            KernelMode::Fast => "fast",
+            KernelMode::Legacy => "legacy",
+        }
+    }
+}
+
 static KERNEL_MODE: AtomicU8 = AtomicU8::new(0);
 
 /// Selects the kernel family process-wide. Outputs are bit-identical in
-/// both modes; this is a performance A/B switch, not a semantic one.
+/// every mode; this is a performance A/B switch, not a semantic one.
 pub fn set_kernel_mode(mode: KernelMode) {
-    KERNEL_MODE.store(mode as u8, Ordering::Relaxed);
+    KERNEL_MODE.store(mode.encode(), Ordering::Relaxed);
 }
 
 /// The currently selected kernel family.
 pub fn kernel_mode() -> KernelMode {
-    if KERNEL_MODE.load(Ordering::Relaxed) == 0 {
-        KernelMode::Fast
-    } else {
-        KernelMode::Legacy
-    }
+    KernelMode::decode(KERNEL_MODE.load(Ordering::Relaxed))
 }
 
 /// Largest `log_n` the direct (single-pass) kernel handles; larger sizes
@@ -76,7 +112,10 @@ pub(crate) struct DirectPlan<F: TwoAdicField> {
     n_inv: ShoupTwiddle<F>,
 }
 
-fn pack_stages<F: TwoAdicField>(lane: &[ShoupTwiddle<F>], log_n: u32) -> Vec<Vec<ShoupTwiddle<F>>> {
+pub(crate) fn pack_stages<F: TwoAdicField>(
+    lane: &[ShoupTwiddle<F>],
+    log_n: u32,
+) -> Vec<Vec<ShoupTwiddle<F>>> {
     (1..=log_n)
         .map(|s| {
             let half = 1usize << (s - 1);
@@ -180,9 +219,25 @@ fn transpose_blocked<F: Copy>(src: &[F], dst: &mut [F], rows: usize, cols: usize
 /// In-place blocked transpose of an `n × n` matrix: swaps each
 /// above-diagonal tile with its mirror and transposes diagonal tiles where
 /// they sit. Same tiling as [`transpose_blocked`] but no second buffer and
-/// half the memory passes of a transpose-then-copy sequence.
-fn transpose_in_place_square<F: Copy>(a: &mut [F], n: usize) {
+/// half the memory passes of a transpose-then-copy sequence. 8-byte
+/// fields on AVX2 hardware run 4×4 register micro-tiles instead of
+/// element swaps (pure data movement, so the specialization is exact).
+fn transpose_in_place_square<F: Copy + 'static>(a: &mut [F], n: usize) {
     debug_assert_eq!(a.len(), n * n);
+    #[cfg(target_arch = "x86_64")]
+    if TypeId::of::<F>() == TypeId::of::<Goldilocks>()
+        && n.is_multiple_of(4)
+        && n >= 4
+        && std::arch::is_x86_feature_detected!("avx2")
+    {
+        // SAFETY: F is Goldilocks (checked above), a transparent u64;
+        // AVX2 presence was just verified.
+        unsafe {
+            let words = core::slice::from_raw_parts_mut(a.as_mut_ptr().cast::<u64>(), a.len());
+            x86::transpose_in_place_square_u64(words, n);
+        }
+        return;
+    }
     for rb in (0..n).step_by(TILE) {
         let r_end = (rb + TILE).min(n);
         for r in rb..r_end {
@@ -219,6 +274,43 @@ fn twiddle_row<F: TwoAdicField>(row: &mut [F], table: &TwiddleTable<F>, i2: usiz
         }
     };
     let step = root(i2);
+
+    // Goldilocks + AVX-512: 32 running-product lanes (four 8-lane
+    // vectors) instead of two. The powers `step^0..step^31` are built
+    // once per row and every vector advances by `step^32`, so the
+    // serial multiply chain is a quarter as deep and no mid-row
+    // `root_pow` table lookups remain. Every lane value is the exact
+    // canonical power `base·step^j` the scalar chains produce, and the
+    // element product is the same exact field multiplication, so
+    // outputs stay bit-identical.
+    #[cfg(target_arch = "x86_64")]
+    if TypeId::of::<F>() == TypeId::of::<Goldilocks>()
+        && row.len() >= 32
+        && row.len().is_multiple_of(32)
+        && std::arch::is_x86_feature_detected!("avx512f")
+        && std::arch::is_x86_feature_detected!("avx512dq")
+    {
+        // SAFETY: F is Goldilocks (checked above), transparent over u64.
+        let words =
+            unsafe { core::slice::from_raw_parts_mut(row.as_mut_ptr().cast::<u64>(), row.len()) };
+        let gl = |x: F| -> Goldilocks {
+            // SAFETY: same-type transmute, size checked by TypeId above.
+            unsafe { *(&x as *const F).cast::<Goldilocks>() }
+        };
+        let step = gl(step);
+        let mut cur = gl(root(0));
+        let mut lanes = [0u64; 32];
+        for l in lanes.iter_mut() {
+            *l = unintt_ff::packed::gl_word(cur);
+            cur *= step;
+        }
+        // `cur` has advanced 32 times: it is now `step^32`.
+        // SAFETY: AVX-512F/DQ presence verified above; row length is a
+        // multiple of 32.
+        unsafe { x86::gl_twiddle_row(words, &lanes, unintt_ff::packed::gl_word(cur)) };
+        return;
+    }
+
     let step2 = F::shoup_prepare(step * step);
     for (ci, chunk) in row.chunks_mut(CHUNK).enumerate() {
         let mut cur0 = root(i2 * ci * CHUNK);
@@ -232,13 +324,132 @@ fn twiddle_row<F: TwoAdicField>(row: &mut [F], table: &TwiddleTable<F>, i2: usiz
     }
 }
 
+/// Explicit-SIMD helpers for the six-step surround (transposes and the
+/// step-② twiddle pass). Pure data movement plus exact canonical field
+/// products: bit-identical to the generic code they replace.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::*;
+
+    use unintt_ff::packed::avx512 as w8;
+
+    /// Loads a 4×4 `u64` tile at `p` (row stride `n`), transposed.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2; `p` must be valid for the 4 stride-`n` rows.
+    #[inline(always)]
+    unsafe fn load_transposed(p: *const u64, n: usize) -> [__m256i; 4] {
+        let r0 = _mm256_loadu_si256(p.cast());
+        let r1 = _mm256_loadu_si256(p.add(n).cast());
+        let r2 = _mm256_loadu_si256(p.add(2 * n).cast());
+        let r3 = _mm256_loadu_si256(p.add(3 * n).cast());
+        let t0 = _mm256_unpacklo_epi64(r0, r1);
+        let t1 = _mm256_unpackhi_epi64(r0, r1);
+        let t2 = _mm256_unpacklo_epi64(r2, r3);
+        let t3 = _mm256_unpackhi_epi64(r2, r3);
+        [
+            _mm256_permute2x128_si256::<0x20>(t0, t2),
+            _mm256_permute2x128_si256::<0x20>(t1, t3),
+            _mm256_permute2x128_si256::<0x31>(t0, t2),
+            _mm256_permute2x128_si256::<0x31>(t1, t3),
+        ]
+    }
+
+    /// Stores four row registers at `p` (row stride `n`).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2; `p` must be valid for the 4 stride-`n` rows.
+    #[inline(always)]
+    unsafe fn store_tile(p: *mut u64, n: usize, t: [__m256i; 4]) {
+        _mm256_storeu_si256(p.cast(), t[0]);
+        _mm256_storeu_si256(p.add(n).cast(), t[1]);
+        _mm256_storeu_si256(p.add(2 * n).cast(), t[2]);
+        _mm256_storeu_si256(p.add(3 * n).cast(), t[3]);
+    }
+
+    /// In-place transpose of an `n × n` row-major `u64` matrix: the same
+    /// macro-tiling as the generic path, with 4×4 register micro-tiles
+    /// (unpack + 128-bit permute) instead of element swaps.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2; `a.len() == n·n` and `n % 4 == 0`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn transpose_in_place_square_u64(a: &mut [u64], n: usize) {
+        debug_assert_eq!(a.len(), n * n);
+        debug_assert!(n.is_multiple_of(4));
+        let p = a.as_mut_ptr();
+        for rb in (0..n).step_by(super::TILE) {
+            let r_end = (rb + super::TILE).min(n);
+            for cb in (rb..n).step_by(super::TILE) {
+                let c_end = (cb + super::TILE).min(n);
+                for r in (rb..r_end).step_by(4) {
+                    let c_start = if cb == rb { r } else { cb };
+                    for c in (c_start..c_end).step_by(4) {
+                        if r == c {
+                            let t = load_transposed(p.add(r * n + c), n);
+                            store_tile(p.add(r * n + c), n, t);
+                        } else {
+                            let upper = load_transposed(p.add(r * n + c), n);
+                            let lower = load_transposed(p.add(c * n + r), n);
+                            store_tile(p.add(c * n + r), n, upper);
+                            store_tile(p.add(r * n + c), n, lower);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One full step-② twiddle row over Goldilocks words: `row[j] *=
+    /// lanes[j mod 32]·step32^⌊j/32⌋` lane-wise, i.e. 32 running
+    /// product chains — four 8-lane vectors seeded with
+    /// `base·step^0..31` and each advanced by `step^32` — so four
+    /// independent chains hide the multiply latency a single chain
+    /// would serialize on.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX-512F and AVX-512DQ; `row.len() % 32 == 0`; all
+    /// inputs canonical.
+    #[target_feature(enable = "avx512f,avx512dq")]
+    pub(super) unsafe fn gl_twiddle_row(row: &mut [u64], lanes: &[u64; 32], step32: u64) {
+        debug_assert_eq!(row.len() % 32, 0);
+        let lp = lanes.as_ptr();
+        let mut cur0 = _mm512_loadu_si512(lp.cast());
+        let mut cur1 = _mm512_loadu_si512(lp.add(8).cast());
+        let mut cur2 = _mm512_loadu_si512(lp.add(16).cast());
+        let mut cur3 = _mm512_loadu_si512(lp.add(24).cast());
+        let s32 = _mm512_set1_epi64(step32 as i64);
+        let mut j = 0usize;
+        while j < row.len() {
+            let p = row.as_mut_ptr().add(j);
+            let v0 = _mm512_loadu_si512(p.cast());
+            let v1 = _mm512_loadu_si512(p.add(8).cast());
+            let v2 = _mm512_loadu_si512(p.add(16).cast());
+            let v3 = _mm512_loadu_si512(p.add(24).cast());
+            _mm512_storeu_si512(p.cast(), w8::gl_mul(v0, cur0));
+            _mm512_storeu_si512(p.add(8).cast(), w8::gl_mul(v1, cur1));
+            _mm512_storeu_si512(p.add(16).cast(), w8::gl_mul(v2, cur2));
+            _mm512_storeu_si512(p.add(24).cast(), w8::gl_mul(v3, cur3));
+            cur0 = w8::gl_mul(cur0, s32);
+            cur1 = w8::gl_mul(cur1, s32);
+            cur2 = w8::gl_mul(cur2, s32);
+            cur3 = w8::gl_mul(cur3, s32);
+            j += 32;
+        }
+    }
+}
+
 /// Fast forward NTT for any supported size (natural order in/out).
 pub(crate) fn forward_fast<F: TwoAdicField>(table: &Arc<TwiddleTable<F>>, values: &mut [F]) {
     let log_n = table.log_n();
     if log_n <= DIRECT_MAX_LOG_N {
         cache::shared_plan::<F>(log_n).forward(values);
     } else {
-        six_step(table, values, false);
+        six_step(table, values, false, RowPath::Fast);
     }
 }
 
@@ -248,30 +459,67 @@ pub(crate) fn inverse_fast<F: TwoAdicField>(table: &Arc<TwiddleTable<F>>, values
     if log_n <= DIRECT_MAX_LOG_N {
         cache::shared_plan::<F>(log_n).inverse(values);
     } else {
-        six_step(table, values, true);
+        six_step(table, values, true, RowPath::Fast);
     }
+}
+
+/// Which kernel family the six-step decomposition's row transforms run
+/// on. The surrounding structure (transposes, step-② twiddles, scaling)
+/// is identical; row outputs are bit-identical either way, so so is the
+/// whole transform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RowPath {
+    /// Scalar Shoup plans ([`DirectPlan`]).
+    Fast,
+    /// Vectorized plans ([`crate::vector::VectorPlan`]).
+    Vector,
 }
 
 /// Row-transform dispatch for six-step sub-problems (recurses back through
 /// the size check, so `log_n > 2·DIRECT_MAX_LOG_N` still works).
-fn rows_fast<F: TwoAdicField>(data: &mut [F], row_log: u32, inverse: bool) {
+fn rows_with<F: TwoAdicField>(data: &mut [F], row_log: u32, inverse: bool, rows: RowPath) {
     let row_len = 1usize << row_log;
-    if row_log <= DIRECT_MAX_LOG_N {
-        let plan = cache::shared_plan::<F>(row_log);
-        for row in data.chunks_exact_mut(row_len) {
-            if inverse {
-                plan.inverse(row);
+    match rows {
+        RowPath::Fast => {
+            if row_log <= DIRECT_MAX_LOG_N {
+                let plan = cache::shared_plan::<F>(row_log);
+                for row in data.chunks_exact_mut(row_len) {
+                    if inverse {
+                        plan.inverse(row);
+                    } else {
+                        plan.forward(row);
+                    }
+                }
             } else {
-                plan.forward(row);
+                let table = cache::shared_table::<F>(row_log);
+                for row in data.chunks_exact_mut(row_len) {
+                    if inverse {
+                        inverse_fast(&table, row);
+                    } else {
+                        forward_fast(&table, row);
+                    }
+                }
             }
         }
-    } else {
-        let table = cache::shared_table::<F>(row_log);
-        for row in data.chunks_exact_mut(row_len) {
-            if inverse {
-                inverse_fast(&table, row);
+        RowPath::Vector => {
+            if row_log <= vector::VECTOR_DIRECT_MAX_LOG_N {
+                let plan = cache::shared_vector_plan::<F>(row_log);
+                for row in data.chunks_exact_mut(row_len) {
+                    if inverse {
+                        plan.inverse(row);
+                    } else {
+                        plan.forward(row);
+                    }
+                }
             } else {
-                forward_fast(&table, row);
+                let table = cache::shared_table::<F>(row_log);
+                for row in data.chunks_exact_mut(row_len) {
+                    if inverse {
+                        vector::inverse_vector(&table, row);
+                    } else {
+                        vector::forward_vector(&table, row);
+                    }
+                }
             }
         }
     }
@@ -283,7 +531,12 @@ fn rows_fast<F: TwoAdicField>(data: &mut [F], row_log: u32, inverse: bool) {
 /// twiddles → transpose → N1 outer NTTs (length N2) → transpose. The
 /// inverse retraces the same structure with inverse roots; the `1/N1` and
 /// `1/N2` scales inside the row inverses compose to the full `1/N`.
-fn six_step<F: TwoAdicField>(table: &Arc<TwiddleTable<F>>, values: &mut [F], inverse: bool) {
+pub(crate) fn six_step<F: TwoAdicField>(
+    table: &Arc<TwiddleTable<F>>,
+    values: &mut [F],
+    inverse: bool,
+    rows: RowPath,
+) {
     let log_n = table.log_n();
     let l1 = log_n / 2;
     let l2 = log_n - l1;
@@ -297,19 +550,19 @@ fn six_step<F: TwoAdicField>(table: &Arc<TwiddleTable<F>>, values: &mut [F], inv
         if !inverse {
             transpose_in_place_square(values, n1);
             for (i2, row) in values.chunks_exact_mut(n1).enumerate() {
-                rows_fast::<F>(row, l1, false);
+                rows_with::<F>(row, l1, false, rows);
                 twiddle_row(row, table, i2, false);
             }
             transpose_in_place_square(values, n1);
-            rows_fast::<F>(values, l2, false);
+            rows_with::<F>(values, l2, false, rows);
             transpose_in_place_square(values, n1);
         } else {
             transpose_in_place_square(values, n1);
-            rows_fast::<F>(values, l2, true);
+            rows_with::<F>(values, l2, true, rows);
             transpose_in_place_square(values, n1);
             for (i2, row) in values.chunks_exact_mut(n1).enumerate() {
                 twiddle_row(row, table, i2, true);
-                rows_fast::<F>(row, l1, true);
+                rows_with::<F>(row, l1, true, rows);
             }
             transpose_in_place_square(values, n1);
         }
@@ -321,22 +574,22 @@ fn six_step<F: TwoAdicField>(table: &Arc<TwiddleTable<F>>, values: &mut [F], inv
         // values[i1·n2 + i2] → scratch[i2·n1 + i1]: columns become rows.
         transpose_blocked(values, &mut scratch, n1, n2);
         for (i2, row) in scratch.chunks_exact_mut(n1).enumerate() {
-            rows_fast::<F>(row, l1, false);
+            rows_with::<F>(row, l1, false, rows);
             twiddle_row(row, table, i2, false);
         }
         transpose_blocked(&scratch, values, n2, n1);
-        rows_fast::<F>(values, l2, false);
+        rows_with::<F>(values, l2, false, rows);
         transpose_blocked(values, &mut scratch, n1, n2);
         values.copy_from_slice(&scratch);
     } else {
         // Exact mirror: undo the final transpose, outer inverses, undo the
         // middle transpose, un-twiddle + inner inverses, undo the first.
         transpose_blocked(values, &mut scratch, n2, n1);
-        rows_fast::<F>(&mut scratch, l2, true);
+        rows_with::<F>(&mut scratch, l2, true, rows);
         transpose_blocked(&scratch, values, n1, n2);
         for (i2, row) in values.chunks_exact_mut(n1).enumerate() {
             twiddle_row(row, table, i2, true);
-            rows_fast::<F>(row, l1, true);
+            rows_with::<F>(row, l1, true, rows);
         }
         transpose_blocked(values, &mut scratch, n2, n1);
         values.copy_from_slice(&scratch);
@@ -355,13 +608,21 @@ mod tests {
         (0..1usize << log_n).map(|_| F::random(&mut rng)).collect()
     }
 
-    /// Runs `f` under the legacy kernels, restoring fast mode after.
+    /// Runs `f` under the legacy kernels, restoring the default mode after.
     /// Outputs are mode-independent, so concurrent tests observing the
     /// temporary switch still pass.
     fn with_legacy<R>(f: impl FnOnce() -> R) -> R {
         set_kernel_mode(KernelMode::Legacy);
         let r = f();
+        set_kernel_mode(KernelMode::default());
+        r
+    }
+
+    /// Runs `f` with the fast (scalar six-step) kernels forced on.
+    fn with_fast<R>(f: impl FnOnce() -> R) -> R {
         set_kernel_mode(KernelMode::Fast);
+        let r = f();
+        set_kernel_mode(KernelMode::default());
         r
     }
 
@@ -373,15 +634,51 @@ mod tests {
             let mut legacy_fwd = input.clone();
             with_legacy(|| ntt.forward(&mut legacy_fwd));
             let mut fast_fwd = input.clone();
-            ntt.forward(&mut fast_fwd);
+            with_fast(|| ntt.forward(&mut fast_fwd));
             assert_eq!(fast_fwd, legacy_fwd, "forward log_n={log_n}");
 
             let mut legacy_inv = input.clone();
             with_legacy(|| ntt.inverse(&mut legacy_inv));
             let mut fast_inv = input.clone();
-            ntt.inverse(&mut fast_inv);
+            with_fast(|| ntt.inverse(&mut fast_inv));
             assert_eq!(fast_inv, legacy_inv, "inverse log_n={log_n}");
         }
+    }
+
+    /// Dev profiling aid, not a correctness check: prints the per-phase
+    /// split of one vector-row six-step at 2^22. Run with
+    /// `cargo test -p unintt-ntt --release six_step_phase_profile -- --ignored --nocapture`.
+    #[test]
+    #[ignore = "profiling aid; wall-clock printout only"]
+    fn six_step_phase_profile() {
+        use std::time::Instant;
+        let log_n = 22u32;
+        let n1 = 1usize << (log_n / 2);
+        let table = cache::shared_table::<Goldilocks>(log_n);
+        let mut values = random_vec::<Goldilocks>(log_n, 7);
+
+        let t = Instant::now();
+        six_step(&table, &mut values, false, RowPath::Vector);
+        println!("full six-step forward: {:?}", t.elapsed());
+
+        let t = Instant::now();
+        transpose_in_place_square(&mut values, n1);
+        let one_transpose = t.elapsed();
+        println!("one in-place transpose ({n1}x{n1}): {one_transpose:?}");
+
+        let t = Instant::now();
+        rows_with::<Goldilocks>(&mut values, log_n / 2, false, RowPath::Vector);
+        println!(
+            "one row pass ({n1} rows of 2^{}): {:?}",
+            log_n / 2,
+            t.elapsed()
+        );
+
+        let t = Instant::now();
+        for (i2, row) in values.chunks_exact_mut(n1).enumerate() {
+            twiddle_row(row, &table, i2, false);
+        }
+        println!("one twiddle pass: {:?}", t.elapsed());
     }
 
     #[test]
@@ -410,11 +707,11 @@ mod tests {
             let mut legacy = input.clone();
             with_legacy(|| ntt.forward(&mut legacy));
             let mut fast = input.clone();
-            ntt.forward(&mut fast);
+            with_fast(|| ntt.forward(&mut fast));
             assert_eq!(fast, legacy, "forward log_n={log_n}");
 
             let mut round = fast.clone();
-            ntt.inverse(&mut round);
+            with_fast(|| ntt.inverse(&mut round));
             assert_eq!(round, input, "roundtrip log_n={log_n}");
         }
     }
@@ -427,9 +724,9 @@ mod tests {
         let mut legacy = input.clone();
         with_legacy(|| ntt.forward(&mut legacy));
         let mut fast = input.clone();
-        ntt.forward(&mut fast);
+        with_fast(|| ntt.forward(&mut fast));
         assert_eq!(fast, legacy);
-        ntt.inverse(&mut fast);
+        with_fast(|| ntt.inverse(&mut fast));
         assert_eq!(fast, input);
     }
 
@@ -455,10 +752,11 @@ mod tests {
 
     #[test]
     fn kernel_mode_switch_roundtrips() {
-        assert_eq!(kernel_mode(), KernelMode::Fast);
-        set_kernel_mode(KernelMode::Legacy);
-        assert_eq!(kernel_mode(), KernelMode::Legacy);
-        set_kernel_mode(KernelMode::Fast);
-        assert_eq!(kernel_mode(), KernelMode::Fast);
+        assert_eq!(KernelMode::default(), KernelMode::Vector);
+        for mode in [KernelMode::Legacy, KernelMode::Fast, KernelMode::Vector] {
+            set_kernel_mode(mode);
+            assert_eq!(kernel_mode(), mode);
+        }
+        set_kernel_mode(KernelMode::default());
     }
 }

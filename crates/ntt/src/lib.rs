@@ -43,6 +43,7 @@ mod radix4;
 mod six_step;
 mod stockham;
 mod twiddle;
+mod vector;
 
 pub use batch::{batch_transform, batch_transform_parallel};
 pub use bitrev::{bit_reverse_permute, bit_reversed, reverse_bits};
@@ -55,3 +56,7 @@ pub use poly::{cyclic_convolution, poly_mul_naive, poly_mul_ntt};
 pub use radix2::{naive_dft, Direction, Ntt};
 pub use six_step::{transpose, FourStepNtt};
 pub use twiddle::TwiddleTable;
+pub use vector::{
+    active_backend_label, active_vector_backend, set_vector_backend_override, VectorBackend,
+    VECTOR_DIRECT_MAX_LOG_N,
+};

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use unintt_ff::{Field, TwoAdicField};
 
 use crate::fast::{self, kernel_mode, KernelMode};
-use crate::{bit_reverse_permute, cache, TwiddleTable};
+use crate::{bit_reverse_permute, cache, vector, TwiddleTable};
 
 /// Direction of a transform.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -88,19 +88,30 @@ impl<F: TwoAdicField> Ntt<F> {
     /// Forward NTT, natural order in and out.
     ///
     /// Dispatches on the process-wide [`crate::kernel_mode`]: the default
-    /// fast path (Shoup/lazy butterflies, six-step blocking at large sizes)
-    /// and the legacy bit-reverse + DIT path produce bit-identical output.
+    /// vectorized path (lane-packed fused butterflies, see
+    /// [`crate::vector`]), the scalar fast path (Shoup/lazy butterflies,
+    /// six-step blocking at large sizes) and the legacy bit-reverse + DIT
+    /// path produce bit-identical output.
     ///
     /// # Panics
     ///
     /// Panics if `values.len() != self.n()`.
     pub fn forward(&self, values: &mut [F]) {
         self.check_len(values.len());
-        if kernel_mode() == KernelMode::Fast {
-            fast::forward_fast(&self.table, values);
-        } else {
-            bit_reverse_permute(values);
-            self.dit_in_place(values);
+        match kernel_mode() {
+            KernelMode::Vector => {
+                unintt_telemetry::counter_add("ntt_dispatch_vector", 1);
+                vector::forward_vector(&self.table, values);
+            }
+            KernelMode::Fast => {
+                unintt_telemetry::counter_add("ntt_dispatch_fast", 1);
+                fast::forward_fast(&self.table, values);
+            }
+            KernelMode::Legacy => {
+                unintt_telemetry::counter_add("ntt_dispatch_legacy", 1);
+                bit_reverse_permute(values);
+                self.dit_in_place(values);
+            }
         }
     }
 
@@ -111,14 +122,23 @@ impl<F: TwoAdicField> Ntt<F> {
     /// Panics if `values.len() != self.n()`.
     pub fn inverse(&self, values: &mut [F]) {
         self.check_len(values.len());
-        if kernel_mode() == KernelMode::Fast {
-            fast::inverse_fast(&self.table, values);
-        } else {
-            bit_reverse_permute(values);
-            self.dit_in_place_with(values, self.table.inverse());
-            let n_inv = self.table.n_inv();
-            for v in values.iter_mut() {
-                *v *= n_inv;
+        match kernel_mode() {
+            KernelMode::Vector => {
+                unintt_telemetry::counter_add("ntt_dispatch_vector", 1);
+                vector::inverse_vector(&self.table, values);
+            }
+            KernelMode::Fast => {
+                unintt_telemetry::counter_add("ntt_dispatch_fast", 1);
+                fast::inverse_fast(&self.table, values);
+            }
+            KernelMode::Legacy => {
+                unintt_telemetry::counter_add("ntt_dispatch_legacy", 1);
+                bit_reverse_permute(values);
+                self.dit_in_place_with(values, self.table.inverse());
+                let n_inv = self.table.n_inv();
+                for v in values.iter_mut() {
+                    *v *= n_inv;
+                }
             }
         }
     }

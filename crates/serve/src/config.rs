@@ -3,6 +3,7 @@
 
 use unintt_core::{CommMode, RecoveryPolicy};
 use unintt_gpu_sim::FaultRates;
+use unintt_ntt::KernelMode;
 
 /// How the dispatcher orders ready batches when a lease frees up.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -97,6 +98,10 @@ pub struct ServiceConfig {
     /// against compute; [`CommMode::Blocking`] is the legacy schedule.
     /// Outputs are bit-identical either way; only simulated time moves.
     pub comm_mode: CommMode,
+    /// Host-side NTT kernel family for the real transforms behind each
+    /// dispatch ([`KernelMode::Vector`] by default). Bit-identical across
+    /// modes; only host wall time changes.
+    pub kernel_mode: KernelMode,
 }
 
 impl Default for ServiceConfig {
@@ -115,6 +120,7 @@ impl Default for ServiceConfig {
             fault_rates: None,
             verify_outputs: true,
             comm_mode: CommMode::Overlapped,
+            kernel_mode: KernelMode::default(),
         }
     }
 }
@@ -133,5 +139,6 @@ mod tests {
         assert!(cfg.dispatch_overhead_ns > 0.0);
         assert_eq!(cfg.policy, SchedulerPolicy::Fifo);
         assert_eq!(cfg.comm_mode, CommMode::Overlapped);
+        assert_eq!(cfg.kernel_mode, KernelMode::Vector);
     }
 }
