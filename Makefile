@@ -4,9 +4,9 @@
 EXCLUDE_VENDOR := --exclude criterion --exclude proptest --exclude rand \
                   --exclude serde --exclude serde_derive
 
-.PHONY: verify fmt clippy build bench-check test e13 e14 e15 serve-smoke trace-smoke chaos-smoke kernel-smoke
+.PHONY: verify fmt clippy build bench-check test e13 e14 e15 serve-smoke trace-smoke chaos-smoke kernel-smoke pipeline-smoke
 
-verify: fmt clippy build bench-check test kernel-smoke serve-smoke e15 trace-smoke chaos-smoke
+verify: fmt clippy build bench-check test kernel-smoke serve-smoke e15 trace-smoke chaos-smoke pipeline-smoke
 
 fmt:
 	cargo fmt --all --check
@@ -59,6 +59,14 @@ kernel-smoke:
 	cargo test --release -p unintt-ntt --test shoup_properties
 	cargo run --release -p unintt-bench --bin harness -- --quick e18
 	cargo run --release -p unintt-bench --bin harness -- --quick --portable-lanes e18
+
+# Pipeline smoke: the DAG bit-identity proptests (DAG-scheduled proofs
+# vs monolithic across seeds, sizes and injected stage faults), then the
+# quick E19 cell — which itself asserts per-job digest identity between
+# the DAG and monolithic runs and that pipelining wins at high load.
+pipeline-smoke:
+	cargo test --release -p unintt-pipeline
+	cargo run --release -p unintt-bench --bin harness -- --quick e19
 
 # Chaos smoke: the fleet example plus the E17 quick sweep. E17 asserts
 # zero accepted-job failures and bit-identical outputs vs the fault-free

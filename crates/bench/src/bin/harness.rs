@@ -9,7 +9,7 @@ const USAGE: &str = "\
 usage: harness [--quick] [--legacy-kernels] [--scalar-kernels] [--portable-lanes] [--blocking-comm] <experiment>...
        harness [--quick] trace <experiment>...
   <experiment>      one or more of: e1 e2 e3 e4 e5 e6 e7 e8 e9 e11 e12 e13
-                    e14 e15 e16 e17 e18 bench-host all
+                    e14 e15 e16 e17 e18 e19 bench-host all
   trace             run the named experiments with telemetry enabled and
                     write a Chrome/Perfetto trace_<experiment>.json next
                     to the process (e16 manages its own session and
@@ -89,6 +89,7 @@ fn main() -> ExitCode {
             "e16" => experiments::e16_observability::run(quick),
             "e17" => experiments::e17_resilience::run(quick),
             "e18" => experiments::e18_vector_kernels::run(quick),
+            "e19" => experiments::e19_pipeline::run(quick),
             _ => return None,
         };
         Some(table)

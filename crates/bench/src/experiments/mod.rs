@@ -15,6 +15,7 @@ pub mod e15_comm_overlap;
 pub mod e16_observability;
 pub mod e17_resilience;
 pub mod e18_vector_kernels;
+pub mod e19_pipeline;
 pub mod e1_headline;
 pub mod e2_scaling;
 pub mod e3_vs_baseline;
@@ -93,6 +94,7 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e15_comm_overlap::run(quick),
         e16_observability::run(quick),
         e17_resilience::run(quick),
+        e19_pipeline::run(quick),
     ]
 }
 

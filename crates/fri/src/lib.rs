@@ -34,6 +34,7 @@ pub mod fri;
 pub mod hash;
 mod merkle;
 mod pipeline;
+pub mod staged;
 pub mod stark;
 
 pub use deep::{open_trace, verify_opening, DeepOpeningProof};
@@ -41,4 +42,5 @@ pub use fri::{embed, FriConfig, FriProof, FriQueryProof, FriQueryRound};
 pub use hash::{compress, hash_elements, permutations_for, Digest};
 pub use merkle::{MerklePath, MerkleTree};
 pub use pipeline::{commit_trace, verify_trace, LdeBackend, SimulatedLde, TraceCommitment};
+pub use staged::{stark_stage_descs, StagedCommit};
 pub use stark::{prove_stark, verify_stark, Air, Boundary, FibonacciAir, StarkProof};

@@ -130,7 +130,7 @@ impl LdeBackend {
 /// Host-side batched LDE: independent columns, one task per column on the
 /// process-wide worker pool. Per-column results are bit-identical to the
 /// serial loop (each column's extension is self-contained).
-fn cpu_lde_batch(columns: &[Vec<Goldilocks>], log_blowup: u32) -> Vec<Vec<Goldilocks>> {
+pub(crate) fn cpu_lde_batch(columns: &[Vec<Goldilocks>], log_blowup: u32) -> Vec<Vec<Goldilocks>> {
     let mut out: Vec<Vec<Goldilocks>> = vec![Vec::new(); columns.len()];
     unintt_exec::Executor::global().scope(|scope| {
         for (col, slot) in columns.iter().zip(out.iter_mut()) {
@@ -192,7 +192,14 @@ impl SimulatedLde {
         })
     }
 
-    fn lde(&mut self, evals: &[Goldilocks], log_blowup: u32) -> Vec<Goldilocks> {
+    /// True when the trace is too small to shard across the configured
+    /// GPUs — the LDE then runs the single-device path with no
+    /// collectives (and nothing to fault or to split into stages).
+    pub(crate) fn small_path(&self, log_n: u32) -> bool {
+        log_n < 2 * self.cfg.num_gpus.trailing_zeros()
+    }
+
+    pub(crate) fn lde(&mut self, evals: &[Goldilocks], log_blowup: u32) -> Vec<Goldilocks> {
         let n = evals.len();
         assert!(n.is_power_of_two(), "length must be a power of two");
         let log_n = n.trailing_zeros();
@@ -288,31 +295,55 @@ impl SimulatedLde {
             "all columns must have equal length"
         );
         let log_n = n.trailing_zeros();
-        let g = self.cfg.num_gpus;
-        let log_g = g.trailing_zeros();
-        if log_n < 2 * log_g {
+        if self.small_path(log_n) {
             // Single-device path: no collectives, nothing can fault.
             return Ok(columns.iter().map(|c| self.lde(c, log_blowup)).collect());
         }
-        let big_log = log_n + log_blowup;
 
         // Phase 1a: batched interpolation, or resume from the checkpoint.
         let coeffs: Vec<Vec<Goldilocks>> = match checkpoint.coeffs.take() {
             Some(c) => c,
-            None => {
-                let mut small_batch: Vec<Sharded<Goldilocks>> = columns
-                    .iter()
-                    .map(|c| Sharded::distribute(c, g, ShardLayout::NaturalBlocks))
-                    .collect();
-                self.engine(log_n);
-                let engine_small = self.engines.get(&log_n).expect("just inserted").clone();
-                engine_small.try_inverse_batch(&mut self.machine, &mut small_batch, policy)?;
-                small_batch.iter().map(Sharded::collect).collect()
-            }
+            None => self.try_interp_batch(columns, policy)?,
         };
         checkpoint.coeffs = Some(coeffs.clone());
 
         // Phase 1b: zero-pad and coset-evaluate as one batch.
+        self.try_coset_batch(&coeffs, log_blowup, policy)
+    }
+
+    /// Phase 1a of the batched LDE on its own: interpolate every column
+    /// as one batch. The staged committer runs this as its first DAG
+    /// stage. Requires the multi-device path (`!self.small_path(..)`).
+    pub(crate) fn try_interp_batch(
+        &mut self,
+        columns: &[Vec<Goldilocks>],
+        policy: &RecoveryPolicy,
+    ) -> Result<Vec<Vec<Goldilocks>>, FabricError> {
+        let n = columns[0].len();
+        let log_n = n.trailing_zeros();
+        let g = self.cfg.num_gpus;
+        let mut small_batch: Vec<Sharded<Goldilocks>> = columns
+            .iter()
+            .map(|c| Sharded::distribute(c, g, ShardLayout::NaturalBlocks))
+            .collect();
+        self.engine(log_n);
+        let engine_small = self.engines.get(&log_n).expect("just inserted").clone();
+        engine_small.try_inverse_batch(&mut self.machine, &mut small_batch, policy)?;
+        Ok(small_batch.iter().map(Sharded::collect).collect())
+    }
+
+    /// Phase 1b of the batched LDE on its own: zero-pad the coefficient
+    /// columns and coset-evaluate them as one batch on the blown-up
+    /// domain. The staged committer runs this as its second DAG stage.
+    pub(crate) fn try_coset_batch(
+        &mut self,
+        coeffs: &[Vec<Goldilocks>],
+        log_blowup: u32,
+        policy: &RecoveryPolicy,
+    ) -> Result<Vec<Vec<Goldilocks>>, FabricError> {
+        let n = coeffs[0].len();
+        let big_log = n.trailing_zeros() + log_blowup;
+        let g = self.cfg.num_gpus;
         self.engine(big_log);
         let engine_big = self.engines.get(&big_log).expect("just inserted").clone();
         let mut big_batch: Vec<Sharded<Goldilocks>> = coeffs
@@ -377,9 +408,40 @@ pub struct TraceCommitment {
     pub width: usize,
 }
 
+impl TraceCommitment {
+    /// FNV-1a fingerprint of the commitment's binding content (trace
+    /// root, FRI layer roots, final codeword, shape) — a stable 64-bit
+    /// value for comparing commitments across scheduling paths (the
+    /// DAG-pipelined and monolithic committers must produce equal
+    /// digests). Openings are derived deterministically from these, so
+    /// they need not be hashed.
+    pub fn content_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(self.n as u64);
+        mix(self.width as u64);
+        for w in self.trace_root.0 {
+            mix(w.value());
+        }
+        for root in &self.fri_proof.layer_roots {
+            for w in root.0 {
+                mix(w.value());
+            }
+        }
+        for v in &self.fri_proof.final_codeword {
+            mix(v.a.value());
+            mix(v.b.value());
+        }
+        h
+    }
+}
+
 /// Derives the (extension-field, ~128-bit) column-combination challenge
 /// from the trace root.
-fn combination_challenge(root: &Digest) -> GoldilocksExt2 {
+pub(crate) fn combination_challenge(root: &Digest) -> GoldilocksExt2 {
     let d = compress(root, &hash_elements(&[Goldilocks::from_u64(0xa1fa)]));
     GoldilocksExt2::new(d.0[0], d.0[1])
 }

@@ -1,0 +1,298 @@
+//! A deterministic DAG executor over a fixed set of device lanes.
+//!
+//! [`DagExecutor`] schedules ready stages from multiple concurrent
+//! proofs onto `lanes` simulated leases. In [`ExecMode::Interleaved`]
+//! it dispatches the ready stage with the earliest availability
+//! (ties broken by proof index, then stage index) to the
+//! earliest-free lane — so the MSM stage of one proof overlaps the NTT
+//! stage of another, and independent stages *within* one proof (the
+//! three wire commits; z-commit against the quotient LDE) run on
+//! different lanes at the same simulated time. In
+//! [`ExecMode::Monolithic`] each proof holds one lane for its entire
+//! serialized stage chain — the pre-DAG behavior, kept as the baseline.
+//!
+//! Everything is driven by the proofs' own simulated-clock deltas; the
+//! executor is pure bookkeeping and fully deterministic, so two runs
+//! over the same inputs produce identical reports.
+//!
+//! Stage faults: a transient [`FabricError`] is retried in place up to
+//! `max_retries` times per attempt batch; the wasted attempt time stays
+//! charged to the lane (the hardware really ran), which is exactly the
+//! "replay only the affected subgraph" failover story — completed
+//! stages never re-run.
+
+use std::collections::BTreeMap;
+
+use unintt_core::RecoveryPolicy;
+
+use crate::dag::StageKind;
+use crate::proof::ProofPipeline;
+
+/// How the executor maps proofs onto lanes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Stage-level scheduling with cross-proof interleaving.
+    Interleaved,
+    /// One lane per proof for its whole serialized stage chain.
+    Monolithic,
+}
+
+/// The record of one executed proof.
+#[derive(Clone, Debug)]
+pub struct ProofRun {
+    /// Stable fingerprint of the finished output.
+    pub digest: u64,
+    /// Simulated completion time of the final stage.
+    pub completed_ns: f64,
+    /// Transient stage retries absorbed during execution.
+    pub retries: u32,
+    /// Lane-occupied simulated time attributed per stage kind.
+    pub stage_ns: BTreeMap<StageKind, f64>,
+}
+
+/// The executor's summary.
+#[derive(Clone, Debug)]
+pub struct ExecReport {
+    /// Per-proof outcomes, in submission order.
+    pub runs: Vec<ProofRun>,
+    /// Simulated time at which the last stage completed.
+    pub makespan_ns: f64,
+    /// Total lane-occupied simulated time.
+    pub busy_ns: f64,
+    /// Number of lanes.
+    pub lanes: usize,
+    /// Scheduling mode.
+    pub mode: ExecMode,
+}
+
+impl ExecReport {
+    /// Mean lane occupancy over the makespan (0..=1).
+    pub fn occupancy(&self) -> f64 {
+        if self.makespan_ns <= 0.0 {
+            return 0.0;
+        }
+        self.busy_ns / (self.makespan_ns * self.lanes as f64)
+    }
+
+    /// Proofs per simulated second.
+    pub fn proofs_per_s(&self) -> f64 {
+        if self.makespan_ns <= 0.0 {
+            return 0.0;
+        }
+        self.runs.len() as f64 / (self.makespan_ns * 1e-9)
+    }
+}
+
+/// Deterministic multi-proof stage scheduler (see module docs).
+#[derive(Clone, Copy, Debug)]
+pub struct DagExecutor {
+    /// Number of device lanes (leases).
+    pub lanes: usize,
+    /// Scheduling mode.
+    pub mode: ExecMode,
+    /// Transient-fault retries per stage before giving up.
+    pub max_retries: u32,
+}
+
+impl DagExecutor {
+    /// An interleaving executor over `lanes` lanes.
+    pub fn interleaved(lanes: usize) -> Self {
+        Self {
+            lanes,
+            mode: ExecMode::Interleaved,
+            max_retries: 4,
+        }
+    }
+
+    /// A monolithic (whole-proof-per-lane) baseline executor.
+    pub fn monolithic(lanes: usize) -> Self {
+        Self {
+            lanes,
+            mode: ExecMode::Monolithic,
+            max_retries: 4,
+        }
+    }
+
+    /// Runs every pipeline to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`, or if a stage fails permanently (a
+    /// non-transient fabric error, or a transient one that outlives
+    /// `max_retries` — executor callers model repair at a higher
+    /// level).
+    pub fn run(&self, mut pipelines: Vec<ProofPipeline>) -> ExecReport {
+        assert!(self.lanes > 0, "need at least one lane");
+        match self.mode {
+            ExecMode::Interleaved => self.run_interleaved(&mut pipelines),
+            ExecMode::Monolithic => self.run_monolithic(&mut pipelines),
+        }
+    }
+
+    /// Runs one stage with in-place transient retries, returning the
+    /// total simulated time consumed (successful attempt plus any
+    /// wasted faulted attempts) and the retry count.
+    fn run_stage_with_retries(
+        &self,
+        pipe: &mut ProofPipeline,
+        stage: usize,
+        policy: &RecoveryPolicy,
+    ) -> (f64, u32) {
+        let mut elapsed = 0.0;
+        let mut retries = 0u32;
+        loop {
+            let before = pipe.sim_total_ns();
+            match pipe.run_stage(stage, policy) {
+                Ok(ns) => return (elapsed + ns, retries),
+                Err(e) => {
+                    elapsed += pipe.sim_total_ns() - before;
+                    assert!(
+                        e.is_transient() && retries < self.max_retries,
+                        "permanent stage failure: {e}"
+                    );
+                    retries += 1;
+                }
+            }
+        }
+    }
+
+    fn run_interleaved(&self, pipelines: &mut [ProofPipeline]) -> ExecReport {
+        let policy = RecoveryPolicy::none();
+        let dags: Vec<_> = pipelines.iter().map(ProofPipeline::dag).collect();
+        let mut completion: Vec<Vec<Option<f64>>> =
+            dags.iter().map(|d| vec![None; d.len()]).collect();
+        let mut stage_ns: Vec<BTreeMap<StageKind, f64>> = vec![BTreeMap::new(); pipelines.len()];
+        let mut retries = vec![0u32; pipelines.len()];
+        let mut lane_free = vec![0.0f64; self.lanes];
+        let mut busy = 0.0f64;
+
+        loop {
+            // Cascade barriers: they complete inline at their
+            // dependencies' completion time, occupying no lane.
+            let mut progressed = true;
+            while progressed {
+                progressed = false;
+                for (p, dag) in dags.iter().enumerate() {
+                    for (s, node) in dag.nodes().iter().enumerate() {
+                        if completion[p][s].is_some() || !node.kind.is_barrier() {
+                            continue;
+                        }
+                        if node.deps.iter().any(|&d| completion[p][d].is_none()) {
+                            continue;
+                        }
+                        let avail = node
+                            .deps
+                            .iter()
+                            .map(|&d| completion[p][d].expect("dep done"))
+                            .fold(0.0f64, f64::max);
+                        let (ns, _) = self.run_stage_with_retries(&mut pipelines[p], s, &policy);
+                        debug_assert_eq!(ns, 0.0, "barriers are charge-free");
+                        completion[p][s] = Some(avail);
+                        progressed = true;
+                    }
+                }
+            }
+
+            // The ready charged stage with the earliest availability.
+            let mut best: Option<(f64, usize, usize)> = None;
+            for (p, dag) in dags.iter().enumerate() {
+                for (s, node) in dag.nodes().iter().enumerate() {
+                    if completion[p][s].is_some() || node.kind.is_barrier() {
+                        continue;
+                    }
+                    if node.deps.iter().any(|&d| completion[p][d].is_none()) {
+                        continue;
+                    }
+                    let avail = node
+                        .deps
+                        .iter()
+                        .map(|&d| completion[p][d].expect("dep done"))
+                        .fold(0.0f64, f64::max);
+                    let cand = (avail, p, s);
+                    if best.is_none_or(|b| cand < b) {
+                        best = Some(cand);
+                    }
+                }
+            }
+            let Some((avail, p, s)) = best else {
+                break; // every stage of every proof is done
+            };
+
+            // Earliest-free lane, lowest index on ties.
+            let lane = (0..self.lanes)
+                .min_by(|&a, &b| lane_free[a].total_cmp(&lane_free[b]))
+                .expect("lanes > 0");
+            let start = avail.max(lane_free[lane]);
+            let (elapsed, r) = self.run_stage_with_retries(&mut pipelines[p], s, &policy);
+            retries[p] += r;
+            lane_free[lane] = start + elapsed;
+            busy += elapsed;
+            completion[p][s] = Some(start + elapsed);
+            *stage_ns[p].entry(dags[p].nodes()[s].kind).or_insert(0.0) += elapsed;
+        }
+
+        self.report(pipelines, &completion, stage_ns, retries, busy)
+    }
+
+    fn run_monolithic(&self, pipelines: &mut [ProofPipeline]) -> ExecReport {
+        let policy = RecoveryPolicy::none();
+        let dags: Vec<_> = pipelines.iter().map(ProofPipeline::dag).collect();
+        let mut completion: Vec<Vec<Option<f64>>> =
+            dags.iter().map(|d| vec![None; d.len()]).collect();
+        let mut stage_ns: Vec<BTreeMap<StageKind, f64>> = vec![BTreeMap::new(); pipelines.len()];
+        let mut retries = vec![0u32; pipelines.len()];
+        let mut lane_free = vec![0.0f64; self.lanes];
+        let mut busy = 0.0f64;
+
+        for (p, pipe) in pipelines.iter_mut().enumerate() {
+            let lane = (0..self.lanes)
+                .min_by(|&a, &b| lane_free[a].total_cmp(&lane_free[b]))
+                .expect("lanes > 0");
+            let mut t = lane_free[lane];
+            for s in dags[p].topo_order() {
+                let (elapsed, r) = self.run_stage_with_retries(pipe, s, &policy);
+                retries[p] += r;
+                t += elapsed;
+                busy += elapsed;
+                completion[p][s] = Some(t);
+                *stage_ns[p].entry(dags[p].nodes()[s].kind).or_insert(0.0) += elapsed;
+            }
+            lane_free[lane] = t;
+        }
+
+        self.report(pipelines, &completion, stage_ns, retries, busy)
+    }
+
+    fn report(
+        &self,
+        pipelines: &[ProofPipeline],
+        completion: &[Vec<Option<f64>>],
+        stage_ns: Vec<BTreeMap<StageKind, f64>>,
+        retries: Vec<u32>,
+        busy: f64,
+    ) -> ExecReport {
+        let mut runs = Vec::with_capacity(pipelines.len());
+        let mut makespan = 0.0f64;
+        for (p, pipe) in pipelines.iter().enumerate() {
+            assert!(pipe.is_complete(), "executor left proof {p} unfinished");
+            let completed_ns = completion[p]
+                .iter()
+                .map(|c| c.expect("all stages done"))
+                .fold(0.0f64, f64::max);
+            makespan = makespan.max(completed_ns);
+            runs.push(ProofRun {
+                digest: pipe.output_digest().expect("complete proof has a digest"),
+                completed_ns,
+                retries: retries[p],
+                stage_ns: stage_ns[p].clone(),
+            });
+        }
+        ExecReport {
+            runs,
+            makespan_ns: makespan,
+            busy_ns: busy,
+            lanes: self.lanes,
+            mode: self.mode,
+        }
+    }
+}

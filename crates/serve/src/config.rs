@@ -78,6 +78,11 @@ pub struct ServiceConfig {
     /// staging and host-side marshalling. Charged once per batch — this
     /// is what coalescing amortizes.
     pub dispatch_overhead_ns: f64,
+    /// Fixed per-stage cost for [`crate::JobClass::ProveDag`] jobs,
+    /// simulated ns: much smaller than `dispatch_overhead_ns` because a
+    /// stage reuses the proof's already-staged state — it only pays
+    /// lease hand-off and kernel launch setup.
+    pub stage_overhead_ns: f64,
     /// Time to replace a lease whose every node died, simulated ns.
     pub repair_ns: f64,
     /// Fault-recovery policy handed to the cluster engine.
@@ -114,6 +119,7 @@ impl Default for ServiceConfig {
             num_leases: 2,
             lease: LeaseShape::default(),
             dispatch_overhead_ns: 40_000.0,
+            stage_overhead_ns: 2_000.0,
             repair_ns: 5.0e9,
             recovery: RecoveryPolicy::default(),
             fault_seed: 0x5eed_5e17e,

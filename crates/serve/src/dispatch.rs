@@ -21,9 +21,11 @@ use unintt_zkp::{
     prove, random_circuit, setup, verify, Backend, ProvingKey, VerifyingKey, Witness,
 };
 
+use unintt_pipeline::ProofPipeline;
+
 use crate::coalesce::{BatchKey, QueuedJob, ReadyBatch};
 use crate::config::{SchedulerPolicy, ServiceConfig};
-use crate::job::{JobId, JobOutcome, JobStatus, ServiceField};
+use crate::job::{DagKind, JobId, JobOutcome, JobStatus, ServiceField};
 
 /// Pins the process-wide host kernel mode for the duration of a batch,
 /// restoring the previous mode on drop (so PLONK/STARK dispatches and
@@ -107,45 +109,75 @@ pub(crate) struct RawDispatch {
     pub leftover: Vec<QueuedJob>,
 }
 
-/// Removes and returns the batch `policy` runs next from `ready`.
-/// Shared by the single-cluster runner and every fleet cluster so all
-/// schedulers order work identically.
-pub(crate) fn take_next_batch(ready: &mut Vec<ReadyBatch>, policy: SchedulerPolicy) -> ReadyBatch {
-    let batch_priority = |b: &ReadyBatch| {
-        b.jobs
+/// The batch `policy` would run next from `ready` (`None` when empty),
+/// plus its scheduling key `(ready_ns, priority, cost, first_id)` so a
+/// caller mixing batches with other work (DAG stages) can compare like
+/// for like. Shared by the single-cluster runner and every fleet
+/// cluster so all schedulers order work identically.
+pub(crate) fn next_batch_index(
+    ready: &[ReadyBatch],
+    policy: SchedulerPolicy,
+) -> Option<(usize, DispatchKey)> {
+    let key = |b: &ReadyBatch| DispatchKey {
+        ready_ns: b.ready_ns,
+        priority: b
+            .jobs
             .iter()
             .map(|j| j.spec.priority)
             .max()
-            .unwrap_or_default()
-    };
-    let batch_cost = |b: &ReadyBatch| {
-        b.jobs
+            .unwrap_or_default(),
+        cost: b
+            .jobs
             .iter()
             .map(|j| j.spec.class.estimated_cost())
-            .sum::<f64>()
+            .sum::<f64>(),
+        id: b.first_id(),
     };
-    let fifo = |a: &ReadyBatch, b: &ReadyBatch| {
-        a.ready_ns
-            .partial_cmp(&b.ready_ns)
+    ready
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (i, key(b)))
+        .min_by(|(_, a), (_, b)| a.cmp_under(b, policy))
+}
+
+/// The policy-relevant attributes of one schedulable unit (a ready batch
+/// or a ready DAG stage), so heterogeneous work competes for a lease
+/// under one ordering.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DispatchKey {
+    /// When the unit became dispatchable, simulated ns.
+    pub ready_ns: f64,
+    /// Scheduling priority (max over batch members).
+    pub priority: crate::job::Priority,
+    /// Estimated cost for shortest-job-first.
+    pub cost: f64,
+    /// Submission-order tiebreak.
+    pub id: JobId,
+}
+
+impl DispatchKey {
+    /// Total order under `policy`: smallest compares first.
+    pub fn cmp_under(&self, other: &Self, policy: SchedulerPolicy) -> std::cmp::Ordering {
+        let fifo = self
+            .ready_ns
+            .partial_cmp(&other.ready_ns)
             .expect("ready times are finite")
-            .then(a.first_id().cmp(&b.first_id()))
-    };
-    let idx = match policy {
-        SchedulerPolicy::Fifo => ready.iter().enumerate().min_by(|(_, a), (_, b)| fifo(a, b)),
-        SchedulerPolicy::Priority => ready.iter().enumerate().min_by(|(_, a), (_, b)| {
-            batch_priority(b)
-                .cmp(&batch_priority(a)) // higher priority first
-                .then(fifo(a, b))
-        }),
-        SchedulerPolicy::ShortestJobFirst => ready.iter().enumerate().min_by(|(_, a), (_, b)| {
-            batch_cost(a)
-                .partial_cmp(&batch_cost(b))
+            .then(self.id.cmp(&other.id));
+        match policy {
+            SchedulerPolicy::Fifo => fifo,
+            SchedulerPolicy::Priority => other.priority.cmp(&self.priority).then(fifo),
+            SchedulerPolicy::ShortestJobFirst => self
+                .cost
+                .partial_cmp(&other.cost)
                 .expect("costs are finite")
-                .then(fifo(a, b))
-        }),
+                .then(fifo),
+        }
     }
-    .map(|(i, _)| i)
-    .expect("take_next_batch called with ready batches");
+}
+
+/// Removes and returns the batch `policy` runs next from `ready`.
+pub(crate) fn take_next_batch(ready: &mut Vec<ReadyBatch>, policy: SchedulerPolicy) -> ReadyBatch {
+    let (idx, _) = next_batch_index(ready, policy).expect("take_next_batch with ready batches");
     ready.swap_remove(idx)
 }
 
@@ -317,37 +349,23 @@ fn run_raw_batch_in<F: TwoAdicField>(
     }
 }
 
-/// A PLONK proof over the canned circuit of the requested size, run
-/// through the simulated backend. Returns the simulated duration
-/// (excluding the fixed dispatch overhead; the caller charges that).
-pub(crate) fn run_plonk(caches: &mut EngineCaches, cfg: &ServiceConfig, log_gates: u32) -> f64 {
-    let fixture = caches.plonk_fixtures.entry(log_gates).or_insert_with(|| {
+/// The canned PLONK fixture for one circuit size (built on first use).
+fn plonk_fixture(caches: &mut EngineCaches, log_gates: u32) -> &PlonkFixture {
+    caches.plonk_fixtures.entry(log_gates).or_insert_with(|| {
         let mut rng = StdRng::seed_from_u64(FIXTURE_SEED ^ u64::from(log_gates));
         let (circuit, witness) = random_circuit(1usize << log_gates, &mut rng);
         let (pk, vk) = setup(&circuit, &mut rng);
         PlonkFixture { pk, vk, witness }
-    });
-    let gpus = cfg.lease.total_gpus();
-    let mut backend = Backend::simulated(presets::a100_nvlink(gpus), presets::a100_nvlink(gpus));
-    let proof = prove(&fixture.pk, &fixture.witness, &[], &mut backend);
-    if cfg.verify_outputs {
-        assert!(
-            verify(&fixture.vk, &proof, &[]),
-            "service-produced proof must verify"
-        );
-    }
-    backend.report().total_ns()
+    })
 }
 
-/// A STARK trace commitment over a canned trace, run through the
-/// simulated LDE backend. Returns the simulated duration.
-pub(crate) fn run_stark(
+/// The canned STARK trace for one shape (built on first use).
+fn stark_fixture(
     caches: &mut EngineCaches,
-    cfg: &ServiceConfig,
     log_trace: u32,
     columns: usize,
-) -> f64 {
-    let trace = caches
+) -> &Vec<Vec<Goldilocks>> {
+    caches
         .stark_fixtures
         .entry((log_trace, columns))
         .or_insert_with(|| {
@@ -360,18 +378,101 @@ pub(crate) fn run_stark(
                         .collect()
                 })
                 .collect()
-        });
+        })
+}
+
+/// A PLONK proof over the canned circuit of the requested size, run
+/// through the simulated backend. Returns the simulated duration
+/// (excluding the fixed dispatch overhead; the caller charges that) and
+/// the proof's content digest.
+pub(crate) fn run_plonk(
+    caches: &mut EngineCaches,
+    cfg: &ServiceConfig,
+    log_gates: u32,
+) -> (f64, u64) {
     let gpus = cfg.lease.total_gpus();
+    let verify_outputs = cfg.verify_outputs;
+    let fixture = plonk_fixture(caches, log_gates);
+    let mut backend = Backend::simulated(presets::a100_nvlink(gpus), presets::a100_nvlink(gpus));
+    let proof = prove(&fixture.pk, &fixture.witness, &[], &mut backend);
+    if verify_outputs {
+        assert!(
+            verify(&fixture.vk, &proof, &[]),
+            "service-produced proof must verify"
+        );
+    }
+    (backend.report().total_ns(), proof.content_digest())
+}
+
+/// A STARK trace commitment over a canned trace, run through the
+/// simulated LDE backend. Returns the simulated duration and the
+/// commitment's content digest.
+pub(crate) fn run_stark(
+    caches: &mut EngineCaches,
+    cfg: &ServiceConfig,
+    log_trace: u32,
+    columns: usize,
+) -> (f64, u64) {
+    let gpus = cfg.lease.total_gpus();
+    let verify_outputs = cfg.verify_outputs;
+    let trace = stark_fixture(caches, log_trace, columns);
     let mut backend = LdeBackend::simulated(presets::a100_nvlink(gpus));
     let config = FriConfig::standard();
     let commitment = commit_trace(trace, &config, &mut backend);
-    if cfg.verify_outputs {
+    if verify_outputs {
         assert!(
             verify_trace(&commitment, &config),
             "service-produced commitment must verify"
         );
     }
-    backend.sim_time_ns()
+    (backend.sim_time_ns(), commitment.content_digest())
+}
+
+/// Builds the staged pipeline for a [`DagKind`] job over the *same*
+/// fixtures the monolithic runners use, so the finished output digest is
+/// identical to the monolithic dispatch's.
+pub(crate) fn build_dag(
+    caches: &mut EngineCaches,
+    cfg: &ServiceConfig,
+    kind: DagKind,
+) -> ProofPipeline {
+    let gpus = cfg.lease.total_gpus();
+    match kind {
+        DagKind::Plonk { log_gates } => {
+            let fixture = plonk_fixture(caches, log_gates);
+            let backend =
+                Backend::simulated(presets::a100_nvlink(gpus), presets::a100_nvlink(gpus));
+            ProofPipeline::plonk(&fixture.pk, &fixture.witness, &[], backend)
+        }
+        DagKind::Stark { log_trace, columns } => {
+            let trace = stark_fixture(caches, log_trace, columns).clone();
+            let backend = LdeBackend::simulated(presets::a100_nvlink(gpus));
+            ProofPipeline::stark(trace, FriConfig::standard(), backend)
+        }
+    }
+}
+
+/// Verifies a completed DAG pipeline's output against the same checks
+/// the monolithic runners apply (called only when `verify_outputs` is
+/// on).
+pub(crate) fn verify_dag_output(caches: &mut EngineCaches, kind: DagKind, pipe: &ProofPipeline) {
+    match kind {
+        DagKind::Plonk { log_gates } => {
+            let fixture = plonk_fixture(caches, log_gates);
+            let proof = pipe.proof().expect("complete PLONK pipeline");
+            assert!(
+                verify(&fixture.vk, proof, &[]),
+                "DAG-produced proof must verify"
+            );
+        }
+        DagKind::Stark { .. } => {
+            let commitment = pipe.commitment().expect("complete STARK pipeline");
+            assert!(
+                verify_trace(commitment, &FriConfig::standard()),
+                "DAG-produced commitment must verify"
+            );
+        }
+    }
 }
 
 /// Records the lifecycle spans for one completed job on its own track:

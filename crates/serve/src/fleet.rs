@@ -240,6 +240,7 @@ impl FleetReport {
         ServiceReport {
             outcomes: self.outcomes,
             metrics: self.metrics,
+            stage_ns: BTreeMap::new(),
         }
     }
 }
@@ -1137,7 +1138,10 @@ impl FleetRunner {
     fn dispatch_singleton(&mut self, c: usize, job: QueuedJob, now: f64) {
         self.dispatch_seq += 1;
         let seq = self.dispatch_seq;
-        let elapsed = match job.spec.class {
+        // The fleet runs DAG jobs monolithically (stage interleaving is a
+        // single-cluster scheduler feature; the output bytes are the same
+        // either way), so match on the monolithic form of the class.
+        let (sim_ns, output_digest) = match job.spec.class.monolithic() {
             JobClass::PlonkProve { log_gates } => {
                 dispatch::run_plonk(&mut self.caches, &self.cfg.base, log_gates)
             }
@@ -1145,7 +1149,9 @@ impl FleetRunner {
                 dispatch::run_stark(&mut self.caches, &self.cfg.base, log_trace, columns)
             }
             JobClass::RawNtt { .. } => unreachable!("raw jobs always carry a batch key"),
-        } + self.cfg.base.dispatch_overhead_ns;
+            JobClass::ProveDag { .. } => unreachable!("monolithic() unwraps DAG classes"),
+        };
+        let elapsed = sim_ns + self.cfg.base.dispatch_overhead_ns;
         let done = now + elapsed;
         let lease_id = {
             let lease = self.clusters[c].pool.earliest();
@@ -1177,7 +1183,7 @@ impl FleetRunner {
                     retries: 0,
                     replans: 0,
                     missed_deadline: job.spec.deadline_ns.is_some_and(|d| done > d),
-                    output_digest: 0,
+                    output_digest,
                 },
                 exec_start_ns: now,
                 job,

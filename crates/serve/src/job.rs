@@ -48,6 +48,33 @@ impl ServiceField {
     }
 }
 
+/// Which proof a [`JobClass::ProveDag`] job decomposes into stages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DagKind {
+    /// A PLONK proof over the canned circuit of `2^log_gates` gates.
+    Plonk {
+        /// Circuit size exponent.
+        log_gates: u32,
+    },
+    /// A STARK trace commitment over the canned trace.
+    Stark {
+        /// Trace length exponent.
+        log_trace: u32,
+        /// Number of trace columns.
+        columns: usize,
+    },
+}
+
+impl DagKind {
+    /// The monolithic job class producing the bit-identical output.
+    pub fn monolithic_class(self) -> JobClass {
+        match self {
+            DagKind::Plonk { log_gates } => JobClass::PlonkProve { log_gates },
+            DagKind::Stark { log_trace, columns } => JobClass::StarkCommit { log_trace, columns },
+        }
+    }
+}
+
 /// What a job asks the service to do.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum JobClass {
@@ -77,6 +104,17 @@ pub enum JobClass {
         /// Number of trace columns.
         columns: usize,
     },
+    /// The same proof as [`JobClass::PlonkProve`] /
+    /// [`JobClass::StarkCommit`], but submitted as a stage DAG: instead
+    /// of holding one lease for the whole proof, the scheduler
+    /// dispatches individual ready stages (NTT batches, MSM commits,
+    /// Merkle/FRI rounds) under the ordinary lease policies, interleaved
+    /// with other tenants' work. The finished output is bit-identical to
+    /// the monolithic class.
+    ProveDag {
+        /// Which proof to decompose.
+        kind: DagKind,
+    },
 }
 
 impl JobClass {
@@ -86,6 +124,31 @@ impl JobClass {
             JobClass::RawNtt { .. } => "raw-ntt",
             JobClass::PlonkProve { .. } => "plonk-prove",
             JobClass::StarkCommit { .. } => "stark-commit",
+            JobClass::ProveDag { .. } => "prove-dag",
+        }
+    }
+
+    /// The stage-scheduled form of this class: proofs become
+    /// [`JobClass::ProveDag`] jobs over the same fixture (so outputs stay
+    /// bit-identical); raw NTTs are unchanged.
+    pub fn pipelined(self) -> Self {
+        match self {
+            JobClass::PlonkProve { log_gates } => JobClass::ProveDag {
+                kind: DagKind::Plonk { log_gates },
+            },
+            JobClass::StarkCommit { log_trace, columns } => JobClass::ProveDag {
+                kind: DagKind::Stark { log_trace, columns },
+            },
+            other => other,
+        }
+    }
+
+    /// The monolithic form of this class (inverse of
+    /// [`JobClass::pipelined`]).
+    pub fn monolithic(self) -> Self {
+        match self {
+            JobClass::ProveDag { kind } => kind.monolithic_class(),
+            other => other,
         }
     }
 
@@ -130,6 +193,9 @@ impl JobClass {
                 columns as f64 * (n * log_trace as f64 + 4.0 * n * (log_trace + 2) as f64)
                     + 40.0 * 4.0 * n
             }
+            // The DAG form does the same total work as its monolithic
+            // equivalent; SJF should rank them identically.
+            JobClass::ProveDag { kind } => kind.monolithic_class().estimated_cost(),
         }
     }
 }
@@ -253,10 +319,12 @@ pub struct JobOutcome {
     pub replans: u32,
     /// True if the job completed after its deadline.
     pub missed_deadline: bool,
-    /// FNV-1a digest of the raw-NTT output (0 for proofs, commitments
-    /// and jobs that never ran). Lets chaos experiments assert that a
-    /// job re-dispatched after a failover produced the bit-identical
-    /// result a fault-free run would have.
+    /// FNV-1a digest of the job's output: the raw-NTT result vector,
+    /// the serialized proof, or the trace commitment (0 for jobs that
+    /// never ran). Lets chaos experiments assert that a job
+    /// re-dispatched after a failover produced the bit-identical result
+    /// a fault-free run would have, and lets E19 assert DAG-scheduled
+    /// proofs match their monolithic twins byte for byte.
     pub output_digest: u64,
 }
 

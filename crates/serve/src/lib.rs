@@ -55,7 +55,8 @@ pub use fleet::{
 };
 pub use health::{HealthConfig, HealthMachine, HealthState};
 pub use job::{
-    AdmissionError, JobClass, JobId, JobOutcome, JobSpec, JobStatus, Priority, ServiceField,
+    AdmissionError, DagKind, JobClass, JobId, JobOutcome, JobSpec, JobStatus, Priority,
+    ServiceField,
 };
 pub use lease::{Lease, LeasePool};
 pub use metrics::{ClassMetrics, LatencyStats, LeaseMetrics, ServiceMetrics};

@@ -36,6 +36,11 @@ impl ShardRouter {
             JobClass::StarkCommit { log_trace, columns } => {
                 0x30_0000 | (u64::from(log_trace) << 16) | columns as u64
             }
+            // A DAG job homes where its monolithic twin would: same
+            // fixture, same warm caches.
+            JobClass::ProveDag { kind } => {
+                return self.shard_key(tenant, &kind.monolithic_class());
+            }
         };
         mix(self.seed ^ (u64::from(tenant) << 40) ^ shape)
     }

@@ -15,14 +15,18 @@
 //! commitment is checked. The execution machinery itself lives in
 //! [`crate::dispatch`], shared with the multi-cluster fleet runner.
 
+use std::collections::BTreeMap;
 use std::sync::mpsc::Receiver;
 
 use unintt_gpu_sim::FieldSpec;
+use unintt_pipeline::{ProofDag, ProofPipeline};
 
 use crate::coalesce::{Coalescer, QueuedJob, ReadyBatch};
 use crate::config::ServiceConfig;
-use crate::dispatch::{self, EngineCaches};
-use crate::job::{AdmissionError, JobClass, JobId, JobOutcome, JobSpec, JobStatus, ServiceField};
+use crate::dispatch::{self, DispatchKey, EngineCaches};
+use crate::job::{
+    AdmissionError, DagKind, JobClass, JobId, JobOutcome, JobSpec, JobStatus, ServiceField,
+};
 use crate::lease::LeasePool;
 use crate::metrics::ServiceMetrics;
 
@@ -34,6 +38,10 @@ pub struct ServiceReport {
     pub outcomes: Vec<JobOutcome>,
     /// Aggregated metrics.
     pub metrics: ServiceMetrics,
+    /// Lease-occupied simulated time per DAG stage kind, summed over
+    /// every [`JobClass::ProveDag`] job (empty when none ran). This is
+    /// the per-stage time attribution experiment E19 reports.
+    pub stage_ns: BTreeMap<&'static str, f64>,
 }
 
 impl ServiceReport {
@@ -109,14 +117,30 @@ impl ProofService {
     }
 }
 
+/// One [`JobClass::ProveDag`] job being executed stage-by-stage: the
+/// staged pipeline, its validated DAG, and per-stage completion times on
+/// the simulated clock.
+struct ActiveDag {
+    job: QueuedJob,
+    kind: DagKind,
+    pipe: ProofPipeline,
+    dag: ProofDag,
+    /// Simulated completion instant per stage (`None` = not run yet).
+    completion: Vec<Option<f64>>,
+    /// When the first stage started executing (for the lifecycle spans).
+    first_start_ns: Option<f64>,
+}
+
 /// The discrete-event execution engine behind [`ProofService::run`].
 struct Runner {
     cfg: ServiceConfig,
     pool: LeasePool,
     coalescer: Coalescer,
     ready: Vec<ReadyBatch>,
+    dags: Vec<ActiveDag>,
     outcomes: Vec<JobOutcome>,
     batch_sizes: Vec<usize>,
+    stage_ns: BTreeMap<&'static str, f64>,
     peak_queue: usize,
     dispatch_seq: u64,
     caches: EngineCaches,
@@ -131,8 +155,10 @@ impl Runner {
             pool,
             coalescer,
             ready: Vec::new(),
+            dags: Vec::new(),
             outcomes: Vec::new(),
             batch_sizes: Vec::new(),
+            stage_ns: BTreeMap::new(),
             peak_queue: 0,
             dispatch_seq: 0,
             caches: EngineCaches::new(),
@@ -161,7 +187,12 @@ impl Runner {
             } else {
                 Some(self.pool.next_free_ns())
             };
-            let Some(t) = [t_arrival, t_close, t_lease]
+            // The next instant a DAG stage could start: its dependencies
+            // complete AND a lease frees up.
+            let t_stage = self
+                .next_stage_avail()
+                .map(|avail| avail.max(self.pool.next_free_ns()));
+            let Some(t) = [t_arrival, t_close, t_lease, t_stage]
                 .into_iter()
                 .flatten()
                 .fold(None, |acc: Option<f64>, t| {
@@ -192,14 +223,32 @@ impl Runner {
                 self.admit(job, now);
             }
 
-            // 3. Dispatch ready batches onto free leases.
-            while !self.ready.is_empty() && self.pool.any_free(now) {
-                let batch = dispatch::take_next_batch(&mut self.ready, self.cfg.policy);
-                self.dispatch(batch, now);
+            // 3. Dispatch ready work — coalesced batches and ready DAG
+            // stages compete for free leases under one policy ordering
+            // (batches win exact ties).
+            while self.pool.any_free(now) {
+                let batch = dispatch::next_batch_index(&self.ready, self.cfg.policy);
+                let stage = self.next_ready_stage(now);
+                match (batch, stage) {
+                    (Some((bi, bk)), Some((_, _, sk)))
+                        if bk.cmp_under(&sk, self.cfg.policy) != std::cmp::Ordering::Greater =>
+                    {
+                        let batch = self.ready.swap_remove(bi);
+                        self.dispatch(batch, now);
+                    }
+                    (Some(_), Some((di, si, _))) => self.dispatch_stage(di, si, now),
+                    (Some((bi, _)), None) => {
+                        let batch = self.ready.swap_remove(bi);
+                        self.dispatch(batch, now);
+                    }
+                    (None, Some((di, si, _))) => self.dispatch_stage(di, si, now),
+                    (None, None) => break,
+                }
             }
         }
 
         self.outcomes.sort_by_key(|o| o.id);
+        debug_assert!(self.dags.is_empty(), "every DAG ran to completion");
         debug_assert_eq!(
             self.outcomes.len(),
             backlog.len(),
@@ -214,12 +263,16 @@ impl Runner {
         ServiceReport {
             outcomes: self.outcomes,
             metrics,
+            stage_ns: self.stage_ns,
         }
     }
 
-    /// Jobs waiting (coalescing + ready), the admission-control depth.
+    /// Jobs waiting (coalescing + ready + in-progress DAG proofs), the
+    /// admission-control depth.
     fn queue_depth(&self) -> usize {
-        self.coalescer.queued() + self.ready.iter().map(ReadyBatch::len).sum::<usize>()
+        self.coalescer.queued()
+            + self.ready.iter().map(ReadyBatch::len).sum::<usize>()
+            + self.dags.len()
     }
 
     /// Admission control + coalescer offer for one arrival.
@@ -245,7 +298,22 @@ impl Runner {
             unintt_telemetry::counter_add("serve_jobs_rejected", 1);
             return;
         }
-        if let Some(batch) = self.coalescer.offer(job, now) {
+        if let JobClass::ProveDag { kind } = job.spec.class {
+            // DAG jobs skip the coalescer: the pipeline is staged once at
+            // admission (over the same fixtures the monolithic runners
+            // use) and its ready stages then compete for leases directly.
+            let pipe = dispatch::build_dag(&mut self.caches, &self.cfg, kind);
+            let dag = pipe.dag();
+            let completion = vec![None; dag.len()];
+            self.dags.push(ActiveDag {
+                job,
+                kind,
+                pipe,
+                dag,
+                completion,
+                first_start_ns: None,
+            });
+        } else if let Some(batch) = self.coalescer.offer(job, now) {
             unintt_telemetry::record_instant(|| unintt_telemetry::Instant {
                 name: "batch-full".into(),
                 kind: unintt_telemetry::InstantKind::CoalescerFlush,
@@ -363,7 +431,7 @@ impl Runner {
             }
             None => {
                 let job = jobs[0];
-                let elapsed = match job.spec.class {
+                let (sim_ns, output_digest) = match job.spec.class {
                     JobClass::PlonkProve { log_gates } => {
                         dispatch::run_plonk(&mut self.caches, &self.cfg, log_gates)
                     }
@@ -371,7 +439,11 @@ impl Runner {
                         dispatch::run_stark(&mut self.caches, &self.cfg, log_trace, columns)
                     }
                     JobClass::RawNtt { .. } => unreachable!("raw jobs always carry a batch key"),
-                } + self.cfg.dispatch_overhead_ns;
+                    JobClass::ProveDag { .. } => {
+                        unreachable!("DAG jobs are admitted to the stage scheduler")
+                    }
+                };
+                let elapsed = sim_ns + self.cfg.dispatch_overhead_ns;
                 let done = now + elapsed;
                 dispatch::record_job_spans(
                     job.id,
@@ -407,7 +479,7 @@ impl Runner {
                     retries: 0,
                     replans: 0,
                     missed_deadline: job.spec.deadline_ns.is_some_and(|d| done > d),
-                    output_digest: 0,
+                    output_digest,
                 });
                 let lease = self.pool.lease_mut(lease_id);
                 lease.free_at_ns = done;
@@ -415,6 +487,199 @@ impl Runner {
                 lease.dispatches += 1;
             }
         }
+    }
+
+    /// The availability instant of one not-yet-run stage: its latest
+    /// dependency completion (the job's arrival for root stages), or
+    /// `None` while any dependency is still outstanding.
+    fn stage_avail(dag: &ActiveDag, s: usize) -> Option<f64> {
+        let node = &dag.dag.nodes()[s];
+        let mut avail = dag.job.spec.arrival_ns;
+        for &d in &node.deps {
+            avail = avail.max(dag.completion[d]?);
+        }
+        Some(avail)
+    }
+
+    /// Earliest availability over every dispatchable charged stage of
+    /// every active DAG (barriers cascade for free, so they never gate
+    /// the event clock).
+    fn next_stage_avail(&self) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for dag in &self.dags {
+            for s in 0..dag.dag.len() {
+                if dag.completion[s].is_some() || dag.dag.nodes()[s].kind.is_barrier() {
+                    continue;
+                }
+                if let Some(avail) = Self::stage_avail(dag, s) {
+                    best = Some(best.map_or(avail, |b: f64| b.min(avail)));
+                }
+            }
+        }
+        best
+    }
+
+    /// The charged stage the policy would dispatch at `now`, as
+    /// `(dag index, stage index, key)` — stages whose dependencies have
+    /// all completed by `now`. Per-stage cost for shortest-job-first is
+    /// the job's estimate split evenly across its stages, so one big
+    /// proof's stages rank like the medium jobs they effectively are.
+    fn next_ready_stage(&self, now: f64) -> Option<(usize, usize, DispatchKey)> {
+        let mut best: Option<(usize, usize, DispatchKey)> = None;
+        for (di, dag) in self.dags.iter().enumerate() {
+            let per_stage_cost = dag.job.spec.class.estimated_cost() / dag.dag.len() as f64;
+            for s in 0..dag.dag.len() {
+                if dag.completion[s].is_some() || dag.dag.nodes()[s].kind.is_barrier() {
+                    continue;
+                }
+                let Some(avail) = Self::stage_avail(dag, s) else {
+                    continue;
+                };
+                if avail > now {
+                    continue;
+                }
+                let key = DispatchKey {
+                    ready_ns: avail,
+                    priority: dag.job.spec.priority,
+                    cost: per_stage_cost,
+                    id: dag.job.id,
+                };
+                let better = match &best {
+                    None => true,
+                    Some((_, _, bk)) => {
+                        key.cmp_under(bk, self.cfg.policy) == std::cmp::Ordering::Less
+                    }
+                };
+                if better {
+                    best = Some((di, s, key));
+                }
+            }
+        }
+        best
+    }
+
+    /// Runs one ready DAG stage on the earliest-free lease, charging its
+    /// simulated time plus the per-stage overhead, then cascades any
+    /// barrier stages it unblocked. Completing the final stage commits
+    /// the job's outcome.
+    fn dispatch_stage(&mut self, di: usize, si: usize, now: f64) {
+        self.dispatch_seq += 1;
+        let seq = self.dispatch_seq;
+        let lease_id = {
+            let lease = self.pool.earliest();
+            debug_assert!(lease.free_at_ns <= now, "dispatch requires a free lease");
+            lease.id
+        };
+        let dag = &mut self.dags[di];
+        // DAG stages run fault-free in the service, like the monolithic
+        // proof dispatches (their backends own machines separate from the
+        // lease's raw-NTT cluster); stage replay under injected faults is
+        // covered by the pipeline and prover test suites.
+        let elapsed = dag
+            .pipe
+            .run_stage(si, &self.cfg.recovery)
+            .expect("DAG stages run fault-free in the service")
+            + self.cfg.stage_overhead_ns;
+        let done = now + elapsed;
+        dag.completion[si] = Some(done);
+        dag.first_start_ns.get_or_insert(now);
+        let node = &dag.dag.nodes()[si];
+        *self.stage_ns.entry(node.kind.name()).or_insert(0.0) += elapsed;
+        unintt_telemetry::record_span(|| unintt_telemetry::Span {
+            id: unintt_telemetry::fresh_id(),
+            parent: None,
+            name: node.name.clone(),
+            level: unintt_telemetry::SpanLevel::Serve,
+            category: "stage",
+            track: format!("lease{lease_id}"),
+            t_start_ns: now,
+            t_end_ns: done,
+            attrs: vec![
+                ("kind", node.kind.name().into()),
+                ("job", dag.job.id.0.into()),
+                ("seq", seq.into()),
+            ],
+        });
+        unintt_telemetry::counter_add("serve_dag_stages", 1);
+        {
+            let lease = self.pool.lease_mut(lease_id);
+            lease.free_at_ns = done;
+            lease.busy_ns += elapsed;
+            lease.dispatches += 1;
+        }
+        self.cascade_barriers(di);
+        if self.dags[di].pipe.is_complete() {
+            self.finish_dag(di);
+        }
+    }
+
+    /// Runs every barrier stage whose dependencies are complete. Barriers
+    /// are transcript/assembly points: host-only, charge-free, never
+    /// occupying a lease — they complete at their latest dependency's
+    /// completion instant.
+    fn cascade_barriers(&mut self, di: usize) {
+        let dag = &mut self.dags[di];
+        loop {
+            let mut progressed = false;
+            for s in 0..dag.dag.len() {
+                if dag.completion[s].is_some() || !dag.dag.nodes()[s].kind.is_barrier() {
+                    continue;
+                }
+                let Some(avail) = Self::stage_avail(dag, s) else {
+                    continue;
+                };
+                dag.pipe
+                    .run_stage(s, &self.cfg.recovery)
+                    .expect("barrier stages are host-only and cannot fault");
+                dag.completion[s] = Some(avail);
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Commits a completed DAG job: verifies the output (when
+    /// configured), records its lifecycle spans and outcome, and retires
+    /// the DAG.
+    fn finish_dag(&mut self, di: usize) {
+        let dag = self.dags.remove(di);
+        let done = dag
+            .completion
+            .iter()
+            .map(|c| c.expect("complete DAG has every stage timed"))
+            .fold(0.0f64, f64::max);
+        if self.cfg.verify_outputs {
+            dispatch::verify_dag_output(&mut self.caches, dag.kind, &dag.pipe);
+        }
+        let digest = dag
+            .pipe
+            .output_digest()
+            .expect("complete pipeline has a digest");
+        let exec_start = dag.first_start_ns.unwrap_or(dag.job.spec.arrival_ns);
+        dispatch::record_job_spans(
+            dag.job.id,
+            dag.job.spec.class.name(),
+            dag.job.spec.arrival_ns,
+            exec_start,
+            done,
+            1,
+        );
+        self.batch_sizes.push(1);
+        self.outcomes.push(JobOutcome {
+            id: dag.job.id,
+            tenant: dag.job.spec.tenant,
+            class_name: dag.job.spec.class.name(),
+            status: JobStatus::Completed,
+            arrival_ns: dag.job.spec.arrival_ns,
+            completed_ns: done,
+            batch_size: 1,
+            retries: 0,
+            replans: 0,
+            missed_deadline: dag.job.spec.deadline_ns.is_some_and(|d| done > d),
+            output_digest: digest,
+        });
     }
 }
 
@@ -732,6 +997,71 @@ mod tests {
         assert!(report.metrics.classes["stark-commit"].completed == 1);
         assert!(report.metrics.horizon_ns > 0.0);
         assert!(!report.metrics.render().is_empty());
+    }
+
+    #[test]
+    fn dag_jobs_match_monolithic_digests() {
+        // The same proofs submitted monolithically and as stage DAGs:
+        // every output digest matches (same fixtures, same transcript),
+        // and the DAG run attributes lease time per stage kind.
+        let mono_stream = vec![
+            JobSpec::new(0, JobClass::PlonkProve { log_gates: 5 }, 0.0),
+            JobSpec::new(
+                1,
+                JobClass::StarkCommit {
+                    log_trace: 6,
+                    columns: 2,
+                },
+                1_000.0,
+            ),
+        ];
+        let dag_stream: Vec<JobSpec> = mono_stream
+            .iter()
+            .map(|s| JobSpec {
+                class: s.class.pipelined(),
+                ..*s
+            })
+            .collect();
+        let mono = run_stream(ServiceConfig::default(), &mono_stream);
+        let dag = run_stream(ServiceConfig::default(), &dag_stream);
+        assert!(mono.all_completed() && dag.all_completed());
+        for (m, d) in mono.outcomes.iter().zip(&dag.outcomes) {
+            assert_ne!(m.output_digest, 0, "proof outcomes are fingerprinted");
+            assert_eq!(
+                m.output_digest, d.output_digest,
+                "DAG scheduling must not change proof bytes"
+            );
+            assert_eq!(d.class_name, "prove-dag");
+        }
+        assert!(mono.stage_ns.is_empty(), "no DAG jobs, no attribution");
+        assert!(dag.stage_ns.contains_key("ntt"));
+        assert!(dag.stage_ns.contains_key("msm"));
+        assert!(dag.stage_ns.contains_key("fold"));
+        assert!(
+            !dag.stage_ns.contains_key("barrier"),
+            "barriers are charge-free"
+        );
+    }
+
+    #[test]
+    fn dag_runs_are_bit_identical_and_interleave_with_raw_work() {
+        // A mixed stream — raw batches plus DAG proofs — replays
+        // bit-identically, and the DAG proofs' stages actually share the
+        // horizon with raw dispatches rather than serializing after them.
+        let mut stream: Vec<JobSpec> = (0..6)
+            .map(|i| raw_spec(10, Direction::Forward, i as f64 * 20_000.0))
+            .collect();
+        stream.push(JobSpec::new(
+            7,
+            JobClass::PlonkProve { log_gates: 5 }.pipelined(),
+            0.0,
+        ));
+        let a = run_stream(ServiceConfig::default(), &stream);
+        let b = run_stream(ServiceConfig::default(), &stream);
+        assert!(a.all_completed());
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.stage_ns, b.stage_ns);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod permutation;
 mod poly;
 mod prover;
 mod serialize;
+mod staged;
 mod transcript;
 
 pub use backend::{Backend, BackendReport, CpuBackend, SimulatedBackend};
@@ -47,4 +48,5 @@ pub use prover::{
     prove, prove_with_recovery, setup, verify, Proof, ProverCheckpoint, ProvingKey, VerifyingKey,
 };
 pub use serialize::{DecodeError, PROOF_BYTES};
+pub use staged::{plonk_stage_descs, StageDesc, StagedProver, PLONK_STAGES};
 pub use transcript::Transcript;

@@ -128,10 +128,30 @@ impl ProvingKey {
     pub fn n(&self) -> usize {
         self.circuit.n()
     }
+
+    pub(crate) fn domain(&self) -> &EvaluationDomain<Bn254Fr> {
+        &self.domain
+    }
+
+    pub(crate) fn srs(&self) -> &Srs {
+        &self.srs
+    }
+
+    pub(crate) fn selector_polys(&self) -> &[Polynomial<Bn254Fr>; 5] {
+        &self.selector_polys
+    }
+
+    pub(crate) fn sigma_polys(&self) -> &[Polynomial<Bn254Fr>; 3] {
+        &self.sigma_polys
+    }
 }
 
 /// Commits through the backend (so MSM time lands on the simulated clock).
-fn commit_via(backend: &mut Backend, srs: &Srs, poly: &Polynomial<Bn254Fr>) -> G1Projective {
+pub(crate) fn commit_via(
+    backend: &mut Backend,
+    srs: &Srs,
+    poly: &Polynomial<Bn254Fr>,
+) -> G1Projective {
     let coeffs = poly.coeffs();
     assert!(coeffs.len() <= srs.max_len(), "polynomial exceeds SRS");
     backend.msm(coeffs, &srs.powers()[..coeffs.len()])
@@ -141,7 +161,7 @@ fn commit_via(backend: &mut Backend, srs: &Srs, poly: &Polynomial<Bn254Fr>) -> G
 /// coefficients onto the coset (the cheap host step, charged as pointwise
 /// kernels) then submits the whole batch as one transform — sharing
 /// passes and collectives under the O5 optimization.
-fn coset_ntt_batch_via(
+pub(crate) fn coset_ntt_batch_via(
     backend: &mut Backend,
     polys: &[&Polynomial<Bn254Fr>],
     shift: Bn254Fr,
@@ -205,7 +225,10 @@ impl ProverCheckpoint {
 
 /// Evaluations of the Lagrange polynomial `L₀(x) = (xⁿ−1)/(n·(x−1))` on
 /// the size-`n·2^log_blowup` coset.
-fn lagrange0_on_coset(domain: &EvaluationDomain<Bn254Fr>, log_blowup: u32) -> Vec<Bn254Fr> {
+pub(crate) fn lagrange0_on_coset(
+    domain: &EvaluationDomain<Bn254Fr>,
+    log_blowup: u32,
+) -> Vec<Bn254Fr> {
     let n = domain.n();
     let vanishing = domain.vanishing_on_coset(log_blowup);
     let big = EvaluationDomain::<Bn254Fr>::new(domain.log_n() + log_blowup);

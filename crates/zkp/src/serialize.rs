@@ -121,6 +121,18 @@ impl Proof {
         out
     }
 
+    /// FNV-1a digest of the canonical encoding — a stable 64-bit
+    /// fingerprint for comparing proofs across scheduling paths (the
+    /// DAG-pipelined and monolithic provers must produce equal digests).
+    pub fn content_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.to_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
     /// Decodes a proof, validating field ranges and curve membership.
     ///
     /// # Errors

@@ -1,0 +1,619 @@
+//! Stage-decomposed PLONK proving for the whole-proof DAG scheduler.
+//!
+//! [`StagedProver`] splits [`crate::prove`] into sixteen explicitly
+//! dependency-ordered stages — wire interpolation, per-wire MSM commits,
+//! transcript barriers, the grand product, the 13-way coset LDE, the
+//! quotient, and the openings — so a scheduler can run *independent*
+//! stages concurrently (the three wire commits; the z-commit MSM against
+//! the quotient LDE NTT batch; the two opening MSMs) and interleave
+//! stages of different proofs on shared hardware.
+//!
+//! Bit-identity with the monolithic path is structural, not accidental:
+//!
+//! * every transcript interaction happens in a stage on the totally
+//!   ordered barrier chain (stages 0 → 4 → 7 → 11 → 12), so challenges
+//!   β, γ, α, ζ, v are drawn from exactly the monolithic transcript
+//!   state no matter how the surrounding compute stages interleave;
+//! * all NTT-machine work sits on one dependency chain
+//!   (0 → 5 → 8 → 9 → 12 → 13), so the simulated NTT clock sees the
+//!   identical kernel sequence as [`crate::prove_with_recovery`];
+//! * MSM stages are data-independent of each other and commute on the
+//!   simulated MSM machine without changing any proof byte.
+//!
+//! A stage that fails with a transient [`FabricError`] leaves the prover
+//! state untouched and may simply be re-run: only the failed stage (and
+//! the stages that depend on it) replay, never the whole proof.
+
+use unintt_core::RecoveryPolicy;
+use unintt_ff::{batch_inverse, Bn254Fr, Field, TwoAdicField};
+use unintt_gpu_sim::FabricError;
+use unintt_msm::G1Projective;
+
+use crate::permutation::column_shifts;
+use crate::prover::{commit_via, Proof, ProvingKey};
+use crate::prover::{coset_ntt_batch_via, lagrange0_on_coset};
+use crate::{Backend, Polynomial, Transcript, Witness};
+
+/// One node of a proof-stage DAG: a display name, a coarse resource kind
+/// (`"ntt"`, `"msm"`, `"pointwise"`, `"hash"`, `"fold"` or `"barrier"`)
+/// and the indices of the stages that must complete first.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageDesc {
+    /// Human-readable stage name (stable across runs; used in traces).
+    pub name: String,
+    /// Resource-kind tag used for scheduling and time attribution.
+    pub kind: &'static str,
+    /// Indices of stages this one depends on.
+    pub deps: Vec<usize>,
+}
+
+impl StageDesc {
+    fn new(name: &str, kind: &'static str, deps: &[usize]) -> Self {
+        Self {
+            name: name.to_string(),
+            kind,
+            deps: deps.to_vec(),
+        }
+    }
+}
+
+/// The fixed 16-stage PLONK proof DAG (see the module docs for why the
+/// edges are what they are).
+pub fn plonk_stage_descs() -> Vec<StageDesc> {
+    vec![
+        StageDesc::new("wire-interp", "ntt", &[]),    // 0
+        StageDesc::new("wire-commit-a", "msm", &[0]), // 1
+        StageDesc::new("wire-commit-b", "msm", &[0]), // 2
+        StageDesc::new("wire-commit-c", "msm", &[0]), // 3
+        StageDesc::new("round1-barrier", "barrier", &[1, 2, 3]), // 4
+        StageDesc::new("grand-product", "ntt", &[4]), // 5
+        StageDesc::new("z-commit", "msm", &[5]),      // 6
+        StageDesc::new("round2-barrier", "barrier", &[6]), // 7
+        // The 13-way coset LDE needs no challenge drawn after β/γ, so it
+        // depends on the grand product only — it overlaps the z-commit
+        // MSM, which the monolithic prover serializes.
+        StageDesc::new("quotient-lde", "ntt", &[5]), // 8
+        StageDesc::new("quotient-ntt", "ntt", &[7, 8]), // 9
+        StageDesc::new("quotient-commit", "msm", &[9]), // 10
+        StageDesc::new("round3-barrier", "barrier", &[10]), // 11
+        StageDesc::new("openings-eval", "pointwise", &[11]), // 12
+        StageDesc::new("opening-commit", "msm", &[12]), // 13
+        StageDesc::new("opening-shift-commit", "msm", &[12]), // 14
+        StageDesc::new("finish", "barrier", &[13, 14]), // 15
+    ]
+}
+
+/// Number of stages in the PLONK proof DAG.
+pub const PLONK_STAGES: usize = 16;
+
+/// A PLONK proof decomposed into runnable stages (see module docs).
+///
+/// Construct with [`StagedProver::new`], then run every stage (in any
+/// order consistent with [`plonk_stage_descs`]) via
+/// [`StagedProver::run_stage`]; the finished [`Proof`] is available from
+/// [`StagedProver::proof`] once the final stage completes and is
+/// bit-identical to [`crate::prove`] on the same inputs.
+pub struct StagedProver {
+    pk: ProvingKey,
+    witness: Witness,
+    backend: Backend,
+    transcript: Transcript,
+    pi_poly: Polynomial<Bn254Fr>,
+    done: [bool; PLONK_STAGES],
+
+    wire_polys: Option<[Polynomial<Bn254Fr>; 3]>,
+    wire_commits: [Option<G1Projective>; 3],
+    beta: Option<Bn254Fr>,
+    gamma: Option<Bn254Fr>,
+    poly_z: Option<Polynomial<Bn254Fr>>,
+    z_commit: Option<G1Projective>,
+    alpha: Option<Bn254Fr>,
+    ldes: Option<Vec<Vec<Bn254Fr>>>,
+    poly_t: Option<Polynomial<Bn254Fr>>,
+    quotient_commit: Option<G1Projective>,
+    zeta: Option<Bn254Fr>,
+    evals: Option<[Bn254Fr; 13]>,
+    z_omega_eval: Option<Bn254Fr>,
+    v: Option<Bn254Fr>,
+    opening: Option<G1Projective>,
+    opening_omega: Option<G1Projective>,
+    proof: Option<Proof>,
+}
+
+impl StagedProver {
+    /// Starts a staged proof. Mirrors the preamble of [`crate::prove`]:
+    /// the transcript absorbs the domain size and public inputs, and the
+    /// public-input polynomial is interpolated host-side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the witness length or public-input count do not match
+    /// the circuit, exactly like [`crate::prove`].
+    pub fn new(
+        pk: &ProvingKey,
+        witness: &Witness,
+        public_inputs: &[Bn254Fr],
+        backend: Backend,
+    ) -> Self {
+        let n = pk.circuit().n();
+        assert_eq!(witness.len(), n, "witness length must equal circuit size");
+        assert_eq!(
+            public_inputs.len(),
+            pk.circuit().num_public_inputs(),
+            "wrong number of public inputs"
+        );
+        let mut transcript = Transcript::new("unintt-plonk-v2");
+        transcript.absorb_u64(n as u64);
+        for p in public_inputs {
+            transcript.absorb_scalar(*p);
+        }
+        let pi_poly = {
+            let mut evals = vec![Bn254Fr::ZERO; n];
+            for (e, &p) in evals.iter_mut().zip(public_inputs) {
+                *e = -p;
+            }
+            Polynomial::interpolate(&evals)
+        };
+        Self {
+            pk: pk.clone(),
+            witness: witness.clone(),
+            backend,
+            transcript,
+            pi_poly,
+            done: [false; PLONK_STAGES],
+            wire_polys: None,
+            wire_commits: [None; 3],
+            beta: None,
+            gamma: None,
+            poly_z: None,
+            z_commit: None,
+            alpha: None,
+            ldes: None,
+            poly_t: None,
+            quotient_commit: None,
+            zeta: None,
+            evals: None,
+            z_omega_eval: None,
+            v: None,
+            opening: None,
+            opening_omega: None,
+            proof: None,
+        }
+    }
+
+    /// The stage DAG this prover executes (same for every PLONK proof).
+    pub fn stage_descs(&self) -> Vec<StageDesc> {
+        plonk_stage_descs()
+    }
+
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        PLONK_STAGES
+    }
+
+    /// Whether stage `idx` has completed.
+    pub fn stage_done(&self, idx: usize) -> bool {
+        self.done[idx]
+    }
+
+    /// Whether every stage has completed.
+    pub fn is_complete(&self) -> bool {
+        self.done.iter().all(|&d| d)
+    }
+
+    /// Total simulated nanoseconds accumulated so far across the
+    /// backend's NTT and MSM machines (0 for the CPU backend).
+    pub fn sim_total_ns(&self) -> f64 {
+        self.backend.report().total_ns()
+    }
+
+    /// The finished proof, once [`StagedProver::is_complete`].
+    pub fn proof(&self) -> Option<&Proof> {
+        self.proof.as_ref()
+    }
+
+    /// Mutable backend access (to install fault plans in tests).
+    pub fn backend_mut(&mut self) -> &mut Backend {
+        &mut self.backend
+    }
+
+    /// Runs one stage, returning the simulated nanoseconds it charged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`FabricError`] that outlives `policy`'s retries;
+    /// the stage is left not-done and can be re-run (only the affected
+    /// subgraph ever replays — completed stages keep their results).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range, already done, or has an
+    /// unfinished dependency.
+    pub fn run_stage(&mut self, idx: usize, policy: &RecoveryPolicy) -> Result<f64, FabricError> {
+        assert!(idx < PLONK_STAGES, "stage index out of range");
+        assert!(!self.done[idx], "stage {idx} already completed");
+        let descs = plonk_stage_descs();
+        for &d in &descs[idx].deps {
+            assert!(self.done[d], "stage {idx} depends on unfinished stage {d}");
+        }
+        let before = self.sim_total_ns();
+        self.execute(idx, policy)?;
+        self.done[idx] = true;
+        Ok(self.sim_total_ns() - before)
+    }
+
+    fn execute(&mut self, idx: usize, policy: &RecoveryPolicy) -> Result<(), FabricError> {
+        let n = self.pk.circuit().n();
+        match idx {
+            // Round 1: batched wire interpolation.
+            0 => {
+                let mut wires = [
+                    self.witness.a.clone(),
+                    self.witness.b.clone(),
+                    self.witness.c.clone(),
+                ];
+                self.backend.try_ntt_inverse_batch(&mut wires, policy)?;
+                let [a, b, c] = wires;
+                self.wire_polys =
+                    Some([Polynomial::new(a), Polynomial::new(b), Polynomial::new(c)]);
+            }
+            // Three independent wire commitments.
+            1..=3 => {
+                let w = idx - 1;
+                let poly = &self.wire_polys.as_ref().expect("wire-interp done")[w];
+                self.wire_commits[w] = Some(commit_via(&mut self.backend, self.pk.srs(), poly));
+            }
+            // Round-1 barrier: absorb the commitments, draw β and γ.
+            4 => {
+                for w in &self.wire_commits {
+                    self.transcript.absorb_point(&w.expect("wire commit done"));
+                }
+                self.beta = Some(self.transcript.challenge());
+                self.gamma = Some(self.transcript.challenge());
+            }
+            // Round 2: grand product and its interpolation.
+            5 => {
+                let beta = self.beta.expect("round-1 barrier done");
+                let gamma = self.gamma.expect("round-1 barrier done");
+                let permutation = self.pk.circuit().wire_permutation();
+                let wires = [
+                    self.witness.a.clone(),
+                    self.witness.b.clone(),
+                    self.witness.c.clone(),
+                ];
+                let omega = self.pk.domain().omega();
+                let mut z_evals = permutation.grand_product(&wires, omega, beta, gamma);
+                self.backend.charge_pointwise(n, 8);
+                self.backend.try_ntt_inverse(&mut z_evals, policy)?;
+                self.poly_z = Some(Polynomial::new(z_evals));
+            }
+            6 => {
+                let poly_z = self.poly_z.as_ref().expect("grand-product done");
+                self.z_commit = Some(commit_via(&mut self.backend, self.pk.srs(), poly_z));
+            }
+            // Round-2 barrier: absorb z, draw α.
+            7 => {
+                self.transcript
+                    .absorb_point(&self.z_commit.expect("z-commit done"));
+                self.alpha = Some(self.transcript.challenge());
+            }
+            // Round 3a: the 13-way coset LDE batch. No challenge past β/γ
+            // is used here, so this runs concurrently with the z-commit.
+            8 => {
+                let big_n = n << 2;
+                let shift = self.pk.domain().shift();
+                let wire_polys = self.wire_polys.as_ref().expect("wire-interp done");
+                let poly_z = self.poly_z.as_ref().expect("grand-product done");
+                let lde_inputs: [&Polynomial<Bn254Fr>; 13] = [
+                    &wire_polys[0],
+                    &wire_polys[1],
+                    &wire_polys[2],
+                    &self.pk.selector_polys()[0],
+                    &self.pk.selector_polys()[1],
+                    &self.pk.selector_polys()[2],
+                    &self.pk.selector_polys()[3],
+                    &self.pk.selector_polys()[4],
+                    &self.pk.sigma_polys()[0],
+                    &self.pk.sigma_polys()[1],
+                    &self.pk.sigma_polys()[2],
+                    &self.pi_poly,
+                    poly_z,
+                ];
+                self.ldes = Some(coset_ntt_batch_via(
+                    &mut self.backend,
+                    &lde_inputs,
+                    shift,
+                    big_n,
+                    policy,
+                )?);
+            }
+            // Round 3b: quotient evaluation and interpolation.
+            9 => {
+                let beta = self.beta.expect("round-1 barrier done");
+                let gamma = self.gamma.expect("round-1 barrier done");
+                let alpha = self.alpha.expect("round-2 barrier done");
+                let log_blowup = 2u32;
+                let big_n = n << log_blowup;
+                let blowup = 1usize << log_blowup;
+                let shift = self.pk.domain().shift();
+
+                // Pop from a clone so a failed iNTT retry re-derives the
+                // evaluation tables instead of seeing consumed state.
+                let mut ldes = self.ldes.clone().expect("quotient-lde done");
+                let ev_z = ldes.pop().expect("thirteen LDEs");
+                let ev_pi = ldes.pop().expect("PI evaluations");
+                let ev_sig: Vec<Vec<Bn254Fr>> = ldes.split_off(8);
+                let ev_sel: Vec<Vec<Bn254Fr>> = ldes.split_off(3);
+                let ev_c = ldes.pop().expect("wire C");
+                let ev_b = ldes.pop().expect("wire B");
+                let ev_a = ldes.pop().expect("wire A");
+
+                let mut z_h_inv = self.pk.domain().vanishing_on_coset(log_blowup);
+                batch_inverse(&mut z_h_inv);
+                let l0 = lagrange0_on_coset(self.pk.domain(), log_blowup);
+                let omega_big = Bn254Fr::two_adic_generator(self.pk.domain().log_n() + log_blowup);
+                let [k0, k1, k2] = column_shifts();
+
+                let mut t_evals = Vec::with_capacity(big_n);
+                let mut x = shift;
+                for k in 0..big_n {
+                    let gate = ev_sel[0][k] * ev_a[k]
+                        + ev_sel[1][k] * ev_b[k]
+                        + ev_sel[2][k] * ev_c[k]
+                        + ev_sel[3][k] * ev_a[k] * ev_b[k]
+                        + ev_sel[4][k]
+                        + ev_pi[k];
+                    let z_omega = ev_z[(k + blowup) % big_n];
+                    let numer = (ev_a[k] + beta * k0 * x + gamma)
+                        * (ev_b[k] + beta * k1 * x + gamma)
+                        * (ev_c[k] + beta * k2 * x + gamma);
+                    let denom = (ev_a[k] + beta * ev_sig[0][k] + gamma)
+                        * (ev_b[k] + beta * ev_sig[1][k] + gamma)
+                        * (ev_c[k] + beta * ev_sig[2][k] + gamma);
+                    let perm_term = ev_z[k] * numer - z_omega * denom;
+                    let boundary = (ev_z[k] - Bn254Fr::ONE) * l0[k];
+                    let f = gate + alpha * (perm_term + alpha * boundary);
+                    t_evals.push(f * z_h_inv[k]);
+                    x *= omega_big;
+                }
+                self.backend.charge_pointwise(big_n, 16);
+                self.backend.try_ntt_inverse(&mut t_evals, policy)?;
+                let shift_inv = shift.inverse().expect("generator is nonzero");
+                let mut s = Bn254Fr::ONE;
+                for v in t_evals.iter_mut() {
+                    *v *= s;
+                    s *= shift_inv;
+                }
+                self.backend.charge_pointwise(big_n, 1);
+                let poly_t = Polynomial::new(t_evals);
+                debug_assert!(
+                    poly_t.degree() <= 3 * n || poly_t.is_zero(),
+                    "quotient degree {} out of range for n={n} — unsatisfied circuit?",
+                    poly_t.degree()
+                );
+                self.ldes = None; // superseded by the finished quotient
+                self.poly_t = Some(poly_t);
+            }
+            10 => {
+                let poly_t = self.poly_t.as_ref().expect("quotient-ntt done");
+                self.quotient_commit = Some(commit_via(&mut self.backend, self.pk.srs(), poly_t));
+            }
+            // Round-3 barrier: absorb T, draw ζ.
+            11 => {
+                self.transcript
+                    .absorb_point(&self.quotient_commit.expect("quotient-commit done"));
+                self.zeta = Some(self.transcript.challenge());
+            }
+            // Round 4a: the 13+1 evaluations and the v challenge.
+            12 => {
+                let zeta = self.zeta.expect("round-3 barrier done");
+                let omega = self.pk.domain().omega();
+                let evals = {
+                    let polys = self.opening_polys();
+                    let mut evals = [Bn254Fr::ZERO; 13];
+                    for (e, p) in evals.iter_mut().zip(&polys) {
+                        *e = p.evaluate(zeta);
+                    }
+                    evals
+                };
+                for e in &evals {
+                    self.transcript.absorb_scalar(*e);
+                }
+                let z_omega_eval = self
+                    .poly_z
+                    .as_ref()
+                    .expect("grand-product done")
+                    .evaluate(omega * zeta);
+                self.transcript.absorb_scalar(z_omega_eval);
+                self.backend.charge_pointwise(n, 14);
+                self.evals = Some(evals);
+                self.z_omega_eval = Some(z_omega_eval);
+                self.v = Some(self.transcript.challenge());
+            }
+            // Round 4b: the batched opening witness at ζ.
+            13 => {
+                let zeta = self.zeta.expect("round-3 barrier done");
+                let v = self.v.expect("openings-eval done");
+                let mut combined = Polynomial::zero();
+                let mut vi = Bn254Fr::ONE;
+                for p in self.opening_polys() {
+                    combined = combined.add(&p.scale(vi));
+                    vi *= v;
+                }
+                let (open_quotient, _) = combined.divide_by_linear(zeta);
+                self.backend.charge_pointwise(n, 14);
+                self.opening = Some(commit_via(&mut self.backend, self.pk.srs(), &open_quotient));
+            }
+            // Round 4c: the shifted opening witness for z at ωζ.
+            14 => {
+                let zeta = self.zeta.expect("round-3 barrier done");
+                let omega = self.pk.domain().omega();
+                let (open_z_quotient, _) = self
+                    .poly_z
+                    .as_ref()
+                    .expect("grand-product done")
+                    .divide_by_linear(omega * zeta);
+                self.opening_omega = Some(commit_via(
+                    &mut self.backend,
+                    self.pk.srs(),
+                    &open_z_quotient,
+                ));
+            }
+            // Final barrier: assemble the proof.
+            15 => {
+                self.proof = Some(Proof {
+                    wire_commits: self.wire_commits.map(|w| w.expect("wire commits done")),
+                    z_commit: self.z_commit.expect("z-commit done"),
+                    quotient_commit: self.quotient_commit.expect("quotient-commit done"),
+                    evals: self.evals.expect("openings-eval done"),
+                    z_omega_eval: self.z_omega_eval.expect("openings-eval done"),
+                    opening: self.opening.expect("opening-commit done"),
+                    opening_omega: self.opening_omega.expect("opening-shift-commit done"),
+                });
+            }
+            _ => unreachable!("stage index checked above"),
+        }
+        Ok(())
+    }
+
+    /// The 13 polynomials opened at ζ, in the protocol's fixed order.
+    fn opening_polys(&self) -> [&Polynomial<Bn254Fr>; 13] {
+        let wire_polys = self.wire_polys.as_ref().expect("wire-interp done");
+        [
+            &wire_polys[0],
+            &wire_polys[1],
+            &wire_polys[2],
+            self.poly_t.as_ref().expect("quotient-ntt done"),
+            &self.pk.selector_polys()[0],
+            &self.pk.selector_polys()[1],
+            &self.pk.selector_polys()[2],
+            &self.pk.selector_polys()[3],
+            &self.pk.selector_polys()[4],
+            &self.pk.sigma_polys()[0],
+            &self.pk.sigma_polys()[1],
+            &self.pk.sigma_polys()[2],
+            self.poly_z.as_ref().expect("grand-product done"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{prove, random_circuit, setup, verify};
+    use rand::{rngs::StdRng, SeedableRng};
+    use unintt_gpu_sim::presets;
+
+    fn run_all(prover: &mut StagedProver, order: &[usize]) {
+        let policy = RecoveryPolicy::none();
+        for &idx in order {
+            prover.run_stage(idx, &policy).expect("fault-free run");
+        }
+        assert!(prover.is_complete());
+    }
+
+    /// A valid topological order that differs from the natural 0..16.
+    fn scrambled_order() -> Vec<usize> {
+        vec![0, 3, 1, 2, 4, 5, 8, 6, 7, 9, 10, 11, 12, 14, 13, 15]
+    }
+
+    #[test]
+    fn staged_cpu_matches_monolithic() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let (circuit, witness) = random_circuit(60, &mut rng);
+        let (pk, vk) = setup(&circuit, &mut rng);
+        let mono = prove(&pk, &witness, &[], &mut Backend::cpu());
+
+        let mut staged = StagedProver::new(&pk, &witness, &[], Backend::cpu());
+        run_all(&mut staged, &(0..PLONK_STAGES).collect::<Vec<_>>());
+        assert_eq!(staged.proof().unwrap(), &mono);
+
+        let mut scrambled = StagedProver::new(&pk, &witness, &[], Backend::cpu());
+        run_all(&mut scrambled, &scrambled_order());
+        assert_eq!(scrambled.proof().unwrap(), &mono);
+        assert!(verify(&vk, scrambled.proof().unwrap(), &[]));
+    }
+
+    #[test]
+    fn staged_simulated_matches_monolithic_clock_and_bytes() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let (circuit, witness) = random_circuit(60, &mut rng);
+        let (pk, _vk) = setup(&circuit, &mut rng);
+        let mono = prove(&pk, &witness, &[], &mut Backend::cpu());
+
+        let mut sim_mono = Backend::simulated(presets::a100_nvlink(4), presets::a100_nvlink(4));
+        let _ = prove(&pk, &witness, &[], &mut sim_mono);
+        let mono_ns = sim_mono.report().total_ns();
+
+        let sim = Backend::simulated(presets::a100_nvlink(4), presets::a100_nvlink(4));
+        let mut staged = StagedProver::new(&pk, &witness, &[], sim);
+        let mut per_stage = 0.0;
+        let policy = RecoveryPolicy::none();
+        for idx in 0..PLONK_STAGES {
+            per_stage += staged.run_stage(idx, &policy).expect("fault-free");
+        }
+        assert_eq!(staged.proof().unwrap(), &mono, "bytes must match CPU");
+        // The staged path issues the identical kernel sequence, so the
+        // simulated clock agrees exactly and per-stage deltas tile it.
+        assert!((staged.sim_total_ns() - mono_ns).abs() < 1e-6);
+        assert!((per_stage - mono_ns).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stage_retry_replays_only_the_failed_stage() {
+        use unintt_gpu_sim::{FaultEvent, FaultKind, FaultPlan};
+        let mut rng = StdRng::seed_from_u64(23);
+        let (circuit, witness) = random_circuit(60, &mut rng);
+        let (pk, vk) = setup(&circuit, &mut rng);
+        let mono = prove(&pk, &witness, &[], &mut Backend::cpu());
+
+        // Drop the first collective of the quotient LDE batch: stage 8
+        // fails once, is re-run, and every earlier stage keeps its state.
+        let mut probe = StagedProver::new(
+            &pk,
+            &witness,
+            &[],
+            Backend::simulated(presets::a100_nvlink(4), presets::a100_nvlink(4)),
+        );
+        let policy = RecoveryPolicy::none();
+        for idx in 0..8 {
+            probe.run_stage(idx, &policy).unwrap();
+        }
+        let seq_before_lde = probe
+            .backend_mut()
+            .ntt_machine_mut()
+            .unwrap()
+            .collective_seq();
+
+        let mut staged = StagedProver::new(
+            &pk,
+            &witness,
+            &[],
+            Backend::simulated(presets::a100_nvlink(4), presets::a100_nvlink(4)),
+        );
+        staged
+            .backend_mut()
+            .ntt_machine_mut()
+            .unwrap()
+            .set_fault_plan(FaultPlan::scripted(vec![FaultEvent {
+                seq: seq_before_lde,
+                kind: FaultKind::Drop,
+            }]));
+        let no_retries = RecoveryPolicy {
+            max_retries: 0,
+            ..Default::default()
+        };
+        for idx in 0..8 {
+            staged.run_stage(idx, &no_retries).unwrap();
+        }
+        let err = staged.run_stage(8, &no_retries).unwrap_err();
+        assert!(err.is_transient(), "dropped collective is transient: {err}");
+        assert!(!staged.stage_done(8), "failed stage stays not-done");
+        // Replay just the failed stage; the scripted drop was consumed.
+        for idx in 8..PLONK_STAGES {
+            staged.run_stage(idx, &no_retries).unwrap();
+        }
+        assert_eq!(staged.proof().unwrap(), &mono);
+        assert!(verify(&vk, staged.proof().unwrap(), &[]));
+    }
+}
