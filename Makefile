@@ -4,9 +4,9 @@
 EXCLUDE_VENDOR := --exclude criterion --exclude proptest --exclude rand \
                   --exclude serde --exclude serde_derive
 
-.PHONY: verify fmt clippy build bench-check test e13 e14 e15 serve-smoke trace-smoke chaos-smoke kernel-smoke pipeline-smoke
+.PHONY: verify fmt clippy build bench-check test e13 e14 e15 serve-smoke trace-smoke chaos-smoke kernel-smoke pipeline-smoke stream-smoke
 
-verify: fmt clippy build bench-check test kernel-smoke serve-smoke e15 trace-smoke chaos-smoke pipeline-smoke
+verify: fmt clippy build bench-check test kernel-smoke serve-smoke e15 trace-smoke chaos-smoke pipeline-smoke stream-smoke
 
 fmt:
 	cargo fmt --all --check
@@ -67,6 +67,16 @@ kernel-smoke:
 pipeline-smoke:
 	cargo test --release -p unintt-pipeline
 	cargo run --release -p unintt-bench --bin harness -- --quick e19
+
+# Stream smoke: the intra-lease overlap suite (bit-identity across queue
+# counts, fault injection and the forced one-queue clock-identity check),
+# then the quick E20 cell twice — streamed, and pinned back to one queue
+# via --serial-streams. E20 itself asserts per-job digest identity
+# against the monolithic reference in every cell.
+stream-smoke:
+	cargo test --release -p unintt-serve --test stream_overlap
+	cargo run --release -p unintt-bench --bin harness -- --quick e20
+	cargo run --release -p unintt-bench --bin harness -- --quick --serial-streams e20
 
 # Chaos smoke: the fleet example plus the E17 quick sweep. E17 asserts
 # zero accepted-job failures and bit-identical outputs vs the fault-free

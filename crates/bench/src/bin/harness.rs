@@ -6,10 +6,10 @@ use unintt_bench::experiments;
 use unintt_bench::Table;
 
 const USAGE: &str = "\
-usage: harness [--quick] [--legacy-kernels] [--scalar-kernels] [--portable-lanes] [--blocking-comm] <experiment>...
+usage: harness [--quick] [--legacy-kernels] [--scalar-kernels] [--portable-lanes] [--blocking-comm] [--serial-streams] <experiment>...
        harness [--quick] trace <experiment>...
   <experiment>      one or more of: e1 e2 e3 e4 e5 e6 e7 e8 e9 e11 e12 e13
-                    e14 e15 e16 e17 e18 e19 bench-host all
+                    e14 e15 e16 e17 e18 e19 e20 bench-host all
   trace             run the named experiments with telemetry enabled and
                     write a Chrome/Perfetto trace_<experiment>.json next
                     to the process (e16 manages its own session and
@@ -28,6 +28,10 @@ usage: harness [--quick] [--legacy-kernels] [--scalar-kernels] [--portable-lanes
                     exchange schedule instead of the chunked overlapped
                     pipeline (A/B escape hatch; outputs are bit-identical
                     either way)
+  --serial-streams  pin the proving service to one compute queue per
+                    lease — DAG stages serialize exactly as before the
+                    multi-queue scheduler existed (A/B escape hatch;
+                    outputs are bit-identical either way)
 ";
 
 fn main() -> ExitCode {
@@ -46,6 +50,9 @@ fn main() -> ExitCode {
     }
     if args.iter().any(|a| a == "--blocking-comm") {
         unintt_core::set_comm_mode_override(Some(unintt_core::CommMode::Blocking));
+    }
+    if args.iter().any(|a| a == "--serial-streams") {
+        unintt_core::set_streams_override(Some(1));
     }
     let selected: Vec<&str> = args
         .iter()
@@ -90,6 +97,7 @@ fn main() -> ExitCode {
             "e17" => experiments::e17_resilience::run(quick),
             "e18" => experiments::e18_vector_kernels::run(quick),
             "e19" => experiments::e19_pipeline::run(quick),
+            "e20" => experiments::e20_streams::run(quick),
             _ => return None,
         };
         Some(table)

@@ -12,21 +12,29 @@
 //!   phases over per-node fabric phases over device spans;
 //! * **serve/** — a small mixed proving-service stream: job lifecycle
 //!   spans (queued → execute), lease dispatch spans, coalescer-flush and
-//!   lease-repair instants.
+//!   lease-repair instants;
+//! * **streams/** — the same stream with proofs submitted as stage DAGs
+//!   over two compute queues per lease, so the per-queue span tracks
+//!   (`lease{l}.q{q}`) show MSM/NTT stages co-resident on one lease.
 //!
 //! The headline check is **reconciliation**: for every device track the
 //! sum of exported span durations must equal the cost model's
 //! bottleneck-attributed total (`Stats::time_ns.total()`) to within
-//! float-summation rounding. A trace that disagrees with the numbers the
-//! benchmarks report would be worse than no trace at all.
+//! float-summation rounding — and for the streamed serving section, the
+//! per-queue stage spans must sum to the service report's own per-kind
+//! stage attribution (`ServiceReport::stage_ns`). A trace that disagrees
+//! with the numbers the benchmarks report would be worse than no trace
+//! at all.
 
 use std::fmt::Write as _;
 
 use unintt_core::{Cluster, ClusterNttEngine, NetworkConfig, UniNttEngine, UniNttOptions};
 use unintt_ff::{Bn254Fr, Goldilocks};
 use unintt_gpu_sim::{presets, FieldSpec, Machine};
-use unintt_serve::{ProofService, ServiceConfig, WorkloadMix, WorkloadSpec};
-use unintt_telemetry::{self as telemetry, InstantKind, Registry, Session, SpanLevel};
+use unintt_serve::{
+    JobSpec, ProofService, ServiceConfig, ServiceReport, WorkloadMix, WorkloadSpec,
+};
+use unintt_telemetry::{self as telemetry, AttrValue, InstantKind, Registry, Session, SpanLevel};
 
 use crate::report::Table;
 
@@ -126,7 +134,46 @@ fn reconcile_devices(session: &Session, machine: &Machine) -> Vec<ReconRow> {
         .collect()
 }
 
-/// Runs the three reference workloads under one telemetry session and
+/// Sums the per-queue stage spans per stage kind and pairs each with the
+/// service report's own attribution — the serving-layer analogue of
+/// [`reconcile_devices`] (serve spans live on the service clock, so the
+/// report's `stage_ns` books are the total they must balance against).
+/// Panics if the books disagree.
+fn reconcile_stages(session: &Session, report: &ServiceReport) -> Vec<ReconRow> {
+    report
+        .stage_ns
+        .iter()
+        .map(|(&kind, &stats_ns)| {
+            let span_ns = session
+                .spans
+                .iter()
+                .filter(|s| {
+                    s.category == "stage"
+                        && s.attrs
+                            .iter()
+                            .any(|(k, v)| *k == "kind" && *v == AttrValue::Str(kind))
+                })
+                .map(|s| s.duration_ns())
+                .sum();
+            let row = ReconRow {
+                track: format!("stage:{kind}"),
+                span_ns,
+                stats_ns,
+            };
+            assert!(
+                row.rel_err() < RECON_REL_TOL,
+                "per-queue spans drifted from the stage attribution on {}: \
+                 spans {} ns vs stage_ns {} ns",
+                row.track,
+                row.span_ns,
+                row.stats_ns
+            );
+            row
+        })
+        .collect()
+}
+
+/// Runs the four reference workloads under one telemetry session and
 /// returns the merged trace plus reconciliation evidence. Writes nothing.
 pub fn collect(quick: bool) -> Collected {
     let guard = telemetry::start_session();
@@ -219,6 +266,54 @@ pub fn collect(quick: bool) -> Collected {
             spans: session.spans.len(),
             instants: session.instants.len(),
             recon: Vec::new(),
+        });
+        merged.merge(session);
+    }
+
+    // Section streams/ — the same stream with proofs submitted as stage
+    // DAGs over two compute queues per lease. Stage spans ride
+    // `lease{l}.q{q}` tracks and must sum, kind by kind, to the service
+    // report's own stage attribution.
+    {
+        let jobs = if quick { 12 } else { 32 };
+        let spec = WorkloadSpec {
+            mix: WorkloadMix::mixed(),
+            ..WorkloadSpec::raw_only(0xe16, jobs, 20_000.0)
+        };
+        let stream: Vec<JobSpec> = spec
+            .generate()
+            .into_iter()
+            .map(|s| JobSpec {
+                class: s.class.pipelined(),
+                ..s
+            })
+            .collect();
+        let mut service = ProofService::new(ServiceConfig {
+            streams_per_lease: 2,
+            ..ServiceConfig::default()
+        });
+        service.submit_all(stream);
+        let report = service.run();
+        assert!(
+            report.all_completed(),
+            "the E16 streamed section runs well under default admission capacity"
+        );
+        let mut session = telemetry::take_session();
+        // Same clock rationale as serve/: keep the service-level story.
+        session.spans.retain(|s| s.level == SpanLevel::Serve);
+        session.instants.retain(|i| {
+            matches!(
+                i.kind,
+                InstantKind::LeaseRepair | InstantKind::CoalescerFlush
+            )
+        });
+        let recon = reconcile_stages(&session, &report);
+        session.prefix_tracks("streams/");
+        sections.push(SectionReport {
+            name: "streams",
+            spans: session.spans.len(),
+            instants: session.instants.len(),
+            recon,
         });
         merged.merge(session);
     }
@@ -332,11 +427,11 @@ mod tests {
     #[test]
     fn reconciliation_holds_and_sections_are_populated() {
         let collected = collect(true);
-        assert_eq!(collected.sections.len(), 3);
+        assert_eq!(collected.sections.len(), 4);
         for sec in &collected.sections {
             assert!(sec.spans > 0, "section {} recorded no spans", sec.name);
         }
-        let device_rows: usize = collected.sections.iter().map(|s| s.recon.len()).sum();
+        let device_rows: usize = collected.sections[..2].iter().map(|s| s.recon.len()).sum();
         assert_eq!(device_rows, 8 + 2 * 4, "e1 has 8 devices, e12 has 2x4");
         // collect() already asserts each row balances; spot-check one.
         assert!(collected.sections[0].recon[0].stats_ns > 0.0);
@@ -377,6 +472,32 @@ mod tests {
         assert!(serve_spans.iter().all(|s| s.level == SpanLevel::Serve));
         assert!(serve_spans.iter().any(|s| s.name == "job"));
         assert!(serve_spans.iter().any(|s| s.name == "dispatch"));
+    }
+
+    #[test]
+    fn streams_section_reconciles_per_queue_stage_spans() {
+        let collected = collect(true);
+        let streams = &collected.sections[3];
+        assert_eq!(streams.name, "streams");
+        assert!(
+            !streams.recon.is_empty(),
+            "the streamed section must reconcile its stage attribution"
+        );
+        assert!(streams.recon.iter().all(|r| r.track.starts_with("stage:")));
+        // collect() already asserts each row balances; check the spans
+        // actually ride per-queue tracks so traces show co-residency.
+        let queue_tracks: std::collections::BTreeSet<_> = collected
+            .session
+            .spans
+            .iter()
+            .filter(|s| s.track.starts_with("streams/lease") && s.track.contains(".q"))
+            .map(|s| s.track.clone())
+            .collect();
+        assert!(
+            queue_tracks.len() > 2,
+            "two queues per lease must spread stages over several queue \
+             tracks, got {queue_tracks:?}"
+        );
     }
 
     #[test]

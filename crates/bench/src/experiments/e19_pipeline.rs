@@ -102,8 +102,9 @@ fn grid(quick: bool) -> (Vec<f64>, usize) {
 /// The seeded proof-heavy submission stream for one load level. Half
 /// raw NTTs (the coalescer's food), half proofs — the stream every cell
 /// at this load serves, so monolithic and DAG cells differ only in the
-/// class tag.
-fn stream(load: f64, jobs: usize) -> Vec<JobSpec> {
+/// class tag. E20 reuses the same stream so its cells are comparable
+/// with this experiment's row for row.
+pub(crate) fn stream(load: f64, jobs: usize) -> Vec<JobSpec> {
     WorkloadSpec {
         mix: WorkloadMix {
             raw: 0.5,

@@ -17,6 +17,7 @@ pub mod e17_resilience;
 pub mod e18_vector_kernels;
 pub mod e19_pipeline;
 pub mod e1_headline;
+pub mod e20_streams;
 pub mod e2_scaling;
 pub mod e3_vs_baseline;
 pub mod e4_comm_volume;

@@ -97,6 +97,7 @@ impl Machine {
                 start_ns: d.clock_ns,
                 duration_ns: ns,
                 category: Category::Interconnect,
+                queue: 0,
             });
             d.clock_ns += ns;
             *d.stats.time_ns.get_mut(Category::Interconnect) += ns;
@@ -479,6 +480,7 @@ impl Machine {
                 start_ns: dev.clock_ns,
                 duration_ns: elapsed,
                 category: Category::Interconnect,
+                queue: 0,
             });
             dev.clock_ns += elapsed;
             elapsed_max = elapsed_max.max(elapsed);

@@ -142,6 +142,7 @@ impl<'a> DeviceCtx<'a> {
             start_ns: self.state.clock_ns,
             duration_ns: cost.total_ns,
             category: cost.bottleneck,
+            queue: 0,
         });
         self.state.clock_ns += cost.total_ns;
         cost

@@ -49,6 +49,7 @@ mod fault;
 mod machine;
 mod patterns;
 pub mod presets;
+mod stream;
 mod timeline;
 mod trace;
 
@@ -62,5 +63,6 @@ pub use machine::Machine;
 pub use patterns::{
     bank_conflict_degree, coalescing_efficiency, ntt_butterflies, warp_ntt_shuffles, SHARED_BANKS,
 };
+pub use stream::{InFlight, InterferenceModel, ResourceClass, StreamSet};
 pub use timeline::{Timeline, TraceEvent, MAX_EVENTS};
 pub use trace::{Category, CollectiveEvent, Level, Stats, TimeByCategory};

@@ -271,6 +271,7 @@ impl Machine {
                 start_ns: d.clock_ns,
                 duration_ns: ns,
                 category: Category::Fault,
+                queue: 0,
             });
             d.clock_ns += ns;
             *d.stats.time_ns.get_mut(Category::Fault) += ns;

@@ -1,0 +1,461 @@
+//! Typed compute queues (streams) with a resource-interference model.
+//!
+//! Real GPUs expose multiple hardware queues: a compute-bound kernel
+//! (MSM window accumulation) and a memory/shuffle-bound kernel (NTT
+//! butterflies + exchanges) issued on different streams genuinely
+//! overlap, each running somewhat slower than it would alone because
+//! they contend for the SM issue slots and the memory system. Two
+//! kernels of the *same* class gain nothing — they fight over the same
+//! bottleneck resource — so schedulers serialize them.
+//!
+//! This module is the simulator's version of that: a [`StreamSet`] is a
+//! small set of typed queues attached to one device lease, and an
+//! [`InterferenceModel`] prices co-residency. Work is modelled as a
+//! fluid: each in-flight stage carries its remaining *solo* nanoseconds
+//! and advances at rate `1 / slowdown` where the slowdown is the product
+//! of pairwise interference factors against every co-resident stage.
+//! Rates only change when a stage is admitted or completes, so the
+//! piecewise-constant-rate integration in [`StreamSet::advance_to`] is
+//! exact, not an approximation — and the whole model stays perfectly
+//! deterministic: the same admissions produce the same completions to
+//! the last bit.
+//!
+//! Scheduling invariants (enforced here, relied on by `unintt-pipeline`
+//! and `unintt-serve`):
+//!
+//! * at most one in-flight stage per [`ResourceClass`] per stream set —
+//!   same-class stages serialize, exactly as on the real hardware;
+//! * functional execution is *not* this module's business: callers run
+//!   the stage's real data movement up front and hand only the charged
+//!   duration here, which is what keeps overlapped schedules
+//!   bit-identical to serialized ones.
+
+/// The bottleneck resource a stage saturates while it runs. Mirrors the
+/// ZKProphet observation that ZKP kernels leave either compute or
+/// bandwidth idle depending on kernel class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ResourceClass {
+    /// ALU/issue-slot bound (MSM window accumulation, field towers).
+    Compute,
+    /// Memory/shuffle bound (NTT butterflies, transposes, exchanges).
+    Memory,
+    /// Somewhere in between (hashing, pointwise maps, FRI folds).
+    Mixed,
+}
+
+impl ResourceClass {
+    /// Stable lowercase name for traces and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResourceClass::Compute => "compute",
+            ResourceClass::Memory => "memory",
+            ResourceClass::Mixed => "mixed",
+        }
+    }
+}
+
+/// Pairwise slowdown factors for co-resident stages of *different*
+/// classes (same-class pairs never co-reside — see [`StreamSet::admit`]).
+///
+/// A factor of `f ≥ 1` means each member of the pair advances at rate
+/// `1/f` while the other is resident: a compute-bound MSM and a
+/// memory-bound NTT at the default `1.12` finish in `1.12×` their solo
+/// time each — far better than the `2×` of serialization.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InterferenceModel {
+    /// Slowdown each side pays when a [`ResourceClass::Compute`] stage
+    /// overlaps a [`ResourceClass::Memory`] stage. The most complementary
+    /// pairing: they saturate different resources.
+    pub compute_memory: f64,
+    /// Slowdown each side pays when a [`ResourceClass::Mixed`] stage
+    /// overlaps anything else. Mixed kernels touch both resources, so
+    /// they interfere more.
+    pub mixed_other: f64,
+}
+
+impl InterferenceModel {
+    /// The calibrated default: MSM↔NTT overlap at 12% mutual slowdown,
+    /// mixed pairings at 35%.
+    pub const fn default_model() -> Self {
+        Self {
+            compute_memory: 1.12,
+            mixed_other: 1.35,
+        }
+    }
+
+    /// A pessimistic variant for sensitivity sweeps: heavy contention.
+    pub const fn conservative() -> Self {
+        Self {
+            compute_memory: 1.45,
+            mixed_other: 1.70,
+        }
+    }
+
+    /// The slowdown factor each member of an `(a, b)` pair pays while
+    /// co-resident, or `None` when `a == b` (same-class stages must
+    /// serialize; schedulers never co-admit them).
+    pub fn slowdown(&self, a: ResourceClass, b: ResourceClass) -> Option<f64> {
+        if a == b {
+            return None;
+        }
+        Some(match (a, b) {
+            (ResourceClass::Compute, ResourceClass::Memory)
+            | (ResourceClass::Memory, ResourceClass::Compute) => self.compute_memory,
+            _ => self.mixed_other,
+        })
+    }
+
+    /// Panics unless every factor is a finite slowdown (`≥ 1`).
+    pub fn validate(&self) {
+        for (name, f) in [
+            ("compute_memory", self.compute_memory),
+            ("mixed_other", self.mixed_other),
+        ] {
+            assert!(
+                f.is_finite() && f >= 1.0,
+                "interference factor {name} must be a finite slowdown >= 1, got {f}"
+            );
+        }
+    }
+}
+
+impl Default for InterferenceModel {
+    fn default() -> Self {
+        Self::default_model()
+    }
+}
+
+/// One stage currently resident on a stream.
+#[derive(Clone, Debug)]
+pub struct InFlight {
+    /// Caller-chosen identity (dispatch sequence number, say) handed
+    /// back on completion.
+    pub key: u64,
+    /// The queue (stream index) the stage occupies.
+    pub queue: usize,
+    /// Its resource class.
+    pub class: ResourceClass,
+    /// When it was admitted, ns.
+    pub start_ns: f64,
+    /// Remaining *solo* work, ns (advances at `1/slowdown` per wall ns).
+    remaining_ns: f64,
+}
+
+/// Completion detection tolerance, ns. Remaining work decays through
+/// float subtraction whose error is bounded well below a picosecond for
+/// any clock this simulator reaches; real stage durations are
+/// microseconds, so nothing completes spuriously.
+const DONE_EPS_NS: f64 = 1e-3;
+
+/// A small set of typed compute queues attached to one device lease,
+/// advancing in-flight stages as fluids under an [`InterferenceModel`]
+/// (see the module docs for the model and its invariants).
+#[derive(Clone, Debug)]
+pub struct StreamSet {
+    queues: usize,
+    model: InterferenceModel,
+    now_ns: f64,
+    inflight: Vec<InFlight>,
+    /// Admissions that joined at least one already-resident stage.
+    pub costream_joins: u64,
+    /// Wall time with ≥ 1 resident stage (the lease-busy union).
+    pub busy_union_ns: f64,
+    /// Stream-occupied time (`Σ residents × dt`): exceeds
+    /// `busy_union_ns` exactly when overlap happened.
+    pub stream_busy_ns: f64,
+}
+
+impl StreamSet {
+    /// A set of `queues` streams under `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `queues == 0` or the model is invalid.
+    pub fn new(queues: usize, model: InterferenceModel) -> Self {
+        assert!(queues >= 1, "a stream set needs at least one queue");
+        model.validate();
+        Self {
+            queues,
+            model,
+            now_ns: 0.0,
+            inflight: Vec::with_capacity(queues),
+            costream_joins: 0,
+            busy_union_ns: 0.0,
+            stream_busy_ns: 0.0,
+        }
+    }
+
+    /// Number of queues.
+    pub fn queues(&self) -> usize {
+        self.queues
+    }
+
+    /// The set's local clock (the last `advance_to` instant).
+    pub fn now_ns(&self) -> f64 {
+        self.now_ns
+    }
+
+    /// Stages currently resident.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// True when no stage is resident.
+    pub fn is_idle(&self) -> bool {
+        self.inflight.is_empty()
+    }
+
+    /// Fraction of queues occupied right now.
+    pub fn occupancy(&self) -> f64 {
+        self.inflight.len() as f64 / self.queues as f64
+    }
+
+    /// Whether a stage of `class` may be admitted right now: a queue is
+    /// free and no resident stage shares its class (same-class stages
+    /// serialize).
+    pub fn can_accept(&self, class: ResourceClass) -> bool {
+        self.inflight.len() < self.queues && !self.inflight.iter().any(|s| s.class == class)
+    }
+
+    /// The slowdown a stage of `class` would suffer if admitted now: the
+    /// product of pairwise factors against every resident stage (`1.0`
+    /// on an idle set). Schedulers minimize this to pick complementary
+    /// co-residents.
+    pub fn join_penalty(&self, class: ResourceClass) -> f64 {
+        self.inflight.iter().fold(1.0, |acc, s| {
+            acc * self
+                .model
+                .slowdown(class, s.class)
+                .expect("co-resident classes always differ")
+        })
+    }
+
+    /// The current slowdown of resident stage `i`.
+    fn slowdown_of(&self, i: usize) -> f64 {
+        let class = self.inflight[i].class;
+        self.inflight
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .fold(1.0, |acc, (_, s)| {
+                acc * self
+                    .model
+                    .slowdown(class, s.class)
+                    .expect("co-resident classes always differ")
+            })
+    }
+
+    /// Admits a stage of `class` carrying `work_ns` solo nanoseconds,
+    /// returning the queue index it occupies (lowest free index).
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`can_accept`](Self::can_accept) is false.
+    pub fn admit(&mut self, key: u64, class: ResourceClass, work_ns: f64) -> usize {
+        assert!(
+            self.can_accept(class),
+            "admit requires a free queue and no resident {} stage",
+            class.name()
+        );
+        let queue = (0..self.queues)
+            .find(|&q| !self.inflight.iter().any(|s| s.queue == q))
+            .expect("can_accept implies a free queue");
+        if !self.inflight.is_empty() {
+            self.costream_joins += 1;
+        }
+        self.inflight.push(InFlight {
+            key,
+            queue,
+            class,
+            start_ns: self.now_ns,
+            // Zero-cost stages would complete "now" and stall an event
+            // loop waiting for a *future* completion; clamp to one
+            // picosecond (far below any real stage charge).
+            remaining_ns: work_ns.max(DONE_EPS_NS),
+        });
+        queue
+    }
+
+    /// The earliest instant a resident stage completes under the current
+    /// residency (exact until the next admission), or `None` when idle.
+    pub fn earliest_completion_ns(&self) -> Option<f64> {
+        (0..self.inflight.len())
+            .map(|i| self.now_ns + self.inflight[i].remaining_ns * self.slowdown_of(i))
+            .min_by(f64::total_cmp)
+    }
+
+    /// Advances the local clock to `t`, draining remaining work at the
+    /// current rates. Callers must not step past the earliest completion
+    /// (rates change there); stepping exactly onto it is the normal way
+    /// to retire a stage via [`take_finished`](Self::take_finished).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when `t` would rewind the clock or overshoot a
+    /// completion by more than the detection tolerance.
+    pub fn advance_to(&mut self, t: f64) {
+        debug_assert!(t >= self.now_ns - DONE_EPS_NS, "stream clock cannot rewind");
+        let dt = (t - self.now_ns).max(0.0);
+        if dt > 0.0 && !self.inflight.is_empty() {
+            self.busy_union_ns += dt;
+            self.stream_busy_ns += dt * self.inflight.len() as f64;
+            for i in 0..self.inflight.len() {
+                let rate = 1.0 / self.slowdown_of(i);
+                self.inflight[i].remaining_ns -= dt * rate;
+                debug_assert!(
+                    self.inflight[i].remaining_ns >= -DONE_EPS_NS,
+                    "advance_to overshot a completion"
+                );
+            }
+        }
+        self.now_ns = self.now_ns.max(t);
+    }
+
+    /// Removes and returns every stage whose work has drained (ordered
+    /// by queue index, deterministically). Call after `advance_to`.
+    pub fn take_finished(&mut self) -> Vec<InFlight> {
+        let mut done: Vec<InFlight> = Vec::new();
+        let mut i = 0;
+        while i < self.inflight.len() {
+            if self.inflight[i].remaining_ns <= DONE_EPS_NS {
+                done.push(self.inflight.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        done.sort_by_key(|s| s.queue);
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_class_never_overlaps() {
+        let model = InterferenceModel::default_model();
+        assert_eq!(
+            model.slowdown(ResourceClass::Memory, ResourceClass::Memory),
+            None
+        );
+        let mut set = StreamSet::new(2, model);
+        set.admit(1, ResourceClass::Memory, 100.0);
+        assert!(!set.can_accept(ResourceClass::Memory));
+        assert!(set.can_accept(ResourceClass::Compute));
+        assert!(set.can_accept(ResourceClass::Mixed));
+    }
+
+    #[test]
+    fn solo_stage_runs_at_full_rate() {
+        let mut set = StreamSet::new(2, InterferenceModel::default_model());
+        set.admit(7, ResourceClass::Compute, 1_000.0);
+        assert_eq!(set.earliest_completion_ns(), Some(1_000.0));
+        set.advance_to(1_000.0);
+        let done = set.take_finished();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].key, 7);
+        assert_eq!(done[0].queue, 0);
+        assert!(set.is_idle());
+        assert_eq!(set.busy_union_ns, 1_000.0);
+        assert_eq!(set.stream_busy_ns, 1_000.0);
+    }
+
+    #[test]
+    fn complementary_pair_overlaps_with_modeled_slowdown() {
+        // MSM (compute) and NTT (memory), each 1000 ns solo, co-resident
+        // from t=0 under factor 1.12: both finish at 1120 ns — versus
+        // 2000 ns serialized.
+        let model = InterferenceModel::default_model();
+        let mut set = StreamSet::new(2, model);
+        set.admit(1, ResourceClass::Compute, 1_000.0);
+        set.admit(2, ResourceClass::Memory, 1_000.0);
+        assert_eq!(set.costream_joins, 1);
+        let t = set.earliest_completion_ns().unwrap();
+        assert!((t - 1_120.0).abs() < 1e-9, "{t}");
+        set.advance_to(t);
+        let done = set.take_finished();
+        assert_eq!(done.len(), 2, "equal work completes together");
+        // Overlap shows up as stream-time exceeding the busy union.
+        assert!((set.busy_union_ns - 1_120.0).abs() < 1e-9);
+        assert!((set.stream_busy_ns - 2_240.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rates_rise_when_a_coresident_leaves() {
+        // A 500 ns compute stage beside a 2000 ns memory stage at factor
+        // 1.12: compute finishes at 560; memory drained 500 solo-ns by
+        // then and runs the remaining 1500 alone, finishing at 2060.
+        let mut set = StreamSet::new(2, InterferenceModel::default_model());
+        set.admit(1, ResourceClass::Compute, 500.0);
+        set.admit(2, ResourceClass::Memory, 2_000.0);
+        let t1 = set.earliest_completion_ns().unwrap();
+        assert!((t1 - 560.0).abs() < 1e-9, "{t1}");
+        set.advance_to(t1);
+        assert_eq!(set.take_finished().len(), 1);
+        let t2 = set.earliest_completion_ns().unwrap();
+        assert!((t2 - 2_060.0).abs() < 1e-6, "{t2}");
+        set.advance_to(t2);
+        assert_eq!(set.take_finished().len(), 1);
+        assert!(set.is_idle());
+    }
+
+    #[test]
+    fn join_penalty_prefers_complementary_classes() {
+        let mut set = StreamSet::new(3, InterferenceModel::default_model());
+        assert_eq!(set.join_penalty(ResourceClass::Memory), 1.0);
+        set.admit(1, ResourceClass::Compute, 1_000.0);
+        assert!((set.join_penalty(ResourceClass::Memory) - 1.12).abs() < 1e-12);
+        assert!((set.join_penalty(ResourceClass::Mixed) - 1.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_queue_set_is_strictly_serial() {
+        let mut set = StreamSet::new(1, InterferenceModel::default_model());
+        set.admit(1, ResourceClass::Compute, 100.0);
+        assert!(!set.can_accept(ResourceClass::Memory), "no second queue");
+        set.advance_to(100.0);
+        assert_eq!(set.take_finished().len(), 1);
+        assert_eq!(set.costream_joins, 0);
+        assert_eq!(set.busy_union_ns, set.stream_busy_ns);
+    }
+
+    #[test]
+    fn determinism_bitwise() {
+        let run = || {
+            let mut set = StreamSet::new(2, InterferenceModel::conservative());
+            set.admit(1, ResourceClass::Compute, 12_345.678);
+            set.advance_to(1_000.0);
+            set.admit(2, ResourceClass::Memory, 9_876.543);
+            let mut times = Vec::new();
+            while let Some(t) = set.earliest_completion_ns() {
+                set.advance_to(t);
+                for f in set.take_finished() {
+                    times.push((f.key, t));
+                }
+            }
+            (times, set.busy_union_ns, set.stream_busy_ns)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "free queue")]
+    fn admitting_same_class_panics() {
+        let mut set = StreamSet::new(2, InterferenceModel::default_model());
+        set.admit(1, ResourceClass::Mixed, 10.0);
+        set.admit(2, ResourceClass::Mixed, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite slowdown")]
+    fn sub_unity_factors_are_rejected() {
+        StreamSet::new(
+            2,
+            InterferenceModel {
+                compute_memory: 0.9,
+                mixed_other: 1.2,
+            },
+        );
+    }
+}

@@ -25,6 +25,11 @@ pub struct TraceEvent {
     pub duration_ns: f64,
     /// The bottleneck category the duration was attributed to.
     pub category: Category,
+    /// The compute queue (stream) the work ran on. `0` is the default
+    /// stream; stage schedulers running co-resident work through
+    /// [`crate::StreamSet`] tag their queues so traces show the overlap.
+    #[serde(default)]
+    pub queue: u32,
 }
 
 /// A bounded per-device event log.
@@ -66,11 +71,16 @@ impl Timeline {
         for e in &self.events {
             let _ = writeln!(
                 out,
-                "{:>12.2} µs  +{:>9.2} µs  {:<24} [{}]",
+                "{:>12.2} µs  +{:>9.2} µs  {:<24} [{}]{}",
                 e.start_ns / 1e3,
                 e.duration_ns / 1e3,
                 e.name,
-                e.category
+                e.category,
+                if e.queue > 0 {
+                    format!(" q{}", e.queue)
+                } else {
+                    String::new()
+                }
             );
         }
         if self.dropped > 0 {
@@ -90,6 +100,7 @@ mod tests {
             start_ns: start,
             duration_ns: 10.0,
             category: Category::Compute,
+            queue: 0,
         }
     }
 

@@ -16,6 +16,8 @@
 
 use std::fmt;
 
+use unintt_gpu_sim::ResourceClass;
+
 /// The resource a stage occupies while it runs (used for scheduling and
 /// for per-kind time attribution in traces).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -66,6 +68,22 @@ impl StageKind {
     /// never occupy a lease.
     pub fn is_barrier(self) -> bool {
         self == StageKind::Barrier
+    }
+
+    /// The interference [`ResourceClass`] this stage occupies when
+    /// co-resident with another stage on a multi-queue device (see
+    /// [`unintt_gpu_sim::StreamSet`]): MSMs are compute-bound, NTTs are
+    /// memory/shuffle-bound, and the remaining charged kinds sit in
+    /// between. Barriers are charge-free and never occupy a queue; they
+    /// map to [`ResourceClass::Mixed`] only so the function is total.
+    pub fn resource_class(self) -> ResourceClass {
+        match self {
+            StageKind::Msm => ResourceClass::Compute,
+            StageKind::Ntt => ResourceClass::Memory,
+            StageKind::Hash | StageKind::Pointwise | StageKind::Fold | StageKind::Barrier => {
+                ResourceClass::Mixed
+            }
+        }
     }
 }
 

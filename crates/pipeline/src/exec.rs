@@ -24,6 +24,7 @@
 use std::collections::BTreeMap;
 
 use unintt_core::RecoveryPolicy;
+use unintt_gpu_sim::{InterferenceModel, StreamSet};
 
 use crate::dag::StageKind;
 use crate::proof::ProofPipeline;
@@ -61,12 +62,17 @@ pub struct ExecReport {
     pub busy_ns: f64,
     /// Number of lanes.
     pub lanes: usize,
+    /// Compute queues per lane (1 = serialized stage dispatch).
+    pub streams_per_lane: usize,
     /// Scheduling mode.
     pub mode: ExecMode,
 }
 
 impl ExecReport {
-    /// Mean lane occupancy over the makespan (0..=1).
+    /// Mean lane occupancy over the makespan. In serialized dispatch
+    /// (`streams_per_lane == 1`) this is 0..=1; with stream overlap it
+    /// counts stage residency, so two co-resident stages push it above
+    /// 1.0 — that surplus *is* the overlap win.
     pub fn occupancy(&self) -> f64 {
         if self.makespan_ns <= 0.0 {
             return 0.0;
@@ -92,6 +98,14 @@ pub struct DagExecutor {
     pub mode: ExecMode,
     /// Transient-fault retries per stage before giving up.
     pub max_retries: u32,
+    /// Compute queues per lane. `1` (the default) reproduces the
+    /// historical serialized dispatch exactly; `2..=4` lets stages of
+    /// *different* [`unintt_gpu_sim::ResourceClass`]es co-reside on one
+    /// lane with the interference-model slowdown. Outputs are
+    /// bit-identical at every queue count — only the clocks move.
+    pub streams_per_lane: usize,
+    /// Pairwise slowdown factors applied to co-resident stages.
+    pub interference: InterferenceModel,
 }
 
 impl DagExecutor {
@@ -101,6 +115,8 @@ impl DagExecutor {
             lanes,
             mode: ExecMode::Interleaved,
             max_retries: 4,
+            streams_per_lane: 1,
+            interference: InterferenceModel::default_model(),
         }
     }
 
@@ -110,7 +126,19 @@ impl DagExecutor {
             lanes,
             mode: ExecMode::Monolithic,
             max_retries: 4,
+            streams_per_lane: 1,
+            interference: InterferenceModel::default_model(),
         }
+    }
+
+    /// Returns `self` with `streams` compute queues per lane under the
+    /// given interference model. Only meaningful in
+    /// [`ExecMode::Interleaved`]; the monolithic baseline always holds
+    /// a whole lane per proof.
+    pub fn with_streams(mut self, streams: usize, model: InterferenceModel) -> Self {
+        self.streams_per_lane = streams;
+        self.interference = model;
+        self
     }
 
     /// Runs every pipeline to completion.
@@ -123,10 +151,34 @@ impl DagExecutor {
     /// level).
     pub fn run(&self, mut pipelines: Vec<ProofPipeline>) -> ExecReport {
         assert!(self.lanes > 0, "need at least one lane");
+        assert!(
+            (1..=unintt_core::MAX_STREAMS_PER_LEASE as usize).contains(&self.streams_per_lane),
+            "streams_per_lane must be 1..={}, got {}",
+            unintt_core::MAX_STREAMS_PER_LEASE,
+            self.streams_per_lane
+        );
         match self.mode {
+            ExecMode::Interleaved if self.streams_per_lane > 1 => {
+                self.run_interleaved_streams(&mut pipelines)
+            }
             ExecMode::Interleaved => self.run_interleaved(&mut pipelines),
             ExecMode::Monolithic => self.run_monolithic(&mut pipelines),
         }
+    }
+
+    /// The earliest-free lane under serialized dispatch.
+    ///
+    /// Tie-breaking is load-bearing for determinism and is fixed as:
+    /// earliest `lane_free` time first, then the **lowest lane index**.
+    /// `Iterator::min_by` returns the first minimum and lanes are
+    /// scanned in index order, so two lanes free at the same instant
+    /// always resolve to the lower index. Combined with stage selection
+    /// (earliest availability, then proof index, then stage index) the
+    /// whole dispatch order is a pure function of the input set.
+    fn earliest_free_lane(lane_free: &[f64]) -> usize {
+        (0..lane_free.len())
+            .min_by(|&a, &b| lane_free[a].total_cmp(&lane_free[b]))
+            .expect("lanes > 0")
     }
 
     /// Runs one stage with in-place transient retries, returning the
@@ -219,9 +271,7 @@ impl DagExecutor {
             };
 
             // Earliest-free lane, lowest index on ties.
-            let lane = (0..self.lanes)
-                .min_by(|&a, &b| lane_free[a].total_cmp(&lane_free[b]))
-                .expect("lanes > 0");
+            let lane = Self::earliest_free_lane(&lane_free);
             let start = avail.max(lane_free[lane]);
             let (elapsed, r) = self.run_stage_with_retries(&mut pipelines[p], s, &policy);
             retries[p] += r;
@@ -231,6 +281,136 @@ impl DagExecutor {
             *stage_ns[p].entry(dags[p].nodes()[s].kind).or_insert(0.0) += elapsed;
         }
 
+        self.report(pipelines, &completion, stage_ns, retries, busy)
+    }
+
+    /// The multi-queue variant of [`Self::run_interleaved`]: each lane
+    /// holds a [`StreamSet`] of `streams_per_lane` typed queues, so a
+    /// compute-bound MSM and a memory-bound NTT co-reside on one lane
+    /// and both advance at the interference-model rate instead of
+    /// serializing. Same-class stages still serialize (the set rejects
+    /// them at admission).
+    ///
+    /// Bit-identity is preserved because stage *execution* is
+    /// functional and happens at dispatch: `run_stage_with_retries`
+    /// mutates the proof state the instant a stage is admitted, in DAG
+    /// dependency order, and transcript barriers are totally ordered —
+    /// the overlap model only stretches the simulated clocks.
+    fn run_interleaved_streams(&self, pipelines: &mut [ProofPipeline]) -> ExecReport {
+        let policy = RecoveryPolicy::none();
+        let dags: Vec<_> = pipelines.iter().map(ProofPipeline::dag).collect();
+        let mut completion: Vec<Vec<Option<f64>>> =
+            dags.iter().map(|d| vec![None; d.len()]).collect();
+        let mut dispatched: Vec<Vec<bool>> = dags.iter().map(|d| vec![false; d.len()]).collect();
+        let mut stage_ns: Vec<BTreeMap<StageKind, f64>> = vec![BTreeMap::new(); pipelines.len()];
+        let mut retries = vec![0u32; pipelines.len()];
+        let mut lanes: Vec<StreamSet> = (0..self.lanes)
+            .map(|_| StreamSet::new(self.streams_per_lane, self.interference))
+            .collect();
+        // In-flight key -> (proof, stage, admit time). Keys are a plain
+        // dispatch counter, unique across the run.
+        let mut inflight: BTreeMap<u64, (usize, usize, f64)> = BTreeMap::new();
+        let mut next_key = 0u64;
+        let mut busy = 0.0f64;
+        let mut now = 0.0f64;
+
+        loop {
+            // Cascade barriers exactly as the serial path does: inline
+            // at their dependencies' completion time, occupying no
+            // queue. (Committed completions are all <= now, so a
+            // barrier never completes in the future.)
+            let mut progressed = true;
+            while progressed {
+                progressed = false;
+                for (p, dag) in dags.iter().enumerate() {
+                    for (s, node) in dag.nodes().iter().enumerate() {
+                        if completion[p][s].is_some() || !node.kind.is_barrier() {
+                            continue;
+                        }
+                        if node.deps.iter().any(|&d| completion[p][d].is_none()) {
+                            continue;
+                        }
+                        let avail = node
+                            .deps
+                            .iter()
+                            .map(|&d| completion[p][d].expect("dep done"))
+                            .fold(0.0f64, f64::max);
+                        let (ns, _) = self.run_stage_with_retries(&mut pipelines[p], s, &policy);
+                        debug_assert_eq!(ns, 0.0, "barriers are charge-free");
+                        completion[p][s] = Some(avail);
+                        progressed = true;
+                    }
+                }
+            }
+
+            // Admit every placeable ready stage at `now`, best-first by
+            // (availability, proof index, stage index) — the serial
+            // path's stage order. A stage whose class no lane can
+            // accept is skipped this round; a complementary-class stage
+            // behind it may still be placed (work conservation).
+            let mut ready: Vec<(f64, usize, usize)> = Vec::new();
+            for (p, dag) in dags.iter().enumerate() {
+                for (s, node) in dag.nodes().iter().enumerate() {
+                    if dispatched[p][s] || completion[p][s].is_some() || node.kind.is_barrier() {
+                        continue;
+                    }
+                    if node.deps.iter().any(|&d| completion[p][d].is_none()) {
+                        continue;
+                    }
+                    let avail = node
+                        .deps
+                        .iter()
+                        .map(|&d| completion[p][d].expect("dep done"))
+                        .fold(0.0f64, f64::max);
+                    ready.push((avail, p, s));
+                }
+            }
+            ready.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+            let had_ready = !ready.is_empty();
+            for (_, p, s) in ready {
+                let class = dags[p].nodes()[s].kind.resource_class();
+                // Accepting lane with the lowest interference on its
+                // current residents; lowest lane index on ties.
+                let lane = (0..lanes.len())
+                    .filter(|&l| lanes[l].can_accept(class))
+                    .min_by(|&a, &b| {
+                        lanes[a]
+                            .join_penalty(class)
+                            .total_cmp(&lanes[b].join_penalty(class))
+                    });
+                let Some(lane) = lane else { continue };
+                let (elapsed, r) = self.run_stage_with_retries(&mut pipelines[p], s, &policy);
+                retries[p] += r;
+                lanes[lane].admit(next_key, class, elapsed);
+                inflight.insert(next_key, (p, s, now));
+                dispatched[p][s] = true;
+                next_key += 1;
+            }
+
+            // Advance to the next completion and commit everything
+            // finishing there, in (lane, queue) order.
+            let t = lanes
+                .iter()
+                .filter_map(StreamSet::earliest_completion_ns)
+                .min_by(f64::total_cmp);
+            let Some(t) = t else {
+                assert!(!had_ready, "ready stages but idle lanes could not accept");
+                break; // nothing in flight and nothing ready: done
+            };
+            now = t;
+            for lane in &mut lanes {
+                lane.advance_to(now);
+                for fin in lane.take_finished() {
+                    let (p, s, start) = inflight.remove(&fin.key).expect("known in-flight key");
+                    let stretched = now - start;
+                    completion[p][s] = Some(now);
+                    busy += stretched;
+                    *stage_ns[p].entry(dags[p].nodes()[s].kind).or_insert(0.0) += stretched;
+                }
+            }
+        }
+
+        assert!(inflight.is_empty(), "stages left in flight at drain");
         self.report(pipelines, &completion, stage_ns, retries, busy)
     }
 
@@ -245,9 +425,7 @@ impl DagExecutor {
         let mut busy = 0.0f64;
 
         for (p, pipe) in pipelines.iter_mut().enumerate() {
-            let lane = (0..self.lanes)
-                .min_by(|&a, &b| lane_free[a].total_cmp(&lane_free[b]))
-                .expect("lanes > 0");
+            let lane = Self::earliest_free_lane(&lane_free);
             let mut t = lane_free[lane];
             for s in dags[p].topo_order() {
                 let (elapsed, r) = self.run_stage_with_retries(pipe, s, &policy);
@@ -292,7 +470,33 @@ impl DagExecutor {
             makespan_ns: makespan,
             busy_ns: busy,
             lanes: self.lanes,
+            streams_per_lane: self.streams_per_lane,
             mode: self.mode,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earliest_free_lane_breaks_ties_by_lowest_index() {
+        // Distinct minimum wins regardless of position.
+        assert_eq!(DagExecutor::earliest_free_lane(&[5.0, 2.0, 3.0]), 1);
+        // Exact tie: first (lowest-index) minimum wins — this is the
+        // documented contract, backed by Iterator::min_by returning
+        // the first minimal element.
+        assert_eq!(DagExecutor::earliest_free_lane(&[4.0, 1.0, 1.0, 1.0]), 1);
+        assert_eq!(DagExecutor::earliest_free_lane(&[0.0, 0.0]), 0);
+        // -0.0 and 0.0 are distinct under total_cmp: -0.0 sorts first.
+        assert_eq!(DagExecutor::earliest_free_lane(&[0.0, -0.0]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "streams_per_lane must be")]
+    fn out_of_range_stream_count_is_rejected() {
+        let exec = DagExecutor::interleaved(2).with_streams(9, InterferenceModel::default_model());
+        exec.run(Vec::new());
     }
 }

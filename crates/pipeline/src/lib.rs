@@ -29,6 +29,7 @@ pub mod proof;
 pub use dag::{DagError, ProofDag, StageKind, StageNode};
 pub use exec::{DagExecutor, ExecMode, ExecReport, ProofRun};
 pub use proof::ProofPipeline;
+pub use unintt_gpu_sim::{InterferenceModel, ResourceClass};
 
 #[cfg(test)]
 mod tests {
@@ -111,6 +112,61 @@ mod tests {
             assert_eq!(ra.completed_ns, rb.completed_ns);
             assert_eq!(ra.stage_ns, rb.stage_ns);
         }
+    }
+
+    #[test]
+    fn streamed_matches_serialized_digests_and_is_no_slower() {
+        let mk = || {
+            vec![
+                plonk_pipe(51, 24, 4),
+                plonk_pipe(52, 16, 4),
+                stark_pipe(53, 5, 3, 4),
+            ]
+        };
+        let serial = DagExecutor::interleaved(2).run(mk());
+        let streamed = DagExecutor::interleaved(2)
+            .with_streams(2, InterferenceModel::default_model())
+            .run(mk());
+        assert_eq!(digests(&serial), digests(&streamed));
+        assert_eq!(streamed.streams_per_lane, 2);
+        assert!(
+            streamed.makespan_ns <= serial.makespan_ns + 1e-6,
+            "streamed {} > serialized {}",
+            streamed.makespan_ns,
+            serial.makespan_ns
+        );
+        // Co-residency stretches stages, so residency time grows —
+        // but never past the worst-case pairwise factor.
+        let worst = InterferenceModel::default_model()
+            .compute_memory
+            .max(InterferenceModel::default_model().mixed_other);
+        assert!(streamed.busy_ns >= serial.busy_ns - 1e-6);
+        assert!(streamed.busy_ns <= serial.busy_ns * worst + 1e-6);
+    }
+
+    #[test]
+    fn one_stream_per_lane_reproduces_serialized_clocks_exactly() {
+        let mk = || vec![plonk_pipe(61, 20, 2), stark_pipe(62, 4, 2, 2)];
+        let serial = DagExecutor::interleaved(2).run(mk());
+        let one = DagExecutor::interleaved(2)
+            .with_streams(1, InterferenceModel::conservative())
+            .run(mk());
+        assert_eq!(digests(&serial), digests(&one));
+        assert_eq!(serial.makespan_ns, one.makespan_ns);
+        assert_eq!(serial.busy_ns, one.busy_ns);
+        for (a, b) in serial.runs.iter().zip(&one.runs) {
+            assert_eq!(a.completed_ns, b.completed_ns);
+            assert_eq!(a.stage_ns, b.stage_ns);
+        }
+    }
+
+    #[test]
+    fn streamed_stage_attribution_covers_all_busy_time() {
+        let report = DagExecutor::interleaved(2)
+            .with_streams(3, InterferenceModel::default_model())
+            .run(vec![plonk_pipe(71, 24, 4), stark_pipe(72, 5, 3, 4)]);
+        let attributed: f64 = report.runs.iter().flat_map(|r| r.stage_ns.values()).sum();
+        assert!((attributed - report.busy_ns).abs() < 1e-6);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The DAG scheduler's core promise, fuzzed: stage-scheduled proofs are
 //! bit-identical to the monolithic provers across seeds, circuit sizes,
-//! scheduling modes, and injected stage faults.
+//! scheduling modes, stream counts, and injected stage faults.
 
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
@@ -8,7 +8,7 @@ use unintt_core::RecoveryPolicy;
 use unintt_ff::{Field, Goldilocks};
 use unintt_fri::{commit_trace, FriConfig, LdeBackend};
 use unintt_gpu_sim::{presets, FaultEvent, FaultKind, FaultPlan};
-use unintt_pipeline::{DagExecutor, ProofPipeline};
+use unintt_pipeline::{DagExecutor, InterferenceModel, ProofPipeline};
 use unintt_zkp::{prove, random_circuit, setup, Backend};
 
 fn plonk_fixture(seed: u64, gates: usize) -> (unintt_zkp::ProvingKey, unintt_zkp::Witness, u64) {
@@ -60,6 +60,21 @@ fn run_with_drop(mut pipe: ProofPipeline, seq: u64) -> (u64, u32) {
             kind: FaultKind::Drop,
         }]));
     let report = DagExecutor::interleaved(2).run(vec![pipe]);
+    (report.runs[0].digest, report.runs[0].retries)
+}
+
+/// Same as [`run_with_drop`], but under the streamed executor with `k`
+/// queues per lane.
+fn run_with_drop_streamed(mut pipe: ProofPipeline, seq: u64, k: usize) -> (u64, u32) {
+    pipe.machine_mut()
+        .expect("simulated backend")
+        .set_fault_plan(FaultPlan::scripted(vec![FaultEvent {
+            seq,
+            kind: FaultKind::Drop,
+        }]));
+    let report = DagExecutor::interleaved(2)
+        .with_streams(k, InterferenceModel::default_model())
+        .run(vec![pipe]);
     (report.runs[0].digest, report.runs[0].retries)
 }
 
@@ -126,6 +141,50 @@ proptest! {
         let seq = ((total as f64 * fault_frac) as u64).min(total - 1);
         let (digest, retries) = run_with_drop(stark_pipe(&trace, &config), seq);
         prop_assert_eq!(digest, mono);
+        prop_assert!(retries >= 1, "the drop must have faulted a stage");
+    }
+
+    /// Stream-overlapped execution is bit-identical to the monolithic
+    /// provers at every queue count 1..=4, for both proof shapes. The
+    /// interference model only stretches clocks; it never touches data.
+    #[test]
+    fn stream_overlap_bit_identical_across_queue_counts(
+        seed in any::<u64>(),
+        gates in 8usize..48,
+        log_n in 3u32..7,
+        width in 1usize..4,
+    ) {
+        let (pk, witness, plonk_digest) = plonk_fixture(seed, gates);
+        let trace = random_trace(1usize << log_n, width, seed ^ 0x57_12ea);
+        let config = FriConfig::standard();
+        let stark_digest = commit_trace(&trace, &config, &mut LdeBackend::cpu()).content_digest();
+        for k in 1usize..=4 {
+            for model in [InterferenceModel::default_model(), InterferenceModel::conservative()] {
+                let report = DagExecutor::interleaved(2)
+                    .with_streams(k, model)
+                    .run(vec![plonk_pipe(&pk, &witness), stark_pipe(&trace, &config)]);
+                prop_assert_eq!(report.runs[0].digest, plonk_digest, "plonk, k={}", k);
+                prop_assert_eq!(report.runs[1].digest, stark_digest, "stark, k={}", k);
+            }
+        }
+    }
+
+    /// Fault replay composes with stream overlap: a scripted collective
+    /// drop under 2..=4 queues per lane still converges to the
+    /// monolithic bytes after replaying only the faulted stage.
+    #[test]
+    fn stream_overlap_survives_injected_stage_faults(
+        seed in any::<u64>(),
+        gates in 8usize..48,
+        fault_frac in 0.0f64..1.0,
+        k in 2usize..=4,
+    ) {
+        let (pk, witness, mono_digest) = plonk_fixture(seed, gates);
+        let total = collective_budget(plonk_pipe(&pk, &witness));
+        prop_assume!(total > 0);
+        let seq = ((total as f64 * fault_frac) as u64).min(total - 1);
+        let (digest, retries) = run_with_drop_streamed(plonk_pipe(&pk, &witness), seq, k);
+        prop_assert_eq!(digest, mono_digest);
         prop_assert!(retries >= 1, "the drop must have faulted a stage");
     }
 }

@@ -2,7 +2,7 @@
 //! scheduling policy and fault-injection knobs.
 
 use unintt_core::{CommMode, RecoveryPolicy};
-use unintt_gpu_sim::FaultRates;
+use unintt_gpu_sim::{FaultRates, InterferenceModel};
 use unintt_ntt::KernelMode;
 
 /// How the dispatcher orders ready batches when a lease frees up.
@@ -107,6 +107,24 @@ pub struct ServiceConfig {
     /// dispatch ([`KernelMode::Vector`] by default). Bit-identical across
     /// modes; only host wall time changes.
     pub kernel_mode: KernelMode,
+    /// Compute queues per lease for [`crate::JobClass::ProveDag`] stage
+    /// dispatch, `1..=4`. At `1` (the default) the service takes the
+    /// historical serialized code path; at `2..=4` stages of *different*
+    /// resource classes ([`unintt_gpu_sim::ResourceClass`]) co-reside on
+    /// one lease and both advance under the `interference` slowdown,
+    /// while same-class stages still serialize. Outputs are bit-identical
+    /// at every setting — only simulated clocks move. The process-wide
+    /// [`unintt_core::set_streams_override`] (harness `--serial-streams`)
+    /// takes precedence over this field.
+    pub streams_per_lease: usize,
+    /// Pairwise slowdown factors applied to co-resident stages when
+    /// `streams_per_lease > 1`.
+    pub interference: InterferenceModel,
+    /// Testing/validation knob: run the multi-queue scheduler loop even
+    /// at `streams_per_lease == 1` (which normally takes the literal
+    /// serial code path). Lets tests assert the streamed event loop
+    /// reproduces the serial clocks exactly at one queue.
+    pub force_stream_loop: bool,
 }
 
 impl Default for ServiceConfig {
@@ -127,6 +145,9 @@ impl Default for ServiceConfig {
             verify_outputs: true,
             comm_mode: CommMode::Overlapped,
             kernel_mode: KernelMode::default(),
+            streams_per_lease: 1,
+            interference: InterferenceModel::default_model(),
+            force_stream_loop: false,
         }
     }
 }
@@ -146,5 +167,8 @@ mod tests {
         assert_eq!(cfg.policy, SchedulerPolicy::Fifo);
         assert_eq!(cfg.comm_mode, CommMode::Overlapped);
         assert_eq!(cfg.kernel_mode, KernelMode::Vector);
+        assert_eq!(cfg.streams_per_lease, 1, "serialized dispatch by default");
+        assert_eq!(cfg.interference, InterferenceModel::default_model());
+        assert!(!cfg.force_stream_loop);
     }
 }

@@ -18,7 +18,7 @@
 use std::collections::BTreeMap;
 use std::sync::mpsc::Receiver;
 
-use unintt_gpu_sim::FieldSpec;
+use unintt_gpu_sim::{FieldSpec, StreamSet};
 use unintt_pipeline::{ProofDag, ProofPipeline};
 
 use crate::coalesce::{Coalescer, QueuedJob, ReadyBatch};
@@ -127,8 +127,25 @@ struct ActiveDag {
     dag: ProofDag,
     /// Simulated completion instant per stage (`None` = not run yet).
     completion: Vec<Option<f64>>,
+    /// Stage has been dispatched (streamed scheduler: it may still be
+    /// in flight on a queue, with `completion` not yet committed). The
+    /// serial path commits completion at dispatch and never reads this.
+    started: Vec<bool>,
     /// When the first stage started executing (for the lifecycle spans).
     first_start_ns: Option<f64>,
+}
+
+/// One in-flight DAG stage in the streamed scheduler: everything needed
+/// to commit its completion when its queue drains.
+struct PendingStage {
+    job: JobId,
+    si: usize,
+    lease: usize,
+    queue: usize,
+    start_ns: f64,
+    seq: u64,
+    stage_name: String,
+    kind_name: &'static str,
 }
 
 /// The discrete-event execution engine behind [`ProofService::run`].
@@ -165,10 +182,39 @@ impl Runner {
         }
     }
 
-    /// The event loop: advance the simulated clock to the next window
-    /// close, lease release, or arrival; process everything due; repeat
-    /// until the stream is drained.
-    fn run(mut self, mut backlog: Vec<QueuedJob>) -> ServiceReport {
+    /// The queue count this run uses: the process-wide override (the
+    /// harness `--serial-streams` flag) wins, else the configured value.
+    fn effective_streams(&self) -> usize {
+        let k = unintt_core::streams_override()
+            .map(|v| v as usize)
+            .unwrap_or(self.cfg.streams_per_lease);
+        assert!(
+            (1..=unintt_core::MAX_STREAMS_PER_LEASE as usize).contains(&k),
+            "streams_per_lease must be 1..={}, got {k}",
+            unintt_core::MAX_STREAMS_PER_LEASE
+        );
+        k
+    }
+
+    /// Routes the run: one queue per lease takes the *literal*
+    /// historical serial path (so `streams_per_lease = 1` reproduces its
+    /// clocks bit-for-bit by construction); two or more queues — or the
+    /// `force_stream_loop` testing knob — take the multi-queue
+    /// discrete-event loop.
+    fn run(self, backlog: Vec<QueuedJob>) -> ServiceReport {
+        let k = self.effective_streams();
+        if k > 1 || self.cfg.force_stream_loop {
+            self.run_streamed(backlog, k)
+        } else {
+            self.run_serial(backlog)
+        }
+    }
+
+    /// The serial event loop: advance the simulated clock to the next
+    /// window close, lease release, or arrival; process everything due;
+    /// repeat until the stream is drained. One dispatch (batch or DAG
+    /// stage) occupies a lease exclusively for its whole duration.
+    fn run_serial(mut self, mut backlog: Vec<QueuedJob>) -> ServiceReport {
         backlog.sort_by(|a, b| {
             a.spec
                 .arrival_ns
@@ -227,6 +273,7 @@ impl Runner {
             // stages compete for free leases under one policy ordering
             // (batches win exact ties).
             while self.pool.any_free(now) {
+                let lease_id = self.pool.earliest().id;
                 let batch = dispatch::next_batch_index(&self.ready, self.cfg.policy);
                 let stage = self.next_ready_stage(now);
                 match (batch, stage) {
@@ -234,14 +281,14 @@ impl Runner {
                         if bk.cmp_under(&sk, self.cfg.policy) != std::cmp::Ordering::Greater =>
                     {
                         let batch = self.ready.swap_remove(bi);
-                        self.dispatch(batch, now);
+                        self.dispatch(batch, lease_id, now);
                     }
-                    (Some(_), Some((di, si, _))) => self.dispatch_stage(di, si, now),
+                    (Some(_), Some((di, si, _))) => self.dispatch_stage(di, si, lease_id, now),
                     (Some((bi, _)), None) => {
                         let batch = self.ready.swap_remove(bi);
-                        self.dispatch(batch, now);
+                        self.dispatch(batch, lease_id, now);
                     }
-                    (None, Some((di, si, _))) => self.dispatch_stage(di, si, now),
+                    (None, Some((di, si, _))) => self.dispatch_stage(di, si, lease_id, now),
                     (None, None) => break,
                 }
             }
@@ -264,6 +311,345 @@ impl Runner {
             outcomes: self.outcomes,
             metrics,
             stage_ns: self.stage_ns,
+        }
+    }
+
+    /// The multi-queue event loop: every lease carries a [`StreamSet`]
+    /// of `k` typed compute queues, so a compute-bound MSM stage and a
+    /// memory-bound NTT stage of *different* proofs (or independent
+    /// stages of one proof) co-reside on one lease, both advancing under
+    /// the interference-model slowdown instead of serializing.
+    /// Same-class stages still serialize — the set rejects them at
+    /// admission. Raw batches and monolithic proofs keep exclusive
+    /// occupancy: they need a lease with no batch in flight *and* every
+    /// queue drained.
+    ///
+    /// Outputs are bit-identical to the serial loop because stage
+    /// execution stays functional-at-dispatch: `run_stage` mutates proof
+    /// state the instant the stage is admitted, in DAG dependency order
+    /// with totally ordered transcript barriers, while the overlap model
+    /// only decides when the *completion* commits on the simulated
+    /// clock.
+    fn run_streamed(mut self, mut backlog: Vec<QueuedJob>, k: usize) -> ServiceReport {
+        self.cfg.interference.validate();
+        let mut streams: Vec<StreamSet> = (0..self.pool.len())
+            .map(|_| StreamSet::new(k, self.cfg.interference))
+            .collect();
+        // Last instant each lease released work (batch end or stage
+        // completion). Ordering accepting leases by this replicates the
+        // serial path's earliest-free lease selection at one queue.
+        let mut release_ns = vec![0.0f64; self.pool.len()];
+        let mut pending: BTreeMap<u64, PendingStage> = BTreeMap::new();
+
+        backlog.sort_by(|a, b| {
+            a.spec
+                .arrival_ns
+                .partial_cmp(&b.spec.arrival_ns)
+                .expect("arrival times are finite")
+                .then(a.id.cmp(&b.id))
+        });
+        let mut next_arrival = 0usize;
+        let mut now = 0.0f64;
+
+        loop {
+            // 1. Close every coalescing window that has expired.
+            let closed = self.coalescer.close_due(now);
+            for batch in &closed {
+                unintt_telemetry::record_instant(|| unintt_telemetry::Instant {
+                    name: "window-flush".into(),
+                    kind: unintt_telemetry::InstantKind::CoalescerFlush,
+                    track: "coalescer".into(),
+                    t_ns: now,
+                    attrs: vec![("jobs", batch.len().into())],
+                });
+            }
+            self.ready.extend(closed);
+
+            // 2. Admit arrivals due by now (in arrival, then id order).
+            while next_arrival < backlog.len() && backlog[next_arrival].spec.arrival_ns <= now {
+                let job = backlog[next_arrival];
+                next_arrival += 1;
+                self.admit(job, now);
+            }
+
+            // 3. Dispatch everything placeable at `now`. Batches and DAG
+            // stages compete under one policy ordering (batches win
+            // exact ties); a batch blocked by stage residency waits
+            // while complementary stages keep flowing (the scheduler is
+            // work-conserving across classes).
+            loop {
+                let batch = dispatch::next_batch_index(&self.ready, self.cfg.policy).and_then(
+                    |(bi, key)| {
+                        self.idle_lease(&streams, &release_ns, now)
+                            .map(|l| (bi, key, l))
+                    },
+                );
+                let stage = self.next_ready_stage_streamed(now, &streams, &release_ns);
+                match (batch, stage) {
+                    (Some((bi, bk, lease)), Some((_, _, _, sk)))
+                        if bk.cmp_under(&sk, self.cfg.policy) != std::cmp::Ordering::Greater =>
+                    {
+                        let batch = self.ready.swap_remove(bi);
+                        self.dispatch(batch, lease, now);
+                    }
+                    (Some(_), Some((di, si, lease, _))) => {
+                        self.start_stage(di, si, lease, now, &mut streams, &mut pending);
+                    }
+                    (Some((bi, _, lease)), None) => {
+                        let batch = self.ready.swap_remove(bi);
+                        self.dispatch(batch, lease, now);
+                    }
+                    (None, Some((di, si, lease, _))) => {
+                        self.start_stage(di, si, lease, now, &mut streams, &mut pending);
+                    }
+                    (None, None) => break,
+                }
+            }
+
+            // 4. The next event: an arrival, a window close, a lease
+            // coming free (batch end or repair), or an in-flight stage
+            // completing. Everything due at `now` was already processed,
+            // so every candidate is strictly in the future.
+            let t_arrival = backlog.get(next_arrival).map(|j| j.spec.arrival_ns);
+            let t_close = self.coalescer.next_close_ns();
+            // The earliest *future* lease-free instant. Not
+            // `next_free_ns()`: that is the global minimum, and a lease
+            // whose only work is in its queues keeps a stale
+            // `free_at_ns <= now` that would mask a busier lease's batch
+            // ending later — exactly the wake-up a waiting stage needs.
+            let t_lease = if self.ready.is_empty() && self.dags.is_empty() {
+                None
+            } else {
+                self.pool
+                    .leases()
+                    .iter()
+                    .map(|l| l.free_at_ns)
+                    .filter(|&t| t > now && t.is_finite())
+                    .min_by(f64::total_cmp)
+            };
+            let t_complete = streams
+                .iter()
+                .filter_map(StreamSet::earliest_completion_ns)
+                .min_by(f64::total_cmp);
+            let Some(t) = [t_arrival, t_close, t_lease, t_complete]
+                .into_iter()
+                .flatten()
+                .fold(None, |acc: Option<f64>, t| {
+                    Some(acc.map_or(t, |a| a.min(t)))
+                })
+            else {
+                break;
+            };
+            debug_assert!(t > now, "events must advance the simulated clock");
+            now = now.max(t);
+
+            // 5. Advance every queue to `now` and commit the stages
+            // finishing there, in (lease, queue) order.
+            for l in 0..streams.len() {
+                streams[l].advance_to(now);
+                for fin in streams[l].take_finished() {
+                    let p = pending.remove(&fin.key).expect("known in-flight stage");
+                    release_ns[l] = release_ns[l].max(now);
+                    self.complete_stage(p, now);
+                }
+            }
+        }
+
+        // Queue-residency wall time becomes lease busy time. Batches
+        // and stages never overlap on one lease (batches require every
+        // queue drained), so the union adds cleanly to the batch time
+        // already accumulated in `busy_ns`.
+        for (l, ss) in streams.iter().enumerate() {
+            debug_assert!(ss.is_idle(), "queues drained at shutdown");
+            self.pool.lease_mut(l).busy_ns += ss.busy_union_ns;
+        }
+        debug_assert!(pending.is_empty(), "no stage left in flight");
+
+        self.outcomes.sort_by_key(|o| o.id);
+        debug_assert!(self.dags.is_empty(), "every DAG ran to completion");
+        debug_assert_eq!(
+            self.outcomes.len(),
+            backlog.len(),
+            "every job is accounted for"
+        );
+        let metrics = ServiceMetrics::build(
+            &self.outcomes,
+            &self.batch_sizes,
+            self.peak_queue,
+            &self.pool,
+        );
+        ServiceReport {
+            outcomes: self.outcomes,
+            metrics,
+            stage_ns: self.stage_ns,
+        }
+    }
+
+    /// The lease a coalesced batch or monolithic proof would run on in
+    /// streamed mode: no batch in flight *and* every queue drained
+    /// (batches occupy the whole device). Longest-idle first, then
+    /// lowest id — the serial path's ordering.
+    fn idle_lease(&self, streams: &[StreamSet], release_ns: &[f64], now: f64) -> Option<usize> {
+        let leases = self.pool.leases();
+        (0..leases.len())
+            .filter(|&l| leases[l].free_at_ns <= now && streams[l].is_idle())
+            .min_by(|&a, &b| {
+                let ka = leases[a].free_at_ns.max(release_ns[a]);
+                let kb = leases[b].free_at_ns.max(release_ns[b]);
+                ka.total_cmp(&kb).then(a.cmp(&b))
+            })
+    }
+
+    /// The ready DAG stage the streamed scheduler would start at `now`,
+    /// with the lease it lands on: candidates are ordered by the
+    /// dispatch policy (exactly like [`Self::next_ready_stage`]), and
+    /// the first one some lease can accept wins — a stage whose class
+    /// is resident everywhere is skipped this round so complementary
+    /// work behind it keeps flowing. The lease minimizes
+    /// (interference penalty, idle-since, id): spread first, then pair
+    /// complementary classes.
+    fn next_ready_stage_streamed(
+        &self,
+        now: f64,
+        streams: &[StreamSet],
+        release_ns: &[f64],
+    ) -> Option<(usize, usize, usize, DispatchKey)> {
+        let mut cands: Vec<(usize, usize, DispatchKey)> = Vec::new();
+        for (di, dag) in self.dags.iter().enumerate() {
+            let per_stage_cost = dag.job.spec.class.estimated_cost() / dag.dag.len() as f64;
+            for s in 0..dag.dag.len() {
+                if dag.started[s]
+                    || dag.completion[s].is_some()
+                    || dag.dag.nodes()[s].kind.is_barrier()
+                {
+                    continue;
+                }
+                let Some(avail) = Self::stage_avail(dag, s) else {
+                    continue;
+                };
+                if avail > now {
+                    continue;
+                }
+                cands.push((
+                    di,
+                    s,
+                    DispatchKey {
+                        ready_ns: avail,
+                        priority: dag.job.spec.priority,
+                        cost: per_stage_cost,
+                        id: dag.job.id,
+                    },
+                ));
+            }
+        }
+        cands.sort_by(|a, b| a.2.cmp_under(&b.2, self.cfg.policy));
+        let leases = self.pool.leases();
+        for (di, s, key) in cands {
+            let class = self.dags[di].dag.nodes()[s].kind.resource_class();
+            let lease = (0..leases.len())
+                .filter(|&l| leases[l].free_at_ns <= now && streams[l].can_accept(class))
+                .min_by(|&a, &b| {
+                    streams[a]
+                        .join_penalty(class)
+                        .total_cmp(&streams[b].join_penalty(class))
+                        .then(
+                            (leases[a].free_at_ns.max(release_ns[a]))
+                                .total_cmp(&leases[b].free_at_ns.max(release_ns[b])),
+                        )
+                        .then(a.cmp(&b))
+                });
+            if let Some(l) = lease {
+                return Some((di, s, l, key));
+            }
+        }
+        None
+    }
+
+    /// Functionally executes one ready stage at `now` and admits its
+    /// simulated duration to a queue of lease `lease_id`. The proof
+    /// state mutates *here*, at dispatch; the completion (and with it
+    /// every dependent stage) commits when the queue drains.
+    fn start_stage(
+        &mut self,
+        di: usize,
+        si: usize,
+        lease_id: usize,
+        now: f64,
+        streams: &mut [StreamSet],
+        pending: &mut BTreeMap<u64, PendingStage>,
+    ) {
+        self.dispatch_seq += 1;
+        let seq = self.dispatch_seq;
+        let dag = &mut self.dags[di];
+        // Fault-free like the serial stage path (see dispatch_stage).
+        let elapsed = dag
+            .pipe
+            .run_stage(si, &self.cfg.recovery)
+            .expect("DAG stages run fault-free in the service")
+            + self.cfg.stage_overhead_ns;
+        dag.started[si] = true;
+        dag.first_start_ns.get_or_insert(now);
+        let node = &dag.dag.nodes()[si];
+        let class = node.kind.resource_class();
+        let joining = !streams[lease_id].is_idle();
+        let queue = streams[lease_id].admit(seq, class, elapsed);
+        pending.insert(
+            seq,
+            PendingStage {
+                job: dag.job.id,
+                si,
+                lease: lease_id,
+                queue,
+                start_ns: now,
+                seq,
+                stage_name: node.name.clone(),
+                kind_name: node.kind.name(),
+            },
+        );
+        unintt_telemetry::counter_add("serve_dag_stages", 1);
+        self.pool.lease_mut(lease_id).dispatches += 1;
+        if unintt_telemetry::recording() {
+            if joining {
+                unintt_telemetry::counter_add("sim_costream_pairs", 1);
+            }
+            let occ =
+                streams.iter().map(|s| s.in_flight() as f64).sum::<f64>() / streams.len() as f64;
+            unintt_telemetry::gauge_set("sim_stream_occupancy", occ);
+            unintt_telemetry::gauge_max("sim_stream_occupancy_peak", occ);
+        }
+    }
+
+    /// Commits one stage completion at `now` — its stretched end under
+    /// the interference model — emitting the per-queue span, cascading
+    /// unblocked barriers, and retiring the DAG when this was its last
+    /// stage.
+    fn complete_stage(&mut self, p: PendingStage, now: f64) {
+        let di = self
+            .dags
+            .iter()
+            .position(|d| d.job.id == p.job)
+            .expect("completing stage belongs to an active DAG");
+        self.dags[di].completion[p.si] = Some(now);
+        *self.stage_ns.entry(p.kind_name).or_insert(0.0) += now - p.start_ns;
+        unintt_telemetry::record_span(|| unintt_telemetry::Span {
+            id: unintt_telemetry::fresh_id(),
+            parent: None,
+            name: p.stage_name.clone(),
+            level: unintt_telemetry::SpanLevel::Serve,
+            category: "stage",
+            track: format!("lease{}.q{}", p.lease, p.queue),
+            t_start_ns: p.start_ns,
+            t_end_ns: now,
+            attrs: vec![
+                ("kind", p.kind_name.into()),
+                ("job", p.job.0.into()),
+                ("seq", p.seq.into()),
+                ("queue", (p.queue as u64).into()),
+            ],
+        });
+        self.cascade_barriers(di);
+        if self.dags[di].pipe.is_complete() {
+            self.finish_dag(di);
         }
     }
 
@@ -305,12 +691,14 @@ impl Runner {
             let pipe = dispatch::build_dag(&mut self.caches, &self.cfg, kind);
             let dag = pipe.dag();
             let completion = vec![None; dag.len()];
+            let started = vec![false; dag.len()];
             self.dags.push(ActiveDag {
                 job,
                 kind,
                 pipe,
                 dag,
                 completion,
+                started,
                 first_start_ns: None,
             });
         } else if let Some(batch) = self.coalescer.offer(job, now) {
@@ -331,10 +719,12 @@ impl Runner {
         }
     }
 
-    /// Runs one batch on the earliest-free lease, charging simulated time
-    /// and recording outcomes. Members whose deadline already passed are
+    /// Runs one batch on lease `lease_id` (the caller picks it — the
+    /// earliest-free lease on the serial path, the longest-idle fully
+    /// drained lease on the streamed path), charging simulated time and
+    /// recording outcomes. Members whose deadline already passed are
     /// cancelled here, at dequeue, before the lease is touched.
-    fn dispatch(&mut self, batch: ReadyBatch, now: f64) {
+    fn dispatch(&mut self, batch: ReadyBatch, lease_id: usize, now: f64) {
         debug_assert!(!batch.is_empty());
         let (jobs, expired) = dispatch::split_expired(batch.jobs, now);
         if !expired.is_empty() {
@@ -355,11 +745,10 @@ impl Runner {
         self.batch_sizes.push(batch_len);
         self.dispatch_seq += 1;
         let seq = self.dispatch_seq;
-        let lease_id = {
-            let lease = self.pool.earliest();
-            debug_assert!(lease.free_at_ns <= now, "dispatch requires a free lease");
-            lease.id
-        };
+        debug_assert!(
+            self.pool.leases()[lease_id].free_at_ns <= now,
+            "dispatch requires a free lease"
+        );
 
         match batch.key {
             Some(key) => {
@@ -558,18 +947,17 @@ impl Runner {
         best
     }
 
-    /// Runs one ready DAG stage on the earliest-free lease, charging its
+    /// Runs one ready DAG stage on lease `lease_id`, charging its
     /// simulated time plus the per-stage overhead, then cascades any
     /// barrier stages it unblocked. Completing the final stage commits
     /// the job's outcome.
-    fn dispatch_stage(&mut self, di: usize, si: usize, now: f64) {
+    fn dispatch_stage(&mut self, di: usize, si: usize, lease_id: usize, now: f64) {
         self.dispatch_seq += 1;
         let seq = self.dispatch_seq;
-        let lease_id = {
-            let lease = self.pool.earliest();
-            debug_assert!(lease.free_at_ns <= now, "dispatch requires a free lease");
-            lease.id
-        };
+        debug_assert!(
+            self.pool.leases()[lease_id].free_at_ns <= now,
+            "dispatch requires a free lease"
+        );
         let dag = &mut self.dags[di];
         // DAG stages run fault-free in the service, like the monolithic
         // proof dispatches (their backends own machines separate from the

@@ -1,0 +1,287 @@
+//! Intra-lease stream overlap, verified end to end: overlapped runs are
+//! bit-identical to serialized runs across proof shapes, seeds, queue
+//! counts and fault injection; one queue under the streamed loop
+//! reproduces the serial clocks exactly; and the per-queue telemetry
+//! story reconciles with the scheduler's own stage accounting.
+
+use proptest::prelude::*;
+use unintt_gpu_sim::InterferenceModel;
+use unintt_serve::{
+    JobSpec, ProofService, ServiceConfig, ServiceReport, WorkloadMix, WorkloadSpec,
+};
+use unintt_telemetry::SpanLevel;
+
+/// A mixed stream with the proof jobs submitted as stage DAGs (the only
+/// class the stream scheduler overlaps).
+fn dag_stream(seed: u64, jobs: usize, load_jobs_per_s: f64) -> Vec<JobSpec> {
+    let spec = WorkloadSpec {
+        mix: WorkloadMix {
+            raw: 0.5,
+            plonk: 0.25,
+            stark: 0.25,
+        },
+        ..WorkloadSpec::raw_only(seed, jobs, load_jobs_per_s)
+    };
+    spec.generate()
+        .into_iter()
+        .map(|s| JobSpec {
+            class: s.class.pipelined(),
+            ..s
+        })
+        .collect()
+}
+
+fn run_with(cfg: ServiceConfig, stream: &[JobSpec]) -> ServiceReport {
+    let mut service = ProofService::new(cfg);
+    service.submit_all(stream.iter().copied());
+    service.run()
+}
+
+fn digests(report: &ServiceReport) -> Vec<(u64, u64)> {
+    report
+        .outcomes
+        .iter()
+        .map(|o| (o.id.0, o.output_digest))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Overlapped stage dispatch never changes a single output bit:
+    /// every queue count and both interference models produce the same
+    /// per-job digests as the serialized path, across seeds and loads.
+    #[test]
+    fn overlap_is_bit_identical_to_serialized(
+        seed in any::<u64>(),
+        load in 5_000.0f64..100_000.0,
+    ) {
+        let stream = dag_stream(seed, 12, load);
+        let serial = run_with(ServiceConfig::default(), &stream);
+        prop_assert!(serial.all_completed());
+        for k in 1usize..=4 {
+            for model in [InterferenceModel::default_model(), InterferenceModel::conservative()] {
+                let streamed = run_with(
+                    ServiceConfig {
+                        streams_per_lease: k,
+                        interference: model,
+                        ..ServiceConfig::default()
+                    },
+                    &stream,
+                );
+                prop_assert!(streamed.all_completed());
+                prop_assert_eq!(
+                    digests(&serial),
+                    digests(&streamed),
+                    "outputs must not depend on queue count (k={})", k
+                );
+            }
+        }
+    }
+
+    /// Bit-identity survives injected raw-batch faults: lease
+    /// degradation and repair reshuffle the schedule around the
+    /// overlapped stages, but every digest still matches.
+    #[test]
+    fn overlap_is_bit_identical_under_faults(seed in any::<u64>()) {
+        let stream = dag_stream(seed, 12, 60_000.0);
+        let faulty = |k: usize| ServiceConfig {
+            streams_per_lease: k,
+            fault_rates: Some(unintt_gpu_sim::FaultRates {
+                drop_p: 0.01,
+                device_loss_p: 0.004,
+                ..Default::default()
+            }),
+            ..ServiceConfig::default()
+        };
+        let serial = run_with(faulty(1), &stream);
+        prop_assert!(serial.all_completed(), "faults degrade, never fail");
+        for k in 2usize..=4 {
+            let streamed = run_with(faulty(k), &stream);
+            prop_assert!(streamed.all_completed());
+            prop_assert_eq!(digests(&serial), digests(&streamed), "k={}", k);
+        }
+    }
+}
+
+/// The streamed event loop at one queue is not just output-identical to
+/// the serial path — it reproduces its *clocks* exactly: every outcome
+/// timestamp, the per-kind stage attribution, and every metric down to
+/// per-lease dispatch counts match bit-for-bit. The one exception is
+/// the time-attribution accumulators (per-lease `busy_ns`/`occupancy`
+/// and per-kind `stage_ns`): the streamed path integrates queue
+/// residency piecewise across event advances while the serial path adds
+/// each stage's duration once — same value, different float summation
+/// order, so those get a 1e-9 relative tolerance instead of bit
+/// equality.
+#[test]
+fn one_queue_stream_loop_reproduces_serial_clocks_exactly() {
+    for seed in [3u64, 17, 0xe20] {
+        let stream = dag_stream(seed, 16, 40_000.0);
+        let serial = run_with(ServiceConfig::default(), &stream);
+        let forced = run_with(
+            ServiceConfig {
+                force_stream_loop: true,
+                ..ServiceConfig::default()
+            },
+            &stream,
+        );
+        assert!(serial.all_completed());
+        assert_eq!(serial.outcomes, forced.outcomes, "seed {seed}");
+        let kinds: Vec<_> = serial.stage_ns.keys().collect();
+        assert_eq!(kinds, forced.stage_ns.keys().collect::<Vec<_>>());
+        for (kind, &s_ns) in &serial.stage_ns {
+            let f_ns = forced.stage_ns[kind];
+            assert!(
+                ((s_ns - f_ns) / s_ns).abs() < 1e-9,
+                "seed {seed} {kind}: {s_ns} vs {f_ns}"
+            );
+        }
+
+        let (sm, fm) = (&serial.metrics, &forced.metrics);
+        assert_eq!(sm.horizon_ns, fm.horizon_ns, "seed {seed}");
+        assert_eq!(sm.classes, fm.classes, "seed {seed}");
+        assert_eq!(sm.batch_histogram, fm.batch_histogram, "seed {seed}");
+        assert_eq!(sm.dispatches, fm.dispatches, "seed {seed}");
+        assert_eq!(sm.peak_queue_depth, fm.peak_queue_depth, "seed {seed}");
+        assert_eq!(sm.leases.len(), fm.leases.len());
+        for (sl, fl) in sm.leases.iter().zip(&fm.leases) {
+            assert_eq!(sl.id, fl.id);
+            assert_eq!(sl.dispatches, fl.dispatches, "seed {seed} lease {}", sl.id);
+            assert_eq!(sl.repairs, fl.repairs, "seed {seed} lease {}", sl.id);
+            assert!(
+                ((sl.busy_ns - fl.busy_ns) / sl.busy_ns).abs() < 1e-9,
+                "seed {seed} lease {}: busy {} vs {}",
+                sl.id,
+                sl.busy_ns,
+                fl.busy_ns
+            );
+        }
+    }
+}
+
+/// Two runs of the overlapped scheduler are bit-identical to each other
+/// — determinism is not weakened by the multi-queue model.
+#[test]
+fn overlapped_runs_replay_bit_identically() {
+    let stream = dag_stream(21, 16, 60_000.0);
+    let cfg = ServiceConfig {
+        streams_per_lease: 3,
+        ..ServiceConfig::default()
+    };
+    let a = run_with(cfg.clone(), &stream);
+    let b = run_with(cfg, &stream);
+    assert_eq!(a.outcomes, b.outcomes);
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.stage_ns, b.stage_ns);
+}
+
+/// With complementary stages co-resident, the mixed-load horizon under
+/// two queues must not regress past the serialized schedule.
+#[test]
+fn overlap_never_lengthens_the_horizon() {
+    let stream = dag_stream(5, 24, 80_000.0);
+    let serial = run_with(ServiceConfig::default(), &stream);
+    let streamed = run_with(
+        ServiceConfig {
+            streams_per_lease: 2,
+            ..ServiceConfig::default()
+        },
+        &stream,
+    );
+    assert!(serial.all_completed() && streamed.all_completed());
+    assert!(
+        streamed.metrics.horizon_ns <= serial.metrics.horizon_ns + 1e-6,
+        "overlap must not slow the service: {} vs {}",
+        streamed.metrics.horizon_ns,
+        serial.metrics.horizon_ns
+    );
+}
+
+/// The telemetry story matches the scheduler's books: per-queue stage
+/// spans (`lease{l}.q{q}` tracks) sum to exactly the per-kind stage
+/// attribution the report carries, the co-scheduling counters fire, and
+/// the occupancy gauges are present.
+#[test]
+fn per_queue_spans_reconcile_with_stage_accounting() {
+    let stream = dag_stream(9, 16, 60_000.0);
+    let guard = unintt_telemetry::start_session();
+    let report = run_with(
+        ServiceConfig {
+            streams_per_lease: 2,
+            ..ServiceConfig::default()
+        },
+        &stream,
+    );
+    let session = unintt_telemetry::take_session();
+    let registry = unintt_telemetry::registry_snapshot();
+    drop(guard);
+    assert!(report.all_completed());
+
+    // Every DAG stage span lives on a lease{l}.q{q} track...
+    let stage_spans: Vec<_> = session
+        .spans
+        .iter()
+        .filter(|s| s.level == SpanLevel::Serve && s.category == "stage")
+        .collect();
+    assert!(!stage_spans.is_empty(), "the stream must run DAG stages");
+    for s in &stage_spans {
+        assert!(
+            s.track.contains(".q"),
+            "stage spans carry their queue in the track name: {}",
+            s.track
+        );
+    }
+    // ...and their durations sum to the report's stage attribution,
+    // the serve-side analogue of the E16 device reconciliation.
+    let span_total: f64 = stage_spans.iter().map(|s| s.duration_ns()).sum();
+    let stage_total: f64 = report.stage_ns.values().sum();
+    assert!(
+        ((span_total - stage_total) / stage_total).abs() < 1e-9,
+        "span durations {span_total} ns must match stage accounting {stage_total} ns"
+    );
+
+    assert!(
+        registry
+            .counters
+            .get("serve_dag_stages")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "stage dispatches counted"
+    );
+    assert!(
+        registry
+            .counters
+            .get("sim_costream_pairs")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "at this load some stages must actually co-schedule"
+    );
+    assert!(registry.gauges.contains_key("sim_stream_occupancy"));
+    assert!(registry.gauges.contains_key("sim_stream_occupancy_peak"));
+}
+
+/// The `--serial-streams` override beats the configured queue count (it
+/// exists so one harness flag can force every experiment back to the
+/// serialized schedule). Installed and cleared inside one test so the
+/// process-wide state never leaks into concurrent tests — this is the
+/// only test in this binary touching it.
+#[test]
+fn serial_streams_override_wins_over_config() {
+    let stream = dag_stream(31, 10, 40_000.0);
+    let serial = run_with(ServiceConfig::default(), &stream);
+    unintt_core::set_streams_override(Some(1));
+    let overridden = run_with(
+        ServiceConfig {
+            streams_per_lease: 4,
+            ..ServiceConfig::default()
+        },
+        &stream,
+    );
+    unintt_core::set_streams_override(None);
+    assert_eq!(serial.outcomes, overridden.outcomes);
+    assert_eq!(serial.metrics, overridden.metrics);
+    assert_eq!(serial.stage_ns, overridden.stage_ns);
+}
