@@ -4,9 +4,9 @@
 EXCLUDE_VENDOR := --exclude criterion --exclude proptest --exclude rand \
                   --exclude serde --exclude serde_derive
 
-.PHONY: verify fmt clippy build bench-check test e13 e14 e15 serve-smoke trace-smoke chaos-smoke kernel-smoke pipeline-smoke stream-smoke
+.PHONY: verify fmt clippy build bench-check test e13 e14 e15 serve-smoke trace-smoke chaos-smoke kernel-smoke pipeline-smoke stream-smoke slo-smoke perf-gate
 
-verify: fmt clippy build bench-check test kernel-smoke serve-smoke e15 trace-smoke chaos-smoke pipeline-smoke stream-smoke
+verify: fmt clippy build bench-check test kernel-smoke serve-smoke e15 trace-smoke chaos-smoke pipeline-smoke stream-smoke slo-smoke perf-gate
 
 fmt:
 	cargo fmt --all --check
@@ -84,3 +84,19 @@ stream-smoke:
 chaos-smoke:
 	cargo run --release --example fleet_chaos
 	cargo run --release -p unintt-bench --bin harness -- --quick e17
+
+# SLO smoke: the quick E21 cell — burn-rate alerts must fire inside
+# every injected degradation window and never on the clean baseline
+# (asserted inside the experiment), streaming quantiles must track the
+# exact percentiles, and the attribution verdicts must match the known
+# workload classes. Also prints the attribution report.
+slo-smoke:
+	cargo run --release -p unintt-bench --bin harness -- --quick e21
+	cargo run --release -p unintt-bench --bin harness -- attribute all
+
+# Perf-regression gate: rerun the experiment behind every committed
+# BENCH_*.json in its committed mode and byte-compare (the wall-clock
+# BENCH_ntt.json is shape-checked and warn-only). Fails on any diff in
+# a deterministic artifact.
+perf-gate:
+	cargo run --release -p unintt-bench --bin harness -- perf-gate

@@ -1,0 +1,50 @@
+//! Where harness artifacts land.
+//!
+//! Machine-readable `BENCH_*.json` results stay in the working directory
+//! (they are committed and byte-compared by the perf gate), but bulky
+//! trace captures — Chrome/Perfetto JSON, folded stacks — route to a
+//! dedicated trace directory, `target/traces/` by default, overridable
+//! with `harness --trace-dir <path>`. Keeping them out of the repo root
+//! means a tracing run never litters the tree with untracked artifacts.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+static TRACE_DIR: OnceLock<PathBuf> = OnceLock::new();
+
+/// Overrides the trace directory (first call wins; the harness calls
+/// this once while parsing `--trace-dir`).
+pub fn set_trace_dir(dir: impl Into<PathBuf>) {
+    let _ = TRACE_DIR.set(dir.into());
+}
+
+/// The active trace directory (`target/traces` unless overridden).
+pub fn trace_dir() -> PathBuf {
+    TRACE_DIR
+        .get()
+        .cloned()
+        .unwrap_or_else(|| PathBuf::from("target/traces"))
+}
+
+/// Resolves `file` inside the trace directory, creating the directory
+/// on first use.
+pub fn trace_path(file: &str) -> PathBuf {
+    let dir = trace_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    dir.join(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_target_traces() {
+        // The override is process-global, so only assert the default
+        // when no other test has set it.
+        if TRACE_DIR.get().is_none() {
+            assert_eq!(trace_dir(), PathBuf::from("target/traces"));
+        }
+        assert!(trace_path("x.json").ends_with("x.json"));
+    }
+}

@@ -4,16 +4,27 @@ use std::process::ExitCode;
 
 use unintt_bench::experiments;
 use unintt_bench::Table;
+use unintt_bench::{artifacts, perf_gate};
 
 const USAGE: &str = "\
 usage: harness [--quick] [--legacy-kernels] [--scalar-kernels] [--portable-lanes] [--blocking-comm] [--serial-streams] <experiment>...
-       harness [--quick] trace <experiment>...
+       harness [--quick] [--trace-dir <path>] trace <experiment>...
+       harness attribute <workload>
+       harness perf-gate [<artifact>...]
   <experiment>      one or more of: e1 e2 e3 e4 e5 e6 e7 e8 e9 e11 e12 e13
-                    e14 e15 e16 e17 e18 e19 e20 bench-host all
+                    e14 e15 e16 e17 e18 e19 e20 e21 bench-host all
   trace             run the named experiments with telemetry enabled and
-                    write a Chrome/Perfetto trace_<experiment>.json next
-                    to the process (e16 manages its own session and
-                    always writes trace.json)
+                    write a Chrome/Perfetto trace_<experiment>.json into
+                    the trace directory (e16 manages its own session and
+                    always writes trace.json + trace.folded there)
+  attribute         print the bottleneck-attribution verdicts for a
+                    known-class workload: msm, ntt, pcie, or all
+                    (substring match against the workload scope)
+  perf-gate         rerun the experiment behind each committed
+                    BENCH_*.json (all of them, or just the named
+                    artifacts/experiments) and diff fresh output against
+                    the committed baseline; exits non-zero on regression
+  --trace-dir       where trace artifacts land (default: target/traces)
   --quick           trimmed sweeps (seconds instead of minutes)
   --legacy-kernels  run all host NTTs on the original radix-2 DIT path
                     instead of the vectorized default (A/B escape hatch;
@@ -36,34 +47,82 @@ usage: harness [--quick] [--legacy-kernels] [--scalar-kernels] [--portable-lanes
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    if args.iter().any(|a| a == "--legacy-kernels") {
-        unintt_ntt::set_kernel_mode(unintt_ntt::KernelMode::Legacy);
-        unintt_core::set_kernel_mode_override(Some(unintt_ntt::KernelMode::Legacy));
+    let mut quick = false;
+    let mut selected: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        match a {
+            "--quick" => quick = true,
+            "--legacy-kernels" => {
+                unintt_ntt::set_kernel_mode(unintt_ntt::KernelMode::Legacy);
+                unintt_core::set_kernel_mode_override(Some(unintt_ntt::KernelMode::Legacy));
+            }
+            "--scalar-kernels" => {
+                unintt_ntt::set_kernel_mode(unintt_ntt::KernelMode::Fast);
+                unintt_core::set_kernel_mode_override(Some(unintt_ntt::KernelMode::Fast));
+            }
+            "--portable-lanes" => {
+                unintt_ntt::set_vector_backend_override(Some(unintt_ntt::VectorBackend::Portable));
+            }
+            "--blocking-comm" => {
+                unintt_core::set_comm_mode_override(Some(unintt_core::CommMode::Blocking));
+            }
+            "--serial-streams" => {
+                unintt_core::set_streams_override(Some(1));
+            }
+            "--trace-dir" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("--trace-dir needs a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                artifacts::set_trace_dir(value);
+                i += 1;
+            }
+            _ if a.starts_with("--trace-dir=") => {
+                artifacts::set_trace_dir(&a["--trace-dir=".len()..]);
+            }
+            _ if a.starts_with("--") => {
+                eprintln!("unknown flag '{a}'\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            _ => selected.push(a.to_string()),
+        }
+        i += 1;
     }
-    if args.iter().any(|a| a == "--scalar-kernels") {
-        unintt_ntt::set_kernel_mode(unintt_ntt::KernelMode::Fast);
-        unintt_core::set_kernel_mode_override(Some(unintt_ntt::KernelMode::Fast));
-    }
-    if args.iter().any(|a| a == "--portable-lanes") {
-        unintt_ntt::set_vector_backend_override(Some(unintt_ntt::VectorBackend::Portable));
-    }
-    if args.iter().any(|a| a == "--blocking-comm") {
-        unintt_core::set_comm_mode_override(Some(unintt_core::CommMode::Blocking));
-    }
-    if args.iter().any(|a| a == "--serial-streams") {
-        unintt_core::set_streams_override(Some(1));
-    }
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let selected: Vec<&str> = selected.iter().map(String::as_str).collect();
 
     if selected.is_empty() {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     }
+
+    match selected[0] {
+        "attribute" => {
+            let which = selected.get(1).copied().unwrap_or("all");
+            return match experiments::e21_slo::attribution_report(which) {
+                Some(table) => {
+                    println!("{table}");
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("no workload matches '{which}' (try msm, ntt, pcie, all)\n{USAGE}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        "perf-gate" => {
+            let (table, ok) = perf_gate::run_gate(&selected[1..]);
+            println!("{table}");
+            return if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+        _ => {}
+    }
+
     let trace_mode = selected.first() == Some(&"trace");
     let selected: Vec<&str> = if trace_mode {
         let rest = selected[1..].to_vec();
@@ -98,15 +157,17 @@ fn main() -> ExitCode {
             "e18" => experiments::e18_vector_kernels::run(quick),
             "e19" => experiments::e19_pipeline::run(quick),
             "e20" => experiments::e20_streams::run(quick),
+            "e21" => experiments::e21_slo::run(quick),
             _ => return None,
         };
         Some(table)
     };
 
     for name in &selected {
-        if trace_mode && *name != "all" && *name != "e16" {
-            // E16 drives its own telemetry session (nesting would
-            // deadlock on the session lock) and always writes trace.json.
+        if trace_mode && *name != "all" && *name != "e16" && *name != "e21" {
+            // E16 and E21 drive their own telemetry sessions (nesting
+            // would deadlock on the session lock); E16 always writes
+            // trace.json into the trace directory itself.
             let guard = unintt_telemetry::start_session();
             let Some(table) = run_one(name) else {
                 eprintln!("unknown experiment '{name}'\n{USAGE}");
@@ -115,15 +176,16 @@ fn main() -> ExitCode {
             let session = unintt_telemetry::take_session();
             drop(guard);
             println!("{table}");
-            let path = format!("trace_{name}.json");
+            let path = artifacts::trace_path(&format!("trace_{name}.json"));
             match std::fs::write(&path, unintt_telemetry::chrome_trace_json(&session)) {
                 Ok(()) => println!(
-                    "trace with {} spans / {} instants written to {path}",
+                    "trace with {} spans / {} instants written to {}",
                     session.spans.len(),
-                    session.instants.len()
+                    session.instants.len(),
+                    path.display()
                 ),
                 Err(e) => {
-                    eprintln!("could not write {path}: {e}");
+                    eprintln!("could not write {}: {e}", path.display());
                     return ExitCode::FAILURE;
                 }
             }

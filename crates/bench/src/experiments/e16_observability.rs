@@ -38,12 +38,14 @@ use unintt_telemetry::{self as telemetry, AttrValue, InstantKind, Registry, Sess
 
 use crate::report::Table;
 
-/// Where the machine-readable results land.
+/// Where the machine-readable results land (committed, byte-compared —
+/// stays in the working directory unlike the trace captures).
 pub const JSON_PATH: &str = "BENCH_obs.json";
-/// The merged Chrome/Perfetto trace.
-pub const TRACE_PATH: &str = "trace.json";
-/// Folded stacks for `flamegraph.pl`-style tooling.
-pub const FOLDED_PATH: &str = "trace.folded";
+/// The merged Chrome/Perfetto trace's file name, resolved inside
+/// [`crate::artifacts::trace_dir`].
+pub const TRACE_FILE: &str = "trace.json";
+/// Folded stacks for `flamegraph.pl`-style tooling, same directory.
+pub const FOLDED_FILE: &str = "trace.folded";
 
 /// Spans must account for the stats total to within float-summation
 /// rounding (the two sides add the same numbers in different orders).
@@ -369,8 +371,9 @@ fn render_json(collected: &Collected, quick: bool) -> String {
     out
 }
 
-/// Runs E16, writes [`TRACE_PATH`], [`FOLDED_PATH`] and [`JSON_PATH`],
-/// and renders the table.
+/// Runs E16, writes [`TRACE_FILE`] and [`FOLDED_FILE`] into the trace
+/// directory plus [`JSON_PATH`] in the working directory, and renders
+/// the table.
 pub fn run(quick: bool) -> Table {
     let collected = collect(quick);
     let mut table = Table::new(
@@ -407,13 +410,21 @@ pub fn run(quick: bool) -> Table {
     let folded = telemetry::folded_stacks(&collected.session);
     let json = render_json(&collected, quick);
     for (path, body, what) in [
-        (TRACE_PATH, &trace, "Perfetto/chrome://tracing trace"),
-        (FOLDED_PATH, &folded, "folded stacks"),
-        (JSON_PATH, &json, "machine-readable results"),
+        (
+            crate::artifacts::trace_path(TRACE_FILE),
+            &trace,
+            "Perfetto/chrome://tracing trace",
+        ),
+        (
+            crate::artifacts::trace_path(FOLDED_FILE),
+            &folded,
+            "folded stacks",
+        ),
+        (JSON_PATH.into(), &json, "machine-readable results"),
     ] {
-        match std::fs::write(path, body) {
-            Ok(()) => table.note(format!("{what} written to {path}")),
-            Err(e) => table.note(format!("could not write {path}: {e}")),
+        match std::fs::write(&path, body) {
+            Ok(()) => table.note(format!("{what} written to {}", path.display())),
+            Err(e) => table.note(format!("could not write {}: {e}", path.display())),
         }
     }
     table

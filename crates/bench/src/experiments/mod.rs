@@ -18,6 +18,7 @@ pub mod e18_vector_kernels;
 pub mod e19_pipeline;
 pub mod e1_headline;
 pub mod e20_streams;
+pub mod e21_slo;
 pub mod e2_scaling;
 pub mod e3_vs_baseline;
 pub mod e4_comm_volume;
@@ -96,6 +97,7 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e16_observability::run(quick),
         e17_resilience::run(quick),
         e19_pipeline::run(quick),
+        e21_slo::run(quick),
     ]
 }
 

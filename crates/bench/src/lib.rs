@@ -15,8 +15,10 @@
 
 #![warn(missing_docs)]
 
+pub mod artifacts;
 pub mod experiments;
 pub mod host_bench;
+pub mod perf_gate;
 pub mod report;
 
 pub use report::{fmt_bytes, fmt_ns, Table};

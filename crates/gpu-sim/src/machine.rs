@@ -350,6 +350,44 @@ impl Machine {
         }
     }
 
+    /// Exports per-link fabric occupancy as
+    /// [`unintt_telemetry::InstantKind::LinkUtilization`] markers (one
+    /// per link, stamped at the final clock) plus a
+    /// `fabric_link_utilization{link="..."}` gauge per link, where
+    /// utilization is link busy time over the run's horizon. Call once
+    /// at the end of a run, like [`Machine::export_telemetry_spans`];
+    /// a no-op when telemetry is disabled.
+    pub fn export_fabric_telemetry(&self) {
+        if !unintt_telemetry::recording() {
+            return;
+        }
+        let horizon = self.max_clock_ns();
+        for link in self.fabric.links() {
+            let utilization = if horizon > 0.0 {
+                link.busy_ns / horizon
+            } else {
+                0.0
+            };
+            unintt_telemetry::record_instant(|| unintt_telemetry::Instant {
+                name: link.name.clone(),
+                kind: unintt_telemetry::InstantKind::LinkUtilization,
+                track: self.label.clone(),
+                t_ns: horizon,
+                attrs: vec![
+                    ("bandwidth_gbps", link.bandwidth_gbps.into()),
+                    ("busy_ns", link.busy_ns.into()),
+                    ("bytes", link.bytes_carried.into()),
+                    ("utilization", utilization.into()),
+                ],
+            });
+            unintt_telemetry::gauge_set_labeled(
+                "fabric_link_utilization",
+                &[("link", &link.name)],
+                utilization,
+            );
+        }
+    }
+
     pub(crate) fn devices_mut(&mut self) -> &mut [DeviceState] {
         &mut self.devices
     }

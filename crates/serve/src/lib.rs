@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+mod attribution;
 mod coalesce;
 mod config;
 mod dispatch;
@@ -47,6 +48,7 @@ mod router;
 mod service;
 mod workload;
 
+pub use attribution::{AttributionReport, AttributionRow, Verdict};
 pub use coalesce::{BatchKey, Coalescer, QueuedJob, ReadyBatch};
 pub use config::{LeaseShape, SchedulerPolicy, ServiceConfig};
 pub use fleet::{

@@ -9,6 +9,7 @@ use crate::lease::{Lease, LeasePool};
 /// Latency distribution summary, shared with the telemetry crate so
 /// every consumer uses the same nearest-rank percentile math.
 pub use unintt_telemetry::LatencyStats;
+use unintt_telemetry::StreamHist;
 
 /// Per-job-class counters and latency summary.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -32,7 +33,18 @@ pub struct ClassMetrics {
     /// Degraded re-plans absorbed by this class's dispatches.
     pub replans: u64,
     /// Sojourn-time distribution of completed jobs.
+    ///
+    /// Nearest-rank percentiles over the run's samples. The samples are
+    /// collected transiently inside [`ServiceMetrics::build_parts`] and
+    /// dropped once summarized — nothing retains them across the run —
+    /// and these exact values back the byte-frozen BENCH tables. Fleet
+    /// aggregation and anything long-lived reads [`Self::latency_hist`]
+    /// instead.
     pub latency: LatencyStats,
+    /// Streaming log-bucketed sojourn distribution of the same jobs:
+    /// O(buckets) memory, mergeable across clusters, tail quantiles
+    /// (p999) within [`unintt_telemetry::MAX_REL_ERROR`] relative error.
+    pub latency_hist: StreamHist,
 }
 
 /// Snapshot of one lease's utilization.
@@ -134,6 +146,7 @@ impl ServiceMetrics {
                     if o.missed_deadline {
                         c.deadline_misses += 1;
                     }
+                    c.latency_hist.observe(o.latency_ns());
                     latencies
                         .entry(o.class_name)
                         .or_default()

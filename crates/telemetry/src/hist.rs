@@ -1,0 +1,368 @@
+//! Streaming log-bucketed latency histograms (HDR-style).
+//!
+//! [`StreamHist`] summarizes an unbounded stream of positive samples in
+//! O(occupied buckets) memory with a bounded *relative* quantile error,
+//! so serving-layer report paths can track per-class latency
+//! distributions over millions of jobs without retaining every sample
+//! (the exact [`crate::LatencyStats`] keeps all samples and exists as
+//! the reconciliation reference for tests and legacy byte-frozen
+//! tables).
+//!
+//! # Bucketing
+//!
+//! Buckets are derived from the IEEE-754 bit pattern of the sample:
+//! the exponent selects an octave and the top [`SUB_BITS`] mantissa
+//! bits split each octave into [`SUB_BUCKETS`] linear sub-buckets.
+//! This is pure integer math — no `ln`/`log2` calls — so bucket
+//! assignment is exact and deterministic on every platform, which keeps
+//! merged fleet summaries byte-identical run to run. A bucket spanning
+//! `[lo, lo + lo/SUB_BUCKETS)` is reported at its midpoint, bounding
+//! the relative quantile error by `1 / (2 · SUB_BUCKETS)` ≈ 0.78 %.
+//!
+//! # Merging
+//!
+//! Bucket indices are absolute (a function of the value only), so
+//! [`StreamHist::merge`] is a per-bucket count addition: per-cluster
+//! histograms fold into one fleet-wide distribution losslessly with
+//! respect to the bucketing.
+
+use std::collections::BTreeMap;
+
+use crate::latency::LatencyStats;
+
+/// Mantissa bits used to subdivide each octave.
+const SUB_BITS: u32 = 6;
+/// Linear sub-buckets per octave (`2^SUB_BITS`).
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// Worst-case relative error of a reported quantile: half a bucket
+/// width relative to the bucket's lower bound.
+pub const MAX_REL_ERROR: f64 = 1.0 / (2.0 * SUB_BUCKETS as f64);
+
+/// A streaming log-bucketed histogram with bounded relative error.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StreamHist {
+    /// Occupied buckets only: absolute bucket index → count.
+    buckets: BTreeMap<u64, u64>,
+    /// Samples `<= 0` (latencies should never be negative; a zero
+    /// sample has no octave, so it gets its own bucket at value 0).
+    zero: u64,
+    /// Total samples observed (including zeros).
+    count: u64,
+    /// Exact running sum (for the mean).
+    sum: f64,
+    /// Exact minimum observed.
+    min: f64,
+    /// Exact maximum observed.
+    max: f64,
+}
+
+/// Absolute bucket index of a positive finite sample: biased exponent
+/// concatenated with the top mantissa bits. Monotone in the value.
+fn bucket_index(v: f64) -> u64 {
+    let bits = v.to_bits();
+    bits >> (52 - SUB_BITS)
+}
+
+/// Lower bound of a bucket: the smallest f64 mapping to this index.
+fn bucket_lower(index: u64) -> f64 {
+    f64::from_bits(index << (52 - SUB_BITS))
+}
+
+/// Representative (midpoint) value of a bucket.
+fn bucket_mid(index: u64) -> f64 {
+    let lo = bucket_lower(index);
+    // The octave spans [2^e, 2^(e+1)); each sub-bucket is 2^e/SUB_BUCKETS
+    // wide, i.e. the octave base divided by SUB_BUCKETS.
+    let octave_base = f64::from_bits((index >> SUB_BITS) << 52);
+    lo + octave_base / (2.0 * SUB_BUCKETS as f64)
+}
+
+impl StreamHist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: BTreeMap::new(),
+            zero: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample. Non-finite samples are ignored; samples
+    /// `<= 0` land in a dedicated zero bucket.
+    pub fn observe(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        if v <= 0.0 {
+            self.zero += 1;
+        } else {
+            *self.buckets.entry(bucket_index(v)).or_insert(0) += 1;
+        }
+    }
+
+    /// Folds another histogram into this one (per-bucket addition).
+    pub fn merge(&mut self, other: &StreamHist) {
+        for (&idx, &n) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += n;
+        }
+        self.zero += other.zero;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total samples observed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Number of occupied buckets (the memory footprint).
+    pub fn occupied_buckets(&self) -> usize {
+        self.buckets.len() + usize::from(self.zero > 0)
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact minimum (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The `q`-quantile (nearest-rank over buckets): the midpoint of
+    /// the bucket holding the `ceil(q·count)`-th smallest sample,
+    /// clamped to the exact observed `[min, max]`. Relative error vs
+    /// the exact nearest-rank sample is bounded by [`MAX_REL_ERROR`].
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = self.zero;
+        if rank <= seen {
+            return 0.0;
+        }
+        for (&idx, &n) in &self.buckets {
+            seen += n;
+            if rank <= seen {
+                return bucket_mid(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max()
+    }
+
+    /// Summarizes into the shared [`LatencyStats`] shape (streaming
+    /// percentiles; `count`, `mean_ns` and `max_ns` are exact).
+    pub fn summary(&self) -> LatencyStats {
+        LatencyStats {
+            count: self.count as usize,
+            mean_ns: self.mean(),
+            p50_ns: self.quantile(0.50),
+            p95_ns: self.quantile(0.95),
+            p99_ns: self.quantile(0.99),
+            max_ns: self.max(),
+        }
+    }
+
+    /// The 99.9th percentile, the tail the SLO engine watches.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_nearest_rank(samples: &mut [f64], q: f64) -> f64 {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        samples[rank - 1]
+    }
+
+    /// A deterministic pseudo-random latency stream (no external RNG).
+    fn lcg_stream(seed: u64, n: usize) -> Vec<f64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                // Spread over ~4 decades: 1e3..1e7 ns.
+                1e3 + (x >> 11) as f64 / (1u64 << 53) as f64 * 1e7
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quantiles_match_exact_within_bound() {
+        let samples = lcg_stream(0x5151, 10_000);
+        let mut h = StreamHist::new();
+        for &s in &samples {
+            h.observe(s);
+        }
+        let mut sorted = samples.clone();
+        for q in [0.50, 0.95, 0.99, 0.999] {
+            let exact = exact_nearest_rank(&mut sorted, q);
+            let approx = h.quantile(q);
+            let rel = ((approx - exact) / exact).abs();
+            assert!(
+                rel <= 0.02,
+                "q={q}: approx {approx} vs exact {exact} (rel {rel})"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_reconciles_with_exact_latency_stats() {
+        let samples = lcg_stream(0xe21, 4_096);
+        let mut h = StreamHist::new();
+        for &s in &samples {
+            h.observe(s);
+        }
+        let exact = LatencyStats::from_samples(&samples);
+        let approx = h.summary();
+        assert_eq!(approx.count, exact.count);
+        assert!((approx.mean_ns - exact.mean_ns).abs() / exact.mean_ns < 1e-12);
+        assert_eq!(approx.max_ns, exact.max_ns, "max is tracked exactly");
+        for (a, e) in [
+            (approx.p50_ns, exact.p50_ns),
+            (approx.p95_ns, exact.p95_ns),
+            (approx.p99_ns, exact.p99_ns),
+        ] {
+            assert!(((a - e) / e).abs() <= 0.02, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_observing_everything_in_one_histogram() {
+        let a_samples = lcg_stream(1, 500);
+        let b_samples = lcg_stream(2, 700);
+        let mut a = StreamHist::new();
+        let mut b = StreamHist::new();
+        let mut whole = StreamHist::new();
+        for &s in &a_samples {
+            a.observe(s);
+            whole.observe(s);
+        }
+        for &s in &b_samples {
+            b.observe(s);
+            whole.observe(s);
+        }
+        a.merge(&b);
+        assert_eq!(
+            a.buckets, whole.buckets,
+            "merge must be exact at the bucket level"
+        );
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        // The running sum depends on addition order; only quantiles and
+        // the mean need to agree, to float tolerance.
+        assert!((a.sum() - whole.sum()).abs() / whole.sum() < 1e-12);
+        for q in [0.5, 0.99, 0.999] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn bucket_math_is_monotone_and_bounded() {
+        let mut last = 0u64;
+        let mut v = 1.0e3;
+        while v < 1.0e12 {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "bucket index must be monotone in the value");
+            last = idx;
+            let lo = bucket_lower(idx);
+            let mid = bucket_mid(idx);
+            assert!(lo <= v, "lower bound must not exceed the member value");
+            assert!(
+                ((mid - v) / v).abs() <= 1.0 / SUB_BUCKETS as f64,
+                "midpoint must stay within one bucket width of the value"
+            );
+            v *= 1.01;
+        }
+    }
+
+    #[test]
+    fn memory_stays_bounded_over_wide_streams() {
+        let mut h = StreamHist::new();
+        for &s in lcg_stream(9, 100_000).iter() {
+            h.observe(s);
+        }
+        // 4 decades ≈ 14 octaves × 64 sub-buckets is the ceiling.
+        assert!(h.occupied_buckets() < 1024, "{}", h.occupied_buckets());
+        assert_eq!(h.count(), 100_000);
+    }
+
+    #[test]
+    fn zeros_and_empty_and_singletons() {
+        let mut h = StreamHist::new();
+        assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.summary(), LatencyStats::default());
+        h.observe(0.0);
+        h.observe(42.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.25), 0.0, "the zero bucket sorts first");
+        assert_eq!(h.max(), 42.0);
+        assert!(h.quantile(1.0) <= 42.0);
+        h.observe(f64::NAN);
+        assert_eq!(h.count(), 2, "non-finite samples are ignored");
+    }
+
+    #[test]
+    fn deterministic_across_observation_orders_at_bucket_level() {
+        let samples = lcg_stream(7, 2_000);
+        let mut fwd = StreamHist::new();
+        let mut rev = StreamHist::new();
+        for &s in &samples {
+            fwd.observe(s);
+        }
+        for &s in samples.iter().rev() {
+            rev.observe(s);
+        }
+        assert_eq!(fwd.buckets, rev.buckets);
+        assert_eq!(fwd.quantile(0.99), rev.quantile(0.99));
+    }
+}

@@ -1,8 +1,18 @@
-//! Nearest-rank latency summaries.
+//! Nearest-rank latency summaries — the **exact reference**.
 //!
 //! This is the percentile math the proving service reports through
 //! `ServiceMetrics`; it lives here so every layer shares one
 //! implementation (the serve crate re-exports it unchanged).
+//!
+//! [`LatencyStats::from_samples`] sorts the *full sample set*, so it is
+//! O(n log n) time and O(n) memory per call. That makes it the exact
+//! yardstick for tests (see the reconciliation tests in
+//! [`crate::StreamHist`]) and the backing math for byte-frozen report
+//! tables, but the wrong tool for anything that would retain every
+//! sample across a whole run: long-lived producers (fleet hedging,
+//! merged multi-cluster summaries) use [`crate::StreamHist`], which
+//! holds O(occupied buckets) memory with a bounded relative error,
+//! instead of accumulating unbounded sample vectors.
 
 /// Latency distribution summary (nearest-rank percentiles).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]

@@ -29,16 +29,20 @@
 #![warn(missing_docs)]
 
 mod export;
+mod hist;
 mod json;
 mod latency;
 mod registry;
+mod slo;
 mod span;
 mod tree;
 
 pub use export::{chrome_trace_json, folded_stacks};
+pub use hist::{StreamHist, MAX_REL_ERROR, SUB_BUCKETS};
 pub use json::{parse as parse_json, validate_chrome_trace, JsonValue, TraceSummary};
 pub use latency::LatencyStats;
-pub use registry::{Histogram, Registry, DEFAULT_NS_BUCKETS};
+pub use registry::{escape_label_value, Histogram, LabelPairs, Registry, DEFAULT_NS_BUCKETS};
+pub use slo::{Alert, BurnWindows, Objective, SloEngine, SloEvent, SloSpec};
 pub use span::{AttrValue, Instant, InstantKind, Session, Span, SpanLevel};
 pub use tree::SpanTree;
 
@@ -165,6 +169,29 @@ pub fn gauge_max(name: &'static str, value: f64) {
         return;
     }
     lock(&REGISTRY).gauge_max(name, value);
+}
+
+/// Sets a labeled gauge series when enabled (e.g.
+/// `slo_burn_rate{class="raw-ntt",slo="avail",tenant="3"}`). List the
+/// labels alphabetically by key; values are escaped at exposition time.
+/// The enabled path allocates for the label values — use on report and
+/// control-loop surfaces, not per-kernel hot paths.
+#[inline]
+pub fn gauge_set_labeled(name: &'static str, labels: &[(&'static str, &str)], value: f64) {
+    if !recording() {
+        return;
+    }
+    lock(&REGISTRY).gauge_set_labeled(name, labels, value);
+}
+
+/// Attaches `# HELP` text to a metric family when enabled. Help text is
+/// cleared with the rest of the registry at session start.
+#[inline]
+pub fn describe_metric(name: &'static str, help: &'static str) {
+    if !recording() {
+        return;
+    }
+    lock(&REGISTRY).describe(name, help);
 }
 
 /// Observes a histogram sample when enabled.

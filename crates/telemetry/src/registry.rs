@@ -5,8 +5,27 @@
 //! metric name, and storage is `BTreeMap` so exposition order (and thus
 //! the rendered text) is deterministic.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
+
+/// Sorted label pairs identifying one labeled-gauge series. Keys are
+/// static; values may be dynamic (e.g. a tenant id rendered to text).
+pub type LabelPairs = Vec<(&'static str, String)>;
+
+/// Escapes a label value per the Prometheus text exposition rules:
+/// backslash, double-quote and newline must be backslash-escaped.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
 
 /// Default histogram bucket upper bounds, in simulated nanoseconds:
 /// decades from 1 µs to 1000 s. Everything above falls in `+Inf`.
@@ -62,8 +81,14 @@ pub struct Registry {
     pub labeled_counters: BTreeMap<(&'static str, &'static str, u64), u64>,
     /// Last-write-wins gauges.
     pub gauges: BTreeMap<&'static str, f64>,
+    /// Last-write-wins gauges with arbitrary label sets (e.g.
+    /// `slo_burn_rate{class="raw-ntt",slo="avail",tenant="3"}`), keyed
+    /// `(name, sorted label pairs)` so exposition stays deterministic.
+    pub labeled_gauges: BTreeMap<(&'static str, LabelPairs), f64>,
     /// Fixed-bucket histograms.
     pub histograms: BTreeMap<&'static str, Histogram>,
+    /// Optional `# HELP` text per metric family.
+    pub help: BTreeMap<&'static str, &'static str>,
 }
 
 impl Registry {
@@ -73,8 +98,15 @@ impl Registry {
             counters: BTreeMap::new(),
             labeled_counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
+            labeled_gauges: BTreeMap::new(),
             histograms: BTreeMap::new(),
+            help: BTreeMap::new(),
         }
+    }
+
+    /// Attaches `# HELP` text to a metric family.
+    pub fn describe(&mut self, name: &'static str, help: &'static str) {
+        self.help.insert(name, help);
     }
 
     /// Adds to a counter, creating it at zero.
@@ -110,6 +142,19 @@ impl Registry {
         }
     }
 
+    /// Sets a labeled gauge series. `labels` must be pre-sorted by key
+    /// (call sites list them alphabetically); values are stored raw and
+    /// escaped at exposition time.
+    pub fn gauge_set_labeled(
+        &mut self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        value: f64,
+    ) {
+        let key: LabelPairs = labels.iter().map(|&(k, v)| (k, v.to_string())).collect();
+        self.labeled_gauges.insert((name, key), value);
+    }
+
     /// Observes into a histogram, creating it with the default
     /// nanosecond buckets.
     pub fn histogram_observe(&mut self, name: &'static str, value: f64) {
@@ -119,36 +164,67 @@ impl Registry {
             .observe(value);
     }
 
-    /// Clears every metric.
+    /// Clears every metric (and the help text, so sessions start clean).
     pub fn clear(&mut self) {
         self.counters.clear();
         self.labeled_counters.clear();
         self.gauges.clear();
+        self.labeled_gauges.clear();
         self.histograms.clear();
+        self.help.clear();
+    }
+
+    /// Writes the family header: optional `# HELP` first (conformance
+    /// requires HELP before TYPE), then `# TYPE`.
+    fn write_header(&self, out: &mut String, name: &str, kind: &str) {
+        if let Some(help) = self.help.get(name) {
+            let _ = writeln!(out, "# HELP {name} {help}");
+        }
+        let _ = writeln!(out, "# TYPE {name} {kind}");
     }
 
     /// Renders the Prometheus text exposition format. Deterministic:
-    /// metrics appear in name order, labeled series in label order.
+    /// metrics appear in name order, labeled series in label order;
+    /// label values are escaped per the exposition-format rules.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, v) in &self.counters {
-            let _ = writeln!(out, "# TYPE {name} counter");
+            self.write_header(&mut out, name, "counter");
             let _ = writeln!(out, "{name} {v}");
         }
         let mut last_labeled: Option<&'static str> = None;
         for (&(name, label, value), v) in &self.labeled_counters {
             if last_labeled != Some(name) {
-                let _ = writeln!(out, "# TYPE {name} counter");
+                self.write_header(&mut out, name, "counter");
                 last_labeled = Some(name);
             }
             let _ = writeln!(out, "{name}{{{label}=\"{value}\"}} {v}");
         }
-        for (name, v) in &self.gauges {
-            let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {v}");
+        // Gauges: one header per family across plain and labeled series.
+        let gauge_names: BTreeSet<&'static str> = self
+            .gauges
+            .keys()
+            .copied()
+            .chain(self.labeled_gauges.keys().map(|k| k.0))
+            .collect();
+        for name in gauge_names {
+            self.write_header(&mut out, name, "gauge");
+            if let Some(v) = self.gauges.get(name) {
+                let _ = writeln!(out, "{name} {v}");
+            }
+            for ((n, labels), v) in &self.labeled_gauges {
+                if *n != name {
+                    continue;
+                }
+                let rendered: Vec<String> = labels
+                    .iter()
+                    .map(|(k, val)| format!("{k}=\"{}\"", escape_label_value(val)))
+                    .collect();
+                let _ = writeln!(out, "{name}{{{}}} {v}", rendered.join(","));
+            }
         }
         for (name, h) in &self.histograms {
-            let _ = writeln!(out, "# TYPE {name} histogram");
+            self.write_header(&mut out, name, "histogram");
             let mut cumulative = 0u64;
             for (i, b) in h.bounds.iter().enumerate() {
                 cumulative += h.counts[i];

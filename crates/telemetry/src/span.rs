@@ -139,6 +139,10 @@ pub enum InstantKind {
     Shed,
     /// A cluster health-state transition (quarantine, probe, recovery).
     Quarantine,
+    /// An SLO burn-rate alert fired (fast + slow windows both over).
+    Alert,
+    /// A fabric link's end-of-run occupancy summary (bytes, busy time).
+    LinkUtilization,
 }
 
 impl InstantKind {
@@ -154,6 +158,8 @@ impl InstantKind {
             InstantKind::Hedge => "hedge",
             InstantKind::Shed => "shed",
             InstantKind::Quarantine => "quarantine",
+            InstantKind::Alert => "alert",
+            InstantKind::LinkUtilization => "link-utilization",
         }
     }
 }

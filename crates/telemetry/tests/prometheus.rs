@@ -1,0 +1,156 @@
+//! Prometheus text-exposition conformance tests.
+//!
+//! The registry's `render_prometheus` output is consumed verbatim by
+//! scrape-shaped tooling, so it must follow the exposition-format rules:
+//! `# HELP` before `# TYPE`, one header pair per family, escaped label
+//! values, cumulative histogram `_bucket` series ending in `+Inf` plus
+//! `_sum`/`_count`, and a fully deterministic (sorted) ordering so two
+//! identical runs render byte-identical text.
+
+use unintt_telemetry::{escape_label_value, Registry};
+
+fn sample_registry() -> Registry {
+    let mut r = Registry::empty();
+    r.describe("jobs_total", "Jobs accepted by the service");
+    r.describe("slo_burn_rate", "Fast-window SLO burn rate");
+    r.describe("lat_ns", "Job latency, simulated ns");
+    r.counter_add("jobs_total", 7);
+    r.counter_add_labeled("shed_jobs", "tenant", 3, 2);
+    r.counter_add_labeled("shed_jobs", "tenant", 0, 1);
+    r.gauge_set("queue_depth", 4.0);
+    r.gauge_set_labeled(
+        "slo_burn_rate",
+        &[("class", "raw-ntt"), ("slo", "avail"), ("tenant", "3")],
+        2.5,
+    );
+    r.gauge_set_labeled(
+        "slo_burn_rate",
+        &[("class", "plonk-prove"), ("slo", "lat"), ("tenant", "all")],
+        0.25,
+    );
+    r.histogram_observe("lat_ns", 5e2);
+    r.histogram_observe("lat_ns", 5e3);
+    r.histogram_observe("lat_ns", 1e13);
+    r
+}
+
+#[test]
+fn help_precedes_type_for_described_families() {
+    let text = sample_registry().render_prometheus();
+    let help = text
+        .find("# HELP jobs_total Jobs accepted by the service")
+        .expect("HELP line present");
+    let ty = text.find("# TYPE jobs_total counter").expect("TYPE line");
+    assert!(help < ty, "HELP must come before TYPE:\n{text}");
+    // Families without a description still get a TYPE line.
+    assert!(text.contains("# TYPE queue_depth gauge"));
+    assert!(!text.contains("# HELP queue_depth"));
+}
+
+#[test]
+fn one_header_pair_per_family() {
+    let text = sample_registry().render_prometheus();
+    for needle in [
+        "# TYPE shed_jobs counter",
+        "# TYPE slo_burn_rate gauge",
+        "# TYPE lat_ns histogram",
+        "# HELP slo_burn_rate Fast-window SLO burn rate",
+    ] {
+        assert_eq!(text.matches(needle).count(), 1, "{needle}:\n{text}");
+    }
+}
+
+#[test]
+fn label_values_are_escaped() {
+    assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+    assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+    assert_eq!(escape_label_value("line\nbreak"), "line\\nbreak");
+    let mut r = Registry::empty();
+    r.gauge_set_labeled("g", &[("path", "a\\b\"c\nd")], 1.0);
+    let text = r.render_prometheus();
+    assert!(
+        text.contains("g{path=\"a\\\\b\\\"c\\nd\"} 1"),
+        "escaped series line:\n{text}"
+    );
+    assert_eq!(
+        text.matches('\n').count(),
+        2,
+        "escaping must not introduce raw newlines inside a sample line"
+    );
+}
+
+#[test]
+fn labeled_gauge_series_render_sorted_with_all_labels() {
+    let text = sample_registry().render_prometheus();
+    let a = text
+        .find("slo_burn_rate{class=\"plonk-prove\",slo=\"lat\",tenant=\"all\"} 0.25")
+        .expect("plonk series");
+    let b = text
+        .find("slo_burn_rate{class=\"raw-ntt\",slo=\"avail\",tenant=\"3\"} 2.5")
+        .expect("raw-ntt series");
+    assert!(a < b, "series must render in sorted label order");
+}
+
+#[test]
+fn histogram_series_are_cumulative_and_end_in_inf() {
+    let text = sample_registry().render_prometheus();
+    assert!(text.contains("lat_ns_bucket{le=\"1000\"} 1"));
+    assert!(text.contains("lat_ns_bucket{le=\"10000\"} 2"));
+    assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 3"));
+    assert!(text.contains("lat_ns_sum 10000000005500"));
+    assert!(text.contains("lat_ns_count 3"));
+    // +Inf must be the last bucket, followed by _sum then _count.
+    let inf = text.find("le=\"+Inf\"").unwrap();
+    let sum = text.find("lat_ns_sum").unwrap();
+    let count = text.find("lat_ns_count").unwrap();
+    assert!(
+        inf < sum && sum < count,
+        "bucket/sum/count ordering:\n{text}"
+    );
+}
+
+#[test]
+fn rendering_is_deterministic_and_sorted() {
+    // Build the same registry with insertions in a different order; the
+    // rendered text must be byte-identical.
+    let mut r2 = Registry::empty();
+    r2.histogram_observe("lat_ns", 1e13);
+    r2.gauge_set_labeled(
+        "slo_burn_rate",
+        &[("class", "raw-ntt"), ("slo", "avail"), ("tenant", "3")],
+        2.5,
+    );
+    r2.counter_add_labeled("shed_jobs", "tenant", 0, 1);
+    r2.gauge_set("queue_depth", 4.0);
+    r2.describe("lat_ns", "Job latency, simulated ns");
+    r2.counter_add("jobs_total", 7);
+    r2.histogram_observe("lat_ns", 5e3);
+    r2.describe("slo_burn_rate", "Fast-window SLO burn rate");
+    r2.gauge_set_labeled(
+        "slo_burn_rate",
+        &[("class", "plonk-prove"), ("slo", "lat"), ("tenant", "all")],
+        0.25,
+    );
+    r2.counter_add_labeled("shed_jobs", "tenant", 3, 2);
+    r2.describe("jobs_total", "Jobs accepted by the service");
+    r2.histogram_observe("lat_ns", 5e2);
+    assert_eq!(
+        sample_registry().render_prometheus(),
+        r2.render_prometheus()
+    );
+    // Families render name-sorted within each section.
+    let text = sample_registry().render_prometheus();
+    let jobs = text.find("# TYPE jobs_total").unwrap();
+    let shed = text.find("# TYPE shed_jobs").unwrap();
+    assert!(jobs < shed, "counters sorted by name");
+}
+
+#[test]
+fn overwriting_a_labeled_series_keeps_one_sample() {
+    let mut r = Registry::empty();
+    r.gauge_set_labeled("g", &[("k", "v")], 1.0);
+    r.gauge_set_labeled("g", &[("k", "v")], 9.0);
+    let text = r.render_prometheus();
+    assert_eq!(text.matches("g{k=\"v\"}").count(), 1);
+    assert!(text.contains("g{k=\"v\"} 9"));
+}
